@@ -1,0 +1,376 @@
+(* The socet command-line tool: inspect cores, explore SOC design points,
+   and evaluate testability — the user-facing face of the library.
+
+     dune exec bin/socet_cli.exe -- --help
+*)
+
+open Cmdliner
+open Socet_rtl
+open Socet_core
+
+let builtin_cores () =
+  [
+    ("cpu", Socet_cores.Cpu.core ());
+    ("preprocessor", Socet_cores.Preprocessor.core ());
+    ("display", Socet_cores.Display.core ());
+    ("gcd", Socet_cores.Gcd_core.core ());
+    ("graphics", Socet_cores.Graphics.core ());
+    ("x25", Socet_cores.X25.core ());
+  ]
+
+let system_of_name = function
+  | "system1" | "1" | "barcode" -> Ok (Socet_cores.Systems.system1 ())
+  | "system2" | "2" -> Ok (Socet_cores.Systems.system2 ())
+  | "system3" | "3" -> Ok (Socet_cores.Systems.system3 ())
+  | s -> Error (Printf.sprintf "unknown system %S (use system1/system2/system3)" s)
+
+(* ------------------------------------------------------------------ *)
+(* socet cores                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_cores () =
+  let rows =
+    List.map
+      (fun (key, core) ->
+        let nl = Socet_synth.Elaborate.core_to_netlist core in
+        let rcg = Rcg.of_core core in
+        let hscan = Socet_scan.Hscan.insert rcg in
+        [
+          key;
+          string_of_int (Socet_netlist.Netlist.area nl);
+          string_of_int (List.length (Socet_netlist.Netlist.dffs nl));
+          string_of_int (Rtl_core.input_bit_count core);
+          string_of_int (Rtl_core.output_bit_count core);
+          string_of_int hscan.Socet_scan.Hscan.depth;
+          string_of_int (List.length (Version.generate rcg));
+        ])
+      (builtin_cores ())
+  in
+  Socet_util.Ascii_table.print
+    ~header:[ "core"; "area"; "FFs"; "in bits"; "out bits"; "hscan depth"; "versions" ]
+    rows;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* socet core <name>                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_core name =
+  match List.assoc_opt name (builtin_cores ()) with
+  | None ->
+      Printf.eprintf "unknown core %S; try: %s\n" name
+        (String.concat ", " (List.map fst (builtin_cores ())));
+      1
+  | Some core ->
+      Format.printf "%a@." Rtl_core.pp core;
+      let rcg = Rcg.of_core core in
+      let hscan = Socet_scan.Hscan.insert rcg in
+      Printf.printf "HSCAN: depth %d, %d cells, chains:\n"
+        hscan.Socet_scan.Hscan.depth hscan.Socet_scan.Hscan.overhead_cells;
+      List.iter
+        (fun chain ->
+          print_string "  ";
+          print_endline
+            (String.concat " -> "
+               (List.map (fun v -> (Rcg.node rcg v).Rcg.n_name) chain)))
+        hscan.Socet_scan.Hscan.chains;
+      let versions = Version.generate rcg in
+      List.iter
+        (fun v ->
+          Printf.printf "Version %d (%d cells):\n" v.Version.v_index
+            v.Version.v_overhead;
+          List.iter
+            (fun p ->
+              Printf.printf "  %s -> %s : %d cycle(s)\n"
+                (Rcg.node rcg p.Version.pr_input).Rcg.n_name
+                (Rcg.node rcg p.Version.pr_output).Rcg.n_name p.Version.pr_latency)
+            v.Version.v_pairs)
+        versions;
+      0
+
+(* ------------------------------------------------------------------ *)
+(* socet space <system>                                                *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_space system =
+  match system_of_name system with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok soc ->
+      let points = Select.design_space soc in
+      Socet_util.Ascii_table.print
+        ~header:[ "pt"; "versions"; "area ovhd (cells)"; "TAT (cycles)" ]
+        (List.mapi
+           (fun i p ->
+             [
+               string_of_int (i + 1);
+               String.concat " "
+                 (List.map
+                    (fun (n, k) -> Printf.sprintf "%s=%d" n k)
+                    p.Select.pt_choice);
+               string_of_int p.Select.pt_area;
+               string_of_int p.Select.pt_time;
+             ])
+           points);
+      0
+
+(* ------------------------------------------------------------------ *)
+(* socet explore <system>                                              *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_explore system objective max_area max_time =
+  match system_of_name system with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok soc ->
+      let traj =
+        match objective with
+        | `Time -> Select.minimize_time soc ~max_area
+        | `Area -> Select.minimize_area soc ~max_time
+      in
+      Socet_util.Ascii_table.print
+        ~header:[ "step"; "versions"; "muxes"; "area"; "TAT" ]
+        (List.mapi
+           (fun i p ->
+             [
+               string_of_int i;
+               String.concat " "
+                 (List.map
+                    (fun (n, k) -> Printf.sprintf "%s=%d" n k)
+                    p.Select.pt_choice);
+               string_of_int (List.length p.Select.pt_smuxes);
+               string_of_int p.Select.pt_area;
+               string_of_int p.Select.pt_time;
+             ])
+           traj);
+      0
+
+(* ------------------------------------------------------------------ *)
+(* socet coverage <system>                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_coverage system cycles =
+  match system_of_name system with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok soc ->
+      let orig = Testgen.sequential_coverage soc ~cycles () in
+      let hscan_only =
+        Testgen.sequential_coverage soc ~with_core_scan:true ~cycles ()
+      in
+      let full = Testgen.scan_access_coverage soc in
+      Socet_util.Ascii_table.print
+        ~header:[ "access mechanism"; "FC %"; "TEff %" ]
+        [
+          [
+            "none (functional stimuli)";
+            Printf.sprintf "%.1f" orig.Testgen.fc;
+            Printf.sprintf "%.1f" orig.Testgen.teff;
+          ];
+          [
+            "core HSCAN only";
+            Printf.sprintf "%.1f" hscan_only.Testgen.fc;
+            Printf.sprintf "%.1f" hscan_only.Testgen.teff;
+          ];
+          [
+            "full scan access (SOCET / FSCAN-BSCAN)";
+            Printf.sprintf "%.1f" full.Testgen.fc;
+            Printf.sprintf "%.1f" full.Testgen.teff;
+          ];
+        ];
+      0
+
+(* ------------------------------------------------------------------ *)
+(* socet baseline <system>                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_baseline system =
+  match system_of_name system with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok soc ->
+      let b = Baseline.evaluate soc in
+      let all_v1 = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts in
+      let s = Schedule.build soc ~choice:all_v1 () in
+      Socet_util.Ascii_table.print
+        ~header:[ "method"; "core DFT (cells)"; "chip DFT (cells)"; "TAT (cycles)" ]
+        [
+          [
+            "FSCAN-BSCAN";
+            string_of_int b.Baseline.b_core_scan_overhead;
+            string_of_int b.Baseline.b_ring_overhead;
+            string_of_int b.Baseline.b_time;
+          ];
+          [
+            "SOCET (all version 1)";
+            string_of_int (Soc.hscan_area_overhead soc);
+            string_of_int s.Schedule.s_area_overhead;
+            string_of_int s.Schedule.s_total_time;
+          ];
+        ];
+      0
+
+(* ------------------------------------------------------------------ *)
+(* socet dot                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_dot kind name =
+  match kind with
+  | `Core -> (
+      match List.assoc_opt name (builtin_cores ()) with
+      | None ->
+          Printf.eprintf "unknown core %S\n" name;
+          1
+      | Some core ->
+          let rcg = Rcg.of_core core in
+          let _ = Socet_scan.Hscan.insert rcg in
+          print_string (Export.rcg_dot rcg);
+          0)
+  | `System -> (
+      match system_of_name name with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok soc ->
+          let choice = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts in
+          print_string (Export.ccg_dot (Ccg.build soc ~choice));
+          0)
+
+(* ------------------------------------------------------------------ *)
+(* socet schedule                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_schedule system overlap =
+  match system_of_name system with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok soc ->
+      let choice = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts in
+      let s = Schedule.build soc ~choice () in
+      Socet_util.Ascii_table.print
+        ~header:[ "core"; "vectors"; "cycles/vec"; "tail"; "test time" ]
+        (List.map
+           (fun t ->
+             [
+               t.Schedule.ct_inst;
+               string_of_int t.Schedule.ct_vectors;
+               string_of_int t.Schedule.ct_period;
+               string_of_int t.Schedule.ct_tail;
+               string_of_int t.Schedule.ct_time;
+             ])
+           s.Schedule.s_tests);
+      Printf.printf "sequential total: %d cycles\n" s.Schedule.s_total_time;
+      if overlap then begin
+        let makespan, starts = Schedule.parallel_makespan s in
+        Printf.printf "overlapped makespan: %d cycles\n" makespan;
+        List.iter (fun (c, st) -> Printf.printf "  %s starts at cycle %d\n" c st) starts
+      end;
+      0
+
+(* ------------------------------------------------------------------ *)
+(* socet bist                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_bist words width =
+  let open Socet_bist in
+  Socet_util.Ascii_table.print
+    ~header:[ "algorithm"; "ops"; "coverage %" ]
+    (List.map
+       (fun (name, alg) ->
+         let r = March.evaluate ~words ~width ~name alg in
+         [ name; string_of_int r.March.ops; Printf.sprintf "%.1f" r.March.coverage ])
+       [ ("March C-", March.march_c_minus); ("MATS+", March.mats_plus) ]);
+  Printf.printf "BIST controller estimate: %d cells\n"
+    (March.bist_area ~words ~width);
+  0
+
+(* ------------------------------------------------------------------ *)
+(* Command wiring                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let system_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"SYSTEM")
+
+let cores_t = Term.(const cmd_cores $ const ())
+
+let core_t =
+  Term.(
+    const cmd_core
+    $ Arg.(required & pos 0 (some string) None & info [] ~docv:"CORE"))
+
+let space_t = Term.(const cmd_space $ system_arg)
+
+let explore_t =
+  let objective =
+    Arg.(
+      value
+      & opt (enum [ ("time", `Time); ("area", `Area) ]) `Time
+      & info [ "objective"; "o" ] ~doc:"Optimize test $(docv) (time or area).")
+  in
+  let max_area =
+    Arg.(value & opt int 500 & info [ "max-area" ] ~doc:"Area budget in cells.")
+  in
+  let max_time =
+    Arg.(value & opt int 5000 & info [ "max-time" ] ~doc:"TAT bound in cycles.")
+  in
+  Term.(const cmd_explore $ system_arg $ objective $ max_area $ max_time)
+
+let coverage_t =
+  let cycles =
+    Arg.(value & opt int 512 & info [ "cycles" ] ~doc:"Functional stimulus length.")
+  in
+  Term.(const cmd_coverage $ system_arg $ cycles)
+
+let baseline_t = Term.(const cmd_baseline $ system_arg)
+
+let dot_t =
+  let kind =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("core", `Core); ("system", `System) ])) None
+      & info [] ~docv:"KIND")
+  in
+  let target = Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME") in
+  Term.(const cmd_dot $ kind $ target)
+
+let bist_t =
+  let words =
+    Arg.(value & opt int 64 & info [ "words" ] ~doc:"Memory words to model.")
+  in
+  let width =
+    Arg.(value & opt int 8 & info [ "width" ] ~doc:"Word width in bits.")
+  in
+  Term.(const cmd_bist $ words $ width)
+
+let schedule_t =
+  let overlap =
+    Arg.(value & flag & info [ "overlap" ] ~doc:"Also pack tests concurrently.")
+  in
+  Term.(const cmd_schedule $ system_arg $ overlap)
+
+let () =
+  let info name doc = Cmd.info name ~doc in
+  let cmds =
+    [
+      Cmd.v (info "cores" "List the built-in example cores.") cores_t;
+      Cmd.v (info "core" "Show one core: RCG, HSCAN chains, version ladder.") core_t;
+      Cmd.v (info "space" "Enumerate all version-choice design points.") space_t;
+      Cmd.v (info "explore" "Run the iterative-improvement optimizer.") explore_t;
+      Cmd.v (info "coverage" "Fault coverage with and without test access.") coverage_t;
+      Cmd.v (info "baseline" "Compare against the FSCAN-BSCAN baseline.") baseline_t;
+      Cmd.v (info "dot" "Emit Graphviz for a core's RCG or a system's CCG.") dot_t;
+      Cmd.v (info "schedule" "Show the chip-level test schedule.") schedule_t;
+      Cmd.v (info "bist" "Evaluate March memory-BIST algorithms.") bist_t;
+    ]
+  in
+  let root =
+    Cmd.group
+      (Cmd.info "socet" ~version:"1.0.0"
+         ~doc:"Transparency-based core test planning (DAC'98 SOCET reproduction).")
+      cmds
+  in
+  exit (Cmd.eval' root)

@@ -1,0 +1,1 @@
+examples/barcode_soc.ml: Access Baseline Ccg Lazy List Printf Schedule Soc Socet_atpg Socet_core Socet_cores Socet_netlist Socet_scan

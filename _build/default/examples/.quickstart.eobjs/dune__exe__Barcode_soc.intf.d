@@ -1,0 +1,1 @@
+examples/barcode_soc.mli:

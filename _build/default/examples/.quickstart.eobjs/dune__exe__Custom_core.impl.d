@@ -1,0 +1,1 @@
+examples/custom_core.ml: List Printf Rcg Rtl_core Schedule Soc Socet_atpg Socet_core Socet_cores Socet_rtl Socet_scan Socet_synth Version

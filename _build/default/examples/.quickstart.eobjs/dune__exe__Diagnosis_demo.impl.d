@@ -1,0 +1,1 @@
+examples/diagnosis_demo.ml: Diagnose Fault Fsim List Netlist Podem Printf Scoap Socet_atpg Socet_cores Socet_netlist Socet_synth Socet_util Testpoint

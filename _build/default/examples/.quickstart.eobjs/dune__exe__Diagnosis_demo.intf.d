@@ -1,0 +1,1 @@
+examples/diagnosis_demo.mli:

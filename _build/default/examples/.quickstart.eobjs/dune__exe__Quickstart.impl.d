@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Rcg Rtl_core Socet_core Socet_cores Socet_graph Socet_rtl Socet_scan Socet_util Tsearch Tsim Version

@@ -1,0 +1,1 @@
+examples/system2_soc.ml: List Printf Schedule Select Soc Socet_core Socet_cores String Testgen

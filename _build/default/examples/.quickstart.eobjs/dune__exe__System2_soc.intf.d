@@ -1,0 +1,1 @@
+examples/system2_soc.mli:

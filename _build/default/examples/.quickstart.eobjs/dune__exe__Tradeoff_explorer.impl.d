@@ -1,0 +1,1 @@
+examples/tradeoff_explorer.ml: List Printf Select Socet_core Socet_cores String

@@ -1,0 +1,66 @@
+(* Quickstart: make one core testable and transparent, inspect its version
+   ladder, and watch a value ride a transparency path through the
+   synthesized gates.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Socet_rtl
+open Socet_core
+
+let () =
+  (* 1. Take a core — here the barcode system's CPU (paper Fig. 3). *)
+  let cpu = Socet_cores.Cpu.core () in
+  Format.printf "%a@." Rtl_core.pp cpu;
+
+  (* 2. Extract its register connectivity graph and insert HSCAN chains
+        (the core-level DFT: scan built from existing mux paths). *)
+  let rcg = Rcg.of_core cpu in
+  let hscan = Socet_scan.Hscan.insert rcg in
+  Printf.printf "HSCAN: %d chains, depth %d, %d cells overhead\n\n"
+    (List.length hscan.Socet_scan.Hscan.chains)
+    hscan.Socet_scan.Hscan.depth hscan.Socet_scan.Hscan.overhead_cells;
+
+  (* 3. Generate the transparency version ladder (paper Fig. 6). *)
+  let versions = Version.generate rcg in
+  List.iter
+    (fun v ->
+      Printf.printf "Version %d: %d cells of transparency logic\n"
+        v.Version.v_index v.Version.v_overhead;
+      List.iter
+        (fun p ->
+          Printf.printf "  %-10s -> %-12s in %d cycle(s)\n"
+            (Rcg.node rcg p.Version.pr_input).Rcg.n_name
+            (Rcg.node rcg p.Version.pr_output).Rcg.n_name
+            p.Version.pr_latency)
+        v.Version.v_pairs)
+    versions;
+
+  (* 4. Prove a path with the gate-level transparency simulator: apply
+        0xB7 at Data and watch it arrive at Address after 6 cycles. *)
+  print_newline ();
+  match
+    Tsearch.propagate rcg
+      ~allowed:(fun e -> e.Socet_graph.Digraph.label.Rcg.e_hscan)
+      ~input:(Rcg.node_id rcg "Data") ()
+  with
+  | None -> print_endline "no transparency path?!"
+  | Some sol -> (
+      Printf.printf "Propagation path latency: %d cycles, %d freezes\n"
+        sol.Tsearch.s_latency
+        (List.length sol.Tsearch.s_freezes);
+      let value = Socet_util.Bitvec.of_int ~width:8 0xB7 in
+      match Tsim.run_propagation rcg sol ~input:"Data" ~value with
+      | None -> print_endline "path not simulable (synthesized edges)"
+      | Some outcome ->
+          Printf.printf "After %d clock edges:\n" outcome.Tsim.o_cycles;
+          List.iter
+            (fun (port, bv) ->
+              Printf.printf "  %s = %s\n" port (Socet_util.Bitvec.to_string bv))
+            outcome.Tsim.o_outputs;
+          Printf.printf
+            "(applied value was %s; the O-split at IR routes its low nibble\n\
+            \ through MAR_pag to Address_hi and its high nibble down the long\n\
+            \ chain to Address_lo — no bit is lost, which is exactly what the\n\
+            \ paper means by core transparency)\n"
+            (Socet_util.Bitvec.to_string value))

@@ -1,0 +1,60 @@
+(* Design-space exploration on System 1: every combination of core
+   versions, the Pareto frontier, and both optimizer trajectories —
+   a textual rendition of the paper's Fig. 10 workflow.
+
+     dune exec examples/tradeoff_explorer.exe
+*)
+
+open Socet_core
+
+let () =
+  let soc = Socet_cores.Systems.system1 () in
+  let points = Select.design_space soc in
+  Printf.printf "%d design points (all core-version combinations)\n\n"
+    (List.length points);
+
+  (* Pareto frontier: points not dominated in (area, time). *)
+  let dominated p =
+    List.exists
+      (fun q ->
+        q != p
+        && q.Select.pt_area <= p.Select.pt_area
+        && q.Select.pt_time <= p.Select.pt_time
+        && (q.Select.pt_area < p.Select.pt_area || q.Select.pt_time < p.Select.pt_time))
+      points
+  in
+  let frontier =
+    List.filter (fun p -> not (dominated p)) points
+    |> List.sort (fun a b -> compare a.Select.pt_area b.Select.pt_area)
+  in
+  print_endline "Pareto frontier (area ascending):";
+  List.iter
+    (fun p ->
+      Printf.printf "  area %4d  TAT %6d  [%s]\n" p.Select.pt_area p.Select.pt_time
+        (String.concat "; "
+           (List.map (fun (n, k) -> Printf.sprintf "%s=%d" n k) p.Select.pt_choice)))
+    frontier;
+  print_newline ();
+
+  (* The extremes the paper tabulates. *)
+  let by_time = List.sort (fun a b -> compare a.Select.pt_time b.Select.pt_time) points in
+  let fastest = List.hd by_time in
+  let cheapest =
+    List.hd (List.sort (fun a b -> compare a.Select.pt_area b.Select.pt_area) points)
+  in
+  Printf.printf "cheapest point : area %d, TAT %d\n" cheapest.Select.pt_area
+    cheapest.Select.pt_time;
+  Printf.printf "fastest point  : area %d, TAT %d (%.1fx faster)\n"
+    fastest.Select.pt_area fastest.Select.pt_time
+    (float_of_int cheapest.Select.pt_time /. float_of_int fastest.Select.pt_time);
+  print_newline ();
+
+  (* Beyond version selection: let the optimizer add system-level test
+     muxes and show the degeneration toward a test-bus solution. *)
+  print_endline "minimize_time trajectory (version upgrades, then test muxes):";
+  List.iteri
+    (fun i p ->
+      Printf.printf "  step %2d: area %4d  TAT %6d  (%d muxes)\n" i p.Select.pt_area
+        p.Select.pt_time
+        (List.length p.Select.pt_smuxes))
+    (Select.minimize_time soc ~max_area:600)

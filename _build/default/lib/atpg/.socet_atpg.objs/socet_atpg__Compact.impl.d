@@ -1,0 +1,1 @@
+lib/atpg/compact.ml: Fault Fsim List

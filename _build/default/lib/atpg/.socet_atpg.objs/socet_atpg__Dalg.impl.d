@@ -1,0 +1,1 @@
+lib/atpg/dalg.ml: Array Bitvec Cell Fault List Netlist Socet_netlist Socet_util

@@ -1,0 +1,1 @@
+lib/atpg/dalg.mli: Bitvec Fault Netlist Socet_netlist Socet_util

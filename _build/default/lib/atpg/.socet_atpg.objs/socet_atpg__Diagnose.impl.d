@@ -1,0 +1,1 @@
+lib/atpg/diagnose.ml: Array Bitvec Fault Fsim List Socet_util

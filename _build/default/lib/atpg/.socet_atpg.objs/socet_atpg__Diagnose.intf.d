@@ -1,0 +1,1 @@
+lib/atpg/diagnose.mli: Bitvec Fault Netlist Socet_netlist Socet_util

@@ -1,0 +1,1 @@
+lib/atpg/fault.ml: Array Cell List Netlist Printf Socet_netlist

@@ -1,0 +1,1 @@
+lib/atpg/fault.mli: Netlist Socet_netlist

@@ -1,0 +1,1 @@
+lib/atpg/fsim.ml: Array Bitvec Cell Fault List Netlist Queue Sim Socet_netlist Socet_util

@@ -1,0 +1,1 @@
+lib/atpg/podem.ml: Array Bitvec Cell Compact Fault Fsim Hashtbl List Netlist Queue Rng Scoap Socet_netlist Socet_util

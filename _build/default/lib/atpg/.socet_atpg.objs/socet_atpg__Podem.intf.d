@@ -1,0 +1,1 @@
+lib/atpg/podem.mli: Bitvec Fault Netlist Scoap Socet_netlist Socet_util

@@ -1,0 +1,1 @@
+lib/atpg/scoap.ml: Array Cell Fault List Netlist Socet_netlist

@@ -1,0 +1,1 @@
+lib/atpg/scoap.mli: Fault Netlist Socet_netlist

@@ -1,0 +1,1 @@
+lib/atpg/seqgen.ml: Fault Fsim List Netlist Rng Socet_netlist Socet_util

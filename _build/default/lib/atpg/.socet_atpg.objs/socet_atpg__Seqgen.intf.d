@@ -1,0 +1,1 @@
+lib/atpg/seqgen.mli: Netlist Socet_netlist

@@ -1,0 +1,1 @@
+lib/atpg/testpoint.ml: Array Cell Fault Fsim List Netlist Printf Rng Scoap Socet_netlist Socet_util

@@ -1,0 +1,1 @@
+lib/atpg/testpoint.mli: Netlist Scoap Socet_netlist

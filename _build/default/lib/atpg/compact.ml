@@ -1,0 +1,15 @@
+let reverse_order nl ~vectors ~faults =
+  let kept = ref [] in
+  let remaining = ref faults in
+  List.iter
+    (fun vec ->
+      if !remaining <> [] then begin
+        let hit = Fsim.run_comb nl ~vectors:[ vec ] ~faults:!remaining in
+        if hit <> [] then begin
+          kept := vec :: !kept;
+          remaining :=
+            List.filter (fun f -> not (List.exists (Fault.equal f) hit)) !remaining
+        end
+      end)
+    (List.rev vectors);
+  !kept

@@ -1,0 +1,11 @@
+(** Static test-set compaction. *)
+
+open Socet_util
+open Socet_netlist
+
+val reverse_order :
+  Netlist.t -> vectors:Bitvec.t list -> faults:Fault.t list -> Bitvec.t list
+(** Reverse-order compaction: fault-simulate the vectors last-to-first with
+    fault dropping and keep only those that detect a fault not already
+    covered by a later-kept vector.  Returns the kept vectors in their
+    original relative order. *)

@@ -1,0 +1,343 @@
+open Socet_util
+open Socet_netlist
+
+type outcome = Test of Bitvec.t | Untestable | Aborted
+
+(* Composite five-valued logic: value in the good machine / faulty
+   machine. *)
+type v5 = Zero | One | D | Db | X
+
+type tri = T0 | T1 | TX
+
+let good = function Zero -> T0 | One -> T1 | D -> T1 | Db -> T0 | X -> TX
+let faulty = function Zero -> T0 | One -> T1 | D -> T0 | Db -> T1 | X -> TX
+
+let compose g f =
+  match (g, f) with
+  | T0, T0 -> Zero
+  | T1, T1 -> One
+  | T1, T0 -> D
+  | T0, T1 -> Db
+  | TX, _ | _, TX -> X
+
+let t_not = function T0 -> T1 | T1 -> T0 | TX -> TX
+
+let t_and a b =
+  match (a, b) with T0, _ | _, T0 -> T0 | T1, T1 -> T1 | _ -> TX
+
+let t_or a b = t_not (t_and (t_not a) (t_not b))
+let t_xor a b = match (a, b) with TX, _ | _, TX -> TX | x, y -> if x = y then T0 else T1
+
+let t_mux s a b =
+  match s with T0 -> a | T1 -> b | TX -> if a = b && a <> TX then a else TX
+
+let neg = function Zero -> One | One -> Zero | D -> Db | Db -> D | X -> X
+
+exception Conflict
+exception Give_up
+
+let generate ?(decision_limit = 20_000) nl (fault : Fault.t) =
+  let n = Netlist.gate_count nl in
+  let v = Array.make n X in
+  let order = Netlist.comb_order nl in
+  let is_input g =
+    match Netlist.kind nl g with
+    | Cell.Pi | Cell.Dff | Cell.Dffe | Cell.Sdff | Cell.Sdffe | Cell.Const0
+    | Cell.Const1 ->
+        true
+    | _ -> false
+  in
+  let stuck_tri = if fault.f_stuck then T1 else T0 in
+  (* Forward evaluation of one gate from current values, with the fault
+     site's faulty plane pinned to the stuck value. *)
+  let eval_raw g =
+    let f = Netlist.fanin nl g in
+    let per_plane proj =
+      let i k = proj v.(f.(k)) in
+      match Netlist.kind nl g with
+      | Cell.Pi | Cell.Dff | Cell.Dffe | Cell.Sdff | Cell.Sdffe -> proj v.(g)
+      | Cell.Const0 -> T0
+      | Cell.Const1 -> T1
+      | Cell.Buf -> i 0
+      | Cell.Inv -> t_not (i 0)
+      | Cell.And2 -> t_and (i 0) (i 1)
+      | Cell.Nand2 -> t_not (t_and (i 0) (i 1))
+      | Cell.Or2 -> t_or (i 0) (i 1)
+      | Cell.Nor2 -> t_not (t_or (i 0) (i 1))
+      | Cell.Xor2 -> t_xor (i 0) (i 1)
+      | Cell.Xnor2 -> t_not (t_xor (i 0) (i 1))
+      | Cell.Mux2 -> t_mux (i 0) (i 1) (i 2)
+    in
+    compose (per_plane good) (per_plane faulty)
+  in
+  let eval_net g =
+    let raw = eval_raw g in
+    if g = fault.f_net then compose (good raw) stuck_tri else raw
+  in
+  (* Assignment trail for chronological backtracking. *)
+  let trail = ref [] in
+  let assign g value =
+    if v.(g) = X then begin
+      v.(g) <- value;
+      trail := g :: !trail
+    end
+    else if v.(g) <> value then raise Conflict
+  in
+  let mark () = List.length !trail in
+  let undo_to m =
+    while List.length !trail > m do
+      match !trail with
+      | g :: rest ->
+          v.(g) <- X;
+          trail := rest
+      | [] -> ()
+    done
+  in
+  (* Forward implication to fixpoint. *)
+  let imply () =
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun g ->
+          if not (is_input g) then begin
+            let value = eval_net g in
+            if value <> X then
+              if v.(g) = X then begin
+                assign g value;
+                changed := true
+              end
+              else if v.(g) <> value then raise Conflict
+          end)
+        order
+    done
+  in
+  (* Observation: a composite error at a PO or a flip-flop capture. *)
+  let capture ff =
+    let f = Netlist.fanin nl ff in
+    let plane proj =
+      let i k = proj v.(f.(k)) in
+      match Netlist.kind nl ff with
+      | Cell.Dff -> i 0
+      | Cell.Dffe -> t_mux (i 1) (proj v.(ff)) (i 0)
+      | Cell.Sdff -> t_mux (i 2) (i 0) (i 1)
+      | Cell.Sdffe -> t_mux (i 3) (t_mux (i 1) (proj v.(ff)) (i 0)) (i 2)
+      | _ -> X |> good
+    in
+    compose (plane good) (plane faulty)
+  in
+  let observed () =
+    List.exists (fun (_, net) -> v.(net) = D || v.(net) = Db) (Netlist.pos nl)
+    || List.exists
+         (fun ff ->
+           match capture ff with D | Db -> true | _ -> false)
+         (Netlist.dffs nl)
+  in
+  (* J-frontier: assigned gate outputs not yet implied by their inputs.
+     The fault site is justified when the good plane of its driver's
+     evaluation matches the activation value. *)
+  let site_justified () =
+    if is_input fault.f_net then true
+    else good (eval_raw fault.f_net) = t_not stuck_tri
+  in
+  let j_frontier () =
+    List.filter
+      (fun g ->
+        (not (is_input g))
+        && v.(g) <> X
+        &&
+        if g = fault.f_net then not (site_justified ())
+        else eval_raw g = X)
+      (List.rev !trail)
+  in
+  (* Singular covers: alternative input cubes justifying [value] at a
+     gate.  Values here are plain (the fault effect is only generated at
+     the site and driven forward, never justified backward). *)
+  let cubes g value =
+    let f = Netlist.fanin nl g in
+    let pin k x = (f.(k), x) in
+    match (Netlist.kind nl g, value) with
+    | Cell.Buf, _ -> [ [ pin 0 value ] ]
+    | Cell.Inv, _ -> [ [ pin 0 (neg value) ] ]
+    | Cell.And2, One -> [ [ pin 0 One; pin 1 One ] ]
+    | Cell.And2, Zero -> [ [ pin 0 Zero ]; [ pin 1 Zero ] ]
+    | Cell.Nand2, Zero -> [ [ pin 0 One; pin 1 One ] ]
+    | Cell.Nand2, One -> [ [ pin 0 Zero ]; [ pin 1 Zero ] ]
+    | Cell.Or2, Zero -> [ [ pin 0 Zero; pin 1 Zero ] ]
+    | Cell.Or2, One -> [ [ pin 0 One ]; [ pin 1 One ] ]
+    | Cell.Nor2, One -> [ [ pin 0 Zero; pin 1 Zero ] ]
+    | Cell.Nor2, Zero -> [ [ pin 0 One ]; [ pin 1 One ] ]
+    | Cell.Xor2, One -> [ [ pin 0 One; pin 1 Zero ]; [ pin 0 Zero; pin 1 One ] ]
+    | Cell.Xor2, Zero -> [ [ pin 0 Zero; pin 1 Zero ]; [ pin 0 One; pin 1 One ] ]
+    | Cell.Xnor2, Zero -> [ [ pin 0 One; pin 1 Zero ]; [ pin 0 Zero; pin 1 One ] ]
+    | Cell.Xnor2, One -> [ [ pin 0 Zero; pin 1 Zero ]; [ pin 0 One; pin 1 One ] ]
+    | Cell.Mux2, _ ->
+        [ [ pin 0 Zero; pin 1 value ]; [ pin 0 One; pin 2 value ] ]
+    | _ -> []
+  in
+  (* D-frontier: gates whose output is X with an error on some input, and
+     the side assignments that drive the error through. *)
+  let d_frontier () =
+    List.filter
+      (fun g ->
+        (not (is_input g))
+        && v.(g) = X
+        && Array.exists (fun p -> v.(p) = D || v.(p) = Db) (Netlist.fanin nl g))
+      (Array.to_list order)
+  in
+  let drive_cubes g =
+    let f = Netlist.fanin nl g in
+    let side k value = (f.(k), value) in
+    match Netlist.kind nl g with
+    | Cell.Buf | Cell.Inv -> [ [] ]
+    | Cell.And2 | Cell.Nand2 ->
+        if v.(f.(0)) = D || v.(f.(0)) = Db then [ [ side 1 One ] ]
+        else [ [ side 0 One ] ]
+    | Cell.Or2 | Cell.Nor2 ->
+        if v.(f.(0)) = D || v.(f.(0)) = Db then [ [ side 1 Zero ] ]
+        else [ [ side 0 Zero ] ]
+    | Cell.Xor2 | Cell.Xnor2 ->
+        if v.(f.(0)) = D || v.(f.(0)) = Db then
+          [ [ side 1 Zero ]; [ side 1 One ] ]
+        else [ [ side 0 Zero ]; [ side 0 One ] ]
+    | Cell.Mux2 ->
+        if v.(f.(0)) = D || v.(f.(0)) = Db then
+          (* Error on the select: the data inputs must differ. *)
+          [ [ side 1 Zero; side 2 One ]; [ side 1 One; side 2 Zero ] ]
+        else if v.(f.(1)) = D || v.(f.(1)) = Db then [ [ side 0 Zero ] ]
+        else [ [ side 0 One ] ]
+    | _ -> []
+  in
+  let decisions = ref 0 in
+  let bump () =
+    incr decisions;
+    if !decisions > decision_limit then raise Give_up
+  in
+  let rec solve () =
+    match (try imply (); None with Conflict -> Some ()) with
+    | Some () -> false
+    | None ->
+        if observed () && j_frontier () = [] && site_justified () then true
+        else if not (observed ()) then begin
+          match d_frontier () with
+          | [] -> false
+          | frontier ->
+              List.exists
+                (fun g ->
+                  List.exists
+                    (fun cube ->
+                      bump ();
+                      let m = mark () in
+                      match
+                        (try
+                           List.iter (fun (p, value) -> assign p value) cube;
+                           (* Also claim the output so the frontier moves. *)
+                           imply ();
+                           None
+                         with Conflict -> Some ())
+                      with
+                      | Some () ->
+                          undo_to m;
+                          false
+                      | None ->
+                          if solve () then true
+                          else begin
+                            undo_to m;
+                            false
+                          end)
+                    (drive_cubes g))
+                frontier
+        end
+        else begin
+          (* Error observed: discharge one justification obligation. *)
+          match j_frontier () with
+          | [] -> false
+          | g :: _ ->
+              let target =
+                if g = fault.f_net then
+                  if stuck_tri = T0 then One else Zero
+                else v.(g)
+              in
+              List.exists
+                (fun cube ->
+                  bump ();
+                  let m = mark () in
+                  match
+                    (try
+                       List.iter (fun (p, value) -> assign p value) cube;
+                       None
+                     with Conflict -> Some ())
+                  with
+                  | Some () ->
+                      undo_to m;
+                      false
+                  | None ->
+                      if solve () then true
+                      else begin
+                        undo_to m;
+                        false
+                      end)
+                (cubes g target)
+        end
+  in
+  (* Activation.  Constants are pinned first so no cube can "justify" a
+     value by writing onto a tied-off net. *)
+  let activation = if fault.f_stuck then Db else D in
+  let result =
+    try
+      Array.iter
+        (fun g ->
+          match Netlist.kind nl g with
+          | Cell.Const0 -> assign g Zero
+          | Cell.Const1 -> assign g One
+          | _ -> ())
+        order;
+      assign fault.f_net activation;
+      if solve () then `Test else `No_test
+    with
+    | Give_up -> `Abort
+    | Conflict -> `No_test
+  in
+  match result with
+  | `Abort -> Aborted
+  | `No_test -> Untestable
+  | `Test ->
+      let inputs = List.map (fun x -> (x, `Pi)) (Netlist.pis nl)
+                   @ List.map (fun x -> (x, `Ff)) (Netlist.dffs nl) in
+      let vec = Bitvec.create (List.length inputs) in
+      List.iteri
+        (fun i (net, _) -> if good v.(net) = T1 then Bitvec.set vec i true)
+        inputs;
+      vec |> fun vec -> Test vec
+
+type stats = {
+  detected : int;
+  redundant : int;
+  aborted : int;
+  total : int;
+  coverage : float;
+  efficiency : float;
+}
+
+let run ?decision_limit ?(sample = 1) nl =
+  let faults =
+    Fault.collapse nl |> List.filteri (fun i _ -> i mod max 1 sample = 0)
+  in
+  let det = ref 0 and red = ref 0 and ab = ref 0 in
+  List.iter
+    (fun f ->
+      match generate ?decision_limit nl f with
+      | Test _ -> incr det
+      | Untestable -> incr red
+      | Aborted -> incr ab)
+    faults;
+  let total = List.length faults in
+  let pct x = if total = 0 then 0.0 else 100.0 *. float_of_int x /. float_of_int total in
+  {
+    detected = !det;
+    redundant = !red;
+    aborted = !ab;
+    total;
+    coverage = pct !det;
+    efficiency = pct (!det + !red);
+  }

@@ -1,0 +1,62 @@
+open Socet_util
+
+type dictionary = {
+  d_faults : Fault.t array;
+  d_syndromes : Bitvec.t array; (* bit i set = vector i fails *)
+}
+
+let observe nl ~vectors ~fault =
+  let syn = Bitvec.create (List.length vectors) in
+  List.iteri
+    (fun i vec -> if Fsim.detects_comb nl vec fault then Bitvec.set syn i true)
+    vectors;
+  syn
+
+let build nl ~vectors ~faults =
+  (* One pattern-parallel pass per vector over all faults would be ideal;
+     the straightforward per-fault loop reuses the cone-limited simulator
+     and is fast enough for dictionary-sized cores. *)
+  let d_faults = Array.of_list faults in
+  let d_syndromes =
+    Array.map (fun fault -> observe nl ~vectors ~fault) d_faults
+  in
+  { d_faults; d_syndromes }
+
+let syndrome_of dict f =
+  let rec find i =
+    if i >= Array.length dict.d_faults then None
+    else if Fault.equal dict.d_faults.(i) f then Some dict.d_syndromes.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let hamming a b = Bitvec.popcount (Bitvec.logxor a b)
+
+let diagnose dict observed =
+  let scored =
+    Array.to_list
+      (Array.mapi
+         (fun i f -> (f, hamming dict.d_syndromes.(i) observed))
+         dict.d_faults)
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  match List.filter (fun (_, d) -> d = 0) scored with
+  | [] -> List.filteri (fun i _ -> i < 10) scored
+  | exact -> exact
+
+let distinguishable dict =
+  let n = Array.length dict.d_faults in
+  if n = 0 then 0.0
+  else begin
+    let unique = ref 0 in
+    Array.iteri
+      (fun i s ->
+        let clash = ref false in
+        Array.iteri
+          (fun j s' -> if i <> j && Bitvec.equal s s' then clash := true)
+          dict.d_syndromes;
+        if not !clash then incr unique
+      )
+      dict.d_syndromes;
+    100.0 *. float_of_int !unique /. float_of_int n
+  end

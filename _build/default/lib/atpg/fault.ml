@@ -1,0 +1,32 @@
+open Socet_netlist
+
+type t = { f_net : Netlist.net; f_stuck : bool }
+
+let equal a b = a.f_net = b.f_net && a.f_stuck = b.f_stuck
+let compare = compare
+
+let name nl f =
+  Printf.sprintf "%s/sa%d" (Netlist.gate_name nl f.f_net) (if f.f_stuck then 1 else 0)
+
+let faultable nl g =
+  match Netlist.kind nl g with Cell.Const0 | Cell.Const1 -> false | _ -> true
+
+let all nl =
+  let acc = ref [] in
+  for g = Netlist.gate_count nl - 1 downto 0 do
+    if faultable nl g then
+      acc := { f_net = g; f_stuck = false } :: { f_net = g; f_stuck = true } :: !acc
+  done;
+  !acc
+
+let collapse nl =
+  let keep f =
+    match Netlist.kind nl f.f_net with
+    | Cell.Buf | Cell.Inv ->
+        let input = (Netlist.fanin nl f.f_net).(0) in
+        (* Equivalent to a fault on the input when the input only feeds
+           this gate; drop the output fault in that case. *)
+        not (faultable nl input && List.length (Netlist.fanout nl input) = 1)
+    | _ -> true
+  in
+  List.filter keep (all nl)

@@ -1,0 +1,161 @@
+open Socet_util
+open Socet_netlist
+
+type vector = Bitvec.t
+
+let vector_length nl =
+  List.length (Netlist.pis nl) + List.length (Netlist.dffs nl)
+
+let split_vector nl v =
+  let npi = List.length (Netlist.pis nl) in
+  let nff = List.length (Netlist.dffs nl) in
+  (Bitvec.sub v ~pos:0 ~len:npi, Bitvec.sub v ~pos:npi ~len:nff)
+
+let all_ones = (1 lsl Sim.word_width) - 1
+
+(* Combinational fanout cone of a net (gates only reachable through
+   combinational paths; flip-flops absorb effects at their D inputs). *)
+let comb_cone nl site =
+  let n = Netlist.gate_count nl in
+  let in_cone = Array.make n false in
+  let queue = Queue.create () in
+  in_cone.(site) <- true;
+  Queue.add site queue;
+  while not (Queue.is_empty queue) do
+    let g = Queue.pop queue in
+    List.iter
+      (fun h ->
+        if (not (Cell.is_dff (Netlist.kind nl h))) && not in_cone.(h) then begin
+          in_cone.(h) <- true;
+          Queue.add h queue
+        end)
+      (Netlist.fanout nl g)
+  done;
+  in_cone
+
+let eval_gate nl v g =
+  let f = Netlist.fanin nl g in
+  match Netlist.kind nl g with
+  | Cell.Pi | Cell.Dff | Cell.Dffe | Cell.Sdff | Cell.Sdffe -> v.(g)
+  | Cell.Const0 -> 0
+  | Cell.Const1 -> all_ones
+  | Cell.Buf -> v.(f.(0))
+  | Cell.Inv -> lnot v.(f.(0)) land all_ones
+  | Cell.And2 -> v.(f.(0)) land v.(f.(1))
+  | Cell.Or2 -> v.(f.(0)) lor v.(f.(1))
+  | Cell.Nand2 -> lnot (v.(f.(0)) land v.(f.(1))) land all_ones
+  | Cell.Nor2 -> lnot (v.(f.(0)) lor v.(f.(1))) land all_ones
+  | Cell.Xor2 -> v.(f.(0)) lxor v.(f.(1))
+  | Cell.Xnor2 -> lnot (v.(f.(0)) lxor v.(f.(1))) land all_ones
+  | Cell.Mux2 ->
+      let s = v.(f.(0)) in
+      ((lnot s land v.(f.(1))) lor (s land v.(f.(2)))) land all_ones
+
+let run_comb nl ~vectors ~faults =
+  let npi = List.length (Netlist.pis nl) in
+  let nff = List.length (Netlist.dffs nl) in
+  let order = Netlist.comb_order nl in
+  let remaining = ref faults in
+  let detected = ref [] in
+  let batches =
+    let rec chunk acc cur n = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | v :: rest ->
+          if n = Sim.word_width then chunk (List.rev cur :: acc) [ v ] 1 rest
+          else chunk acc (v :: cur) (n + 1) rest
+    in
+    chunk [] [] 0 vectors
+  in
+  List.iter
+    (fun batch ->
+      if !remaining <> [] then begin
+        let nbatch = List.length batch in
+        let pi = Array.make npi 0 and st = Array.make nff 0 in
+        List.iteri
+          (fun k vec ->
+            for i = 0 to npi - 1 do
+              if Bitvec.get vec i then pi.(i) <- pi.(i) lor (1 lsl k)
+            done;
+            for i = 0 to nff - 1 do
+              if Bitvec.get vec (npi + i) then st.(i) <- st.(i) lor (1 lsl k)
+            done)
+          batch;
+        let good = Sim.eval_words nl ~pi ~state:st ~inject:(fun _ x -> x) in
+        let good_po = Sim.po_words nl good in
+        let good_ns = Sim.next_state_words nl good in
+        let used = (1 lsl nbatch) - 1 in
+        let faulty = Array.make (Array.length good) 0 in
+        let still = ref [] in
+        List.iter
+          (fun (f : Fault.t) ->
+            let cone = comb_cone nl f.f_net in
+            Array.blit good 0 faulty 0 (Array.length good);
+            Array.iter
+              (fun g ->
+                if cone.(g) then begin
+                  let v = if g = f.f_net then (if f.f_stuck then all_ones else 0)
+                          else eval_gate nl faulty g in
+                  faulty.(g) <- v
+                end)
+              order;
+            let fpo = Sim.po_words nl faulty in
+            let fns = Sim.next_state_words nl faulty in
+            let diff = ref 0 in
+            Array.iteri (fun i w -> diff := !diff lor (w lxor good_po.(i))) fpo;
+            Array.iteri (fun i w -> diff := !diff lor (w lxor good_ns.(i))) fns;
+            if !diff land used <> 0 then detected := f :: !detected
+            else still := f :: !still)
+          !remaining;
+        remaining := List.rev !still
+      end)
+    batches;
+  List.rev !detected
+
+let detects_comb nl vec f = run_comb nl ~vectors:[ vec ] ~faults:[ f ] <> []
+
+let run_seq nl ~inputs ~faults =
+  let npi = List.length (Netlist.pis nl) in
+  let nff = List.length (Netlist.dffs nl) in
+  let good_slot = Sim.word_width - 1 in
+  let detected = ref [] in
+  let batches =
+    let rec chunk acc cur n = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | f :: rest ->
+          if n = good_slot then chunk (List.rev cur :: acc) [ f ] 1 rest
+          else chunk acc (f :: cur) (n + 1) rest
+    in
+    chunk [] [] 0 faults
+  in
+  List.iter
+    (fun batch ->
+      let n = Netlist.gate_count nl in
+      let or_mask = Array.make n 0 and and_mask = Array.make n all_ones in
+      List.iteri
+        (fun k (f : Fault.t) ->
+          if f.f_stuck then or_mask.(f.f_net) <- or_mask.(f.f_net) lor (1 lsl k)
+          else and_mask.(f.f_net) <- and_mask.(f.f_net) land lnot (1 lsl k))
+        batch;
+      let inject g v = (v land and_mask.(g)) lor or_mask.(g) in
+      let state = ref (Array.make nff 0) in
+      let caught = Array.make (List.length batch) false in
+      List.iter
+        (fun pi_bits ->
+          let pi =
+            Array.init npi (fun i -> if Bitvec.get pi_bits i then all_ones else 0)
+          in
+          let v = Sim.eval_words nl ~pi ~state:!state ~inject in
+          let po = Sim.po_words nl v in
+          Array.iter
+            (fun w ->
+              let goodbit = (w lsr good_slot) land 1 in
+              List.iteri
+                (fun k _ ->
+                  if (w lsr k) land 1 <> goodbit then caught.(k) <- true)
+                batch)
+            po;
+          state := Sim.next_state_words nl v)
+        inputs;
+      List.iteri (fun k f -> if caught.(k) then detected := f :: !detected) batch)
+    batches;
+  List.rev !detected

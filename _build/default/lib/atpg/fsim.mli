@@ -1,0 +1,37 @@
+(** Stuck-at fault simulation.
+
+    Two engines:
+    - {!run_comb}: pattern-parallel single-fault simulation of the
+      {e full-scan combinational test model}: flip-flop outputs are treated
+      as extra (pseudo) inputs and flip-flop D-captures as extra (pseudo)
+      outputs — the model under which scan vectors are applied;
+    - {!run_seq}: fault-parallel simulation of the unscanned sequential
+      machine over an input sequence from the all-zero reset state — used
+      for the paper's "Orig." and "HSCAN-only" coverage rows. *)
+
+open Socet_util
+open Socet_netlist
+
+type vector = Bitvec.t
+(** A full-scan test vector: primary-input bits (in [Netlist.pis] order)
+    followed by flip-flop bits (in [Netlist.dffs] order). *)
+
+val vector_length : Netlist.t -> int
+
+val split_vector : Netlist.t -> vector -> Bitvec.t * Bitvec.t
+(** PI part and flip-flop part. *)
+
+val run_comb :
+  Netlist.t -> vectors:vector list -> faults:Fault.t list -> Fault.t list
+(** Faults from [faults] detected by at least one vector (fault dropping:
+    each fault is simulated only until first detection). *)
+
+val detects_comb : Netlist.t -> vector -> Fault.t -> bool
+(** Does this single vector detect this single fault? *)
+
+val run_seq :
+  Netlist.t -> inputs:Bitvec.t list -> faults:Fault.t list -> Fault.t list
+(** Applies the PI sequence cycle by cycle from the all-zero state and
+    returns the faults whose machine differs from the good machine at a
+    primary output in some cycle.  Faults are simulated in word-sized
+    groups, all sharing the good machine evaluation. *)

@@ -1,0 +1,383 @@
+open Socet_util
+open Socet_netlist
+
+type outcome = Test of Bitvec.t | Untestable | Aborted
+
+(* Ternary values: 0, 1, X. *)
+type tv = T0 | T1 | TX
+
+let tv_not = function T0 -> T1 | T1 -> T0 | TX -> TX
+
+let tv_and a b =
+  match (a, b) with
+  | T0, _ | _, T0 -> T0
+  | T1, T1 -> T1
+  | _ -> TX
+
+let tv_or a b =
+  match (a, b) with
+  | T1, _ | _, T1 -> T1
+  | T0, T0 -> T0
+  | _ -> TX
+
+let tv_xor a b =
+  match (a, b) with
+  | TX, _ | _, TX -> TX
+  | x, y -> if x = y then T0 else T1
+
+let tv_mux s a b =
+  match s with
+  | T0 -> a
+  | T1 -> b
+  | TX -> if a = b && a <> TX then a else TX
+
+let tv_of_bool b = if b then T1 else T0
+
+(* The five-valued machine state: good and faulty ternary value per net. *)
+type machine = { g : tv array; f : tv array }
+
+let inputs_of nl =
+  Array.of_list
+    (List.map (fun x -> (x, `Pi)) (Netlist.pis nl)
+    @ List.map (fun x -> (x, `Ff)) (Netlist.dffs nl))
+
+let eval_tv nl v g =
+  let f = Netlist.fanin nl g in
+  match Netlist.kind nl g with
+  | Cell.Pi | Cell.Dff | Cell.Dffe | Cell.Sdff | Cell.Sdffe -> v.(g)
+  | Cell.Const0 -> T0
+  | Cell.Const1 -> T1
+  | Cell.Buf -> v.(f.(0))
+  | Cell.Inv -> tv_not v.(f.(0))
+  | Cell.And2 -> tv_and v.(f.(0)) v.(f.(1))
+  | Cell.Or2 -> tv_or v.(f.(0)) v.(f.(1))
+  | Cell.Nand2 -> tv_not (tv_and v.(f.(0)) v.(f.(1)))
+  | Cell.Nor2 -> tv_not (tv_or v.(f.(0)) v.(f.(1)))
+  | Cell.Xor2 -> tv_xor v.(f.(0)) v.(f.(1))
+  | Cell.Xnor2 -> tv_not (tv_xor v.(f.(0)) v.(f.(1)))
+  | Cell.Mux2 -> tv_mux v.(f.(0)) v.(f.(1)) v.(f.(2))
+
+(* Ternary D capture of a flip-flop, per the cell semantics. *)
+let capture_tv nl v ff =
+  let f = Netlist.fanin nl ff in
+  match Netlist.kind nl ff with
+  | Cell.Dff -> v.(f.(0))
+  | Cell.Dffe -> tv_mux v.(f.(1)) v.(ff) v.(f.(0))
+  | Cell.Sdff -> tv_mux v.(f.(2)) v.(f.(0)) v.(f.(1))
+  | Cell.Sdffe ->
+      let functional = tv_mux v.(f.(1)) v.(ff) v.(f.(0)) in
+      tv_mux v.(f.(3)) functional v.(f.(2))
+  | _ -> assert false
+
+let generate ?(backtrack_limit = 1000) ?scoap nl (fault : Fault.t) =
+  let n = Netlist.gate_count nl in
+  let order = Netlist.comb_order nl in
+  let inputs = inputs_of nl in
+  let ninputs = Array.length inputs in
+  let assign = Array.make ninputs TX in
+  let m = { g = Array.make n TX; f = Array.make n TX } in
+  let stuck = tv_of_bool fault.f_stuck in
+  let imply () =
+    (* Load input assignments. *)
+    let idx = ref 0 in
+    Array.iter
+      (fun (net, _) ->
+        m.g.(net) <- assign.(!idx);
+        incr idx)
+      inputs;
+    Array.iter
+      (fun g ->
+        let gv = eval_tv nl m.g g in
+        m.g.(g) <- gv;
+        let fv = if g = fault.f_net then stuck else eval_tv nl m.f g in
+        (* Inputs of the faulty machine mirror the good machine. *)
+        let fv =
+          match Netlist.kind nl g with
+          | (Cell.Pi | Cell.Dff | Cell.Dffe | Cell.Sdff | Cell.Sdffe)
+            when g <> fault.f_net ->
+              gv
+          | _ -> fv
+        in
+        m.f.(g) <- fv)
+      order
+  in
+  let is_d net = m.g.(net) <> TX && m.f.(net) <> TX && m.g.(net) <> m.f.(net) in
+  let observable_d () =
+    List.exists (fun (_, net) -> is_d net) (Netlist.pos nl)
+    || List.exists
+         (fun ff ->
+           let gd = capture_tv nl m.g ff and fd = capture_tv nl m.f ff in
+           gd <> TX && fd <> TX && gd <> fd)
+         (Netlist.dffs nl)
+  in
+  let d_frontier () =
+    let res = ref [] in
+    Array.iter
+      (fun g ->
+        match Netlist.kind nl g with
+        | Cell.Pi | Cell.Const0 | Cell.Const1 | Cell.Dff | Cell.Dffe | Cell.Sdff
+        | Cell.Sdffe ->
+            ()
+        | _ ->
+            if (m.g.(g) = TX || m.f.(g) = TX)
+               && Array.exists is_d (Netlist.fanin nl g)
+            then res := g :: !res)
+      order;
+    List.rev !res
+  in
+  (* X-path check: can a D on the frontier still reach an observation
+     point through X-valued nets? *)
+  let x_path_exists frontier =
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    List.iter
+      (fun g ->
+        seen.(g) <- true;
+        Queue.add g queue)
+      frontier;
+    let found = ref false in
+    let observable net =
+      List.exists (fun (_, p) -> p = net) (Netlist.pos nl)
+      || List.exists
+           (fun ff -> Array.exists (fun pin -> pin = net) (Netlist.fanin nl ff))
+           (Netlist.dffs nl)
+    in
+    while (not !found) && not (Queue.is_empty queue) do
+      let g = Queue.pop queue in
+      if observable g then found := true
+      else
+        List.iter
+          (fun h ->
+            if (not seen.(h))
+               && (not (Cell.is_dff (Netlist.kind nl h)))
+               && (m.g.(h) = TX || m.f.(h) = TX)
+            then begin
+              seen.(h) <- true;
+              Queue.add h queue
+            end)
+          (Netlist.fanout nl g)
+    done;
+    !found
+  in
+  (* Fault effect can also still be unactivated but activatable. *)
+  let site_ok () =
+    match m.g.(fault.f_net) with
+    | TX -> true
+    | v -> v <> stuck
+  in
+  (* SCOAP guidance: cheapest controllability for a wanted value, most
+     observable D-frontier gate. *)
+  let cc net v =
+    match (scoap, v) with
+    | Some (s : Scoap.t), T0 -> s.Scoap.cc0.(net)
+    | Some s, T1 -> s.Scoap.cc1.(net)
+    | _ -> 0
+  in
+  let frontier_rank g =
+    match scoap with Some (s : Scoap.t) -> s.Scoap.co.(g) | None -> 0
+  in
+  let objective () =
+    if m.g.(fault.f_net) = TX then Some (fault.f_net, tv_not stuck)
+    else
+      match
+        List.sort (fun a b -> compare (frontier_rank a) (frontier_rank b))
+          (d_frontier ())
+      with
+      | [] -> None
+      | gate :: _ ->
+          let fanin = Netlist.fanin nl gate in
+          let xpins =
+            Array.to_list fanin |> List.filter (fun p -> m.g.(p) = TX)
+          in
+          (match xpins with
+          | [] -> None
+          | pin :: _ ->
+              let v =
+                match Netlist.kind nl gate with
+                | Cell.And2 | Cell.Nand2 -> T1
+                | Cell.Or2 | Cell.Nor2 -> T0
+                | Cell.Mux2 ->
+                    if pin = fanin.(0) then
+                      (* Select the data input carrying the D. *)
+                      if is_d fanin.(1) then T0 else T1
+                    else T1
+                | _ -> T1
+              in
+              Some (pin, v))
+  in
+  let input_index = Hashtbl.create 16 in
+  Array.iteri (fun i (net, _) -> Hashtbl.replace input_index net i) inputs;
+  let rec backtrace net v =
+    match Hashtbl.find_opt input_index net with
+    | Some i -> if assign.(i) = TX then Some (i, v) else None
+    | None -> (
+        let fanin = Netlist.fanin nl net in
+        (* Among the unassigned fanins, prefer the one SCOAP deems easiest
+           to drive to the value this branch will request. *)
+        let pick_x_for target =
+          Array.to_list fanin
+          |> List.filter (fun p -> m.g.(p) = TX)
+          |> List.sort (fun a b -> compare (cc a target) (cc b target))
+          |> function [] -> None | p :: _ -> Some p
+        in
+        let pick_x () = pick_x_for v in
+        ignore pick_x;
+        match Netlist.kind nl net with
+        | Cell.Buf -> backtrace fanin.(0) v
+        | Cell.Inv -> backtrace fanin.(0) (tv_not v)
+        | Cell.And2 | Cell.Or2 -> (
+            match pick_x_for v with Some p -> backtrace p v | None -> None)
+        | Cell.Nand2 | Cell.Nor2 -> (
+            match pick_x_for (tv_not v) with
+            | Some p -> backtrace p (tv_not v)
+            | None -> None)
+        | Cell.Xor2 | Cell.Xnor2 -> (
+            match pick_x_for v with Some p -> backtrace p v | None -> None)
+        | Cell.Mux2 ->
+            if m.g.(fanin.(1)) = TX then backtrace fanin.(1) v
+            else if m.g.(fanin.(2)) = TX then backtrace fanin.(2) v
+            else if m.g.(fanin.(0)) = TX then
+              backtrace fanin.(0) (if m.g.(fanin.(1)) = v then T0 else T1)
+            else None
+        | _ -> None)
+  in
+  (* Decision stack: (input index, value, flipped already?). *)
+  let stack = ref [] in
+  let backtracks = ref 0 in
+  let result = ref None in
+  imply ();
+  while !result = None do
+    if observable_d () then begin
+      let vec = Bitvec.create ninputs in
+      Array.iteri (fun i v -> if v = T1 then Bitvec.set vec i true) assign;
+      result := Some (Test vec)
+    end
+    else begin
+      let frontier = d_frontier () in
+      let dead =
+        (not (site_ok ()))
+        || (m.g.(fault.f_net) <> TX && frontier = [])
+        || (frontier <> [] && not (x_path_exists frontier))
+      in
+      let next_decision =
+        if dead then None
+        else
+          match objective () with
+          | None -> None
+          | Some (net, v) -> backtrace net v
+      in
+      match next_decision with
+      | Some (i, v) ->
+          assign.(i) <- v;
+          stack := (i, v, false) :: !stack;
+          imply ()
+      | None ->
+          (* Backtrack. *)
+          incr backtracks;
+          if !backtracks > backtrack_limit then result := Some Aborted
+          else begin
+            let rec pop () =
+              match !stack with
+              | [] -> result := Some Untestable
+              | (i, v, flipped) :: rest ->
+                  if flipped then begin
+                    assign.(i) <- TX;
+                    stack := rest;
+                    pop ()
+                  end
+                  else begin
+                    let v' = tv_not v in
+                    assign.(i) <- v';
+                    stack := (i, v', true) :: rest
+                  end
+            in
+            pop ();
+            if !result = None then imply ()
+          end
+    end
+  done;
+  match !result with Some r -> r | None -> assert false
+
+type stats = {
+  vectors : Bitvec.t list;
+  detected : Fault.t list;
+  redundant : Fault.t list;
+  aborted : Fault.t list;
+  total_faults : int;
+  coverage : float;
+  efficiency : float;
+}
+
+let run ?(backtrack_limit = 1000) ?(random_patterns = 64) ?(seed = 42)
+    ?(use_scoap = true) nl =
+  let scoap = if use_scoap then Some (Scoap.compute nl) else None in
+  let faults = Fault.collapse nl in
+  let total = List.length faults in
+  let rng = Rng.create seed in
+  let veclen = Fsim.vector_length nl in
+  let vectors = ref [] in
+  let remaining = ref faults in
+  let detected = ref [] in
+  (* Phase 1: random patterns with fault dropping. *)
+  if random_patterns > 0 && veclen > 0 then begin
+    let random_vecs = List.init random_patterns (fun _ -> Rng.bitvec rng veclen) in
+    let hit = Fsim.run_comb nl ~vectors:random_vecs ~faults:!remaining in
+    (* Keep only the random vectors that contribute; cheap pre-compaction. *)
+    let contributing =
+      Compact.reverse_order nl ~vectors:random_vecs ~faults:hit
+    in
+    vectors := contributing;
+    detected := hit;
+    remaining :=
+      List.filter (fun f -> not (List.exists (Fault.equal f) hit)) !remaining
+  end;
+  (* Phase 2: deterministic PODEM with fault dropping. *)
+  let redundant = ref [] and aborted = ref [] in
+  let rec loop () =
+    match !remaining with
+    | [] -> ()
+    | f :: rest -> (
+        remaining := rest;
+        match generate ~backtrack_limit ?scoap nl f with
+        | Untestable ->
+            redundant := f :: !redundant;
+            loop ()
+        | Aborted ->
+            aborted := f :: !aborted;
+            loop ()
+        | Test vec ->
+            detected := f :: !detected;
+            let extra = Fsim.run_comb nl ~vectors:[ vec ] ~faults:!remaining in
+            detected := extra @ !detected;
+            remaining :=
+              List.filter
+                (fun f' -> not (List.exists (Fault.equal f') extra))
+                !remaining;
+            vectors := vec :: !vectors;
+            loop ())
+  in
+  loop ();
+  let final_vectors =
+    Compact.reverse_order nl ~vectors:(List.rev !vectors) ~faults:!detected
+  in
+  (* Re-measure against the full fault list: compaction keeps the coverage
+     of the deterministic run, and the kept vectors may collaterally catch
+     faults the search had to abort on. *)
+  let final_detected = Fsim.run_comb nl ~vectors:final_vectors ~faults in
+  let aborted =
+    List.filter
+      (fun f -> not (List.exists (Fault.equal f) final_detected))
+      !aborted
+  in
+  let ndet = List.length final_detected and nred = List.length !redundant in
+  {
+    vectors = final_vectors;
+    detected = final_detected;
+    redundant = !redundant;
+    aborted;
+    total_faults = total;
+    coverage = (if total = 0 then 0.0 else 100.0 *. float_of_int ndet /. float_of_int total);
+    efficiency =
+      (if total = 0 then 0.0
+       else 100.0 *. float_of_int (ndet + nred) /. float_of_int total);
+  }

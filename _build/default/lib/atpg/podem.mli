@@ -1,0 +1,46 @@
+(** PODEM combinational ATPG (Goel 1981) on the full-scan test model.
+
+    Decision variables are the circuit's inputs in the scan sense: primary
+    inputs plus flip-flop (pseudo) inputs.  Observation points are primary
+    outputs plus flip-flop D captures.  Five-valued D-calculus is encoded as
+    a pair of ternary values (good machine, faulty machine). *)
+
+open Socet_util
+open Socet_netlist
+
+type outcome =
+  | Test of Bitvec.t
+      (** A detecting vector in {!Fsim.vector} layout; unassigned positions
+          are filled with 0. *)
+  | Untestable
+      (** Search space exhausted: the fault is redundant. *)
+  | Aborted
+      (** Backtrack limit hit. *)
+
+val generate :
+  ?backtrack_limit:int -> ?scoap:Scoap.t -> Netlist.t -> Fault.t -> outcome
+(** [backtrack_limit] defaults to 1000.  With [scoap], backtrace prefers
+    the easiest-to-control fanin and the D-frontier is explored in
+    observability order. *)
+
+type stats = {
+  vectors : Bitvec.t list;
+  detected : Fault.t list;
+  redundant : Fault.t list;
+  aborted : Fault.t list;
+  total_faults : int;
+  coverage : float;    (** detected / total, percent *)
+  efficiency : float;  (** (detected + redundant) / total, percent *)
+}
+
+val run :
+  ?backtrack_limit:int ->
+  ?random_patterns:int ->
+  ?seed:int ->
+  ?use_scoap:bool ->
+  Netlist.t ->
+  stats
+(** Full test generation flow: a random-pattern phase (default 64 patterns,
+    simulated with fault dropping), then PODEM on each remaining fault with
+    each new vector fault-simulated against the remaining list, and finally
+    reverse-order compaction ({!Compact.reverse_order}). *)

@@ -1,0 +1,103 @@
+open Socet_netlist
+
+type t = { cc0 : int array; cc1 : int array; co : int array }
+
+let infinity_cost = 1_000_000
+
+let sat a b = min infinity_cost (a + b)
+let sat3 a b c = sat (sat a b) c
+
+let compute nl =
+  let n = Netlist.gate_count nl in
+  let cc0 = Array.make n infinity_cost in
+  let cc1 = Array.make n infinity_cost in
+  let order = Netlist.comb_order nl in
+  (* Forward pass: controllabilities. *)
+  Array.iter
+    (fun g ->
+      let f = Netlist.fanin nl g in
+      let c0 i = cc0.(f.(i)) and c1 i = cc1.(f.(i)) in
+      let v0, v1 =
+        match Netlist.kind nl g with
+        | Cell.Pi | Cell.Dff | Cell.Dffe | Cell.Sdff | Cell.Sdffe ->
+            (1, 1) (* scan-model inputs *)
+        | Cell.Const0 -> (0, infinity_cost)
+        | Cell.Const1 -> (infinity_cost, 0)
+        | Cell.Buf -> (sat (c0 0) 1, sat (c1 0) 1)
+        | Cell.Inv -> (sat (c1 0) 1, sat (c0 0) 1)
+        | Cell.And2 -> (sat (min (c0 0) (c0 1)) 1, sat3 (c1 0) (c1 1) 1)
+        | Cell.Nand2 -> (sat3 (c1 0) (c1 1) 1, sat (min (c0 0) (c0 1)) 1)
+        | Cell.Or2 -> (sat3 (c0 0) (c0 1) 1, sat (min (c1 0) (c1 1)) 1)
+        | Cell.Nor2 -> (sat (min (c1 0) (c1 1)) 1, sat3 (c0 0) (c0 1) 1)
+        | Cell.Xor2 ->
+            ( sat (min (sat (c0 0) (c0 1)) (sat (c1 0) (c1 1))) 1,
+              sat (min (sat (c0 0) (c1 1)) (sat (c1 0) (c0 1))) 1 )
+        | Cell.Xnor2 ->
+            ( sat (min (sat (c0 0) (c1 1)) (sat (c1 0) (c0 1))) 1,
+              sat (min (sat (c0 0) (c0 1)) (sat (c1 0) (c1 1))) 1 )
+        | Cell.Mux2 ->
+            (* fanin: sel, a (sel=0), b (sel=1) *)
+            ( sat (min (sat (c0 0) (cc0.(f.(1)))) (sat (c1 0) (cc0.(f.(2))))) 1,
+              sat (min (sat (c0 0) (cc1.(f.(1)))) (sat (c1 0) (cc1.(f.(2))))) 1 )
+      in
+      cc0.(g) <- v0;
+      cc1.(g) <- v1)
+    order;
+  (* Backward pass: observabilities. *)
+  let co = Array.make n infinity_cost in
+  List.iter (fun (_, net) -> co.(net) <- 0) (Netlist.pos nl);
+  (* Flip-flop D captures are observation points of the scan model; a
+     load-enabled capture additionally needs the enable asserted. *)
+  List.iter
+    (fun ff ->
+      let f = Netlist.fanin nl ff in
+      match Netlist.kind nl ff with
+      | Cell.Dff -> co.(f.(0)) <- 0
+      | Cell.Dffe -> co.(f.(0)) <- min co.(f.(0)) cc1.(f.(1))
+      | Cell.Sdff ->
+          co.(f.(0)) <- min co.(f.(0)) cc0.(f.(2));
+          co.(f.(1)) <- min co.(f.(1)) cc1.(f.(2))
+      | Cell.Sdffe ->
+          co.(f.(0)) <- min co.(f.(0)) (sat cc1.(f.(1)) cc0.(f.(3)));
+          co.(f.(2)) <- min co.(f.(2)) cc1.(f.(3))
+      | _ -> assert false)
+    (Netlist.dffs nl);
+  for idx = Array.length order - 1 downto 0 do
+    let g = order.(idx) in
+    if not (Cell.is_dff (Netlist.kind nl g)) then begin
+      let f = Netlist.fanin nl g in
+      let update pin cost = co.(f.(pin)) <- min co.(f.(pin)) (sat cost 1) in
+      match Netlist.kind nl g with
+      | Cell.Pi | Cell.Const0 | Cell.Const1 -> ()
+      | Cell.Buf | Cell.Inv -> update 0 co.(g)
+      | Cell.And2 | Cell.Nand2 ->
+          update 0 (sat co.(g) cc1.(f.(1)));
+          update 1 (sat co.(g) cc1.(f.(0)))
+      | Cell.Or2 | Cell.Nor2 ->
+          update 0 (sat co.(g) cc0.(f.(1)));
+          update 1 (sat co.(g) cc0.(f.(0)))
+      | Cell.Xor2 | Cell.Xnor2 ->
+          update 0 (sat co.(g) (min cc0.(f.(1)) cc1.(f.(1))));
+          update 1 (sat co.(g) (min cc0.(f.(0)) cc1.(f.(0))))
+      | Cell.Mux2 ->
+          (* Propagating the select requires the data inputs to differ;
+             propagating a data input requires selecting it. *)
+          update 0
+            (sat co.(g)
+               (min
+                  (sat cc0.(f.(1)) cc1.(f.(2)))
+                  (sat cc1.(f.(1)) cc0.(f.(2)))));
+          update 1 (sat co.(g) cc0.(f.(0)));
+          update 2 (sat co.(g) cc1.(f.(0)))
+      | Cell.Dff | Cell.Dffe | Cell.Sdff | Cell.Sdffe -> ()
+    end
+  done;
+  { cc0; cc1; co }
+
+let hardest_faults nl t n =
+  Fault.collapse nl
+  |> List.map (fun (f : Fault.t) ->
+         let activation = if f.f_stuck then t.cc0.(f.f_net) else t.cc1.(f.f_net) in
+         (f, sat activation t.co.(f.f_net)))
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < n)

@@ -1,0 +1,30 @@
+(** SCOAP combinational testability measures (Goldstein 1979).
+
+    [cc0]/[cc1] estimate the effort (number of input assignments) needed to
+    drive a net to 0/1; [co] the effort to propagate a net's value to an
+    observation point.  Inputs of the full-scan test model (PIs and
+    flip-flop outputs) have controllability 1; observation points (POs and
+    flip-flop D captures) have observability 0.
+
+    PODEM uses these to pick the easiest X input during backtrace and the
+    most observable D-frontier gate, which reduces backtracking on
+    reconvergent circuits. *)
+
+open Socet_netlist
+
+type t = {
+  cc0 : int array;  (** indexed by net id *)
+  cc1 : int array;
+  co : int array;
+}
+
+val infinity_cost : int
+(** Saturation value for unreachable/uncontrollable nets. *)
+
+val compute : Netlist.t -> t
+
+val hardest_faults : Netlist.t -> t -> int -> (Fault.t * int) list
+(** The [n] faults with the highest detection-cost estimate
+    (controllability of the required activation value plus observability),
+    most expensive first.  Useful for reporting and for test-point
+    analysis. *)

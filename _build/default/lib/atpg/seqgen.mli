@@ -1,0 +1,23 @@
+(** Sequential (non-scan) test generation by random simulation.
+
+    Stand-in for the paper's in-house sequential ATPG, used only for the
+    "Orig." and "HSCAN-only" rows of Table 3, whose purpose is to show that
+    an SOC without chip-level DFT has very poor fault coverage.  Random
+    sequences from the reset state reproduce exactly that behaviour. *)
+
+open Socet_netlist
+
+type stats = {
+  cycles : int;
+  total_faults : int;
+  detected : int;
+  coverage : float;    (** percent *)
+  efficiency : float;  (** percent; equals coverage here, as random search
+                           proves no fault untestable *)
+}
+
+val random : ?cycles:int -> ?hold:int -> ?seed:int -> Netlist.t -> stats
+(** [cycles] (default 512) clock cycles of stimulus from the all-zero
+    reset state; a fresh random vector is drawn every [hold] cycles
+    (default 8) and held in between, approximating functional operation of
+    opcode-driven cores. *)

@@ -1,0 +1,87 @@
+open Socet_util
+open Socet_netlist
+
+type point =
+  | Observe of Netlist.net
+  | Control_one of Netlist.net
+  | Control_zero of Netlist.net
+
+
+let propose nl (s : Scoap.t) ~budget =
+  let candidates = ref [] in
+  for g = 0 to Netlist.gate_count nl - 1 do
+    match Netlist.kind nl g with
+    | Cell.Const0 | Cell.Const1 -> ()
+    | _ ->
+        let ctrl = max s.Scoap.cc0.(g) s.Scoap.cc1.(g) in
+        let cost = min Scoap.infinity_cost (ctrl + s.Scoap.co.(g)) in
+        candidates := (g, ctrl, s.Scoap.co.(g), cost) :: !candidates
+  done;
+  !candidates
+  |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < budget)
+  |> List.map (fun (g, ctrl, co, _) ->
+         if co >= ctrl then Observe g
+         else if s.Scoap.cc1.(g) >= s.Scoap.cc0.(g) then Control_one g
+         else Control_zero g)
+
+let apply nl points =
+  List.iteri
+    (fun k point ->
+      match point with
+      | Observe n -> Netlist.add_po nl (Printf.sprintf "tp_obs.%d" k) n
+      | Control_one n | Control_zero n ->
+          let ctl = Netlist.add_pi nl (Printf.sprintf "tp_ctl.%d" k) in
+          let kind =
+            match point with Control_one _ -> Cell.Or2 | _ -> Cell.And2
+          in
+          let ctl =
+            match point with
+            | Control_zero _ -> Netlist.add_gate nl Cell.Inv [| ctl |]
+            | _ -> ctl
+          in
+          let gate = Netlist.add_gate nl kind [| n; ctl |] in
+          (* Steer every reader of [n] through the test gate. *)
+          List.iter
+            (fun reader ->
+              if reader <> gate then begin
+                let fanin =
+                  Array.map
+                    (fun p -> if p = n then gate else p)
+                    (Netlist.fanin nl reader)
+                in
+                Netlist.set_kind nl reader (Netlist.kind nl reader) fanin
+              end)
+            (Netlist.fanout nl n))
+    points
+
+let area_cost points =
+  List.fold_left
+    (fun acc -> function Observe _ -> acc + 6 | Control_one _ | Control_zero _ -> acc + 3)
+    0 points
+
+let coverage_gain ~mk ~budget ~patterns =
+  let measure nl =
+    let rng = Rng.create 31 in
+    let vectors =
+      List.init patterns (fun _ -> Rng.bitvec rng (Fsim.vector_length nl))
+    in
+    (* The fault universe of the *unmodified* netlist, whose net ids are a
+       stable prefix of the modified one. *)
+    vectors
+  in
+  let base = mk () in
+  let faults = Fault.all base in
+  let before =
+    let det = Fsim.run_comb base ~vectors:(measure base) ~faults in
+    100.0 *. float_of_int (List.length det) /. float_of_int (max 1 (List.length faults))
+  in
+  let improved = mk () in
+  let scoap = Scoap.compute improved in
+  let points = propose improved scoap ~budget in
+  apply improved points;
+  let after =
+    let det = Fsim.run_comb improved ~vectors:(measure improved) ~faults in
+    100.0 *. float_of_int (List.length det) /. float_of_int (max 1 (List.length faults))
+  in
+  (before, after)

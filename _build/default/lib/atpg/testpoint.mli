@@ -1,0 +1,35 @@
+(** Test-point insertion guided by SCOAP.
+
+    Faults that random/BIST patterns miss cluster around nets with poor
+    controllability or observability.  An {e observation point} taps such
+    a net into an extra pseudo-output (a dedicated capture flip-flop in
+    practice); a {e control point} splices a test-mode OR/AND gate to
+    force it.  This module proposes points from the SCOAP profile and
+    measures the random-pattern coverage gain. *)
+
+open Socet_netlist
+
+type point =
+  | Observe of Netlist.net
+  | Control_one of Netlist.net   (** test-mode OR: force the net to 1 *)
+  | Control_zero of Netlist.net  (** test-mode AND: force the net to 0 *)
+
+val propose : Netlist.t -> Scoap.t -> budget:int -> point list
+(** Up to [budget] points targeting the worst SCOAP detection costs (one
+    point per net; observation when observability dominates, control
+    otherwise). *)
+
+val apply : Netlist.t -> point list -> unit
+(** Mutates the netlist: an observation point becomes a new PO; a control
+    point rewires the net's readers through a gate driven by a fresh
+    [tp_ctl.<n>] PI. *)
+
+val area_cost : point list -> int
+(** 6 cells per observation point (capture flip-flop), 3 per control
+    point (gate plus test-enable routing). *)
+
+val coverage_gain :
+  mk:(unit -> Netlist.t) -> budget:int -> patterns:int -> float * float
+(** Build a fresh netlist, measure random-pattern fault coverage, insert
+    the proposed points into another fresh copy and measure again:
+    [(before, after)] in percent. *)

@@ -1,0 +1,1 @@
+lib/bist/logic_bist.ml: Array Bitvec Fault Fsim Lfsr List Misr Sim Socet_atpg Socet_netlist Socet_util

@@ -1,0 +1,1 @@
+lib/bist/logic_bist.mli: Netlist Socet_netlist

@@ -1,0 +1,1 @@
+lib/bist/march.ml: Hashtbl List Mem Option

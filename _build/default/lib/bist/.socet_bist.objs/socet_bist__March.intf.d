@@ -1,0 +1,1 @@
+lib/bist/march.mli: Mem

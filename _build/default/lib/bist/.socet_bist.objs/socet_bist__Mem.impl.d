@@ -1,0 +1,1 @@
+lib/bist/mem.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/bist/misr.ml: Lfsr List

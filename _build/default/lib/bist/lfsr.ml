@@ -1,0 +1,63 @@
+type t = { w : int; taps : int; mutable st : int }
+
+(* Primitive polynomials (tap masks for the Galois update), one per
+   width.  Sources: standard m-sequence tables. *)
+let default_taps = function
+  | 2 -> 0x3
+  | 3 -> 0x6
+  | 4 -> 0xC
+  | 5 -> 0x14
+  | 6 -> 0x30
+  | 7 -> 0x60
+  | 8 -> 0xB8
+  | 9 -> 0x110
+  | 10 -> 0x240
+  | 11 -> 0x500
+  | 12 -> 0xE08
+  | 13 -> 0x1C80
+  | 14 -> 0x3802
+  | 15 -> 0x6000
+  | 16 -> 0xD008
+  | 17 -> 0x12000
+  | 18 -> 0x20400
+  | 19 -> 0x72000
+  | 20 -> 0x90000
+  | 21 -> 0x140000
+  | 22 -> 0x300000
+  | 23 -> 0x420000
+  | 24 -> 0xE10000
+  | w -> invalid_arg (Printf.sprintf "Lfsr.default_taps: width %d unsupported" w)
+
+let create ?(seed = 1) ?taps w =
+  if w < 2 then invalid_arg "Lfsr.create: width must be >= 2";
+  let taps = match taps with Some t -> t | None -> default_taps w in
+  let st = seed land ((1 lsl w) - 1) in
+  if st = 0 then invalid_arg "Lfsr.create: zero seed locks the register";
+  { w; taps; st }
+
+let width t = t.w
+let state t = t.st
+
+let step t =
+  let lsb = t.st land 1 in
+  let shifted = t.st lsr 1 in
+  t.st <- (if lsb = 1 then shifted lxor t.taps else shifted);
+  t.st
+
+let pattern t ~bits =
+  let v = ref 0 in
+  for i = 0 to bits - 1 do
+    v := !v lor ((t.st land 1) lsl i);
+    ignore (step t)
+  done;
+  !v
+
+let period ?taps w =
+  let t = create ?taps w in
+  let start = t.st in
+  let rec loop n =
+    if step t = start then n + 1
+    else if n > 1 lsl (w + 1) then n (* guard: non-maximal cycles terminate *)
+    else loop (n + 1)
+  in
+  loop 0

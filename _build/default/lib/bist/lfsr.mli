@@ -1,0 +1,28 @@
+(** Linear-feedback shift registers (Galois form) — the pattern generators
+    of the BIST substrate.  The paper assumes the SOC's memory cores are
+    BIST-tested ([8]); this library makes that assumption concrete. *)
+
+type t
+
+val default_taps : int -> int
+(** A primitive-polynomial tap mask for widths 2..24 (maximal-length
+    sequences).  @raise Invalid_argument outside that range. *)
+
+val create : ?seed:int -> ?taps:int -> int -> t
+(** [create width]: [seed] defaults to 1 (never use 0: an LFSR seeded with
+    zero is stuck), [taps] to {!default_taps}. *)
+
+val width : t -> int
+
+val state : t -> int
+
+val step : t -> int
+(** Advance one cycle and return the new state. *)
+
+val pattern : t -> bits:int -> int
+(** Advance [bits] cycles, collecting one output bit per cycle, LSB
+    first — how a serial LFSR fills a test pattern. *)
+
+val period : ?taps:int -> int -> int
+(** Cycle length from seed 1; a maximal-length LFSR of width [w] returns
+    [2^w - 1].  Exhaustive (meant for tests on small widths). *)

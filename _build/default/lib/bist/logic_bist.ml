@@ -1,0 +1,99 @@
+open Socet_util
+open Socet_netlist
+open Socet_atpg
+
+type report = {
+  patterns : int;
+  coverage : float;
+  golden_signature : int;
+  misr_width : int;
+  aliasing_sampled : int;
+  aliased : int;
+}
+
+(* Response words of one vector under one optional fault, folded bitwise
+   (POs then flip-flop captures), chunked to the MISR width. *)
+let response_words nl vec =
+  let pi, st = Fsim.split_vector nl vec in
+  let pi_words =
+    Array.init (Bitvec.length pi) (fun i -> if Bitvec.get pi i then -1 else 0)
+  in
+  let st_words =
+    Array.init (Bitvec.length st) (fun i -> if Bitvec.get st i then -1 else 0)
+  in
+  let v = Sim.eval_words nl ~pi:pi_words ~state:st_words ~inject:(fun _ x -> x) in
+  let pos = Array.to_list (Sim.po_words nl v) in
+  let ns = Array.to_list (Sim.next_state_words nl v) in
+  List.map (fun w -> w land 1) (pos @ ns)
+
+let signature_of nl ~misr_width vectors ~fault =
+  let misr = Misr.create misr_width in
+  List.iter
+    (fun vec ->
+      let bits =
+        match fault with
+        | None -> response_words nl vec
+        | Some (f : Fault.t) ->
+            (* Exact per-fault response: re-simulate with the fault. *)
+            let pi, st = Fsim.split_vector nl vec in
+            let pi_words =
+              Array.init (Bitvec.length pi) (fun i -> if Bitvec.get pi i then -1 else 0)
+            in
+            let st_words =
+              Array.init (Bitvec.length st) (fun i -> if Bitvec.get st i then -1 else 0)
+            in
+            let inject g x =
+              if g = f.f_net then (if f.f_stuck then -1 else 0) else x
+            in
+            let v = Sim.eval_words nl ~pi:pi_words ~state:st_words ~inject in
+            let pos = Array.to_list (Sim.po_words nl v) in
+            let ns = Array.to_list (Sim.next_state_words nl v) in
+            List.map (fun w -> w land 1) (pos @ ns)
+      in
+      (* Pack response bits into MISR-width words. *)
+      let rec chunks acc cur n = function
+        | [] -> List.rev (if n = 0 then acc else cur :: acc)
+        | b :: rest ->
+            if n = misr_width then chunks (cur :: acc) b 1 rest
+            else chunks acc (cur lor (b lsl n)) (n + 1) rest
+      in
+      List.iter (Misr.absorb misr) (chunks [] 0 0 bits))
+    vectors;
+  Misr.signature misr
+
+let run ?(patterns = 1024) ?(seed = 1) ?(misr_width = 16) nl =
+  let veclen = Fsim.vector_length nl in
+  let lfsr = Lfsr.create ~seed (max 2 (min 24 veclen)) in
+  let vectors =
+    List.init patterns (fun _ ->
+        let v = Bitvec.create veclen in
+        for i = 0 to veclen - 1 do
+          ignore (Lfsr.step lfsr);
+          Bitvec.set v i (Lfsr.state lfsr land 1 = 1)
+        done;
+        v)
+  in
+  let faults = Fault.collapse nl in
+  let detected = Fsim.run_comb nl ~vectors ~faults in
+  let golden = signature_of nl ~misr_width vectors ~fault:None in
+  (* Aliasing probe on a deterministic sample of detected faults. *)
+  let sample =
+    List.filteri (fun i _ -> i mod max 1 (List.length detected / 24) = 0) detected
+    |> List.filteri (fun i _ -> i < 24)
+  in
+  let aliased =
+    List.length
+      (List.filter
+         (fun f -> signature_of nl ~misr_width vectors ~fault:(Some f) = golden)
+         sample)
+  in
+  {
+    patterns;
+    coverage =
+      (if faults = [] then 0.0
+       else 100.0 *. float_of_int (List.length detected) /. float_of_int (List.length faults));
+    golden_signature = golden;
+    misr_width;
+    aliasing_sampled = List.length sample;
+    aliased;
+  }

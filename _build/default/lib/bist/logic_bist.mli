@@ -1,0 +1,19 @@
+(** Pseudo-random logic BIST: an LFSR feeds the full-scan test model's
+    inputs, a MISR compacts the outputs.  Coverage is measured by exact
+    fault simulation of the LFSR patterns; aliasing is measured by
+    comparing faulty signatures against the golden one on a sample of the
+    detected faults. *)
+
+open Socet_netlist
+
+type report = {
+  patterns : int;
+  coverage : float;           (** percent of collapsed faults detected *)
+  golden_signature : int;
+  misr_width : int;
+  aliasing_sampled : int;     (** faults whose signature was computed *)
+  aliased : int;              (** of those, how many alias to golden *)
+}
+
+val run : ?patterns:int -> ?seed:int -> ?misr_width:int -> Netlist.t -> report
+(** [patterns] defaults to 1024, [misr_width] to 16. *)

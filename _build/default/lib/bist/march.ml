@@ -1,0 +1,98 @@
+type op = R0 | R1 | W0 | W1
+type direction = Up | Down | Either
+type element = { dir : direction; ops : op list }
+
+let march_c_minus =
+  [
+    { dir = Either; ops = [ W0 ] };
+    { dir = Up; ops = [ R0; W1 ] };
+    { dir = Up; ops = [ R1; W0 ] };
+    { dir = Down; ops = [ R0; W1 ] };
+    { dir = Down; ops = [ R1; W0 ] };
+    { dir = Either; ops = [ R0 ] };
+  ]
+
+let mats_plus =
+  [
+    { dir = Either; ops = [ W0 ] };
+    { dir = Up; ops = [ R0; W1 ] };
+    { dir = Down; ops = [ R1; W0 ] };
+  ]
+
+let op_count elements =
+  List.fold_left (fun acc e -> acc + List.length e.ops) 0 elements
+
+let full_word width = (1 lsl width) - 1
+
+let run mem elements =
+  let words = Mem.words mem and width = Mem.width mem in
+  let ones = full_word width in
+  let ok = ref true in
+  let apply addr op =
+    match op with
+    | W0 -> Mem.write mem addr 0
+    | W1 -> Mem.write mem addr ones
+    | R0 -> if Mem.read mem addr <> 0 then ok := false
+    | R1 -> if Mem.read mem addr <> ones then ok := false
+  in
+  List.iter
+    (fun e ->
+      let addrs =
+        match e.dir with
+        | Up | Either -> List.init words (fun i -> i)
+        | Down -> List.init words (fun i -> words - 1 - i)
+      in
+      List.iter (fun addr -> List.iter (apply addr) e.ops) addrs)
+    elements;
+  !ok
+
+type report = {
+  algorithm : string;
+  total_faults : int;
+  detected : int;
+  coverage : float;
+  ops : int;
+  by_class : (string * int * int) list;
+}
+
+let class_of = function
+  | Mem.Cell_saf _ -> "stuck-at"
+  | Mem.Transition _ -> "transition"
+  | Mem.Coupling _ -> "coupling"
+  | Mem.Decoder_alias _ -> "decoder"
+
+let evaluate ~words ~width ~name elements =
+  let faults = Mem.all_faults ~words ~width in
+  let per_class = Hashtbl.create 4 in
+  let detected = ref 0 in
+  List.iter
+    (fun fault ->
+      let mem = Mem.create ~fault ~words ~width () in
+      let caught = not (run mem elements) in
+      if caught then incr detected;
+      let cls = class_of fault in
+      let d, t = Option.value ~default:(0, 0) (Hashtbl.find_opt per_class cls) in
+      Hashtbl.replace per_class cls ((if caught then d + 1 else d), t + 1))
+    faults;
+  let total = List.length faults in
+  {
+    algorithm = name;
+    total_faults = total;
+    detected = !detected;
+    coverage =
+      (if total = 0 then 0.0 else 100.0 *. float_of_int !detected /. float_of_int total);
+    ops = op_count elements * words;
+    by_class =
+      Hashtbl.fold (fun cls (d, t) acc -> (cls, d, t) :: acc) per_class []
+      |> List.sort compare;
+  }
+
+let bist_area ~words ~width =
+  let ceil_log2 n =
+    let rec loop b v = if v >= n then b else loop (b + 1) (2 * v) in
+    loop 0 1
+  in
+  let abits = ceil_log2 words in
+  (* Address up/down counter, data-background generator, comparator and a
+     small sequencing FSM. *)
+  (8 * abits) + (4 * width) + 30

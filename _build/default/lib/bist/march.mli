@@ -1,0 +1,41 @@
+(** March memory-test algorithms and their BIST engine.
+
+    A March test is a sequence of elements; each element sweeps the
+    address space in a direction applying a fixed list of read/write
+    operations per cell.  March C- (10N operations) detects all stuck-at,
+    transition, (unlinked idempotent) coupling and address-decoder faults
+    of {!Mem.all_faults}. *)
+
+type op = R0 | R1 | W0 | W1
+type direction = Up | Down | Either
+type element = { dir : direction; ops : op list }
+
+val march_c_minus : element list
+val mats_plus : element list
+(** MATS+ (5N): catches stuck-at and decoder faults but misses some
+    transition/coupling faults — the ablation partner of March C-. *)
+
+val op_count : element list -> int
+(** Operations per cell (the N-multiplier). *)
+
+val run : Mem.t -> element list -> bool
+(** [true] when every read matched its expectation (test passes — the
+    memory looks fault-free). *)
+
+type report = {
+  algorithm : string;
+  total_faults : int;
+  detected : int;
+  coverage : float;       (** percent *)
+  ops : int;              (** total read/write operations executed *)
+  by_class : (string * int * int) list;
+      (** (fault class, detected, total) *)
+}
+
+val evaluate : words:int -> width:int -> name:string -> element list -> report
+(** Inject every fault of {!Mem.all_faults} in turn and run the
+    algorithm. *)
+
+val bist_area : words:int -> width:int -> int
+(** Area estimate (cells) of the on-chip March BIST controller: an address
+    counter, a data/expectation generator and a comparator. *)

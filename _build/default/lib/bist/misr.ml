@@ -1,0 +1,20 @@
+type t = { w : int; taps : int; mutable st : int }
+
+let create ?taps w =
+  let taps = match taps with Some t -> t | None -> Lfsr.default_taps w in
+  { w; taps; st = 0 }
+
+let absorb t input =
+  let lsb = t.st land 1 in
+  let shifted = t.st lsr 1 in
+  let advanced = if lsb = 1 then shifted lxor t.taps else shifted in
+  t.st <- (advanced lxor input) land ((1 lsl t.w) - 1)
+
+let signature t = t.st
+
+let reset t = t.st <- 0
+
+let of_stream ?taps ~width stream =
+  let t = create ?taps width in
+  List.iter (absorb t) stream;
+  signature t

@@ -1,0 +1,20 @@
+(** Multiple-input signature registers — the response compactors of the
+    BIST substrate.  A MISR folds a response stream into a [width]-bit
+    signature; a faulty stream escapes detection (aliases) only when its
+    error polynomial is divisible by the MISR polynomial, with probability
+    about [2^-width] for random errors. *)
+
+type t
+
+val create : ?taps:int -> int -> t
+(** [create width]; taps default to the maximal-length polynomial. *)
+
+val absorb : t -> int -> unit
+(** Clock the register once with a response word XOR-ed in. *)
+
+val signature : t -> int
+
+val reset : t -> unit
+
+val of_stream : ?taps:int -> width:int -> int list -> int
+(** Signature of a whole response stream. *)

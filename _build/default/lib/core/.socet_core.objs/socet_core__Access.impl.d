@@ -1,0 +1,1 @@
+lib/core/access.ml: Array Ccg Hashtbl List Option Soc Socet_graph Socet_rtl Socet_util

@@ -1,0 +1,1 @@
+lib/core/access.mli: Ccg Hashtbl Socet_graph

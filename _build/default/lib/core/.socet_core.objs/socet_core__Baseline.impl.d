@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Bscan Fscan List Rtl_core Soc Socet_netlist Socet_rtl Socet_scan

@@ -1,0 +1,1 @@
+lib/core/ccg.ml: Array Hashtbl List Option Printf Rcg Rtl_core Soc Socet_graph Socet_rtl Tsearch Version

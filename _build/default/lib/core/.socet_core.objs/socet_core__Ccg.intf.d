@@ -1,0 +1,1 @@
+lib/core/ccg.mli: Hashtbl Soc Socet_graph

@@ -1,0 +1,1 @@
+lib/core/chip.ml: Array Cell Elaborate Fscan Hashtbl List Netlist Option Printf Soc Socet_netlist Socet_scan Socet_synth String

@@ -1,0 +1,1 @@
+lib/core/chip.mli: Netlist Soc Socet_netlist

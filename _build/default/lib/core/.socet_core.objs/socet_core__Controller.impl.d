@@ -1,0 +1,1 @@
+lib/core/controller.ml: Hashtbl List Option Soc Socet_graph Socet_rtl Tsearch Version

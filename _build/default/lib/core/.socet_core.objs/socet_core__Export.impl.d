@@ -1,0 +1,1 @@
+lib/core/export.ml: Array Buffer Ccg Format List Printf Rcg Rtl_core Rtl_types Soc Socet_graph Socet_rtl String

@@ -1,0 +1,1 @@
+lib/core/export.mli: Ccg Rcg Socet_rtl

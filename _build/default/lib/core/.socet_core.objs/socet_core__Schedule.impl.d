@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Access Ccg Controller Hashtbl Hscan List Option Soc Socet_graph Socet_rtl Socet_scan Version

@@ -1,0 +1,1 @@
+lib/core/select.ml: Access Ccg Hashtbl List Option Schedule Soc Socet_rtl Version

@@ -1,0 +1,1 @@
+lib/core/soc.ml: Elaborate Hscan Lazy List Netlist Option Podem Printf Rcg Rtl_core Socet_atpg Socet_netlist Socet_rtl Socet_scan Socet_synth Version

@@ -1,0 +1,1 @@
+lib/core/soc.mli: Hscan Lazy Netlist Podem Rcg Rtl_core Socet_atpg Socet_netlist Socet_rtl Socet_scan Version

@@ -1,0 +1,1 @@
+lib/core/testgen.ml: Chip Lazy List Podem Seqgen Soc Socet_atpg

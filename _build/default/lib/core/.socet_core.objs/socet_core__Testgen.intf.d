@@ -1,0 +1,1 @@
+lib/core/testgen.mli: Soc

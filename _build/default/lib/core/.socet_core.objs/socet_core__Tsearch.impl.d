@@ -1,0 +1,1 @@
+lib/core/tsearch.ml: Array Hashtbl List Option Queue Rcg Rtl_types Socet_graph Socet_rtl

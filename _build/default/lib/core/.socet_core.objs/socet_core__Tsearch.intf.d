@@ -1,0 +1,1 @@
+lib/core/tsearch.mli: Rcg Socet_graph Socet_rtl

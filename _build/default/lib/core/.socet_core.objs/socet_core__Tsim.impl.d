@@ -1,0 +1,1 @@
+lib/core/tsim.ml: Array Bitvec Elaborate Hashtbl List Netlist Option Printf Rcg Rtl_core Rtl_types Sim Socet_graph Socet_netlist Socet_rtl Socet_synth Socet_util Tsearch

@@ -1,0 +1,1 @@
+lib/core/tsim.mli: Bitvec Rcg Socet_rtl Socet_util Tsearch

@@ -1,0 +1,1 @@
+lib/core/version.ml: Hashtbl List Option Rcg Rtl_types Socet_graph Socet_rtl Tsearch

@@ -1,0 +1,1 @@
+lib/core/version.mli: Rcg Socet_graph Socet_rtl Tsearch

@@ -1,0 +1,160 @@
+module Digraph = Socet_graph.Digraph
+module Search = Socet_graph.Search
+module Interval_set = Socet_util.Interval_set
+
+type bookings = (Ccg.resource, Interval_set.t ref) Hashtbl.t
+
+let fresh_bookings () : bookings = Hashtbl.create 32
+
+type route = {
+  r_target : int;
+  r_edges : Ccg.cedge Digraph.edge list;
+  r_departures : int list;
+  r_arrival : int;
+  r_added_smux : (int * int * int) option;
+}
+
+let calendar bookings r =
+  match Hashtbl.find_opt bookings r with
+  | Some c -> c
+  | None ->
+      let c = ref Interval_set.empty in
+      Hashtbl.replace bookings r c;
+      c
+
+let latency_of = function
+  | Ccg.Wire | Ccg.Smux _ -> 0
+  | Ccg.Transp { latency; _ } -> latency
+
+let resources_of = function
+  | Ccg.Wire | Ccg.Smux _ -> []
+  | Ccg.Transp { resources; _ } -> resources
+
+(* Earliest departure >= t at which all of the edge's resources are free
+   for [latency] cycles. *)
+let earliest_departure bookings (e : Ccg.cedge Digraph.edge) t =
+  let lat = latency_of e.label in
+  match resources_of e.label with
+  | [] -> t
+  | rs ->
+      let rec settle t =
+        let t' =
+          List.fold_left
+            (fun acc r ->
+              max acc (Interval_set.first_fit !(calendar bookings r) ~earliest:acc ~len:lat))
+            t rs
+        in
+        if t' = t then t else settle t'
+      in
+      settle t
+
+let reserve bookings (e : Ccg.cedge Digraph.edge) ~departure =
+  let lat = latency_of e.label in
+  if lat > 0 then
+    List.iter
+      (fun r ->
+        let c = calendar bookings r in
+        c := Interval_set.add !c ~lo:departure ~hi:(departure + lat))
+      (resources_of e.label)
+
+let pis_of ccg =
+  let acc = ref [] in
+  Array.iteri
+    (fun i n -> match n with Ccg.N_pi _ -> acc := i :: !acc | _ -> ())
+    ccg.Ccg.nodes;
+  List.rev !acc
+
+let pos_of ccg =
+  let acc = ref [] in
+  Array.iteri
+    (fun i n -> match n with Ccg.N_po _ -> acc := i :: !acc | _ -> ())
+    ccg.Ccg.nodes;
+  List.rev !acc
+
+let route_between ccg bookings ~sources ~is_goal =
+  Search.dijkstra_timed ccg.Ccg.graph
+    ~sources:(List.map (fun s -> (s, 0)) sources)
+    ~is_goal
+    ~latency:(fun e -> latency_of e.Digraph.label)
+    ~earliest_departure:(fun e t -> earliest_departure bookings e t)
+
+let commit bookings (tp : Ccg.cedge Search.timed_path) target =
+  List.iter2 (fun e dep -> reserve bookings e ~departure:dep) tp.Search.path_edges
+    tp.Search.departures;
+  {
+    r_target = target;
+    r_edges = tp.Search.path_edges;
+    r_departures = tp.Search.departures;
+    r_arrival = tp.Search.arrival;
+    r_added_smux = None;
+  }
+
+let port_width ccg node_id =
+  match ccg.Ccg.nodes.(node_id) with
+  | Ccg.N_cin (i, p) | Ccg.N_cout (i, p) ->
+      (Socet_rtl.Rtl_core.find_port (Soc.inst ccg.Ccg.soc i).Soc.ci_core p)
+        .Socet_rtl.Rtl_core.p_width
+  | Ccg.N_pi n -> List.assoc n ccg.Ccg.soc.Soc.soc_pis
+  | Ccg.N_po n -> List.assoc n ccg.Ccg.soc.Soc.soc_pos
+
+let justify_input ?(allow_smux = true) ccg bookings ~input =
+  let sources = pis_of ccg in
+  if sources = [] then None
+  else
+    match route_between ccg bookings ~sources ~is_goal:(fun v -> v = input) with
+    | Some tp -> Some (commit bookings tp input)
+    | None when not allow_smux -> None
+    | None ->
+        (* No existing access: bolt a system-level test mux onto the first
+           PI (paper: "we add a system-level test multiplexer to connect
+           the input of the core directly to a PI"). *)
+        let pi = List.hd sources in
+        let width = port_width ccg input in
+        let e = Ccg.add_smux ccg ~src:pi ~dst:input ~width in
+        Some
+          {
+            r_target = input;
+            r_edges = [ e ];
+            r_departures = [ 0 ];
+            r_arrival = 0;
+            r_added_smux = Some (pi, input, width);
+          }
+
+let observe_output ?(allow_smux = true) ccg bookings ~output =
+  let goals = pos_of ccg in
+  if goals = [] then None
+  else
+    match
+      route_between ccg bookings ~sources:[ output ]
+        ~is_goal:(fun v -> List.mem v goals)
+    with
+    | Some tp -> Some (commit bookings tp output)
+    | None when not allow_smux -> None
+    | None ->
+        let po = List.hd goals in
+        let width = port_width ccg output in
+        let e = Ccg.add_smux ccg ~src:output ~dst:po ~width in
+        Some
+          {
+            r_target = output;
+            r_edges = [ e ];
+            r_departures = [ 0 ];
+            r_arrival = 0;
+            r_added_smux = Some (output, po, width);
+          }
+
+let edge_usage routes =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (e : Ccg.cedge Digraph.edge) ->
+          match e.label with
+          | Ccg.Transp { inst; pr_in; pr_out; _ } ->
+              let k = (inst, pr_in, pr_out) in
+              Hashtbl.replace tbl k
+                (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+          | Ccg.Wire | Ccg.Smux _ -> ())
+        r.r_edges)
+    routes;
+  tbl

@@ -1,0 +1,42 @@
+(** Test-access path identification (paper Sec. 5.1).
+
+    For the core under test, each input is justified from the chip PIs and
+    each output observed at the chip POs through the transparency edges of
+    the surrounding cores.  The router is a time-expanded Dijkstra: every
+    transparency edge occupies its core-internal resources (RCG edges and
+    the entry port) for [latency] cycles, recorded in reservation
+    calendars; a busy edge is not rejected, the data waits — exactly the
+    paper's "the cost is automatically modified so that the edge is not
+    reused in the reserved cycles". *)
+
+module Digraph = Socet_graph.Digraph
+
+type bookings
+(** Mutable reservation calendars, keyed by {!Ccg.resource}. *)
+
+val fresh_bookings : unit -> bookings
+
+type route = {
+  r_target : int;                      (** CCG node routed to/from *)
+  r_edges : Ccg.cedge Digraph.edge list;
+  r_departures : int list;
+  r_arrival : int;
+  r_added_smux : (int * int * int) option;
+      (** (src, dst, width) when a system-level test mux had to be added *)
+}
+
+val justify_input :
+  ?allow_smux:bool -> Ccg.t -> bookings -> input:int -> route option
+(** Shortest (earliest-arrival) path from any chip PI to the given core
+    input node, respecting and then updating the reservation calendars.
+    Falls back to inserting a system-level test mux from a fresh PI edge
+    when the input is unreachable.  [None] only when the CCG has no PIs. *)
+
+val observe_output :
+  ?allow_smux:bool -> Ccg.t -> bookings -> output:int -> route option
+(** Same, from a core output node to any chip PO. *)
+
+val edge_usage : route list -> (string * int * int, int) Hashtbl.t
+(** Counts, per (instance, RCG input node, RCG output node), how many
+    routed paths use each transparency edge — the raw material for the
+    iterative improvement's latency numbers (Sec. 5.2). *)

@@ -1,0 +1,71 @@
+open Socet_rtl
+open Socet_scan
+
+type t = {
+  b_core_scan_overhead : int;
+  b_ring_overhead : int;
+  b_total_overhead : int;
+  b_time : int;
+  b_per_core : (string * int) list;
+}
+
+let evaluate soc =
+  let scan_cost =
+    List.fold_left (fun acc ci -> acc + Fscan.overhead ci.Soc.ci_netlist) 0 soc.Soc.insts
+  in
+  let ring_cost =
+    List.fold_left (fun acc ci -> acc + Bscan.ring_overhead ci.Soc.ci_core) 0 soc.Soc.insts
+  in
+  let per_core =
+    List.map
+      (fun ci ->
+        let n_ff = List.length (Socet_netlist.Netlist.dffs ci.Soc.ci_netlist) in
+        let n_inputs = Rtl_core.input_bit_count ci.Soc.ci_core in
+        let n_vectors = Soc.atpg_vectors ci in
+        (ci.Soc.ci_name, Bscan.test_time ~n_ff ~n_inputs ~n_vectors))
+      soc.Soc.insts
+  in
+  {
+    b_core_scan_overhead = scan_cost;
+    b_ring_overhead = ring_cost;
+    b_total_overhead = scan_cost + ring_cost;
+    b_time = List.fold_left (fun acc (_, t) -> acc + t) 0 per_core;
+    b_per_core = per_core;
+  }
+
+type bus = {
+  tb_width : int;
+  tb_mux_overhead : int;
+  tb_scan_overhead : int;
+  tb_total_overhead : int;
+  tb_time : int;
+}
+
+let test_bus ?(width = 8) soc =
+  let mux_cost =
+    List.fold_left
+      (fun acc ci ->
+        acc
+        + 3
+          * (Rtl_core.input_bit_count ci.Soc.ci_core
+            + Rtl_core.output_bit_count ci.Soc.ci_core))
+      0 soc.Soc.insts
+    + (2 * width) (* bus drivers at the chip boundary *)
+  in
+  let scan_cost =
+    List.fold_left (fun acc ci -> acc + Fscan.overhead ci.Soc.ci_netlist) 0 soc.Soc.insts
+  in
+  let time =
+    List.fold_left
+      (fun acc ci ->
+        let n_ff = List.length (Socet_netlist.Netlist.dffs ci.Soc.ci_netlist) in
+        acc + Fscan.test_time ~n_ff ~n_vectors:(Soc.atpg_vectors ci))
+      0 soc.Soc.insts
+  in
+  {
+    tb_width = width;
+    tb_mux_overhead = mux_cost;
+    tb_scan_overhead = scan_cost;
+    tb_total_overhead = mux_cost + scan_cost;
+    tb_time = time;
+  }

@@ -1,0 +1,35 @@
+(** The FSCAN-BSCAN baseline (paper Sec. 1, Tables 2 and 3).
+
+    Every core is full-scanned and wrapped in a boundary-scan ring; cores
+    are tested one at a time by shifting each test vector through the
+    core's internal chain concatenated with its input ring cells:
+    per core, [(ff + inputs) * vectors + (ff + inputs) - 1] cycles. *)
+
+type t = {
+  b_core_scan_overhead : int;  (** full-scan upgrades, all cores (cells) *)
+  b_ring_overhead : int;       (** boundary-scan rings, all cores (cells) *)
+  b_total_overhead : int;
+  b_time : int;                (** global test application time (cycles) *)
+  b_per_core : (string * int) list;  (** per-core test time *)
+}
+
+val evaluate : Soc.t -> t
+
+(** {2 Test-bus baseline}
+
+    The other conventional method from the paper's introduction: an added
+    test bus runs from the PIs to the POs and multiplexers isolate each
+    (full-scanned) core onto it during test.  Unlike SOCET it cannot test
+    the interconnect between cores, and the bus multiplexers are paid on
+    every core port. *)
+
+type bus = {
+  tb_width : int;
+  tb_mux_overhead : int;   (** bus isolation muxes on every core port *)
+  tb_scan_overhead : int;  (** full-scan upgrades *)
+  tb_total_overhead : int;
+  tb_time : int;           (** cores tested one after another over the bus *)
+}
+
+val test_bus : ?width:int -> Soc.t -> bus
+(** [width] defaults to 8 bus lines. *)

@@ -1,0 +1,132 @@
+open Socet_rtl
+module Digraph = Socet_graph.Digraph
+
+type cnode =
+  | N_pi of string
+  | N_po of string
+  | N_cin of string * string
+  | N_cout of string * string
+
+type resource = R_edge of string * int | R_port of string * int
+
+type cedge =
+  | Wire
+  | Transp of {
+      inst : string;
+      pr_in : int;   (** RCG input-node id of the pair *)
+      pr_out : int;  (** RCG output-node id of the pair *)
+      latency : int;
+      resources : resource list;
+    }
+  | Smux of { width : int }
+
+type t = {
+  graph : cedge Digraph.t;
+  nodes : cnode array;
+  index : (cnode, int) Hashtbl.t;
+  soc : Soc.t;
+  choice : (string * int) list;
+}
+
+let smux_cost ~width = (3 * width) + 1
+
+let node_id t n = Hashtbl.find t.index n
+
+let node t i = t.nodes.(i)
+
+let build soc ~choice =
+  let g = Digraph.create () in
+  let nodes = ref [] in
+  let index = Hashtbl.create 64 in
+  let add n =
+    let id = Digraph.add_node g in
+    nodes := n :: !nodes;
+    Hashtbl.replace index n id;
+    id
+  in
+  List.iter (fun (p, _) -> ignore (add (N_pi p))) soc.Soc.soc_pis;
+  List.iter (fun (p, _) -> ignore (add (N_po p))) soc.Soc.soc_pos;
+  List.iter
+    (fun ci ->
+      List.iter
+        (fun (p : Rtl_core.port) ->
+          match p.Rtl_core.p_dir with
+          | `In -> ignore (add (N_cin (ci.Soc.ci_name, p.Rtl_core.p_name)))
+          | `Out -> ignore (add (N_cout (ci.Soc.ci_name, p.Rtl_core.p_name))))
+        (Rtl_core.ports ci.Soc.ci_core))
+    soc.Soc.insts;
+  (* Interconnect wires. *)
+  let ccg_of_ref ~sink = function
+    | Soc.Pi n -> Hashtbl.find_opt index (N_pi n)
+    | Soc.Po n -> Hashtbl.find_opt index (N_po n)
+    | Soc.Cport (i, p) ->
+        if sink then Hashtbl.find_opt index (N_cin (i, p))
+        else Hashtbl.find_opt index (N_cout (i, p))
+  in
+  List.iter
+    (fun conn ->
+      match
+        (ccg_of_ref ~sink:false conn.Soc.c_from, ccg_of_ref ~sink:true conn.Soc.c_to)
+      with
+      | Some src, Some dst -> ignore (Digraph.add_edge g ~src ~dst Wire)
+      | _ -> () (* connection touches a memory or other excluded block *))
+    soc.Soc.conns;
+  (* Transparency edges from the chosen versions. *)
+  List.iter
+    (fun ci ->
+      let name = ci.Soc.ci_name in
+      let k = Option.value ~default:1 (List.assoc_opt name choice) in
+      let version = Soc.version_of ci k in
+      List.iter
+        (fun (p : Version.pair) ->
+          let rcg = ci.Soc.ci_rcg in
+          let in_name = (Rcg.node rcg p.Version.pr_input).Rcg.n_name in
+          let out_name = (Rcg.node rcg p.Version.pr_output).Rcg.n_name in
+          match
+            ( Hashtbl.find_opt index (N_cin (name, in_name)),
+              Hashtbl.find_opt index (N_cout (name, out_name)) )
+          with
+          | Some src, Some dst ->
+              let resources =
+                R_port (name, p.Version.pr_input)
+                :: List.map
+                     (fun (e : Rcg.edge_label Digraph.edge) -> R_edge (name, e.id))
+                     p.Version.pr_sol.Tsearch.s_edges
+              in
+              ignore
+                (Digraph.add_edge g ~src ~dst
+                   (Transp
+                      {
+                        inst = name;
+                        pr_in = p.Version.pr_input;
+                        pr_out = p.Version.pr_output;
+                        latency = p.Version.pr_latency;
+                        resources;
+                      }))
+          | _ -> ())
+        version.Version.v_pairs)
+    soc.Soc.insts;
+  { graph = g; nodes = Array.of_list (List.rev !nodes); index; soc; choice }
+
+let add_smux t ~src ~dst ~width = Digraph.add_edge t.graph ~src ~dst (Smux { width })
+
+let ports_of t inst dir =
+  let acc = ref [] in
+  Array.iteri
+    (fun i n ->
+      match (n, dir) with
+      | N_cin (x, _), `In when x = inst -> acc := i :: !acc
+      | N_cout (x, _), `Out when x = inst -> acc := i :: !acc
+      | _ -> ())
+    t.nodes;
+  List.rev !acc
+
+let core_inputs t inst = ports_of t inst `In
+let core_outputs t inst = ports_of t inst `Out
+
+let pp_node t i =
+  match t.nodes.(i) with
+  | N_pi p -> Printf.sprintf "PI:%s" p
+  | N_po p -> Printf.sprintf "PO:%s" p
+  | N_cin (c, p) -> Printf.sprintf "%s.%s(in)" c p
+  | N_cout (c, p) -> Printf.sprintf "%s.%s(out)" c p

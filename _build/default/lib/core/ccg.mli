@@ -1,0 +1,65 @@
+(** The core connectivity graph (paper Sec. 5, Fig. 9).
+
+    Nodes are chip PIs, chip POs, and the input/output ports of every
+    non-memory core.  Edges are:
+    - {e wire} edges from the SOC interconnect (combinational, free);
+    - {e transparency} edges between input/output pairs of a core,
+      labelled with the latency of the chosen version's path and the
+      internal resources it occupies (paths through one core that share an
+      RCG edge — or the same input port — cannot overlap in time);
+    - {e system-level test mux} edges added by the router/optimizer when no
+      path exists (combinational, but they cost area). *)
+
+module Digraph = Socet_graph.Digraph
+
+type cnode =
+  | N_pi of string
+  | N_po of string
+  | N_cin of string * string   (** (instance, input port) *)
+  | N_cout of string * string  (** (instance, output port) *)
+
+type resource = R_edge of string * int | R_port of string * int
+(** (instance, RCG edge id) or (instance, RCG input-node id): the units of
+    time-reservation inside a core. *)
+
+type cedge =
+  | Wire
+  | Transp of {
+      inst : string;
+      pr_in : int;   (** RCG input-node id of the pair *)
+      pr_out : int;  (** RCG output-node id of the pair *)
+      latency : int;
+      resources : resource list;
+    }
+  | Smux of { width : int }
+
+type t = {
+  graph : cedge Digraph.t;
+  nodes : cnode array;
+  index : (cnode, int) Hashtbl.t;
+  soc : Soc.t;
+  choice : (string * int) list;  (** version index per instance *)
+}
+
+val node_id : t -> cnode -> int
+(** @raise Not_found *)
+
+val node : t -> int -> cnode
+
+val build : Soc.t -> choice:(string * int) list -> t
+(** [choice] maps instance names to version indices (1-based); missing
+    instances default to version 1. *)
+
+val add_smux : t -> src:int -> dst:int -> width:int -> cedge Digraph.edge
+(** Insert a system-level test mux edge (used by the router as a
+    fallback and by the optimizer as a trade-off move). *)
+
+val smux_cost : width:int -> int
+(** Area of a system-level test multiplexer: [3*width + 1]. *)
+
+val core_inputs : t -> string -> int list
+(** CCG node ids of the instance's input ports, in declaration order. *)
+
+val core_outputs : t -> string -> int list
+
+val pp_node : t -> int -> string

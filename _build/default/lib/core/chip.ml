@@ -1,0 +1,121 @@
+open Socet_netlist
+open Socet_synth
+open Socet_scan
+
+(* "port.3" -> ("port", 3) *)
+let split_pin name =
+  match String.rindex_opt name '.' with
+  | None -> None
+  | Some i -> (
+      let port = String.sub name 0 i in
+      let idx = String.sub name (i + 1) (String.length name - i - 1) in
+      match int_of_string_opt idx with Some k -> Some (port, k) | None -> None)
+
+let compose soc ?(with_core_scan = false) () =
+  let chip = Netlist.create (soc.Soc.soc_name ^ if with_core_scan then "+scan" else "") in
+  let zero = Netlist.add_gate chip Cell.Const0 [||] in
+  (* Chip PIs. *)
+  let chip_pi = Hashtbl.create 32 in
+  List.iter
+    (fun (name, w) ->
+      for i = 0 to w - 1 do
+        Hashtbl.replace chip_pi (name, i)
+          (Netlist.add_pi chip (Printf.sprintf "%s.%d" name i))
+      done)
+    soc.Soc.soc_pis;
+  let test_se =
+    if with_core_scan then Some (Netlist.add_pi chip "test_se") else None
+  in
+  (* Fresh per-core netlists (scan insertion mutates, so never reuse the
+     instance's cached netlist). *)
+  let core_nls =
+    List.map
+      (fun ci ->
+        let nl = Elaborate.core_to_netlist ci.Soc.ci_core in
+        if with_core_scan then ignore (Fscan.insert nl);
+        (ci, nl))
+      soc.Soc.insts
+  in
+  (* Pass 1: allocate chip gates (dummy fanins). *)
+  let maps =
+    List.map
+      (fun (ci, nl) ->
+        let map = Array.make (Netlist.gate_count nl) (-1) in
+        for g = 0 to Netlist.gate_count nl - 1 do
+          let kind = Netlist.kind nl g in
+          let name = Printf.sprintf "%s/%s" ci.Soc.ci_name (Netlist.gate_name nl g) in
+          let new_id =
+            match kind with
+            | Cell.Pi -> Netlist.add_gate chip ~name Cell.Buf [| zero |]
+            | k ->
+                let fanin = Array.make (Cell.arity k) zero in
+                Netlist.add_gate chip ~name k fanin
+          in
+          map.(g) <- new_id
+        done;
+        (ci, nl, map))
+      core_nls
+  in
+  (* Core output nets, addressable by (instance, port, bit). *)
+  let cout = Hashtbl.create 64 in
+  List.iter
+    (fun (ci, nl, map) ->
+      List.iter
+        (fun (po_name, net) ->
+          match split_pin po_name with
+          | Some (port, bit) ->
+              Hashtbl.replace cout (ci.Soc.ci_name, port, bit) map.(net)
+          | None -> () (* scan_out and friends: unconnected *))
+        (Netlist.pos nl))
+    maps;
+  (* Resolve the driver of one core-input bit. *)
+  let driver_net inst port bit =
+    match Soc.driver_of soc inst port with
+    | Some (Soc.Pi chip_in) -> Hashtbl.find_opt chip_pi (chip_in, bit)
+    | Some (Soc.Cport (i2, p2)) -> Hashtbl.find_opt cout (i2, p2, bit)
+    | Some (Soc.Po _) | None -> None
+  in
+  (* Pass 2: wire real fanins. *)
+  List.iter
+    (fun (ci, nl, map) ->
+      for g = 0 to Netlist.gate_count nl - 1 do
+        match Netlist.kind nl g with
+        | Cell.Pi ->
+            let name = Netlist.gate_name nl g in
+            let net =
+              match split_pin name with
+              | Some (port, bit) -> driver_net ci.Soc.ci_name port bit
+              | None -> (
+                  match (name, test_se) with
+                  | "scan_en", Some se -> Some se
+                  | _ -> None (* scan_in: tied low *))
+            in
+            Netlist.set_kind chip map.(g) Cell.Buf
+              [| Option.value ~default:zero net |]
+        | k ->
+            let fanin = Array.map (fun f -> map.(f)) (Netlist.fanin nl g) in
+            Netlist.set_kind chip map.(g) k fanin
+      done)
+    maps;
+  (* Chip POs. *)
+  List.iter
+    (fun (po, w) ->
+      let driver =
+        List.find_opt (fun c -> c.Soc.c_to = Soc.Po po) soc.Soc.conns
+      in
+      match driver with
+      | Some { Soc.c_from = Soc.Cport (i, p); _ } ->
+          for bit = 0 to w - 1 do
+            match Hashtbl.find_opt cout (i, p, bit) with
+            | Some net -> Netlist.add_po chip (Printf.sprintf "%s.%d" po bit) net
+            | None -> ()
+          done
+      | Some { Soc.c_from = Soc.Pi chip_in; _ } ->
+          for bit = 0 to w - 1 do
+            match Hashtbl.find_opt chip_pi (chip_in, bit) with
+            | Some net -> Netlist.add_po chip (Printf.sprintf "%s.%d" po bit) net
+            | None -> ()
+          done
+      | _ -> ())
+    soc.Soc.soc_pos;
+  chip

@@ -1,0 +1,17 @@
+(** Flattening an SOC into a single gate-level netlist.
+
+    Used by the testability experiments (Table 3): the "Orig." row fault-
+    simulates the flat chip with random sequences, and the "HSCAN-only"
+    row does the same after inserting each core's scan chains with the
+    scan-enable brought to a chip test pin but the chains not otherwise
+    accessible from the pins — exactly the situation the paper shows to be
+    insufficient. *)
+
+open Socet_netlist
+
+val compose : Soc.t -> ?with_core_scan:bool -> unit -> Netlist.t
+(** Instantiate every core's gates, replace core-input PIs by their
+    drivers, and expose the declared chip PIs/POs.  With
+    [with_core_scan], each core first receives full-scan insertion; the
+    scan enables are ganged to an added [test_se] chip PI and the scan
+    inputs tied to existing core nets. *)

@@ -1,0 +1,32 @@
+module Digraph = Socet_graph.Digraph
+
+let base_cost = 12
+let per_signal_cost = 3
+
+let version_signals (v : Version.t) =
+  let freezes = Hashtbl.create 8 in
+  let steered = Hashtbl.create 8 in
+  let count_sol (s : Tsearch.sol) =
+    List.iter (fun (n, _) -> Hashtbl.replace freezes n ()) s.Tsearch.s_freezes;
+    List.iter
+      (fun (e : Socet_rtl.Rcg.edge_label Digraph.edge) ->
+        if not e.label.Socet_rtl.Rcg.e_hscan then Hashtbl.replace steered e.id ())
+      s.Tsearch.s_edges
+  in
+  List.iter (fun (_, s) -> count_sol s) v.Version.v_prop;
+  List.iter (fun (_, s) -> count_sol s) v.Version.v_just;
+  Hashtbl.length freezes + Hashtbl.length steered
+
+let signal_count soc ~choice ~n_smux =
+  let per_core =
+    List.fold_left
+      (fun acc ci ->
+        let k = Option.value ~default:1 (List.assoc_opt ci.Soc.ci_name choice) in
+        let v = Soc.version_of ci k in
+        acc + 1 (* clock gate *) + version_signals v)
+      0 soc.Soc.insts
+  in
+  per_core + n_smux
+
+let cost soc ~choice ~n_smux =
+  base_cost + (per_signal_cost * signal_count soc ~choice ~n_smux)

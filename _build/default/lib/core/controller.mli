@@ -1,0 +1,17 @@
+(** Test controller area estimate.
+
+    The paper's test controller is "a small finite-state machine" added to
+    the chip that drives, during test mode, the per-core clock-gating
+    signals, the transparency-mode controls (freeze enables, steering
+    overrides like T2/T3 in Fig. 6) and the system-level test mux selects.
+    We charge a fixed FSM base plus a per-signal decode/drive cost. *)
+
+val base_cost : int
+val per_signal_cost : int
+
+val signal_count : Soc.t -> choice:(string * int) list -> n_smux:int -> int
+(** Clock gates (one per core), freeze enables, steering overrides and
+    added-mux selects of the chosen versions, plus system-level mux
+    selects. *)
+
+val cost : Soc.t -> choice:(string * int) list -> n_smux:int -> int

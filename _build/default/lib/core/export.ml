@@ -1,0 +1,81 @@
+open Socet_rtl
+module Digraph = Socet_graph.Digraph
+
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let rcg_dot rcg =
+  let buf = Buffer.create 1024 in
+  let g = Rcg.graph rcg in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph \"%s\" {\n  rankdir=LR;\n"
+       (escape (Rtl_core.name (Rcg.core rcg))));
+  Digraph.iter_nodes
+    (fun v ->
+      let n = Rcg.node rcg v in
+      let shape =
+        match n.Rcg.n_kind with
+        | Rcg.In -> "diamond"
+        | Rcg.Out -> "doublecircle"
+        | Rcg.Reg -> "box"
+      in
+      let marks =
+        (if Rcg.is_c_split rcg v then " C" else "")
+        ^ if Rcg.is_o_split rcg v then " O" else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s[%d]%s\", shape=%s];\n" v
+           (escape n.Rcg.n_name) n.Rcg.n_width marks shape))
+    g;
+  List.iter
+    (fun (e : Rcg.edge_label Digraph.edge) ->
+      if e.label.Rcg.e_enabled then begin
+        let style =
+          if e.label.Rcg.e_hscan then "penwidth=2"
+          else
+            match e.label.Rcg.e_via with
+            | `Direct -> "style=solid"
+            | `Mux _ -> "style=dotted"
+        in
+        let label =
+          Format.asprintf "%a>%a" Rtl_types.pp_range e.label.Rcg.e_src_range
+            Rtl_types.pp_range e.label.Rcg.e_dst_range
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [%s, label=\"%s\"];\n" e.src e.dst style
+             (escape label))
+      end)
+    (Digraph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let ccg_dot (ccg : Ccg.t) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph \"%s\" {\n  rankdir=LR;\n"
+       (escape ccg.Ccg.soc.Soc.soc_name));
+  Array.iteri
+    (fun v node ->
+      let label, shape =
+        match node with
+        | Ccg.N_pi p -> (Printf.sprintf "PI %s" p, "diamond")
+        | Ccg.N_po p -> (Printf.sprintf "PO %s" p, "doublecircle")
+        | Ccg.N_cin (c, p) -> (Printf.sprintf "%s.%s" c p, "box")
+        | Ccg.N_cout (c, p) -> (Printf.sprintf "%s.%s" c p, "box")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\", shape=%s];\n" v (escape label) shape))
+    ccg.Ccg.nodes;
+  List.iter
+    (fun (e : Ccg.cedge Digraph.edge) ->
+      let attrs =
+        match e.label with
+        | Ccg.Wire -> "color=gray"
+        | Ccg.Transp { latency; _ } ->
+            Printf.sprintf "penwidth=2, label=\"%d\"" latency
+        | Ccg.Smux { width } ->
+            Printf.sprintf "style=dashed, label=\"mux %db\"" width
+      in
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d [%s];\n" e.src e.dst attrs))
+    (Digraph.edges ccg.Ccg.graph);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

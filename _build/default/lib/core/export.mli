@@ -1,0 +1,15 @@
+(** Graphviz (DOT) renderings of the two graphs a user most wants to see:
+    a core's register connectivity graph with its HSCAN chains, and the
+    chip-level core connectivity graph with transparency latencies (the
+    paper's Figs. 7 and 9). *)
+
+open Socet_rtl
+
+val rcg_dot : Rcg.t -> string
+(** Inputs as diamonds, outputs as double circles, registers as boxes;
+    HSCAN chain edges bold, disabled rescue edges omitted, C-/O-split
+    nodes annotated. *)
+
+val ccg_dot : Ccg.t -> string
+(** Wire edges thin, transparency edges labelled with their latency,
+    system-level test muxes dashed. *)

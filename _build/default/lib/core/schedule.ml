@@ -1,0 +1,176 @@
+open Socet_scan
+module Digraph = Socet_graph.Digraph
+
+type core_test = {
+  ct_inst : string;
+  ct_vectors : int;
+  ct_period : int;
+  ct_tail : int;
+  ct_time : int;
+  ct_justify : Access.route list;
+  ct_observe : Access.route list;
+}
+
+type t = {
+  s_ccg : Ccg.t;
+  s_tests : core_test list;
+  s_total_time : int;
+  s_transparency_cost : int;
+  s_smux_cost : int;
+  s_controller_cost : int;
+  s_area_overhead : int;
+  s_usage : (string * int * int, int) Hashtbl.t;
+}
+
+type smux_request = { sm_inst : string; sm_port : string; sm_dir : [ `In | `Out ] }
+
+let build soc ~choice ?(smuxes = []) () =
+  let ccg = Ccg.build soc ~choice in
+  (* Explicitly requested system-level test muxes become real CCG edges up
+     front, so routing can use them. *)
+  let requested_cost = ref 0 in
+  List.iter
+    (fun { sm_inst; sm_port; sm_dir } ->
+      let width =
+        (Socet_rtl.Rtl_core.find_port (Soc.inst soc sm_inst).Soc.ci_core sm_port)
+          .Socet_rtl.Rtl_core.p_width
+      in
+      requested_cost := !requested_cost + Ccg.smux_cost ~width;
+      match sm_dir with
+      | `In ->
+          let pi =
+            Ccg.node_id ccg (Ccg.N_pi (fst (List.hd soc.Soc.soc_pis)))
+          in
+          let dst = Ccg.node_id ccg (Ccg.N_cin (sm_inst, sm_port)) in
+          ignore (Ccg.add_smux ccg ~src:pi ~dst ~width)
+      | `Out ->
+          let po =
+            Ccg.node_id ccg (Ccg.N_po (fst (List.hd soc.Soc.soc_pos)))
+          in
+          let src = Ccg.node_id ccg (Ccg.N_cout (sm_inst, sm_port)) in
+          ignore (Ccg.add_smux ccg ~src ~dst:po ~width))
+    smuxes;
+  let forced_cost = ref 0 in
+  let all_routes = ref [] in
+  let tests =
+    List.map
+      (fun ci ->
+        let name = ci.Soc.ci_name in
+        (* Route the slowest input first (the paper justifies DISPLAY's A
+           before D): probe each input on an empty calendar, then route in
+           decreasing base-latency order against the shared calendar. *)
+        let inputs = Ccg.core_inputs ccg name in
+        let base_latency input =
+          match
+            Access.justify_input ~allow_smux:false ccg (Access.fresh_bookings ())
+              ~input
+          with
+          | Some r -> r.Access.r_arrival
+          | None -> 0
+        in
+        let inputs =
+          List.map (fun i -> (base_latency i, i)) inputs
+          |> List.sort (fun (a, _) (b, _) -> compare b a)
+          |> List.map snd
+        in
+        let bookings = Access.fresh_bookings () in
+        let justify =
+          List.filter_map
+            (fun input -> Access.justify_input ccg bookings ~input)
+            inputs
+        in
+        let observe_bookings = Access.fresh_bookings () in
+        let observe =
+          List.filter_map
+            (fun output -> Access.observe_output ccg observe_bookings ~output)
+            (Ccg.core_outputs ccg name)
+        in
+        List.iter
+          (fun (r : Access.route) ->
+            match r.Access.r_added_smux with
+            | Some (_, _, w) -> forced_cost := !forced_cost + Ccg.smux_cost ~width:w
+            | None -> ())
+          (justify @ observe);
+        all_routes := justify @ observe @ !all_routes;
+        let period =
+          max 1
+            (List.fold_left (fun acc r -> max acc r.Access.r_arrival) 0 justify)
+        in
+        let observe_makespan =
+          List.fold_left (fun acc r -> max acc r.Access.r_arrival) 0 observe
+        in
+        let tail = max 0 (ci.Soc.ci_hscan.Hscan.depth - 1) + observe_makespan in
+        let vectors = Soc.hscan_vectors ci in
+        {
+          ct_inst = name;
+          ct_vectors = vectors;
+          ct_period = period;
+          ct_tail = tail;
+          ct_time = (vectors * period) + tail;
+          ct_justify = justify;
+          ct_observe = observe;
+        })
+      soc.Soc.insts
+  in
+  let transparency_cost =
+    List.fold_left
+      (fun acc ci ->
+        let k = Option.value ~default:1 (List.assoc_opt ci.Soc.ci_name choice) in
+        acc + (Soc.version_of ci k).Version.v_overhead)
+      0 soc.Soc.insts
+  in
+  let n_smux =
+    List.length smuxes
+    + List.length
+        (List.filter
+           (fun (r : Access.route) -> r.Access.r_added_smux <> None)
+           !all_routes)
+  in
+  let controller_cost = Controller.cost soc ~choice ~n_smux in
+  let smux_cost = !requested_cost + !forced_cost in
+  {
+    s_ccg = ccg;
+    s_tests = tests;
+    s_total_time = List.fold_left (fun acc t -> acc + t.ct_time) 0 tests;
+    s_transparency_cost = transparency_cost;
+    s_smux_cost = smux_cost;
+    s_controller_cost = controller_cost;
+    s_area_overhead = transparency_cost + smux_cost + controller_cost;
+    s_usage = Access.edge_usage !all_routes;
+  }
+
+let involved_cores t =
+  let insts =
+    List.concat_map
+      (fun (r : Access.route) ->
+        List.filter_map
+          (fun (e : Ccg.cedge Digraph.edge) ->
+            match e.label with
+            | Ccg.Transp { inst; _ } -> Some inst
+            | Ccg.Wire | Ccg.Smux _ -> None)
+          r.Access.r_edges)
+      (t.ct_justify @ t.ct_observe)
+  in
+  List.sort_uniq compare (t.ct_inst :: insts)
+
+let parallel_makespan sched =
+  let tests =
+    List.sort (fun a b -> compare b.ct_time a.ct_time) sched.s_tests
+  in
+  let placed = ref [] in
+  (* (test, start, finish) *)
+  List.iter
+    (fun t ->
+      let mine = involved_cores t in
+      let conflicts (t', _, _) =
+        List.exists (fun c -> List.mem c (involved_cores t')) mine
+      in
+      let start =
+        List.fold_left
+          (fun acc ((_, _, fin) as p) -> if conflicts p then max acc fin else acc)
+          0 !placed
+      in
+      placed := (t, start, start + t.ct_time) :: !placed)
+    tests;
+  let makespan = List.fold_left (fun acc (_, _, fin) -> max acc fin) 0 !placed in
+  (makespan, List.map (fun (t, start, _) -> (t.ct_inst, start)) (List.rev !placed))

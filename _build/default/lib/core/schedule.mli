@@ -1,0 +1,55 @@
+(** Chip-level test scheduling: per-core test application time and the
+    overall SOCET area/time figures for one design point (a choice of core
+    versions plus any forced system-level test muxes).
+
+    Each embedded core is tested in turn.  Per HSCAN vector, the vector is
+    justified to every core input through the surrounding cores'
+    transparency paths (the per-vector period is the makespan of those
+    routes, serialized where they share core-internal resources — the
+    paper's 9-cycles-per-vector DISPLAY arithmetic); test responses stream
+    out through the observation paths while the next vector is justified,
+    so observation only adds a tail after the last vector, together with
+    the core's remaining scan-out cycles. *)
+
+type core_test = {
+  ct_inst : string;
+  ct_vectors : int;      (** HSCAN vector count of the core's test set *)
+  ct_period : int;       (** cycles consumed per vector *)
+  ct_tail : int;         (** trailing cycles after the last vector *)
+  ct_time : int;         (** [ct_vectors * ct_period + ct_tail] *)
+  ct_justify : Access.route list;
+  ct_observe : Access.route list;
+}
+
+type t = {
+  s_ccg : Ccg.t;
+  s_tests : core_test list;
+  s_total_time : int;
+  s_transparency_cost : int;  (** sum of chosen version overheads *)
+  s_smux_cost : int;          (** system-level test muxes (requested + forced) *)
+  s_controller_cost : int;
+  s_area_overhead : int;      (** chip-level total of the three above *)
+  s_usage : (string * int * int, int) Hashtbl.t;
+      (** transparency-pair usage counts across the whole test solution *)
+}
+
+type smux_request = { sm_inst : string; sm_port : string; sm_dir : [ `In | `Out ] }
+(** An explicitly requested system-level test mux (optimizer move). *)
+
+val build : Soc.t -> choice:(string * int) list -> ?smuxes:smux_request list -> unit -> t
+
+(** {2 Overlapped scheduling (extension beyond the paper)}
+
+    The paper tests the cores one after another.  Core tests whose access
+    paths touch disjoint sets of cores can in fact run concurrently (each
+    core has its own gated clock).  [parallel_makespan] greedily packs the
+    core tests — longest first, each starting as soon as every conflicting
+    test has finished — and returns the resulting makespan with the start
+    time of each test.  Tests conflict when they involve a common core,
+    whether as the core under test or as a transparency conduit. *)
+
+val involved_cores : core_test -> string list
+(** The core under test plus every core whose transparency edges its
+    routes ride through. *)
+
+val parallel_makespan : t -> int * (string * int) list

@@ -1,0 +1,209 @@
+type point = {
+  pt_choice : (string * int) list;
+  pt_smuxes : Schedule.smux_request list;
+  pt_schedule : Schedule.t;
+  pt_area : int;
+  pt_time : int;
+}
+
+let evaluate soc ~choice ?(smuxes = []) () =
+  let s = Schedule.build soc ~choice ~smuxes () in
+  {
+    pt_choice = choice;
+    pt_smuxes = smuxes;
+    pt_schedule = s;
+    pt_area = s.Schedule.s_area_overhead;
+    pt_time = s.Schedule.s_total_time;
+  }
+
+let design_space soc =
+  let axes =
+    List.map
+      (fun ci ->
+        ( ci.Soc.ci_name,
+          List.map (fun v -> v.Version.v_index) ci.Soc.ci_versions ))
+      soc.Soc.insts
+  in
+  let rec expand = function
+    | [] -> [ [] ]
+    | (name, ks) :: rest ->
+        let tails = expand rest in
+        List.concat_map (fun k -> List.map (fun t -> (name, k) :: t) tails) ks
+  in
+  List.map (fun choice -> evaluate soc ~choice ()) (expand axes)
+
+(* Estimated test-time gain of stepping [inst] to its next version:
+   usage count of each transparency pair times its latency drop
+   (the paper's latency-number difference). *)
+let delta_tat soc (point : point) inst_name =
+  let ci = Soc.inst soc inst_name in
+  let cur_k = Option.value ~default:1 (List.assoc_opt inst_name point.pt_choice) in
+  let cur = Soc.version_of ci cur_k in
+  let next =
+    List.find_opt (fun v -> v.Version.v_index > cur.Version.v_index) ci.Soc.ci_versions
+  in
+  match next with
+  | None -> None
+  | Some next ->
+      let usage = point.pt_schedule.Schedule.s_usage in
+      let gain = ref 0 in
+      List.iter
+        (fun (p : Version.pair) ->
+          let count =
+            Option.value ~default:0
+              (Hashtbl.find_opt usage (inst_name, p.Version.pr_input, p.Version.pr_output))
+          in
+          if count > 0 then begin
+            let new_lat =
+              match
+                Version.latency_between next ~input:p.Version.pr_input
+                  ~output:p.Version.pr_output
+              with
+              | Some l -> l
+              | None -> p.Version.pr_latency
+            in
+            gain := !gain + (count * (p.Version.pr_latency - new_lat))
+          end)
+        cur.Version.v_pairs;
+      Some (next, !gain, next.Version.v_overhead - cur.Version.v_overhead)
+
+(* The port where a system-level test mux would help the slowest core
+   most: its latest-justified input (or latest-observed output). *)
+let critical_smux (point : point) =
+  let slowest =
+    List.fold_left
+      (fun acc t ->
+        match acc with
+        | Some best when best.Schedule.ct_time >= t.Schedule.ct_time -> acc
+        | _ -> Some t)
+      None point.pt_schedule.Schedule.s_tests
+  in
+  match slowest with
+  | None -> None
+  | Some t ->
+      let ccg = point.pt_schedule.Schedule.s_ccg in
+      let worst routes =
+        List.fold_left
+          (fun acc (r : Access.route) ->
+            match acc with
+            | Some (_, best) when best >= r.Access.r_arrival -> acc
+            | _ -> Some (r.Access.r_target, r.Access.r_arrival))
+          None routes
+      in
+      let pick dir routes =
+        match worst routes with
+        | Some (target, arrival) when arrival > 0 -> (
+            match Ccg.node ccg target with
+            | Ccg.N_cin (i, p) | Ccg.N_cout (i, p) ->
+                Some ({ Schedule.sm_inst = i; sm_port = p; sm_dir = dir }, arrival)
+            | _ -> None)
+        | _ -> None
+      in
+      let cand_in = pick `In t.Schedule.ct_justify in
+      let cand_out = pick `Out t.Schedule.ct_observe in
+      let best =
+        match (cand_in, cand_out) with
+        | Some (a, la), Some (b, lb) -> Some (if la >= lb then a else b)
+        | Some (a, _), None -> Some a
+        | None, Some (b, _) -> Some b
+        | None, None -> None
+      in
+      (* Don't re-request an existing mux. *)
+      match best with
+      | Some m when not (List.mem m point.pt_smuxes) -> Some m
+      | _ -> None
+
+let smux_request_cost soc (m : Schedule.smux_request) =
+  let w =
+    (Socet_rtl.Rtl_core.find_port (Soc.inst soc m.Schedule.sm_inst).Soc.ci_core
+       m.Schedule.sm_port)
+      .Socet_rtl.Rtl_core.p_width
+  in
+  Ccg.smux_cost ~width:w
+
+let bump choice inst k =
+  (inst, k) :: List.remove_assoc inst choice
+
+(* One optimizer step; [pick] chooses among (inst, next, dTAT, dA)
+   candidates.  Returns the improved point, or None when out of moves. *)
+let step soc point ~pick =
+  let candidates =
+    List.filter_map
+      (fun ci ->
+        match delta_tat soc point ci.Soc.ci_name with
+        | Some (next, dtat, da) when dtat > 0 ->
+            Some (ci.Soc.ci_name, next.Version.v_index, dtat, da)
+        | _ -> None)
+      soc.Soc.insts
+  in
+  let version_move = pick candidates in
+  let mux_move () =
+    match critical_smux point with
+    | None -> None
+    | Some m ->
+        Some
+          (evaluate soc
+             ~choice:point.pt_choice
+             ~smuxes:(m :: point.pt_smuxes) ())
+  in
+  match version_move with
+  | Some (inst, k, _dtat, da) ->
+      (* Paper: when the version step is dearer than a system-level test
+         mux, place the mux instead. *)
+      let mux_cost =
+        match critical_smux point with
+        | Some m -> Some (smux_request_cost soc m)
+        | None -> None
+      in
+      if (match mux_cost with Some mc -> da > mc | None -> false) then mux_move ()
+      else
+        Some
+          (evaluate soc ~choice:(bump point.pt_choice inst k) ~smuxes:point.pt_smuxes ())
+  | None -> mux_move ()
+
+let minimize_time soc ~max_area =
+  let start =
+    evaluate soc ~choice:(List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts) ()
+  in
+  let rec loop acc point guard =
+    if guard = 0 then List.rev (point :: acc)
+    else
+      let pick candidates =
+        (* w1 = 1, w2 = 0: highest dTAT. *)
+        List.fold_left
+          (fun best (i, k, dtat, da) ->
+            match best with
+            | Some (_, _, bt, _) when bt >= dtat -> best
+            | _ -> Some (i, k, dtat, da))
+          None candidates
+      in
+      (* The paper iterates on the dTAT estimate; the realized global time
+         may stall for a step (another core's access path is the
+         bottleneck), so we keep stepping while the area budget holds. *)
+      match step soc point ~pick with
+      | Some next when next.pt_area <= max_area -> loop (point :: acc) next (guard - 1)
+      | _ -> List.rev (point :: acc)
+  in
+  loop [] start 64
+
+let minimize_area soc ~max_time =
+  let start =
+    evaluate soc ~choice:(List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts) ()
+  in
+  let rec loop acc point guard =
+    if point.pt_time <= max_time || guard = 0 then List.rev (point :: acc)
+    else
+      let pick candidates =
+        (* w1 = 0, w2 = 1: cheapest step that still helps. *)
+        List.fold_left
+          (fun best (i, k, dtat, da) ->
+            match best with
+            | Some (_, _, _, bda) when bda <= da -> best
+            | _ -> Some (i, k, dtat, da))
+          None candidates
+      in
+      match step soc point ~pick with
+      | Some next -> loop (point :: acc) next (guard - 1)
+      | None -> List.rev (point :: acc)
+  in
+  loop [] start 64

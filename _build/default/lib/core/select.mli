@@ -1,0 +1,41 @@
+(** Design-space exploration and iterative-improvement version selection
+    (paper Sec. 5.2, Fig. 10, Table 1).
+
+    A design point is a choice of one version per core plus any
+    system-level test muxes.  The optimizer replaces one core at a time by
+    its next version, scoring each candidate with
+    [C = w1 * dTAT + w2 * dA], where [dTAT] is estimated from the current
+    test solution's transparency-edge usage counts times the latency drop
+    (the paper's "latency number"), and [dA] is the version's area step.
+    When a version step costs more than a system-level test mux, a mux on
+    the most critical port of the slowest core is placed instead.  In the
+    worst case the solution degenerates into a test-bus-like system. *)
+
+type point = {
+  pt_choice : (string * int) list;
+  pt_smuxes : Schedule.smux_request list;
+  pt_schedule : Schedule.t;
+  pt_area : int;  (** chip-level area overhead (cells) *)
+  pt_time : int;  (** global test application time (cycles) *)
+}
+
+val evaluate :
+  Soc.t -> choice:(string * int) list -> ?smuxes:Schedule.smux_request list -> unit -> point
+
+val delta_tat : Soc.t -> point -> string -> (Version.t * int * int) option
+(** [(next_version, dTAT, dA)] for stepping the named core up one rung —
+    [None] when it is already at the top.  Exposed for the ablation
+    benches. *)
+
+val design_space : Soc.t -> point list
+(** Every combination of available core versions (no extra muxes), in
+    lexicographic order — the raw material of Fig. 10. *)
+
+val minimize_time : Soc.t -> max_area:int -> point list
+(** Objective (i): within the area budget, drive test time down.  Returns
+    the improvement trajectory; the last point is the result. *)
+
+val minimize_area : Soc.t -> max_time:int -> point list
+(** Objective (ii): cheapest point whose test time meets the bound.
+    Returns the trajectory; the last point either meets the bound or no
+    further move existed. *)

@@ -1,0 +1,157 @@
+open Socet_rtl
+open Socet_netlist
+open Socet_synth
+open Socet_scan
+open Socet_atpg
+
+type endpoint_ref = Pi of string | Po of string | Cport of string * string
+
+type connection = { c_from : endpoint_ref; c_to : endpoint_ref }
+
+type memory = { m_name : string; m_bits : int; m_bist_area : int }
+
+type core_inst = {
+  ci_name : string;
+  ci_core : Rtl_core.t;
+  ci_rcg : Rcg.t;
+  ci_hscan : Hscan.result;
+  ci_versions : Version.t list;
+  ci_netlist : Netlist.t;
+  ci_atpg : Podem.stats Lazy.t;
+}
+
+type t = {
+  soc_name : string;
+  insts : core_inst list;
+  conns : connection list;
+  soc_pis : (string * int) list;
+  soc_pos : (string * int) list;
+  memories : memory list;
+}
+
+let instantiate ?(atpg_seed = 42) ci_name core =
+  let rcg = Rcg.of_core core in
+  let hscan = Hscan.insert rcg in
+  let versions = Version.generate rcg in
+  let netlist = Elaborate.core_to_netlist core in
+  {
+    ci_name;
+    ci_core = core;
+    ci_rcg = rcg;
+    ci_hscan = hscan;
+    ci_versions = versions;
+    ci_netlist = netlist;
+    ci_atpg = lazy (Podem.run ~seed:atpg_seed netlist);
+  }
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let endpoint_width soc = function
+  | Pi n -> (
+      match List.assoc_opt n soc.soc_pis with
+      | Some w -> w
+      | None -> fail "SOC %s: unknown PI %s" soc.soc_name n)
+  | Po n -> (
+      match List.assoc_opt n soc.soc_pos with
+      | Some w -> w
+      | None -> fail "SOC %s: unknown PO %s" soc.soc_name n)
+  | Cport (i, p) -> (
+      match List.find_opt (fun ci -> ci.ci_name = i) soc.insts with
+      | None -> fail "SOC %s: unknown instance %s" soc.soc_name i
+      | Some ci -> (
+          try (Rtl_core.find_port ci.ci_core p).Rtl_core.p_width
+          with Not_found -> fail "SOC %s: instance %s has no port %s" soc.soc_name i p))
+
+let make ~name ~pis ~pos ~cores ~connections ?(memories = []) () =
+  let soc =
+    {
+      soc_name = name;
+      insts = cores;
+      conns = connections;
+      soc_pis = pis;
+      soc_pos = pos;
+      memories;
+    }
+  in
+  (* Direction and width checks. *)
+  List.iter
+    (fun conn ->
+      (match conn.c_from with
+      | Po n -> fail "SOC %s: PO %s used as a driver" name n
+      | Pi _ -> ()
+      | Cport (i, p) ->
+          let ci = List.find (fun ci -> ci.ci_name = i) soc.insts in
+          if (Rtl_core.find_port ci.ci_core p).Rtl_core.p_dir <> `Out then
+            fail "SOC %s: %s.%s is not an output" name i p);
+      (match conn.c_to with
+      | Pi n -> fail "SOC %s: PI %s used as a sink" name n
+      | Po _ -> ()
+      | Cport (i, p) ->
+          let ci = List.find (fun ci -> ci.ci_name = i) soc.insts in
+          if (Rtl_core.find_port ci.ci_core p).Rtl_core.p_dir <> `In then
+            fail "SOC %s: %s.%s is not an input" name i p);
+      let wf = endpoint_width soc conn.c_from
+      and wt = endpoint_width soc conn.c_to in
+      if wf <> wt then
+        fail "SOC %s: width mismatch on connection (%d -> %d bits)" name wf wt)
+    connections;
+  (* Every core input driven exactly once. *)
+  List.iter
+    (fun ci ->
+      List.iter
+        (fun (p : Rtl_core.port) ->
+          if p.Rtl_core.p_dir = `In then begin
+            let drivers =
+              List.filter (fun c -> c.c_to = Cport (ci.ci_name, p.Rtl_core.p_name)) connections
+            in
+            match drivers with
+            | [ _ ] -> ()
+            | [] ->
+                fail "SOC %s: input %s.%s is undriven" name ci.ci_name p.Rtl_core.p_name
+            | _ ->
+                fail "SOC %s: input %s.%s has multiple drivers" name ci.ci_name
+                  p.Rtl_core.p_name
+          end)
+        (Rtl_core.ports ci.ci_core))
+    cores;
+  (* Every chip PO driven exactly once. *)
+  List.iter
+    (fun (po, _) ->
+      match List.filter (fun c -> c.c_to = Po po) connections with
+      | [ _ ] -> ()
+      | [] -> fail "SOC %s: PO %s is undriven" name po
+      | _ -> fail "SOC %s: PO %s has multiple drivers" name po)
+    pos;
+  soc
+
+let inst soc name =
+  match List.find_opt (fun ci -> ci.ci_name = name) soc.insts with
+  | Some ci -> ci
+  | None -> raise Not_found
+
+let version_of ci k =
+  let rec best last = function
+    | [] -> last
+    | v :: rest ->
+        if v.Version.v_index <= k then best v rest else last
+  in
+  match ci.ci_versions with
+  | [] -> invalid_arg "Soc.version_of: core has no versions"
+  | v :: rest -> best v rest
+
+let atpg_vectors ci = List.length (Lazy.force ci.ci_atpg).Podem.vectors
+
+let hscan_vectors ci =
+  Hscan.vector_count ci.ci_hscan ~atpg_vectors:(atpg_vectors ci)
+
+let original_area soc =
+  List.fold_left (fun acc ci -> acc + Netlist.area ci.ci_netlist) 0 soc.insts
+
+let hscan_area_overhead soc =
+  List.fold_left
+    (fun acc ci -> acc + ci.ci_hscan.Hscan.overhead_cells)
+    0 soc.insts
+
+let driver_of soc inst_name port =
+  List.find_opt (fun c -> c.c_to = Cport (inst_name, port)) soc.conns
+  |> Option.map (fun c -> c.c_from)

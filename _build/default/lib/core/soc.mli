@@ -1,0 +1,81 @@
+(** System-on-chip descriptions: core instances, interconnect, and the
+    per-core artifacts (gate netlist, HSCAN chains, transparency versions,
+    precomputed test sets) that the chip-level machinery consumes.
+
+    Memory cores are modelled as opaque BIST-tested blocks and excluded
+    from the test-access analysis, as in the paper (Sec. 5, [8]). *)
+
+open Socet_rtl
+open Socet_netlist
+open Socet_scan
+open Socet_atpg
+
+type endpoint_ref =
+  | Pi of string                (** chip primary input *)
+  | Po of string                (** chip primary output *)
+  | Cport of string * string    (** (instance, port) *)
+
+type connection = { c_from : endpoint_ref; c_to : endpoint_ref }
+
+type memory = { m_name : string; m_bits : int; m_bist_area : int }
+
+type core_inst = {
+  ci_name : string;
+  ci_core : Rtl_core.t;
+  ci_rcg : Rcg.t;
+  ci_hscan : Hscan.result;
+  ci_versions : Version.t list;
+  ci_netlist : Netlist.t;
+  ci_atpg : Podem.stats Lazy.t;
+      (** combinational ATPG on the full-scan model of the core; forced on
+          first use (vector counts, fault coverage) *)
+}
+
+type t = {
+  soc_name : string;
+  insts : core_inst list;
+  conns : connection list;
+  soc_pis : (string * int) list;
+  soc_pos : (string * int) list;
+  memories : memory list;
+}
+
+val instantiate : ?atpg_seed:int -> string -> Rtl_core.t -> core_inst
+(** Elaborates the core, inserts HSCAN, generates the version ladder and
+    prepares the (lazy) ATPG run. *)
+
+val make :
+  name:string ->
+  pis:(string * int) list ->
+  pos:(string * int) list ->
+  cores:core_inst list ->
+  connections:connection list ->
+  ?memories:memory list ->
+  unit ->
+  t
+(** Validates: referenced instances/ports exist, widths match, every core
+    input and chip PO is driven exactly once.
+    @raise Invalid_argument with a diagnostic. *)
+
+val inst : t -> string -> core_inst
+(** @raise Not_found *)
+
+val version_of : core_inst -> int -> Version.t
+(** [version_of ci k] is the version with index [k] (1-based); clamps to
+    the nearest available rung. *)
+
+val atpg_vectors : core_inst -> int
+(** Size of the core's precomputed combinational test set. *)
+
+val hscan_vectors : core_inst -> int
+(** ATPG vectors times the HSCAN shift multiplier (depth + 1) — the number
+    of chip-level vector slots needed to test this core. *)
+
+val original_area : t -> int
+(** Sum of core areas plus memory BIST-free area (cells). *)
+
+val hscan_area_overhead : t -> int
+(** Core-level DFT cost: sum of the cores' HSCAN insertion costs. *)
+
+val driver_of : t -> string -> string -> endpoint_ref option
+(** [driver_of soc inst port]: what drives this core input. *)

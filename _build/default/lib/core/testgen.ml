@@ -1,0 +1,38 @@
+open Socet_atpg
+
+type coverage = {
+  fault_count : int;
+  detected : int;
+  fc : float;
+  teff : float;
+}
+
+let pct num den =
+  if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let scan_access_coverage soc =
+  let total, det, red =
+    List.fold_left
+      (fun (t, d, r) ci ->
+        let stats = Lazy.force ci.Soc.ci_atpg in
+        ( t + stats.Podem.total_faults,
+          d + List.length stats.Podem.detected,
+          r + List.length stats.Podem.redundant ))
+      (0, 0, 0) soc.Soc.insts
+  in
+  {
+    fault_count = total;
+    detected = det;
+    fc = pct det total;
+    teff = pct (det + red) total;
+  }
+
+let sequential_coverage soc ?(with_core_scan = false) ?(cycles = 512) ?(seed = 11) () =
+  let chip = Chip.compose soc ~with_core_scan () in
+  let stats = Seqgen.random ~cycles ~seed chip in
+  {
+    fault_count = stats.Seqgen.total_faults;
+    detected = stats.Seqgen.detected;
+    fc = stats.Seqgen.coverage;
+    teff = stats.Seqgen.efficiency;
+  }

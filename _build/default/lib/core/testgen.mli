@@ -1,0 +1,20 @@
+(** Chip-level testability evaluation (Table 3).
+
+    - {!scan_access_coverage}: fault coverage/efficiency when every core's
+      precomputed scan test set is applied in full — the situation both
+      FSCAN-BSCAN and SOCET achieve, by isolation rings or transparency
+      respectively.  Aggregated over the cores' ATPG runs.
+    - {!sequential_coverage}: random sequential test generation on the
+      flat chip — the "Orig." row (and the "HSCAN-only" row when the flat
+      chip includes the cores' scan logic without chip-level access). *)
+
+type coverage = {
+  fault_count : int;
+  detected : int;
+  fc : float;    (** fault coverage, percent *)
+  teff : float;  (** test efficiency, percent *)
+}
+
+val scan_access_coverage : Soc.t -> coverage
+
+val sequential_coverage : Soc.t -> ?with_core_scan:bool -> ?cycles:int -> ?seed:int -> unit -> coverage

@@ -1,0 +1,320 @@
+open Socet_rtl
+open Rtl_types
+module Digraph = Socet_graph.Digraph
+
+type sol = {
+  s_edges : Rcg.edge_label Digraph.edge list;
+  s_latency : int;
+  s_freezes : (int * int) list;
+  s_terminals : int list;
+  s_depths : (int * int) list;
+}
+
+exception Give_up
+
+let mask_of_range (r : range) = (((1 lsl range_width r) - 1) lsl r.lsb)
+
+(* Bits [mask] expressed in [from_range] coordinates of one node, mapped to
+   the corresponding positions of [to_range] at the other node. *)
+let map_mask ~from_range ~to_range mask =
+  let shift = to_range.lsb - from_range.lsb in
+  let m = mask land mask_of_range from_range in
+  if shift >= 0 then m lsl shift else m lsr (-shift)
+
+type dir = Prop | Just
+
+(* Per-direction views of the RCG. *)
+let is_terminal rcg dir v =
+  match ((Rcg.node rcg v).Rcg.n_kind, dir) with
+  | Rcg.Out, Prop -> true
+  | Rcg.In, Just -> true
+  | _ -> false
+
+let slice_groups rcg dir v =
+  match dir with
+  | Prop -> Rcg.out_slice_groups rcg v
+  | Just -> Rcg.in_slice_groups rcg v
+
+let other_end dir (e : Rcg.edge_label Digraph.edge) =
+  match dir with Prop -> e.dst | Just -> e.src
+
+(* Ranges of an edge at the current node and at the node we move to. *)
+let ranges dir (e : Rcg.edge_label Digraph.edge) =
+  match dir with
+  | Prop -> (e.label.Rcg.e_src_range, e.label.Rcg.e_dst_range)
+  | Just -> (e.label.Rcg.e_dst_range, e.label.Rcg.e_src_range)
+
+(* Distance-to-terminal estimate for search guidance (hop count over
+   allowed edges, ignoring slices). *)
+let distance_map rcg dir allowed =
+  let g = Rcg.graph rcg in
+  let n = Digraph.node_count g in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  Digraph.iter_nodes
+    (fun v ->
+      if is_terminal rcg dir v then begin
+        dist.(v) <- 0;
+        Queue.add v queue
+      end)
+    g;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    (* Move opposite to the search direction: from terminals back. *)
+    let incoming = match dir with Prop -> Digraph.pred g v | Just -> Digraph.succ g v in
+    List.iter
+      (fun (e : Rcg.edge_label Digraph.edge) ->
+        if allowed e then begin
+          let u = match dir with Prop -> e.src | Just -> e.dst in
+          if dist.(u) = max_int then begin
+            dist.(u) <- dist.(v) + 1;
+            Queue.add u queue
+          end
+        end)
+      incoming
+  done;
+  dist
+
+(* Enumerate covers of [needed] by the node's slice groups: subsets of
+   groups with the bits each group is responsible for. *)
+let covers groups needed =
+  let groups =
+    List.filter (fun (r, _) -> mask_of_range r land needed <> 0) groups
+  in
+  let arr = Array.of_list groups in
+  let k = Array.length arr in
+  if k = 0 then []
+  else begin
+    let subsets = ref [] in
+    let limit = min k 6 in
+    (* All subsets of up to [limit] member groups (RCGs have few slice
+       groups per node; the cap only guards pathological inputs). *)
+    for bits = 1 to (1 lsl limit) - 1 do
+      let members = ref [] in
+      for i = 0 to limit - 1 do
+        if (bits lsr i) land 1 = 1 then members := arr.(i) :: !members
+      done;
+      (* Assign narrow slices first so wide (full-range) edges only carry
+         the remainder. *)
+      let members =
+        List.sort
+          (fun ((a : range), _) (b, _) -> compare (range_width a) (range_width b))
+          !members
+      in
+      let assigned = ref 0 in
+      let alloc =
+        List.filter_map
+          (fun (r, edges) ->
+            let contribution = needed land mask_of_range r land lnot !assigned in
+            if contribution = 0 then None
+            else begin
+              assigned := !assigned lor contribution;
+              Some (r, edges, contribution)
+            end)
+          members
+      in
+      if !assigned = needed && List.length alloc = List.length members then
+        subsets := alloc :: !subsets
+    done;
+    (* Prefer few branches, then little excess width. *)
+    List.sort
+      (fun a b ->
+        compare
+          (List.length a, List.fold_left (fun s (r, _, _) -> s + range_width r) 0 a)
+          (List.length b, List.fold_left (fun s (r, _, _) -> s + range_width r) 0 b))
+      !subsets
+  end
+
+let solve rcg dir ?(prefer_hscan = false) ~allowed ~start () =
+  let budget = ref 50_000 in
+  let dist = distance_map rcg dir allowed in
+  let edge_rank (e : Rcg.edge_label Digraph.edge) =
+    ( (if prefer_hscan && not e.label.Rcg.e_hscan then 1 else 0),
+      dist.(other_end dir e),
+      e.id )
+  in
+  (* Search returns the list of edges used (with repetitions when branches
+     share a sub-path; deduplicated at the end). *)
+  let rec go v needed on_path =
+    decr budget;
+    if !budget < 0 then raise Give_up;
+    if needed = 0 then Some []
+    else if is_terminal rcg dir v then Some []
+    else begin
+      let groups = slice_groups rcg dir v in
+      let try_cover alloc =
+        let rec per_group acc = function
+          | [] -> Some acc
+          | (r, edges, contribution) :: rest ->
+              let edges =
+                edges
+                |> List.filter (fun e ->
+                       allowed e
+                       && (not (List.mem (other_end dir e) on_path))
+                       && dist.(other_end dir e) < max_int)
+                |> List.sort (fun a b -> compare (edge_rank a) (edge_rank b))
+              in
+              let rec per_edge = function
+                | [] -> None
+                | e :: more -> (
+                    let here, there = ranges dir e in
+                    ignore r;
+                    let mapped =
+                      map_mask ~from_range:here ~to_range:there contribution
+                    in
+                    match go (other_end dir e) mapped (v :: on_path) with
+                    | Some sub -> (
+                        match per_group ((e :: sub) @ acc) rest with
+                        | Some all -> Some all
+                        | None -> per_edge more)
+                    | None -> per_edge more)
+              in
+              per_edge edges
+        in
+        per_group [] alloc
+      in
+      let rec try_covers = function
+        | [] -> None
+        | c :: rest -> (
+            match try_cover c with Some r -> Some r | None -> try_covers rest)
+      in
+      try_covers (covers groups needed)
+    end
+  in
+  let width = (Rcg.node rcg start).Rcg.n_width in
+  let needed = (1 lsl width) - 1 in
+  match (try go start needed [] with Give_up -> None) with
+  | None -> None
+  | Some raw ->
+      (* Deduplicate shared sub-paths. *)
+      let seen = Hashtbl.create 16 in
+      let edges =
+        List.filter
+          (fun (e : Rcg.edge_label Digraph.edge) ->
+            if Hashtbl.mem seen e.id then false
+            else begin
+              Hashtbl.replace seen e.id ();
+              true
+            end)
+          raw
+      in
+      (* Forward-orientation DAG metrics: depth = register writes since
+         data entered at the source side. *)
+      let sources =
+        match dir with
+        | Prop -> [ start ]
+        | Just ->
+            List.sort_uniq compare
+              (List.filter_map
+                 (fun (e : Rcg.edge_label Digraph.edge) ->
+                   if (Rcg.node rcg e.src).Rcg.n_kind = Rcg.In then Some e.src
+                   else None)
+                 edges)
+      in
+      let nodes =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun (e : Rcg.edge_label Digraph.edge) -> [ e.src; e.dst ])
+             edges)
+      in
+      let depth = Hashtbl.create 16 in
+      List.iter (fun s -> Hashtbl.replace depth s 0) sources;
+      (* Relax edges until fixpoint (the sub-DAG is tiny). *)
+      let changed = ref true in
+      let guard = ref (List.length edges * List.length nodes + 16) in
+      while !changed && !guard > 0 do
+        changed := false;
+        decr guard;
+        List.iter
+          (fun (e : Rcg.edge_label Digraph.edge) ->
+            match Hashtbl.find_opt depth e.src with
+            | None -> ()
+            | Some d ->
+                let cost =
+                  if (Rcg.node rcg e.dst).Rcg.n_kind = Rcg.Reg then 1 else 0
+                in
+                let arr = d + cost in
+                let cur = Hashtbl.find_opt depth e.dst in
+                if cur = None || Option.get cur < arr then begin
+                  Hashtbl.replace depth e.dst arr;
+                  changed := true
+                end)
+          edges
+      done;
+      let terminals =
+        match dir with
+        | Prop ->
+            List.sort_uniq compare
+              (List.filter_map
+                 (fun (e : Rcg.edge_label Digraph.edge) ->
+                   if (Rcg.node rcg e.dst).Rcg.n_kind = Rcg.Out then Some e.dst
+                   else None)
+                 edges)
+        | Just -> sources
+      in
+      let latency =
+        match dir with
+        | Prop ->
+            List.fold_left
+              (fun acc t ->
+                match Hashtbl.find_opt depth t with
+                | Some d -> max acc d
+                | None -> acc)
+              0 terminals
+        | Just -> ( match Hashtbl.find_opt depth start with Some d -> d | None -> 0)
+      in
+      (* Balance reconvergent branches: every node fed by several selected
+         edges must receive all its slices in the same cycle; registers on
+         early branches are frozen for the difference. *)
+      let freezes = Hashtbl.create 4 in
+      List.iter
+        (fun m ->
+          let ins =
+            List.filter (fun (e : Rcg.edge_label Digraph.edge) -> e.dst = m) edges
+          in
+          if List.length ins > 1 then begin
+            let cost = if (Rcg.node rcg m).Rcg.n_kind = Rcg.Reg then 1 else 0 in
+            let arrivals =
+              List.filter_map
+                (fun (e : Rcg.edge_label Digraph.edge) ->
+                  match Hashtbl.find_opt depth e.src with
+                  | Some d -> Some (e, d + cost)
+                  | None -> None)
+                ins
+            in
+            let latest = List.fold_left (fun a (_, t) -> max a t) 0 arrivals in
+            List.iter
+              (fun ((e : Rcg.edge_label Digraph.edge), t) ->
+                if t < latest && (Rcg.node rcg e.src).Rcg.n_kind = Rcg.Reg then begin
+                  let prev =
+                    Option.value ~default:0 (Hashtbl.find_opt freezes e.src)
+                  in
+                  Hashtbl.replace freezes e.src (max prev (latest - t))
+                end)
+              arrivals
+          end)
+        nodes;
+      Some
+        {
+          s_edges = edges;
+          s_latency = latency;
+          s_freezes = Hashtbl.fold (fun k v acc -> (k, v) :: acc) freezes [];
+          s_terminals = terminals;
+          s_depths =
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) depth []
+            |> List.sort compare;
+        }
+
+let propagate rcg ?prefer_hscan ~allowed ~input () =
+  let allowed e = e.Digraph.label.Rcg.e_enabled && allowed e in
+  solve rcg Prop ?prefer_hscan ~allowed ~start:input ()
+
+let justify rcg ?prefer_hscan ~allowed ~output () =
+  let allowed e = e.Digraph.label.Rcg.e_enabled && allowed e in
+  solve rcg Just ?prefer_hscan ~allowed ~start:output ()
+
+let reach_in_one_cycle rcg ~input =
+  Digraph.succ (Rcg.graph rcg) input
+  |> List.filter_map (fun (e : Rcg.edge_label Digraph.edge) ->
+         if (Rcg.node rcg e.dst).Rcg.n_kind = Rcg.Reg then Some e.dst else None)
+  |> List.sort_uniq compare

@@ -1,0 +1,62 @@
+(** Transparency path search over the register connectivity graph
+    (paper, Sec. 4).
+
+    A {e propagation} path moves the full value of a core input to core
+    output(s); a {e justification} path controls a core output from core
+    input(s).  The search branches where bit-slices force it to:
+
+    - propagating through an {e O-split} node must follow every fanout
+      slice (all bits of the value must keep moving);
+    - justifying through a {e C-split} node must control every fanin slice;
+    - branches that reconverge are balanced by freezing registers on the
+      shorter branch (extra hold logic), because scan-chain data advances
+      every cycle in transparency mode.
+
+    The latency of a path is the number of register writes between the
+    port where data enters and the port where it emerges; edges that end in
+    an output port are combinational and free. *)
+
+open Socet_rtl
+module Digraph = Socet_graph.Digraph
+
+type sol = {
+  s_edges : Rcg.edge_label Digraph.edge list;
+      (** the RCG edges used, each exactly once *)
+  s_latency : int;
+  s_freezes : (int * int) list;
+      (** (register node, cycles held) balancing requirements *)
+  s_terminals : int list;
+      (** output nodes reached (propagation) / input nodes used
+          (justification) *)
+  s_depths : (int * int) list;
+      (** forward depth (register writes since data entered) of every node
+          on the path — the firing schedule used by the transparency-mode
+          simulator and the freeze computation *)
+}
+
+val propagate :
+  Rcg.t ->
+  ?prefer_hscan:bool ->
+  allowed:(Rcg.edge_label Digraph.edge -> bool) ->
+  input:int ->
+  unit ->
+  sol option
+(** Move the full width of [input] to output ports through [allowed]
+    edges.  Returns a minimum-latency solution found by distance-guided
+    search, or [None].  With [prefer_hscan] (default false), HSCAN chain
+    edges are explored before other edges regardless of distance — used by
+    Version 1, which only buys non-chain logic when the chains cannot do
+    the job. *)
+
+val justify :
+  Rcg.t ->
+  ?prefer_hscan:bool ->
+  allowed:(Rcg.edge_label Digraph.edge -> bool) ->
+  output:int ->
+  unit ->
+  sol option
+(** Control the full width of [output] from input ports. *)
+
+val reach_in_one_cycle : Rcg.t -> input:int -> int list
+(** Registers reachable from [input] through one existing edge — the
+    candidates to which Sec. 4 attaches a transparency multiplexer. *)

@@ -1,0 +1,140 @@
+open Socet_util
+open Socet_rtl
+open Socet_netlist
+open Socet_synth
+module Digraph = Socet_graph.Digraph
+
+type outcome = {
+  o_cycles : int;
+  o_outputs : (string * Bitvec.t) list;
+}
+
+let depth_of sol v = Option.value ~default:0 (List.assoc_opt v sol.Tsearch.s_depths)
+
+let run_propagation rcg sol ~input ~value =
+  let core = Rcg.core rcg in
+  if
+    List.exists
+      (fun (e : Rcg.edge_label Digraph.edge) -> e.label.Rcg.e_transfer < 0)
+      sol.Tsearch.s_edges
+  then None
+  else begin
+    let nl = Elaborate.core_to_netlist ~test_access:true core in
+    let npi = List.length (Netlist.pis nl) in
+    let pi_pos name = Netlist.pi_index nl (Netlist.find_pi nl name) in
+    let base = Bitvec.create npi in
+    (* Stimulus held on the input port; transparency mode asserted. *)
+    let in_width = (Rtl_core.find_port core input).Rtl_core.p_width in
+    if Bitvec.length value <> in_width then invalid_arg "Tsim: value width";
+    for i = 0 to in_width - 1 do
+      Bitvec.set base (pi_pos (Printf.sprintf "%s.%d" input i)) (Bitvec.get value i)
+    done;
+    Bitvec.set base (pi_pos "test_mode") true;
+    (* Firing schedule: an edge into a register fires in the cycle its
+       destination is written; edges into output ports are combinational
+       and asserted during the final read. *)
+    let reg_edges, out_edges =
+      List.partition
+        (fun (e : Rcg.edge_label Digraph.edge) ->
+          (Rcg.node rcg e.dst).Rcg.n_kind = Rcg.Reg)
+        sol.Tsearch.s_edges
+    in
+    let override_pos (e : Rcg.edge_label Digraph.edge) =
+      pi_pos (Printf.sprintf "t_ov.%d" e.label.Rcg.e_transfer)
+    in
+    let latency = sol.Tsearch.s_latency in
+    let state = ref (Sim.initial_state nl) in
+    for t = 1 to latency do
+      let pi = Bitvec.copy base in
+      List.iter
+        (fun e ->
+          if depth_of sol e.Digraph.dst = t then Bitvec.set pi (override_pos e) true)
+        reg_edges;
+      let _, st' = Sim.eval nl ~pi ~state:!state in
+      state := st'
+    done;
+    (* Combinational read-out through the output-port steering. *)
+    let pi = Bitvec.copy base in
+    List.iter (fun e -> Bitvec.set pi (override_pos e) true) out_edges;
+    let po, _ = Sim.eval nl ~pi ~state:!state in
+    let po_index = Hashtbl.create 16 in
+    List.iteri (fun i (name, _) -> Hashtbl.replace po_index name i) (Netlist.pos nl);
+    let outputs =
+      List.map
+        (fun term ->
+          let node = Rcg.node rcg term in
+          let w = node.Rcg.n_width in
+          let bv = Bitvec.create w in
+          for i = 0 to w - 1 do
+            match Hashtbl.find_opt po_index (Printf.sprintf "%s.%d" node.Rcg.n_name i) with
+            | Some k -> Bitvec.set bv i (Bitvec.get po k)
+            | None -> ()
+          done;
+          (node.Rcg.n_name, bv))
+        sol.Tsearch.s_terminals
+    in
+    Some { o_cycles = latency; o_outputs = outputs }
+  end
+
+(* Where does each input bit land?  Propagate a per-node position map
+   through the path's edges in depth order. *)
+let bit_landing rcg sol ~input_node =
+  let maps : (int, int array) Hashtbl.t = Hashtbl.create 8 in
+  let width_of v = (Rcg.node rcg v).Rcg.n_width in
+  let map_of v =
+    match Hashtbl.find_opt maps v with
+    | Some m -> m
+    | None ->
+        let m = Array.make (width_of v) (-1) in
+        Hashtbl.replace maps v m;
+        m
+  in
+  let src_map = map_of input_node in
+  Array.iteri (fun i _ -> src_map.(i) <- i) src_map;
+  (* Register writes settle before the combinational output-port reads of
+     the same cycle. *)
+  let rank (e : Rcg.edge_label Digraph.edge) =
+    ( depth_of sol e.dst,
+      match (Rcg.node rcg e.dst).Rcg.n_kind with Rcg.Out -> 1 | _ -> 0 )
+  in
+  let edges =
+    List.sort
+      (fun (a : Rcg.edge_label Digraph.edge) (b : Rcg.edge_label Digraph.edge) ->
+        compare (rank a) (rank b))
+      sol.Tsearch.s_edges
+  in
+  List.iter
+    (fun (e : Rcg.edge_label Digraph.edge) ->
+      let sm = map_of e.src and dm = map_of e.dst in
+      let sr = e.label.Rcg.e_src_range and dr = e.label.Rcg.e_dst_range in
+      for j = 0 to Rtl_types.range_width sr - 1 do
+        if dr.Rtl_types.lsb + j < Array.length dm && sr.Rtl_types.lsb + j < Array.length sm
+        then dm.(dr.Rtl_types.lsb + j) <- sm.(sr.Rtl_types.lsb + j)
+      done)
+    edges;
+  maps
+
+let check_propagation rcg sol ~input ~value =
+  match run_propagation rcg sol ~input ~value with
+  | None -> false
+  | Some outcome ->
+      let input_node = Rcg.node_id rcg input in
+      let maps = bit_landing rcg sol ~input_node in
+      let seen = Array.make (Bitvec.length value) false in
+      let ok = ref true in
+      List.iter
+        (fun term ->
+          let name = (Rcg.node rcg term).Rcg.n_name in
+          match (Hashtbl.find_opt maps term, List.assoc_opt name outcome.o_outputs) with
+          | Some m, Some observed ->
+              Array.iteri
+                (fun pos src_bit ->
+                  if src_bit >= 0 then begin
+                    seen.(src_bit) <- true;
+                    if Bitvec.get observed pos <> Bitvec.get value src_bit then
+                      ok := false
+                  end)
+                m
+          | _ -> ())
+        sol.Tsearch.s_terminals;
+      !ok && Array.for_all (fun b -> b) seen

@@ -1,0 +1,30 @@
+(** Gate-level transparency-mode simulation.
+
+    The strongest validation of the whole flow: elaborate the core with
+    test-access hardware ({!Socet_synth.Elaborate.core_to_netlist} with
+    [test_access]), then play the role of the paper's test controller —
+    assert [test_mode], hold the stimulus on the input port, and fire each
+    transfer of the transparency path in the cycle dictated by the path's
+    depth schedule.  After exactly [s_latency] clock edges the value must
+    be readable, bit for bit, at the path's output ports. *)
+
+open Socet_util
+open Socet_rtl
+
+type outcome = {
+  o_cycles : int;                         (** clock edges applied *)
+  o_outputs : (string * Bitvec.t) list;   (** observed output-port values *)
+}
+
+val run_propagation :
+  Rcg.t -> Tsearch.sol -> input:string -> value:Bitvec.t -> outcome option
+(** Drives the elaborated core so that [value], applied at the named input
+    port, rides the propagation path [sol].  Returns [None] when the path
+    uses synthesized edges (test muxes with no gate realization in the
+    functional netlist).  The value's width must match the port. *)
+
+val check_propagation :
+  Rcg.t -> Tsearch.sol -> input:string -> value:Bitvec.t -> bool
+(** [run_propagation] plus the bit-mapping check: every bit of [value]
+    must be observable at the position the path's slice algebra says it
+    lands on.  False when simulation was impossible or any bit is lost. *)

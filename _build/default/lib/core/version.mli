@@ -1,0 +1,65 @@
+(** Core version generation: trading transparency latency for area
+    (paper Sec. 4, Figs. 5, 6, 8).
+
+    - {e Version 1} obtains transparency through the HSCAN chain edges
+      alone (falling back to other existing edges, and then to test
+      multiplexers, only when the chains cannot do it).  Cost: freeze
+      (hold) logic for branch balancing.
+    - {e Version 2} additionally steers existing non-HSCAN multiplexer
+      paths in test mode; each such edge costs select-override logic
+      proportional to the control bits recorded on the transfer.
+    - {e Version 3} adds one transparency multiplexer per input/output
+      pair whose latency is still above one cycle, connecting a register
+      reachable from the input in one cycle straight to the output.
+
+    Versions are cumulative: the hardware of version [k] includes that of
+    version [k-1] (the paper's Fig. 6 area column behaves this way). *)
+
+open Socet_rtl
+module Digraph = Socet_graph.Digraph
+
+(** Cost model (cells). *)
+val freeze_cost : int
+(** Per frozen register: gating its load enable in transparency mode. *)
+
+val activation_cost : ctrl:int -> int
+(** Steering a non-HSCAN mux edge: [2*ctrl + 1]. *)
+
+val tmux_cost : width:int -> int
+(** A dedicated transparency multiplexer: [5*width]. *)
+
+type pair = {
+  pr_input : int;
+  pr_output : int;
+  pr_latency : int;
+  pr_sol : Tsearch.sol;
+}
+(** CCG raw material: [pr_output] is justifiable from [pr_input] with the
+    given latency (RCG node ids).  [pr_sol] carries the RCG edges used, for
+    chip-level conflict detection (paths sharing internal edges cannot run
+    concurrently). *)
+
+type t = {
+  v_index : int;                     (** 1-based *)
+  v_prop : (int * Tsearch.sol) list; (** per input node *)
+  v_just : (int * Tsearch.sol) list; (** per output node *)
+  v_overhead : int;                  (** cumulative transparency cells *)
+  v_added_muxes : (int * int * int) list;
+      (** transparency muxes added for this and previous versions:
+          (register node, output node, width) *)
+  v_pairs : pair list;
+}
+
+val generate : ?max_versions:int -> Rcg.t -> t list
+(** A ladder of at most [max_versions] (default 3) distinct versions;
+    rungs that gain no latency are dropped.  The RCG must already carry
+    HSCAN markings; transparency muxes are inserted into the RCG as real
+    edges, one per rung, aimed at the slowest (then widest) output still
+    above one cycle. *)
+
+val latency_between : t -> input:int -> output:int -> int option
+
+val total_latency : t -> int
+(** Sum of justification latencies over all outputs — the "D -> A(11-0)"
+    style combined figure (paths of one core share the input port and
+    serialize). *)

@@ -1,0 +1,1 @@
+lib/cores/cpu.ml: Rtl_core Rtl_types Socet_rtl

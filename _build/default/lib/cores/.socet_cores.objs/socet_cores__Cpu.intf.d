@@ -1,0 +1,1 @@
+lib/cores/cpu.mli: Rtl_core Socet_rtl

@@ -1,0 +1,1 @@
+lib/cores/display.ml: Printf Rtl_core Rtl_types Socet_rtl

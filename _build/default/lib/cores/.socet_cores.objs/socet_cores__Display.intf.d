@@ -1,0 +1,1 @@
+lib/cores/display.mli: Rtl_core Socet_rtl

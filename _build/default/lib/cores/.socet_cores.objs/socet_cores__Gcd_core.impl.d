@@ -1,0 +1,1 @@
+lib/cores/gcd_core.ml: Rtl_core Rtl_types Socet_rtl

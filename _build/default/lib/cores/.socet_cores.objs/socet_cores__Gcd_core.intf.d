@@ -1,0 +1,1 @@
+lib/cores/gcd_core.mli: Rtl_core Socet_rtl

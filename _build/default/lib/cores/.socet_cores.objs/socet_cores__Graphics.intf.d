@@ -1,0 +1,1 @@
+lib/cores/graphics.mli: Rtl_core Socet_rtl

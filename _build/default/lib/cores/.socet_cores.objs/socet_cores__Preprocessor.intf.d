@@ -1,0 +1,1 @@
+lib/cores/preprocessor.mli: Rtl_core Socet_rtl

@@ -1,0 +1,1 @@
+lib/cores/systems.ml: Cpu Display Gcd_core Graphics List Preprocessor Printf Soc Socet_bist Socet_core X25

@@ -1,0 +1,1 @@
+lib/cores/systems.mli: Socet_core

@@ -1,0 +1,1 @@
+lib/cores/x25.ml: Rtl_core Rtl_types Socet_rtl

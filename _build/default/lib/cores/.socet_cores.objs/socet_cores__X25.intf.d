@@ -1,0 +1,1 @@
+lib/cores/x25.mli: Rtl_core Socet_rtl

@@ -1,0 +1,72 @@
+open Socet_rtl
+open Rtl_types
+
+let p_data = "Data"
+let p_reset = "Reset"
+let p_interrupt = "Interrupt"
+let p_address_lo = "Address_lo"
+let p_address_hi = "Address_hi"
+let p_read = "Read"
+let p_write = "Write"
+
+let core () =
+  let c = Rtl_core.create "CPU" in
+  Rtl_core.add_input c p_data 8;
+  Rtl_core.add_input c p_reset 1;
+  Rtl_core.add_input c p_interrupt 1;
+  Rtl_core.add_output c p_address_lo 8;
+  Rtl_core.add_output c p_address_hi 4;
+  Rtl_core.add_output c p_read 1;
+  Rtl_core.add_output c p_write 1;
+  Rtl_core.add_reg c "IR" 8;
+  Rtl_core.add_reg c "DR" 8;
+  Rtl_core.add_reg c "TR" 8;
+  Rtl_core.add_reg c "SR" 4;
+  Rtl_core.add_reg c "AC" 8;
+  Rtl_core.add_reg c "PC" 8;
+  Rtl_core.add_reg c "MAR_off" 8;
+  Rtl_core.add_reg c "MAR_pag" 4;
+  Rtl_core.add_reg c "RFF" 1;
+  Rtl_core.add_reg c "RD_FF" 1;
+  Rtl_core.add_reg c "WFF" 1;
+  Rtl_core.add_reg c "WR_FF" 1;
+  let t = Rtl_core.add_transfer c in
+  (* Datapath mux/direct paths; declaration order doubles as HSCAN chain
+     preference.  The layout reproduces the paper's Fig. 3/4 structure:
+     Data -> IR -> DR -> TR -> AC(hi) with the C-split AC(lo) branch coming
+     through SR, then AC -> PC -> MAR_off -> Address_lo; the page nibble
+     goes IR -> MAR_pag -> Address_hi. *)
+  t ~src:(Rtl_core.port c p_data) ~dst:(Rtl_core.reg c "IR") ();
+  t ~src:(Rtl_core.reg c "IR") ~dst:(Rtl_core.reg c "DR") ();
+  t ~src:(Rtl_core.reg c "DR") ~dst:(Rtl_core.reg c "TR") ();
+  t ~src:(Rtl_core.reg_bits c "TR" 4 7) ~dst:(Rtl_core.reg_bits c "AC" 4 7) ();
+  t ~src:(Rtl_core.reg_bits c "IR" 0 3) ~dst:(Rtl_core.reg c "SR") ();
+  t ~src:(Rtl_core.reg c "SR") ~dst:(Rtl_core.reg_bits c "AC" 0 3) ();
+  t ~src:(Rtl_core.reg c "AC") ~dst:(Rtl_core.reg c "PC") ();
+  t ~src:(Rtl_core.reg c "PC") ~dst:(Rtl_core.reg c "MAR_off") ();
+  t ~src:(Rtl_core.reg_bits c "IR" 0 3) ~dst:(Rtl_core.reg c "MAR_pag") ();
+  t ~kind:Direct ~src:(Rtl_core.reg c "MAR_off") ~dst:(Rtl_core.port c p_address_lo) ();
+  t ~kind:Direct ~src:(Rtl_core.reg c "MAR_pag") ~dst:(Rtl_core.port c p_address_hi) ();
+  (* Control bypass chains: Reset -> Read and Interrupt -> Write in two
+     cycles (Sec. 3). *)
+  t ~src:(Rtl_core.port c p_reset) ~dst:(Rtl_core.reg c "RFF") ();
+  t ~src:(Rtl_core.reg c "RFF") ~dst:(Rtl_core.reg c "RD_FF") ();
+  t ~kind:Direct ~src:(Rtl_core.reg c "RD_FF") ~dst:(Rtl_core.port c p_read) ();
+  t ~src:(Rtl_core.port c p_interrupt) ~dst:(Rtl_core.reg c "WFF") ();
+  t ~src:(Rtl_core.reg c "WFF") ~dst:(Rtl_core.reg c "WR_FF") ();
+  t ~kind:Direct ~src:(Rtl_core.reg c "WR_FF") ~dst:(Rtl_core.port c p_write) ();
+  (* Mux M (Fig. 3): the existing alternative connection from the data bus
+     into MAR_off, steerable in test mode by overriding 3 select bits. *)
+  t ~kind:(Mux 3) ~src:(Rtl_core.port c p_data) ~dst:(Rtl_core.reg c "MAR_off") ();
+  (* Functional units — gate-level realism only (invisible to the RCG). *)
+  t ~kind:(Logic (Fadd (Rtl_core.reg_bits c "AC" 4 7)))
+    ~src:(Rtl_core.reg_bits c "DR" 4 7) ~dst:(Rtl_core.reg_bits c "AC" 4 7) ();
+  t ~kind:(Logic (Fxor (Rtl_core.reg_bits c "DR" 0 3)))
+    ~src:(Rtl_core.reg_bits c "AC" 0 3) ~dst:(Rtl_core.reg_bits c "AC" 0 3) ();
+  t ~kind:(Logic Finc) ~src:(Rtl_core.reg c "PC") ~dst:(Rtl_core.reg c "PC") ();
+  t ~kind:(Logic (Fand (Rtl_core.reg_bits c "IR" 0 3)))
+    ~src:(Rtl_core.reg_bits c "AC" 0 3) ~dst:(Rtl_core.reg c "SR") ();
+  t ~kind:(Logic (Fxor (Rtl_core.reg c "DR")))
+    ~src:(Rtl_core.reg c "TR") ~dst:(Rtl_core.reg c "TR") ();
+  Rtl_core.validate c;
+  c

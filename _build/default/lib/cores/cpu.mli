@@ -1,0 +1,32 @@
+(** The barcode system's CPU core — an accumulator machine in the style of
+    Navabi's educational CPU [7], with the register topology of the paper's
+    Figs. 3, 4 and 7:
+
+    - instruction register [IR] fed from the [Data] input (fetch path);
+    - a data register [DR] and ALU staging register [TR];
+    - a C-split accumulator [AC]: its high nibble loads from [TR], its low
+      nibble from the status register [SR];
+    - program counter [PC], memory address registers [MAR_off]/[MAR_pag]
+      driving the [Address_lo]/[Address_hi] outputs;
+    - single-bit control chains [Reset -> RFF -> Read] and
+      [Interrupt -> WFF -> Write];
+    - the alternative connection "mux M" ([Data -> MAR_off], 3 control
+      bits) that version 2 steers for 1-cycle transparency.
+
+    Through the HSCAN chains, a value applied at [Data] reaches
+    [Address_lo] in 6 cycles (with [SR] frozen one cycle to balance the
+    C-split branches) and [Address_hi] in 2 — the paper's Version 1 row. *)
+
+open Socet_rtl
+
+val core : unit -> Rtl_core.t
+
+(** Port names, to keep call sites typo-proof. *)
+
+val p_data : string
+val p_reset : string
+val p_interrupt : string
+val p_address_lo : string
+val p_address_hi : string
+val p_read : string
+val p_write : string

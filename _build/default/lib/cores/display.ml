@@ -1,0 +1,67 @@
+open Socet_rtl
+open Rtl_types
+
+let p_d = "D"
+let p_a_lo = "A_lo"
+let p_a_hi = "A_hi"
+
+let p_port k =
+  if k < 1 || k > 6 then invalid_arg "Display.p_port";
+  Printf.sprintf "PORT%d" k
+
+let p_port_stat = "PORT_STAT"
+
+let core () =
+  let c = Rtl_core.create "DISPLAY" in
+  Rtl_core.add_input c p_d 8;
+  Rtl_core.add_input c p_a_lo 8;
+  Rtl_core.add_input c p_a_hi 4;
+  for k = 1 to 6 do
+    Rtl_core.add_output c (p_port k) 7
+  done;
+  Rtl_core.add_output c p_port_stat 5;
+  Rtl_core.add_reg c "BCD" 8;
+  Rtl_core.add_reg c "AL" 7;
+  Rtl_core.add_reg c "XC" 7;
+  Rtl_core.add_reg c "SEL" 4;
+  Rtl_core.add_reg c "CTR" 4;
+  Rtl_core.add_reg c "XS" 5;
+  for k = 1 to 6 do
+    Rtl_core.add_reg c (Printf.sprintf "DIG%d" k) 7
+  done;
+  let t = Rtl_core.add_transfer c in
+  let dig k = Rtl_core.reg c (Printf.sprintf "DIG%d" k) in
+  (* Data path: digits latch from the BCD bus in parallel. *)
+  t ~src:(Rtl_core.port c p_d) ~dst:(Rtl_core.reg c "BCD") ();
+  for k = 1 to 5 do
+    t ~src:(Rtl_core.reg_bits c "BCD" 0 6) ~dst:(dig k) ()
+  done;
+  (* Address path: DIG6 is fed by the A-side pipeline. *)
+  t ~src:(Rtl_core.port_bits c p_a_lo 0 6) ~dst:(Rtl_core.reg c "AL") ();
+  t ~src:(Rtl_core.reg c "AL") ~dst:(Rtl_core.reg c "XC") ();
+  t ~src:(Rtl_core.reg c "XC") ~dst:(dig 6) ();
+  t ~src:(Rtl_core.port c p_a_hi) ~dst:(Rtl_core.reg c "SEL") ();
+  t ~src:(Rtl_core.reg c "SEL") ~dst:(Rtl_core.reg c "CTR") ();
+  t ~src:(Rtl_core.reg c "CTR") ~dst:(Rtl_core.reg_bits c "XS" 0 3) ();
+  (* Alternative select path into the status register (hard-wired). *)
+  t ~kind:Direct ~src:(Rtl_core.reg c "SEL") ~dst:(Rtl_core.reg_bits c "XS" 0 3) ();
+  (* The top BCD bit and top address bit both park in XS bit 4. *)
+  t ~src:(Rtl_core.reg_bits c "BCD" 7 7) ~dst:(Rtl_core.reg_bits c "XS" 4 4) ();
+  t ~kind:Direct ~src:(Rtl_core.port_bits c p_a_lo 7 7)
+    ~dst:(Rtl_core.reg_bits c "XS" 4 4) ();
+  (* Registered outputs. *)
+  for k = 1 to 6 do
+    t ~kind:Direct ~src:(dig k) ~dst:(Rtl_core.port c (p_port k)) ()
+  done;
+  t ~kind:Direct ~src:(Rtl_core.reg c "XS") ~dst:(Rtl_core.port c p_port_stat) ();
+  (* Existing direct bus from the address input into DIG6 (7 gating bits):
+     Version 2 steers it for 1-cycle A -> OUT transparency. *)
+  t ~kind:(Mux 7) ~src:(Rtl_core.port_bits c p_a_lo 0 6) ~dst:(dig 6) ();
+  (* Functional units: 7-segment decoders and the blink counter. *)
+  t ~kind:(Logic Fdec7seg) ~src:(Rtl_core.reg_bits c "BCD" 0 3) ~dst:(dig 1) ();
+  t ~kind:(Logic Fdec7seg) ~src:(Rtl_core.reg_bits c "BCD" 4 7) ~dst:(dig 2) ();
+  t ~kind:(Logic Finc) ~src:(Rtl_core.reg c "CTR") ~dst:(Rtl_core.reg c "CTR") ();
+  t ~kind:(Logic (Fxor (Rtl_core.reg c "AL")))
+    ~src:(Rtl_core.reg c "XC") ~dst:(Rtl_core.reg c "XC") ();
+  Rtl_core.validate c;
+  c

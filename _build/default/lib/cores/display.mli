@@ -1,0 +1,26 @@
+(** The barcode DISPLAY core: converts the CPU's BCD output into six
+    seven-segment digit codes (paper Figs. 2, 8(c), 9).
+
+    Structure:
+    - data path: [D -> BCD], with the digit latches [DIG1..DIG5] loading
+      from the BCD bus in parallel (and through 7-segment decoders), each
+      driving one [PORTk] output — a value at [D] reaches the output ports
+      in 2 cycles;
+    - address path: [A_lo -> AL -> XC -> DIG6 -> PORT6] (3 cycles) and the
+      digit-select path [A_hi -> SEL -> CTR -> XS -> PORT_STAT];
+    - an existing direct path [A_lo -> DIG6] (7 gating bits) steered by
+      Version 2 for 1-cycle address transparency;
+    - 20 input bits (D = 8, A = 12), matching the paper's "66 flip-flops
+      and 20 internal inputs" DISPLAY description. *)
+
+open Socet_rtl
+
+val core : unit -> Rtl_core.t
+
+val p_d : string
+val p_a_lo : string
+val p_a_hi : string
+val p_port : int -> string
+(** [p_port k] for k in 1..6. *)
+
+val p_port_stat : string

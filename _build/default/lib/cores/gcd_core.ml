@@ -1,0 +1,41 @@
+open Socet_rtl
+open Rtl_types
+
+let p_a = "A"
+let p_b = "B"
+let p_start = "Start"
+let p_result = "RESULT"
+let p_done = "Done"
+
+let core () =
+  let c = Rtl_core.create "GCD" in
+  Rtl_core.add_input c p_a 8;
+  Rtl_core.add_input c p_b 8;
+  Rtl_core.add_input c p_start 1;
+  Rtl_core.add_output c p_result 8;
+  Rtl_core.add_output c p_done 1;
+  Rtl_core.add_reg c "X" 8;
+  Rtl_core.add_reg c "Y" 8;
+  Rtl_core.add_reg c "T" 8;
+  Rtl_core.add_reg c "SF" 1;
+  Rtl_core.add_reg c "DF" 1;
+  let t = Rtl_core.add_transfer c in
+  t ~src:(Rtl_core.port c p_a) ~dst:(Rtl_core.reg c "X") ();
+  t ~src:(Rtl_core.port c p_b) ~dst:(Rtl_core.reg c "Y") ();
+  t ~src:(Rtl_core.reg c "X") ~dst:(Rtl_core.reg c "T") ();
+  t ~src:(Rtl_core.reg c "Y") ~dst:(Rtl_core.reg c "X") ();
+  t ~kind:Direct ~src:(Rtl_core.reg c "T") ~dst:(Rtl_core.port c p_result) ();
+  t ~src:(Rtl_core.port c p_start) ~dst:(Rtl_core.reg c "SF") ();
+  t ~src:(Rtl_core.reg c "SF") ~dst:(Rtl_core.reg c "DF") ();
+  t ~kind:Direct ~src:(Rtl_core.reg c "DF") ~dst:(Rtl_core.port c p_done) ();
+  (* Result write-back bus from Y straight into T (the loop's exit move):
+     steerable with 5 control bits. *)
+  t ~kind:(Mux 5) ~src:(Rtl_core.port c p_b) ~dst:(Rtl_core.reg c "T") ();
+  (* Euclid datapath. *)
+  t ~kind:(Logic (Fsub (Rtl_core.reg c "Y")))
+    ~src:(Rtl_core.reg c "X") ~dst:(Rtl_core.reg c "X") ();
+  t ~kind:(Logic (Fsub (Rtl_core.reg c "X")))
+    ~src:(Rtl_core.reg c "Y") ~dst:(Rtl_core.reg c "Y") ();
+  t ~kind:(Logic Fparity) ~src:(Rtl_core.reg c "X") ~dst:(Rtl_core.reg c "DF") ();
+  Rtl_core.validate c;
+  c

@@ -1,0 +1,13 @@
+(** GCD core from the 1995 high-level-synthesis design repository [10]:
+    a Euclid's-algorithm datapath with operand registers [X]/[Y], a
+    subtract-and-swap loop, and a start/done handshake. *)
+
+open Socet_rtl
+
+val core : unit -> Rtl_core.t
+
+val p_a : string
+val p_b : string
+val p_start : string
+val p_result : string
+val p_done : string

@@ -1,0 +1,43 @@
+open Socet_rtl
+open Rtl_types
+
+let p_cmd = "CMD"
+let p_xy = "XY"
+let p_pix = "PIX"
+let p_rdy = "RDY"
+
+let core () =
+  let c = Rtl_core.create "GRAPHICS" in
+  Rtl_core.add_input c p_cmd 8;
+  Rtl_core.add_input c p_xy 8;
+  Rtl_core.add_output c p_pix 8;
+  Rtl_core.add_output c p_rdy 1;
+  Rtl_core.add_reg c "CR" 8;
+  Rtl_core.add_reg c "X0" 8;
+  Rtl_core.add_reg c "Y0" 8;
+  Rtl_core.add_reg c "DX" 8;
+  Rtl_core.add_reg c "ERR" 8;
+  Rtl_core.add_reg c "PXR" 8;
+  Rtl_core.add_reg c "RF" 1;
+  let t = Rtl_core.add_transfer c in
+  t ~src:(Rtl_core.port c p_cmd) ~dst:(Rtl_core.reg c "CR") ();
+  t ~src:(Rtl_core.port c p_xy) ~dst:(Rtl_core.reg c "X0") ();
+  t ~src:(Rtl_core.reg c "X0") ~dst:(Rtl_core.reg c "Y0") ();
+  t ~src:(Rtl_core.reg c "Y0") ~dst:(Rtl_core.reg c "DX") ();
+  t ~src:(Rtl_core.reg c "DX") ~dst:(Rtl_core.reg c "ERR") ();
+  t ~src:(Rtl_core.reg c "ERR") ~dst:(Rtl_core.reg c "PXR") ();
+  t ~src:(Rtl_core.reg c "CR") ~dst:(Rtl_core.reg c "PXR") ();
+  t ~kind:Direct ~src:(Rtl_core.reg c "PXR") ~dst:(Rtl_core.port c p_pix) ();
+  t ~kind:(Logic Fparity) ~src:(Rtl_core.reg c "CR") ~dst:(Rtl_core.reg c "RF") ();
+  t ~src:(Rtl_core.reg_bits c "CR" 0 0) ~dst:(Rtl_core.reg c "RF") ();
+  t ~kind:Direct ~src:(Rtl_core.reg c "RF") ~dst:(Rtl_core.port c p_rdy) ();
+  (* Frame-buffer write bypass (existing bus, 6 control bits). *)
+  t ~kind:(Mux 6) ~src:(Rtl_core.port c p_xy) ~dst:(Rtl_core.reg c "PXR") ();
+  (* Bresenham arithmetic. *)
+  t ~kind:(Logic (Fadd (Rtl_core.reg c "DX")))
+    ~src:(Rtl_core.reg c "ERR") ~dst:(Rtl_core.reg c "ERR") ();
+  t ~kind:(Logic (Fsub (Rtl_core.reg c "Y0")))
+    ~src:(Rtl_core.reg c "X0") ~dst:(Rtl_core.reg c "DX") ();
+  t ~kind:(Logic Finc) ~src:(Rtl_core.reg c "X0") ~dst:(Rtl_core.reg c "X0") ();
+  Rtl_core.validate c;
+  c

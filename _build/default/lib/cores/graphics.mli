@@ -1,0 +1,12 @@
+(** Graphics processor core [9] — a control-flow-intensive line-drawing
+    (Bresenham-style) datapath: command and coordinate registers, a delta/
+    error pipeline and a pixel output register. *)
+
+open Socet_rtl
+
+val core : unit -> Rtl_core.t
+
+val p_cmd : string
+val p_xy : string
+val p_pix : string
+val p_rdy : string

@@ -1,0 +1,60 @@
+open Socet_rtl
+open Rtl_types
+
+let p_num = "NUM"
+let p_reset = "Reset"
+let p_db = "DB"
+let p_address = "Address"
+let p_eoc = "Eoc"
+
+let core () =
+  let c = Rtl_core.create "PREPROCESSOR" in
+  Rtl_core.add_input c p_num 8;
+  Rtl_core.add_input c p_reset 1;
+  Rtl_core.add_output c p_db 8;
+  Rtl_core.add_output c p_address 4;
+  Rtl_core.add_output c p_eoc 1;
+  Rtl_core.add_reg c "S1" 8;
+  Rtl_core.add_reg c "S2" 8;
+  Rtl_core.add_reg c "S3" 8;
+  Rtl_core.add_reg c "CNT" 8;
+  Rtl_core.add_reg c "DBR" 8;
+  Rtl_core.add_reg c "AR" 4;
+  Rtl_core.add_reg c "EF1" 1;
+  Rtl_core.add_reg c "EF2" 1;
+  let t = Rtl_core.add_transfer c in
+  (* Sampling pipeline; HSCAN threads it straight through. *)
+  t ~src:(Rtl_core.port c p_num) ~dst:(Rtl_core.reg c "S1") ();
+  t ~src:(Rtl_core.reg c "S1") ~dst:(Rtl_core.reg c "S2") ();
+  t ~src:(Rtl_core.reg c "S2") ~dst:(Rtl_core.reg c "S3") ();
+  t ~src:(Rtl_core.reg c "S3") ~dst:(Rtl_core.reg c "CNT") ();
+  (* Bus register: high nibble from the width counter, low nibble straight
+     from the pipeline — a C-split whose branches differ by one cycle, so
+     S3 is frozen once during transparency. *)
+  t ~src:(Rtl_core.reg_bits c "CNT" 4 7) ~dst:(Rtl_core.reg_bits c "DBR" 4 7) ();
+  t ~src:(Rtl_core.reg_bits c "S3" 0 3) ~dst:(Rtl_core.reg_bits c "DBR" 0 3) ();
+  t ~kind:Direct ~src:(Rtl_core.reg c "DBR") ~dst:(Rtl_core.port c p_db) ();
+  (* Address counter. *)
+  t ~src:(Rtl_core.reg_bits c "S1" 0 3) ~dst:(Rtl_core.reg c "AR") ();
+  t ~kind:Direct ~src:(Rtl_core.reg c "AR") ~dst:(Rtl_core.port c p_address) ();
+  (* End-of-conversion control chain. *)
+  t ~src:(Rtl_core.port c p_reset) ~dst:(Rtl_core.reg c "EF1") ();
+  t ~src:(Rtl_core.reg c "EF1") ~dst:(Rtl_core.reg c "EF2") ();
+  t ~kind:Direct ~src:(Rtl_core.reg c "EF2") ~dst:(Rtl_core.port c p_eoc) ();
+  (* Existing video-bypass path into the bus register (one leg per DBR
+     slice): steering it in test mode overrides 4 + 3 gating signals
+     (Version 2's +17 cells). *)
+  t ~kind:(Mux 4)
+    ~src:(Rtl_core.port_bits c p_num 4 7)
+    ~dst:(Rtl_core.reg_bits c "DBR" 4 7) ();
+  t ~kind:(Mux 3)
+    ~src:(Rtl_core.port_bits c p_num 0 3)
+    ~dst:(Rtl_core.reg_bits c "DBR" 0 3) ();
+  (* Functional units (gate-level realism only). *)
+  t ~kind:(Logic (Fsub (Rtl_core.reg c "S1")))
+    ~src:(Rtl_core.reg c "S2") ~dst:(Rtl_core.reg c "S3") ();
+  t ~kind:(Logic Finc) ~src:(Rtl_core.reg c "CNT") ~dst:(Rtl_core.reg c "CNT") ();
+  t ~kind:(Logic Finc) ~src:(Rtl_core.reg c "AR") ~dst:(Rtl_core.reg c "AR") ();
+  t ~kind:(Logic Fparity) ~src:(Rtl_core.reg c "S3") ~dst:(Rtl_core.reg c "EF1") ();
+  Rtl_core.validate c;
+  c

@@ -1,0 +1,24 @@
+(** The barcode PREPROCESSOR core: samples the video input, measures bar
+    widths and writes them to the RAM data bus.
+
+    Structure (paper Figs. 2, 8(a), 9):
+    - a sampling/width-measuring pipeline [NUM -> S1 -> S2 -> S3], a width
+      counter [CNT] and the bus register [DBR] driving the [DB] output —
+      through the HSCAN chains a value entered at [NUM] reaches [DB] in 5
+      cycles, with [S3] frozen one cycle to balance the C-split at [DBR];
+    - an address counter [AR] driving the [Address] output ([NUM -> A] in
+      2 cycles);
+    - an end-of-conversion chain [Reset -> EF1 -> EF2 -> Eoc] (2 cycles),
+      which the SOC uses to control the CPU's interrupt input;
+    - an existing video-bypass path [NUM -> DBR] (8 gating bits) that
+      Version 2 steers for 1-cycle transparency. *)
+
+open Socet_rtl
+
+val core : unit -> Rtl_core.t
+
+val p_num : string
+val p_reset : string
+val p_db : string
+val p_address : string
+val p_eoc : string

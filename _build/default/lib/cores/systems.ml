@@ -1,0 +1,116 @@
+open Socet_core
+
+let conn from_ to_ = { Soc.c_from = from_; c_to = to_ }
+
+let system1 () =
+  let cpu = Soc.instantiate "CPU" (Cpu.core ()) in
+  let prep = Soc.instantiate "PREP" (Preprocessor.core ()) in
+  let disp = Soc.instantiate "DISPLAY" (Display.core ()) in
+  let pos =
+    List.init 6 (fun k -> (Printf.sprintf "PO_PORT%d" (k + 1), 7))
+    @ [ ("PO_STAT", 5) ]
+  in
+  Soc.make ~name:"System1" ~pis:[ ("NUM", 8); ("Reset", 1) ] ~pos
+    ~cores:[ prep; cpu; disp ]
+    ~connections:
+      [
+        (* Video front end. *)
+        conn (Soc.Pi "NUM") (Soc.Cport ("PREP", Preprocessor.p_num));
+        conn (Soc.Pi "Reset") (Soc.Cport ("PREP", Preprocessor.p_reset));
+        (* CPU sits on the memory bus behind the preprocessor. *)
+        conn (Soc.Cport ("PREP", Preprocessor.p_db)) (Soc.Cport ("CPU", Cpu.p_data));
+        conn (Soc.Pi "Reset") (Soc.Cport ("CPU", Cpu.p_reset));
+        conn (Soc.Cport ("PREP", Preprocessor.p_eoc))
+          (Soc.Cport ("CPU", Cpu.p_interrupt));
+        (* Display is memory-mapped off the CPU address bus and the data
+           bus. *)
+        conn (Soc.Cport ("PREP", Preprocessor.p_db)) (Soc.Cport ("DISPLAY", Display.p_d));
+        conn (Soc.Cport ("CPU", Cpu.p_address_lo))
+          (Soc.Cport ("DISPLAY", Display.p_a_lo));
+        conn (Soc.Cport ("CPU", Cpu.p_address_hi))
+          (Soc.Cport ("DISPLAY", Display.p_a_hi));
+        (* Chip outputs: the six seven-segment ports plus status. *)
+        conn (Soc.Cport ("DISPLAY", Display.p_port 1)) (Soc.Po "PO_PORT1");
+        conn (Soc.Cport ("DISPLAY", Display.p_port 2)) (Soc.Po "PO_PORT2");
+        conn (Soc.Cport ("DISPLAY", Display.p_port 3)) (Soc.Po "PO_PORT3");
+        conn (Soc.Cport ("DISPLAY", Display.p_port 4)) (Soc.Po "PO_PORT4");
+        conn (Soc.Cport ("DISPLAY", Display.p_port 5)) (Soc.Po "PO_PORT5");
+        conn (Soc.Cport ("DISPLAY", Display.p_port 6)) (Soc.Po "PO_PORT6");
+        conn (Soc.Cport ("DISPLAY", Display.p_port_stat)) (Soc.Po "PO_STAT");
+      ]
+    ~memories:
+      [
+        {
+          Soc.m_name = "RAM";
+          m_bits = 4096 * 8;
+          m_bist_area = Socet_bist.March.bist_area ~words:4096 ~width:8;
+        };
+        {
+          Soc.m_name = "ROM";
+          m_bits = 2048 * 8;
+          m_bist_area = Socet_bist.March.bist_area ~words:2048 ~width:8;
+        };
+      ]
+    ()
+
+let system2 () =
+  let gfx = Soc.instantiate "GFX" (Graphics.core ()) in
+  let gcd = Soc.instantiate "GCD" (Gcd_core.core ()) in
+  let x25 = Soc.instantiate "X25" (X25.core ()) in
+  Soc.make ~name:"System2"
+    ~pis:[ ("CMD", 8); ("XY", 8) ]
+    ~pos:[ ("TX", 8); ("STATUS", 4) ]
+    ~cores:[ gfx; gcd; x25 ]
+    ~connections:
+      [
+        conn (Soc.Pi "CMD") (Soc.Cport ("GFX", Graphics.p_cmd));
+        conn (Soc.Pi "XY") (Soc.Cport ("GFX", Graphics.p_xy));
+        conn (Soc.Cport ("GFX", Graphics.p_pix)) (Soc.Cport ("GCD", Gcd_core.p_a));
+        conn (Soc.Pi "XY") (Soc.Cport ("GCD", Gcd_core.p_b));
+        conn (Soc.Cport ("GFX", Graphics.p_rdy)) (Soc.Cport ("GCD", Gcd_core.p_start));
+        conn (Soc.Cport ("GCD", Gcd_core.p_result)) (Soc.Cport ("X25", X25.p_rx));
+        conn (Soc.Cport ("GCD", Gcd_core.p_done)) (Soc.Cport ("X25", X25.p_ctl));
+        conn (Soc.Cport ("X25", X25.p_tx)) (Soc.Po "TX");
+        conn (Soc.Cport ("X25", X25.p_status)) (Soc.Po "STATUS");
+      ]
+    ()
+
+let system3 () =
+  let gfx = Soc.instantiate "GFX" (Graphics.core ()) in
+  let gcd = Soc.instantiate "GCD" (Gcd_core.core ()) in
+  let x25 = Soc.instantiate "X25" (X25.core ()) in
+  let prep = Soc.instantiate "PREP" (Preprocessor.core ()) in
+  Soc.make ~name:"System3"
+    ~pis:[ ("CMD", 8); ("XY", 8); ("RXIN", 8); ("CTL", 1); ("NUM", 8); ("RST", 1) ]
+    ~pos:
+      [
+        ("RESULT", 8);
+        ("DONE", 1);
+        ("TX", 8);
+        ("STATUS", 4);
+        ("DB", 8);
+        ("EOC", 1);
+      ]
+    ~cores:[ gfx; gcd; x25; prep ]
+    ~connections:
+      [
+        (* Chain A: graphics feeding the GCD datapath. *)
+        conn (Soc.Pi "CMD") (Soc.Cport ("GFX", Graphics.p_cmd));
+        conn (Soc.Pi "XY") (Soc.Cport ("GFX", Graphics.p_xy));
+        conn (Soc.Cport ("GFX", Graphics.p_pix)) (Soc.Cport ("GCD", Gcd_core.p_a));
+        conn (Soc.Pi "XY") (Soc.Cport ("GCD", Gcd_core.p_b));
+        conn (Soc.Cport ("GFX", Graphics.p_rdy)) (Soc.Cport ("GCD", Gcd_core.p_start));
+        conn (Soc.Cport ("GCD", Gcd_core.p_result)) (Soc.Po "RESULT");
+        conn (Soc.Cport ("GCD", Gcd_core.p_done)) (Soc.Po "DONE");
+        (* Chain B: the protocol front end, on its own pins. *)
+        conn (Soc.Pi "RXIN") (Soc.Cport ("X25", X25.p_rx));
+        conn (Soc.Pi "CTL") (Soc.Cport ("X25", X25.p_ctl));
+        conn (Soc.Cport ("X25", X25.p_tx)) (Soc.Po "TX");
+        conn (Soc.Cport ("X25", X25.p_status)) (Soc.Po "STATUS");
+        (* Chain C: the barcode sampler, also independent. *)
+        conn (Soc.Pi "NUM") (Soc.Cport ("PREP", Preprocessor.p_num));
+        conn (Soc.Pi "RST") (Soc.Cport ("PREP", Preprocessor.p_reset));
+        conn (Soc.Cport ("PREP", Preprocessor.p_db)) (Soc.Po "DB");
+        conn (Soc.Cport ("PREP", Preprocessor.p_eoc)) (Soc.Po "EOC");
+      ]
+    ()

@@ -1,0 +1,23 @@
+(** The paper's two experimental systems, assembled.
+
+    {b System 1} is the barcode scanning system of Fig. 2: PREPROCESSOR,
+    CPU and DISPLAY around a RAM/ROM pair (memories are BIST-tested and
+    excluded from the access analysis, as in the paper).  The
+    PREPROCESSOR's RAM-facing address port and the CPU's RAM control
+    strobes are not observable through any core — the router must place
+    system-level test muxes for them, as the paper does for the
+    PREPROCESSOR's Address output in Fig. 9.
+
+    {b System 2} chains a graphics processor, a GCD core and an X.25
+    protocol core (paper Sec. 6). *)
+
+val system1 : unit -> Socet_core.Soc.t
+val system2 : unit -> Socet_core.Soc.t
+
+val system3 : unit -> Socet_core.Soc.t
+(** {b System 3} (ours, not in the paper): three independent subsystems —
+    the graphics/GCD chain, an X.25 front end and a barcode preprocessor —
+    each with its own pins.  Their test-access paths touch disjoint core
+    sets, so the overlapped scheduler
+    ({!Socet_core.Schedule.parallel_makespan}) can run them concurrently;
+    used by the scheduling ablation. *)

@@ -1,0 +1,39 @@
+open Socet_rtl
+open Rtl_types
+
+let p_rx = "RX"
+let p_ctl = "Ctl"
+let p_tx = "TX"
+let p_status = "Status"
+
+let core () =
+  let c = Rtl_core.create "X25" in
+  Rtl_core.add_input c p_rx 8;
+  Rtl_core.add_input c p_ctl 1;
+  Rtl_core.add_output c p_tx 8;
+  Rtl_core.add_output c p_status 4;
+  Rtl_core.add_reg c "SHIFT" 8;
+  Rtl_core.add_reg c "HDR" 8;
+  Rtl_core.add_reg c "CRC" 8;
+  Rtl_core.add_reg c "TXR" 8;
+  Rtl_core.add_reg c "STATE" 4;
+  Rtl_core.add_reg c "FLG" 4;
+  let t = Rtl_core.add_transfer c in
+  t ~src:(Rtl_core.port c p_rx) ~dst:(Rtl_core.reg c "SHIFT") ();
+  t ~src:(Rtl_core.reg c "SHIFT") ~dst:(Rtl_core.reg c "HDR") ();
+  t ~src:(Rtl_core.reg c "HDR") ~dst:(Rtl_core.reg c "TXR") ();
+  t ~kind:Direct ~src:(Rtl_core.reg c "TXR") ~dst:(Rtl_core.port c p_tx) ();
+  t ~src:(Rtl_core.reg c "SHIFT") ~dst:(Rtl_core.reg c "CRC") ();
+  t ~src:(Rtl_core.reg_bits c "CRC" 0 3) ~dst:(Rtl_core.reg c "FLG") ();
+  t ~src:(Rtl_core.port c p_ctl) ~dst:(Rtl_core.reg_bits c "STATE" 0 0) ();
+  t ~src:(Rtl_core.reg_bits c "FLG" 1 3) ~dst:(Rtl_core.reg_bits c "STATE" 1 3) ();
+  t ~kind:Direct ~src:(Rtl_core.reg c "STATE") ~dst:(Rtl_core.port c p_status) ();
+  (* Cut-through transmit path (existing bus, 4 control bits). *)
+  t ~kind:(Mux 4) ~src:(Rtl_core.port c p_rx) ~dst:(Rtl_core.reg c "TXR") ();
+  (* CRC update and flag logic. *)
+  t ~kind:(Logic (Fxor (Rtl_core.reg c "SHIFT")))
+    ~src:(Rtl_core.reg c "CRC") ~dst:(Rtl_core.reg c "CRC") ();
+  t ~kind:(Logic (Fand (Rtl_core.reg_bits c "HDR" 0 3)))
+    ~src:(Rtl_core.reg_bits c "CRC" 4 7) ~dst:(Rtl_core.reg c "FLG") ();
+  Rtl_core.validate c;
+  c

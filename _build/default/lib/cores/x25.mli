@@ -1,0 +1,11 @@
+(** X.25 protocol core [11]: receive shift register, header latch, CRC
+    accumulator and a protocol state register. *)
+
+open Socet_rtl
+
+val core : unit -> Rtl_core.t
+
+val p_rx : string
+val p_ctl : string
+val p_tx : string
+val p_status : string

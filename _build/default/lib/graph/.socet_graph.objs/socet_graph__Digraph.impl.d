@@ -1,0 +1,1 @@
+lib/graph/digraph.ml: Array List

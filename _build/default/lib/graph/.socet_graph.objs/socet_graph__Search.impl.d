@@ -1,0 +1,1 @@
+lib/graph/search.ml: Array Digraph List Queue

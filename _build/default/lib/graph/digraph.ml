@@ -1,0 +1,81 @@
+type 'e edge = { src : int; dst : int; label : 'e; id : int }
+
+type 'e t = {
+  mutable n : int;
+  mutable succ : 'e edge list array; (* stored reversed; exposed re-reversed *)
+  mutable pred : 'e edge list array;
+  mutable all : 'e edge list;        (* reversed insertion order *)
+  mutable m : int;
+}
+
+let create () = { n = 0; succ = Array.make 8 []; pred = Array.make 8 []; all = []; m = 0 }
+
+let grow g =
+  if g.n >= Array.length g.succ then begin
+    let cap = max 8 (2 * Array.length g.succ) in
+    let s = Array.make cap [] and p = Array.make cap [] in
+    Array.blit g.succ 0 s 0 g.n;
+    Array.blit g.pred 0 p 0 g.n;
+    g.succ <- s;
+    g.pred <- p
+  end
+
+let add_node g =
+  grow g;
+  let id = g.n in
+  g.n <- g.n + 1;
+  id
+
+let node_count g = g.n
+let edge_count g = g.m
+
+let check_node g v =
+  if v < 0 || v >= g.n then invalid_arg "Digraph: unknown node"
+
+let add_edge g ~src ~dst label =
+  check_node g src;
+  check_node g dst;
+  let e = { src; dst; label; id = g.m } in
+  g.succ.(src) <- e :: g.succ.(src);
+  g.pred.(dst) <- e :: g.pred.(dst);
+  g.all <- e :: g.all;
+  g.m <- g.m + 1;
+  e
+
+let succ g v =
+  check_node g v;
+  List.rev g.succ.(v)
+
+let pred g v =
+  check_node g v;
+  List.rev g.pred.(v)
+
+let edges g = List.rev g.all
+
+let find_edge g ~src ~dst = List.find_opt (fun e -> e.dst = dst) (succ g src)
+
+let edge_by_id g id =
+  match List.find_opt (fun e -> e.id = id) g.all with
+  | Some e -> e
+  | None -> invalid_arg "Digraph.edge_by_id"
+
+let iter_nodes f g =
+  for v = 0 to g.n - 1 do
+    f v
+  done
+
+let map_labels f g =
+  let h = create () in
+  for _ = 1 to g.n do
+    ignore (add_node h)
+  done;
+  List.iter (fun e -> ignore (add_edge h ~src:e.src ~dst:e.dst (f e.label))) (edges g);
+  h
+
+let reverse g =
+  let h = create () in
+  for _ = 1 to g.n do
+    ignore (add_node h)
+  done;
+  List.iter (fun e -> ignore (add_edge h ~src:e.dst ~dst:e.src e.label)) (edges g);
+  h

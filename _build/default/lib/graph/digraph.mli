@@ -1,0 +1,45 @@
+(** Growable directed graphs with labelled edges and integer nodes.
+
+    The register connectivity graph (RCG) of a core and the core
+    connectivity graph (CCG) of a system-on-chip are both instances of this
+    structure.  Nodes are dense integers handed out by {!add_node}; node
+    payloads live in client-side arrays/tables keyed by node id. *)
+
+type 'e t
+
+type 'e edge = { src : int; dst : int; label : 'e; id : int }
+(** Edges carry a dense [id] so clients can attach side tables (for example
+    per-edge reservation calendars). *)
+
+val create : unit -> 'e t
+
+val add_node : 'e t -> int
+(** Returns the new node's id (ids are [0, 1, 2, ...]). *)
+
+val node_count : 'e t -> int
+
+val edge_count : 'e t -> int
+
+val add_edge : 'e t -> src:int -> dst:int -> 'e -> 'e edge
+(** Parallel edges and self-loops are allowed. *)
+
+val succ : 'e t -> int -> 'e edge list
+(** Out-edges, in insertion order. *)
+
+val pred : 'e t -> int -> 'e edge list
+(** In-edges, in insertion order. *)
+
+val edges : 'e t -> 'e edge list
+(** All edges in insertion order. *)
+
+val find_edge : 'e t -> src:int -> dst:int -> 'e edge option
+(** First edge from [src] to [dst], if any. *)
+
+val edge_by_id : 'e t -> int -> 'e edge
+
+val iter_nodes : (int -> unit) -> 'e t -> unit
+
+val map_labels : ('e -> 'f) -> 'e t -> 'f t
+
+val reverse : 'e t -> 'e t
+(** Same nodes, every edge flipped (edge ids preserved). *)

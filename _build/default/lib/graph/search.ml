@@ -1,0 +1,197 @@
+let bfs_order g ~start ~follow =
+  let n = Digraph.node_count g in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(start) <- true;
+  Queue.add start queue;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    List.iter
+      (fun (e : _ Digraph.edge) ->
+        if follow e && not seen.(e.dst) then begin
+          seen.(e.dst) <- true;
+          Queue.add e.dst queue
+        end)
+      (Digraph.succ g v)
+  done;
+  List.rev !order
+
+let bfs_path g ~start ~is_goal ~follow =
+  let n = Digraph.node_count g in
+  let via : _ Digraph.edge option array = Array.make n None in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(start) <- true;
+  Queue.add start queue;
+  let goal = ref None in
+  if is_goal start then goal := Some start;
+  while !goal = None && not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun (e : _ Digraph.edge) ->
+        if !goal = None && follow e && not seen.(e.dst) then begin
+          seen.(e.dst) <- true;
+          via.(e.dst) <- Some e;
+          if is_goal e.dst then goal := Some e.dst else Queue.add e.dst queue
+        end)
+      (Digraph.succ g v)
+  done;
+  match !goal with
+  | None -> None
+  | Some v ->
+      let rec unwind v acc =
+        match via.(v) with
+        | None -> acc
+        | Some e -> unwind e.src (e :: acc)
+      in
+      Some (unwind v [])
+
+let reachable g ~start ~follow =
+  let n = Digraph.node_count g in
+  let seen = Array.make n false in
+  List.iter (fun v -> seen.(v) <- true) (bfs_order g ~start ~follow);
+  seen
+
+let topological g =
+  let n = Digraph.node_count g in
+  let indeg = Array.make n 0 in
+  List.iter (fun (e : _ Digraph.edge) -> indeg.(e.dst) <- indeg.(e.dst) + 1) (Digraph.edges g);
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr count;
+    order := v :: !order;
+    List.iter
+      (fun (e : _ Digraph.edge) ->
+        indeg.(e.dst) <- indeg.(e.dst) - 1;
+        if indeg.(e.dst) = 0 then Queue.add e.dst queue)
+      (Digraph.succ g v)
+  done;
+  if !count = n then Some (List.rev !order) else None
+
+let scc g =
+  let n = Digraph.node_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let components = ref [] in
+  (* Iterative Tarjan to avoid stack overflow on deep graphs. *)
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun (e : _ Digraph.edge) ->
+        let w = e.dst in
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (Digraph.succ g v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  List.rev !components
+
+type 'e timed_path = {
+  path_edges : 'e Digraph.edge list;
+  departures : int list;
+  arrival : int;
+}
+
+module Pq = struct
+  (* Minimal pairing of (key, value) with a leftist-ish skew heap. *)
+  type 'a t = Leaf | Node of int * 'a * 'a t * 'a t
+
+  let empty = Leaf
+
+  let rec merge a b =
+    match (a, b) with
+    | Leaf, t | t, Leaf -> t
+    | Node (ka, va, la, ra), (Node (kb, _, _, _) as nb) when ka <= kb ->
+        Node (ka, va, merge ra nb, la)
+    | na, Node (kb, vb, lb, rb) -> Node (kb, vb, merge rb na, lb)
+
+  let push t k v = merge t (Node (k, v, Leaf, Leaf))
+
+  let pop = function
+    | Leaf -> None
+    | Node (k, v, l, r) -> Some (k, v, merge l r)
+end
+
+let dijkstra_timed g ~sources ~is_goal ~latency ~earliest_departure =
+  let n = Digraph.node_count g in
+  let best = Array.make n max_int in
+  let via : ('e Digraph.edge * int) option array = Array.make n None in
+  let pq = ref Pq.empty in
+  List.iter
+    (fun (v, t0) ->
+      if t0 < best.(v) then begin
+        best.(v) <- t0;
+        pq := Pq.push !pq t0 v
+      end)
+    sources;
+  let goal = ref None in
+  let continue = ref true in
+  while !continue do
+    match Pq.pop !pq with
+    | None -> continue := false
+    | Some (t, v, rest) ->
+        pq := rest;
+        if t = best.(v) then
+          if is_goal v then begin
+            goal := Some v;
+            continue := false
+          end
+          else
+            List.iter
+              (fun (e : _ Digraph.edge) ->
+                let dep = earliest_departure e t in
+                if dep < t then invalid_arg "dijkstra_timed: departure before arrival";
+                let arr = dep + latency e in
+                if arr < best.(e.dst) then begin
+                  best.(e.dst) <- arr;
+                  via.(e.dst) <- Some (e, dep);
+                  pq := Pq.push !pq arr e.dst
+                end)
+              (Digraph.succ g v)
+  done;
+  match !goal with
+  | None -> None
+  | Some v ->
+      let rec unwind v acc =
+        match via.(v) with
+        | None -> acc
+        | Some (e, dep) -> unwind e.src ((e, dep) :: acc)
+      in
+      let steps = unwind v [] in
+      Some
+        {
+          path_edges = List.map fst steps;
+          departures = List.map snd steps;
+          arrival = best.(v);
+        }

@@ -1,0 +1,45 @@
+(** Graph traversals used by the transparency engine and the chip-level
+    test-access router. *)
+
+val bfs_order : 'e Digraph.t -> start:int -> follow:('e Digraph.edge -> bool) -> int list
+(** Nodes in breadth-first order from [start], following only edges for
+    which [follow] holds.  [start] is included. *)
+
+val bfs_path :
+  'e Digraph.t ->
+  start:int ->
+  is_goal:(int -> bool) ->
+  follow:('e Digraph.edge -> bool) ->
+  'e Digraph.edge list option
+(** Shortest (fewest-edge) path from [start] to any goal node; [None] when
+    unreachable.  Returned edges are in path order. *)
+
+val reachable : 'e Digraph.t -> start:int -> follow:('e Digraph.edge -> bool) -> bool array
+(** [reachable g ~start ~follow].(v) iff [v] is reachable from [start]. *)
+
+val topological : 'e Digraph.t -> int list option
+(** Kahn's algorithm; [None] when the graph has a cycle. *)
+
+val scc : 'e Digraph.t -> int list list
+(** Strongly connected components (Tarjan), in reverse topological order of
+    the condensation. *)
+
+type 'e timed_path = {
+  path_edges : 'e Digraph.edge list;
+  departures : int list;  (** departure cycle of each edge, in path order *)
+  arrival : int;          (** cycle at which data reaches the destination *)
+}
+
+val dijkstra_timed :
+  'e Digraph.t ->
+  sources:(int * int) list ->
+  is_goal:(int -> bool) ->
+  latency:('e Digraph.edge -> int) ->
+  earliest_departure:('e Digraph.edge -> int -> int) ->
+  'e timed_path option
+(** Time-dependent shortest path (paper, Sec. 5.1).  [sources] pairs each
+    start node with the cycle at which data is available there.  Traversing
+    edge [e] from a node reached at cycle [t] departs at
+    [earliest_departure e t] (which must be [>= t]; this is where edge
+    reservation calendars plug in) and arrives [latency e] cycles later.
+    Returns a minimum-arrival-time path to any goal node. *)

@@ -1,0 +1,1 @@
+lib/netlist/builder.ml: Array Cell List Netlist Printf

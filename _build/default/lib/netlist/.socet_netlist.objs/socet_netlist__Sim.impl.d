@@ -1,0 +1,1 @@
+lib/netlist/sim.ml: Array Cell Hashtbl List Netlist Socet_util Sys

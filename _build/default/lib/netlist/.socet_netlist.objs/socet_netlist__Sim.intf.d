@@ -1,0 +1,1 @@
+lib/netlist/sim.mli: Netlist Socet_util

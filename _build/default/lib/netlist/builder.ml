@@ -1,0 +1,99 @@
+type word = Netlist.net array
+
+let const_word t ~width v =
+  Array.init width (fun i ->
+      Netlist.add_gate t (if (v lsr i) land 1 = 1 then Cell.Const1 else Cell.Const0) [||])
+
+let input_word t name w =
+  Array.init w (fun i -> Netlist.add_pi t (Printf.sprintf "%s.%d" name i))
+
+let output_word t name word =
+  Array.iteri (fun i n -> Netlist.add_po t (Printf.sprintf "%s.%d" name i) n) word
+
+let map1 t kind a = Array.map (fun x -> Netlist.add_gate t kind [| x |]) a
+
+let map2 t kind a b =
+  if Array.length a <> Array.length b then invalid_arg "Builder: width mismatch";
+  Array.mapi (fun i x -> Netlist.add_gate t kind [| x; b.(i) |]) a
+
+let not_word t a = map1 t Cell.Inv a
+let and_word t a b = map2 t Cell.And2 a b
+let or_word t a b = map2 t Cell.Or2 a b
+let xor_word t a b = map2 t Cell.Xor2 a b
+
+let mux2_word t ~sel ~a ~b =
+  if Array.length a <> Array.length b then invalid_arg "Builder.mux2_word";
+  Array.mapi (fun i x -> Netlist.add_gate t Cell.Mux2 [| sel; x; b.(i) |]) a
+
+let full_adder t a b cin =
+  let axb = Netlist.add_gate t Cell.Xor2 [| a; b |] in
+  let sum = Netlist.add_gate t Cell.Xor2 [| axb; cin |] in
+  let t1 = Netlist.add_gate t Cell.And2 [| a; b |] in
+  let t2 = Netlist.add_gate t Cell.And2 [| axb; cin |] in
+  let cout = Netlist.add_gate t Cell.Or2 [| t1; t2 |] in
+  (sum, cout)
+
+let adder t a b ~cin =
+  if Array.length a <> Array.length b then invalid_arg "Builder.adder";
+  let carry = ref cin in
+  let sum =
+    Array.mapi
+      (fun i x ->
+        let s, c = full_adder t x b.(i) !carry in
+        carry := c;
+        s)
+      a
+  in
+  (sum, !carry)
+
+let subtractor t a b =
+  (* a - b = a + ~b + 1; carry-out = 1 means no borrow (a >= b). *)
+  let one = Netlist.add_gate t Cell.Const1 [||] in
+  adder t a (not_word t b) ~cin:one
+
+let eq_word t a b =
+  let diffs = xor_word t a b in
+  let any =
+    Array.fold_left
+      (fun acc x ->
+        match acc with
+        | None -> Some x
+        | Some y -> Some (Netlist.add_gate t Cell.Or2 [| y; x |]))
+      None diffs
+  in
+  match any with
+  | None -> Netlist.add_gate t Cell.Const1 [||]
+  | Some x -> Netlist.add_gate t Cell.Inv [| x |]
+
+let lt_word t a b =
+  let _, no_borrow = subtractor t a b in
+  Netlist.add_gate t Cell.Inv [| no_borrow |]
+
+let inc_word t a =
+  let one = Netlist.add_gate t Cell.Const1 [||] in
+  let zero = Netlist.add_gate t Cell.Const0 [||] in
+  let b = Array.map (fun _ -> zero) a in
+  fst (adder t a b ~cin:one)
+
+let reduce t kind a =
+  match Array.to_list a with
+  | [] -> invalid_arg "Builder.reduce: empty word"
+  | x :: rest ->
+      List.fold_left (fun acc y -> Netlist.add_gate t kind [| acc; y |]) x rest
+
+let reduce_or t a = reduce t Cell.Or2 a
+let reduce_and t a = reduce t Cell.And2 a
+
+let new_register t ~name ~width =
+  let zero = Netlist.add_gate t Cell.Const0 [||] in
+  Array.init width (fun i ->
+      Netlist.add_gate t ~name:(Printf.sprintf "%s.%d" name i) Cell.Dff [| zero |])
+
+let connect_register t ~q ~d ?enable () =
+  if Array.length q <> Array.length d then invalid_arg "Builder.connect_register";
+  Array.iteri
+    (fun i qn ->
+      match enable with
+      | None -> Netlist.set_kind t qn Cell.Dff [| d.(i) |]
+      | Some en -> Netlist.set_kind t qn Cell.Dffe [| d.(i); en |])
+    q

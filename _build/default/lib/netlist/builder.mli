@@ -1,0 +1,49 @@
+(** Word-level construction helpers on top of {!Netlist}.
+
+    A [word] is an array of nets, least-significant bit first.  The RTL
+    elaborator ({!Socet_synth.Elaborate}) and the example cores use these
+    helpers to expand multi-bit registers, multiplexers and arithmetic into
+    gates. *)
+
+type word = Netlist.net array
+
+val const_word : Netlist.t -> width:int -> int -> word
+val input_word : Netlist.t -> string -> int -> word
+(** [input_word t name w] adds PIs [name.0 .. name.(w-1)]. *)
+
+val output_word : Netlist.t -> string -> word -> unit
+(** Declares POs [name.0 ..]. *)
+
+val not_word : Netlist.t -> word -> word
+val and_word : Netlist.t -> word -> word -> word
+val or_word : Netlist.t -> word -> word -> word
+val xor_word : Netlist.t -> word -> word -> word
+
+val mux2_word : Netlist.t -> sel:Netlist.net -> a:word -> b:word -> word
+(** Output is [a] when [sel = 0]. *)
+
+val adder : Netlist.t -> word -> word -> cin:Netlist.net -> word * Netlist.net
+(** Ripple-carry adder; returns (sum, carry-out). *)
+
+val subtractor : Netlist.t -> word -> word -> word * Netlist.net
+(** [a - b]; the extra net is 1 when no borrow occurred (i.e. [a >= b]). *)
+
+val eq_word : Netlist.t -> word -> word -> Netlist.net
+val lt_word : Netlist.t -> word -> word -> Netlist.net
+(** Unsigned comparison [a < b]. *)
+
+val inc_word : Netlist.t -> word -> word
+(** [a + 1], carry-out dropped. *)
+
+val reduce_or : Netlist.t -> word -> Netlist.net
+val reduce_and : Netlist.t -> word -> Netlist.net
+
+val new_register : Netlist.t -> name:string -> width:int -> word
+(** Creates [width] flip-flops whose D inputs are temporarily tied to
+    constant 0; returns the Q nets.  Wire the real D (and optional enable)
+    later with {!connect_register}; this two-phase protocol permits
+    feedback. *)
+
+val connect_register : Netlist.t -> q:word -> d:word -> ?enable:Netlist.net -> unit -> unit
+(** Rewires registers created by {!new_register}.  With [enable], the
+    flip-flops become load-enabled ({!Cell.Dffe}). *)

@@ -1,0 +1,73 @@
+type kind =
+  | Pi
+  | Const0
+  | Const1
+  | Buf
+  | Inv
+  | And2
+  | Or2
+  | Nand2
+  | Nor2
+  | Xor2
+  | Xnor2
+  | Mux2
+  | Dff
+  | Dffe
+  | Sdff
+  | Sdffe
+
+let arity = function
+  | Pi | Const0 | Const1 -> 0
+  | Buf | Inv | Dff -> 1
+  | And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 | Dffe -> 2
+  | Mux2 | Sdff -> 3
+  | Sdffe -> 4
+
+let area = function
+  | Pi | Const0 | Const1 -> 0
+  | Buf | Inv | Nand2 | Nor2 -> 1
+  | And2 | Or2 -> 2
+  | Xor2 | Xnor2 | Mux2 -> 3
+  | Dff -> 6
+  | Dffe -> 7
+  | Sdff -> 10
+  | Sdffe -> 11
+
+let is_dff = function
+  | Dff | Dffe | Sdff | Sdffe -> true
+  | Pi | Const0 | Const1 | Buf | Inv | And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2
+  | Mux2 ->
+      false
+
+let is_scan = function
+  | Sdff | Sdffe -> true
+  | Pi | Const0 | Const1 | Buf | Inv | And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2
+  | Mux2 | Dff | Dffe ->
+      false
+
+let scan_of = function
+  | Dff -> Sdff
+  | Dffe -> Sdffe
+  | Sdff -> Sdff
+  | Sdffe -> Sdffe
+  | _ -> invalid_arg "Cell.scan_of: not a flip-flop"
+
+let scan_upgrade_area k = area (scan_of k) - area k
+
+let name = function
+  | Pi -> "pi"
+  | Const0 -> "const0"
+  | Const1 -> "const1"
+  | Buf -> "buf"
+  | Inv -> "inv"
+  | And2 -> "and2"
+  | Or2 -> "or2"
+  | Nand2 -> "nand2"
+  | Nor2 -> "nor2"
+  | Xor2 -> "xor2"
+  | Xnor2 -> "xnor2"
+  | Mux2 -> "mux2"
+  | Dff -> "dff"
+  | Dffe -> "dffe"
+  | Sdff -> "sdff"
+  | Sdffe -> "sdffe"

@@ -1,0 +1,47 @@
+(** The generic standard-cell library.
+
+    The paper reports every overhead as a number of "cells" after technology
+    mapping with a .8µm library and an in-house synthesis tool.  We
+    substitute a fixed per-cell area table; all comparisons in the paper are
+    relative, so any consistent table preserves the published trade-off
+    shapes (see DESIGN.md, Substitutions). *)
+
+type kind =
+  | Pi          (** primary input (zero-area pseudo cell) *)
+  | Const0
+  | Const1
+  | Buf
+  | Inv
+  | And2
+  | Or2
+  | Nand2
+  | Nor2
+  | Xor2
+  | Xnor2
+  | Mux2        (** fanin [sel; a; b]: output is [a] when [sel = 0] *)
+  | Dff         (** fanin [d] *)
+  | Dffe        (** fanin [d; en]: loads [d] when [en = 1], else holds *)
+  | Sdff        (** fanin [d; si; se]: scan flip-flop, loads [si] when [se = 1] *)
+  | Sdffe       (** fanin [d; en; si; se]: scan version of {!Dffe} *)
+
+val arity : kind -> int
+(** Number of fanin pins. *)
+
+val area : kind -> int
+(** Area in cell units. *)
+
+val is_dff : kind -> bool
+(** True for all flip-flop kinds. *)
+
+val is_scan : kind -> bool
+(** True for {!Sdff} and {!Sdffe}. *)
+
+val scan_of : kind -> kind
+(** Scan equivalent of a flip-flop kind.  @raise Invalid_argument on
+    non-flip-flop kinds. *)
+
+val scan_upgrade_area : kind -> int
+(** [area (scan_of k) - area k]: incremental cost of making one flip-flop
+    scannable. *)
+
+val name : kind -> string

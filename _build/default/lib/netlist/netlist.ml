@@ -1,0 +1,188 @@
+type net = int
+
+type t = {
+  nl_name : string;
+  mutable kinds : Cell.kind array;
+  mutable fanins : net array array;
+  mutable names : string array;
+  mutable n : int;
+  mutable pis_rev : net list;
+  mutable pos_rev : (string * net) list;
+  mutable dffs_rev : net list;
+  (* Caches, invalidated on mutation. *)
+  mutable fanout_cache : net list array option;
+  mutable order_cache : net array option;
+}
+
+let create nl_name =
+  {
+    nl_name;
+    kinds = Array.make 64 Cell.Const0;
+    fanins = Array.make 64 [||];
+    names = Array.make 64 "";
+    n = 0;
+    pis_rev = [];
+    pos_rev = [];
+    dffs_rev = [];
+    fanout_cache = None;
+    order_cache = None;
+  }
+
+let name t = t.nl_name
+
+let invalidate t =
+  t.fanout_cache <- None;
+  t.order_cache <- None
+
+let grow t =
+  if t.n >= Array.length t.kinds then begin
+    let cap = 2 * Array.length t.kinds in
+    let k = Array.make cap Cell.Const0
+    and f = Array.make cap [||]
+    and s = Array.make cap "" in
+    Array.blit t.kinds 0 k 0 t.n;
+    Array.blit t.fanins 0 f 0 t.n;
+    Array.blit t.names 0 s 0 t.n;
+    t.kinds <- k;
+    t.fanins <- f;
+    t.names <- s
+  end
+
+let check_net t x =
+  if x < 0 || x >= t.n then invalid_arg "Netlist: unknown net"
+
+let add_gate t ?name kind fanin =
+  if Array.length fanin <> Cell.arity kind then
+    invalid_arg
+      (Printf.sprintf "Netlist.add_gate: %s expects %d fanins, got %d"
+         (Cell.name kind) (Cell.arity kind) (Array.length fanin));
+  Array.iter (check_net t) fanin;
+  grow t;
+  let id = t.n in
+  t.kinds.(id) <- kind;
+  t.fanins.(id) <- Array.copy fanin;
+  t.names.(id) <-
+    (match name with Some s -> s | None -> Printf.sprintf "n%d" id);
+  t.n <- t.n + 1;
+  if Cell.is_dff kind then t.dffs_rev <- id :: t.dffs_rev;
+  invalidate t;
+  id
+
+let add_pi t pi_name =
+  let id = add_gate t ~name:pi_name Cell.Pi [||] in
+  t.pis_rev <- id :: t.pis_rev;
+  id
+
+let add_po t po_name net =
+  check_net t net;
+  t.pos_rev <- (po_name, net) :: t.pos_rev
+
+let gate_count t = t.n
+let kind t x = check_net t x; t.kinds.(x)
+let fanin t x = check_net t x; t.fanins.(x)
+let gate_name t x = check_net t x; t.names.(x)
+
+let fanout t x =
+  check_net t x;
+  let cache =
+    match t.fanout_cache with
+    | Some c -> c
+    | None ->
+        let c = Array.make t.n [] in
+        for g = 0 to t.n - 1 do
+          Array.iter (fun src -> c.(src) <- g :: c.(src)) t.fanins.(g)
+        done;
+        t.fanout_cache <- Some c;
+        c
+  in
+  cache.(x)
+
+let set_kind t x kind fanin =
+  check_net t x;
+  if Array.length fanin <> Cell.arity kind then
+    invalid_arg "Netlist.set_kind: arity mismatch";
+  Array.iter (check_net t) fanin;
+  let was_dff = Cell.is_dff t.kinds.(x) in
+  if was_dff <> Cell.is_dff kind then
+    invalid_arg "Netlist.set_kind: cannot change sequential nature";
+  t.kinds.(x) <- kind;
+  t.fanins.(x) <- Array.copy fanin;
+  invalidate t
+
+let pis t = List.rev t.pis_rev
+let pos t = List.rev t.pos_rev
+let dffs t = List.rev t.dffs_rev
+
+let pi_index t x =
+  let rec loop i = function
+    | [] -> raise Not_found
+    | y :: _ when y = x -> i
+    | _ :: rest -> loop (i + 1) rest
+  in
+  loop 0 (pis t)
+
+let area t =
+  let a = ref 0 in
+  for g = 0 to t.n - 1 do
+    a := !a + Cell.area t.kinds.(g)
+  done;
+  !a
+
+let comb_order t =
+  match t.order_cache with
+  | Some o -> o
+  | None ->
+      (* Kahn over the combinational dependency relation: a gate depends on
+         its fanins unless the gate itself is sequential (flip-flop fanins
+         are sampled at the clock edge, not combinationally). *)
+      let indeg = Array.make t.n 0 in
+      for g = 0 to t.n - 1 do
+        if not (Cell.is_dff t.kinds.(g)) then
+          indeg.(g) <- Array.length t.fanins.(g)
+      done;
+      let queue = Queue.create () in
+      for g = 0 to t.n - 1 do
+        if indeg.(g) = 0 then Queue.add g queue
+      done;
+      let order = Array.make t.n 0 in
+      let count = ref 0 in
+      (* Precompute fanouts once. *)
+      let fo = Array.make t.n [] in
+      for g = 0 to t.n - 1 do
+        if not (Cell.is_dff t.kinds.(g)) then
+          Array.iter (fun src -> fo.(src) <- g :: fo.(src)) t.fanins.(g)
+      done;
+      while not (Queue.is_empty queue) do
+        let g = Queue.pop queue in
+        order.(!count) <- g;
+        incr count;
+        List.iter
+          (fun h ->
+            indeg.(h) <- indeg.(h) - 1;
+            if indeg.(h) = 0 then Queue.add h queue)
+          fo.(g)
+      done;
+      if !count <> t.n then
+        failwith (Printf.sprintf "Netlist %s: combinational cycle" t.nl_name);
+      t.order_cache <- Some order;
+      order
+
+let stats t =
+  Printf.sprintf "%s: %d gates, %d PIs, %d POs, %d FFs, area %d cells"
+    t.nl_name t.n
+    (List.length t.pis_rev)
+    (List.length t.pos_rev)
+    (List.length t.dffs_rev)
+    (area t)
+
+let find_pi t s =
+  let rec loop = function
+    | [] -> raise Not_found
+    | x :: rest -> if t.names.(x) = s then x else loop rest
+  in
+  loop (pis t)
+
+let find_po t s =
+  match List.assoc_opt s (pos t) with
+  | Some x -> x
+  | None -> raise Not_found

@@ -1,0 +1,72 @@
+(** Gate-level netlists.
+
+    A netlist is a directed acyclic graph of {!Cell.kind} instances.  Every
+    gate drives exactly one net, identified with the gate's id.  Primary
+    outputs are named references to nets.  Sequential elements
+    (flip-flops) break combinational cycles: the *output* of a flip-flop is
+    a combinational source and its *fanin pins* are combinational sinks.
+
+    This is the substrate for area accounting, fault simulation and ATPG. *)
+
+type t
+
+type net = int
+(** A net is the id of its driving gate. *)
+
+val create : string -> t
+(** [create name] is an empty netlist. *)
+
+val name : t -> string
+
+val add_gate : t -> ?name:string -> Cell.kind -> net array -> net
+(** [add_gate t kind fanin] adds a gate; [Array.length fanin] must equal
+    [Cell.arity kind].  Returns the driven net. *)
+
+val add_pi : t -> string -> net
+(** Adds a primary input. *)
+
+val add_po : t -> string -> net -> unit
+(** Declares a named primary output driven by [net]. *)
+
+val gate_count : t -> int
+
+val kind : t -> net -> Cell.kind
+val fanin : t -> net -> net array
+val fanout : t -> net -> net list
+(** Gates that read [net] (in no particular order). *)
+
+val gate_name : t -> net -> string
+(** The user-supplied name, or a generated one. *)
+
+val set_kind : t -> net -> Cell.kind -> net array -> unit
+(** Replace a gate in place (used by scan insertion to upgrade [Dff] to
+    [Sdff] etc.).  The new kind's arity must match the new fanin. *)
+
+val pis : t -> net list
+(** Primary inputs, in insertion order. *)
+
+val pos : t -> (string * net) list
+(** Primary outputs, in insertion order. *)
+
+val dffs : t -> net list
+(** Flip-flops, in insertion order. *)
+
+val pi_index : t -> net -> int
+(** Position of a PI in [pis t].  @raise Not_found otherwise. *)
+
+val area : t -> int
+(** Total area in cell units. *)
+
+val comb_order : t -> net array
+(** All gates in a topological order in which flip-flop outputs, PIs and
+    constants precede everything, and each combinational gate follows its
+    fanins.  @raise Failure on a combinational cycle. *)
+
+val stats : t -> string
+(** One-line summary: #gates, #PIs, #POs, #FFs, area. *)
+
+val find_pi : t -> string -> net
+(** Look up a PI by name.  @raise Not_found. *)
+
+val find_po : t -> string -> net
+(** Net driving the named PO.  @raise Not_found. *)

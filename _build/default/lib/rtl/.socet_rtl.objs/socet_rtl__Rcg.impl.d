@@ -1,0 +1,1 @@
+lib/rtl/rcg.ml: Array Format Hashtbl List Rtl_core Rtl_types Socet_graph

@@ -1,0 +1,1 @@
+lib/rtl/rcg.mli: Format Rtl_core Rtl_types Socet_graph

@@ -1,0 +1,1 @@
+lib/rtl/rtl_core.ml: Format List Printf Rtl_types

@@ -1,0 +1,1 @@
+lib/rtl/rtl_core.mli: Format Rtl_types

@@ -1,0 +1,1 @@
+lib/rtl/rtl_types.ml: Format Printf

@@ -1,0 +1,122 @@
+open Rtl_types
+module Digraph = Socet_graph.Digraph
+
+type node_kind = In | Out | Reg
+
+type node = { n_kind : node_kind; n_name : string; n_width : int }
+
+type edge_label = {
+  e_src_range : range;
+  e_dst_range : range;
+  e_via : [ `Direct | `Mux of int ];
+  e_transfer : int;
+  mutable e_hscan : bool;
+  mutable e_enabled : bool;
+}
+
+type t = {
+  rcg_core : Rtl_core.t;
+  g : edge_label Digraph.t;
+  nodes : node array;
+  index : (string, int) Hashtbl.t;
+}
+
+let of_core c =
+  let g = Digraph.create () in
+  let index = Hashtbl.create 16 in
+  let nodes = ref [] in
+  let add kind name width =
+    let id = Digraph.add_node g in
+    Hashtbl.replace index name id;
+    nodes := { n_kind = kind; n_name = name; n_width = width } :: !nodes;
+    id
+  in
+  List.iter
+    (fun (p : Rtl_core.port) ->
+      ignore (add (match p.p_dir with `In -> In | `Out -> Out) p.p_name p.p_width))
+    (Rtl_core.ports c);
+  List.iter
+    (fun (r : Rtl_core.reg) -> ignore (add Reg r.r_name r.r_width))
+    (Rtl_core.regs c);
+  List.iteri
+    (fun t_index tr ->
+      match tr.t_kind with
+      | Logic _ -> () (* not lossless: invisible to the RCG *)
+      | Direct | Mux _ ->
+          let via =
+            match tr.t_kind with
+            | Direct -> `Direct
+            | Mux ctrl -> `Mux ctrl
+            | Logic _ -> assert false
+          in
+          let src = Hashtbl.find index (ep_name tr.t_src) in
+          let dst = Hashtbl.find index (ep_name tr.t_dst) in
+          ignore
+            (Digraph.add_edge g ~src ~dst
+               {
+                 e_src_range = tr.t_src.range;
+                 e_dst_range = tr.t_dst.range;
+                 e_via = via;
+                 e_transfer = t_index;
+                 e_hscan = false;
+                 e_enabled = true;
+               }))
+    (Rtl_core.transfers c);
+  { rcg_core = c; g; nodes = Array.of_list (List.rev !nodes); index }
+
+let core t = t.rcg_core
+let graph t = t.g
+let node t i = t.nodes.(i)
+let node_id t name = Hashtbl.find t.index name
+
+let ids_of_kind t k =
+  let acc = ref [] in
+  Array.iteri (fun i n -> if n.n_kind = k then acc := i :: !acc) t.nodes;
+  List.rev !acc
+
+let input_ids t = ids_of_kind t In
+let output_ids t = ids_of_kind t Out
+let reg_ids t = ids_of_kind t Reg
+
+let group_by_range proj edges =
+  let tbl = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun (e : edge_label Digraph.edge) ->
+      let r = proj e.label in
+      let key = (r.lsb, r.msb) in
+      (match Hashtbl.find_opt tbl key with
+      | None ->
+          order := (r, key) :: !order;
+          Hashtbl.replace tbl key [ e ]
+      | Some es -> Hashtbl.replace tbl key (e :: es)))
+    edges;
+  !order
+  |> List.sort (fun ((a : range), _) (b, _) -> compare (a.lsb, a.msb) (b.lsb, b.msb))
+  |> List.map (fun (r, key) -> (r, List.rev (Hashtbl.find tbl key)))
+
+let in_slice_groups t v = group_by_range (fun l -> l.e_dst_range) (Digraph.pred t.g v)
+let out_slice_groups t v = group_by_range (fun l -> l.e_src_range) (Digraph.succ t.g v)
+
+let is_c_split t v = List.length (in_slice_groups t v) > 1
+let is_o_split t v = List.length (out_slice_groups t v) > 1
+
+let hscan_edges t =
+  List.filter (fun (e : edge_label Digraph.edge) -> e.label.e_hscan) (Digraph.edges t.g)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v 2>RCG of %s:@," (Rtl_core.name t.rcg_core);
+  List.iter
+    (fun (e : edge_label Digraph.edge) ->
+      let s = t.nodes.(e.src) and d = t.nodes.(e.dst) in
+      Format.fprintf fmt "%s%a -> %s%a%s%s@," s.n_name pp_range e.label.e_src_range
+        d.n_name pp_range e.label.e_dst_range
+        (match e.label.e_via with `Direct -> " (direct)" | `Mux _ -> "")
+        (if e.label.e_hscan then " [hscan]" else ""))
+    (Digraph.edges t.g);
+  Array.iteri
+    (fun i n ->
+      if is_c_split t i then Format.fprintf fmt "C-split: %s@," n.n_name;
+      if is_o_split t i then Format.fprintf fmt "O-split: %s@," n.n_name)
+    t.nodes;
+  Format.fprintf fmt "@]"

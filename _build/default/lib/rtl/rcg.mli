@@ -1,0 +1,63 @@
+(** Register connectivity graph (paper, Sec. 4, Fig. 7).
+
+    Nodes are the core's input ports, output ports and registers.  An edge
+    is present for every lossless structural path (direct wire or existing
+    multiplexer input); paths through functional units are omitted, as data
+    cannot cross them without information loss.
+
+    A node is a {e C-split} node when different bit-slices of it are written
+    from different sources, and an {e O-split} node when different
+    bit-slices of it fan out to different destinations; the transparency
+    search must branch at such nodes. *)
+
+open Rtl_types
+
+type node_kind = In | Out | Reg
+
+type node = { n_kind : node_kind; n_name : string; n_width : int }
+
+type edge_label = {
+  e_src_range : range;    (** slice read at the edge's source node *)
+  e_dst_range : range;    (** slice written at the edge's destination node *)
+  e_via : [ `Direct | `Mux of int ];
+  e_transfer : int;
+      (** index into [Rtl_core.transfers] that produced this edge, or [-1]
+          for edges synthesized by HSCAN / the transparency engine — used
+          to drive the gate-level transparency simulator *)
+  mutable e_hscan : bool; (** set by HSCAN insertion when the edge carries a scan chain *)
+  mutable e_enabled : bool;
+      (** rescue hardware that turned out not to help is disabled (and its
+          cost refunded) rather than removed; searches ignore disabled
+          edges *)
+}
+
+type t
+
+val of_core : Rtl_core.t -> t
+(** The core must have been validated. *)
+
+val core : t -> Rtl_core.t
+val graph : t -> edge_label Socet_graph.Digraph.t
+
+val node : t -> int -> node
+val node_id : t -> string -> int
+(** Node id by port/register name.  @raise Not_found. *)
+
+val input_ids : t -> int list
+val output_ids : t -> int list
+val reg_ids : t -> int list
+
+val is_c_split : t -> int -> bool
+val is_o_split : t -> int -> bool
+
+val in_slice_groups : t -> int -> (range * edge_label Socet_graph.Digraph.edge list) list
+(** Incoming edges grouped by the slice of this node they write, in
+    increasing [lsb] order. *)
+
+val out_slice_groups : t -> int -> (range * edge_label Socet_graph.Digraph.edge list) list
+(** Outgoing edges grouped by the slice of this node they read. *)
+
+val hscan_edges : t -> edge_label Socet_graph.Digraph.edge list
+(** Edges currently marked as HSCAN chain segments. *)
+
+val pp : Format.formatter -> t -> unit

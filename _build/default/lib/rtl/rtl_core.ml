@@ -1,0 +1,133 @@
+open Rtl_types
+
+type port = { p_name : string; p_dir : [ `In | `Out ]; p_width : int }
+type reg = { r_name : string; r_width : int }
+
+type t = {
+  c_name : string;
+  mutable c_ports : port list;      (* reversed *)
+  mutable c_regs : reg list;        (* reversed *)
+  mutable c_transfers : transfer list; (* reversed *)
+}
+
+let create c_name = { c_name; c_ports = []; c_regs = []; c_transfers = [] }
+let name t = t.c_name
+
+let fail t fmt =
+  Printf.ksprintf (fun s -> invalid_arg (Printf.sprintf "core %s: %s" t.c_name s)) fmt
+
+let check_fresh t n =
+  if List.exists (fun p -> p.p_name = n) t.c_ports
+     || List.exists (fun r -> r.r_name = n) t.c_regs
+  then fail t "duplicate name %s" n
+
+let add_input t n w =
+  check_fresh t n;
+  if w <= 0 then fail t "port %s: width must be positive" n;
+  t.c_ports <- { p_name = n; p_dir = `In; p_width = w } :: t.c_ports
+
+let add_output t n w =
+  check_fresh t n;
+  if w <= 0 then fail t "port %s: width must be positive" n;
+  t.c_ports <- { p_name = n; p_dir = `Out; p_width = w } :: t.c_ports
+
+let add_reg t n w =
+  check_fresh t n;
+  if w <= 0 then fail t "register %s: width must be positive" n;
+  t.c_regs <- { r_name = n; r_width = w } :: t.c_regs
+
+let add_transfer t ?(kind = Mux 1) ~src ~dst () =
+  t.c_transfers <- { t_src = src; t_dst = dst; t_kind = kind } :: t.c_transfers
+
+let find_port t n =
+  match List.find_opt (fun p -> p.p_name = n) t.c_ports with
+  | Some p -> p
+  | None -> raise Not_found
+
+let find_reg t n =
+  match List.find_opt (fun r -> r.r_name = n) t.c_regs with
+  | Some r -> r
+  | None -> raise Not_found
+
+let reg t n =
+  let r = try find_reg t n with Not_found -> fail t "unknown register %s" n in
+  { base = Ereg n; range = full r.r_width }
+
+let port t n =
+  let p = try find_port t n with Not_found -> fail t "unknown port %s" n in
+  { base = Eport n; range = full p.p_width }
+
+let reg_bits t n lsb msb =
+  ignore (try find_reg t n with Not_found -> fail t "unknown register %s" n);
+  { base = Ereg n; range = bits lsb msb }
+
+let port_bits t n lsb msb =
+  ignore (try find_port t n with Not_found -> fail t "unknown port %s" n);
+  { base = Eport n; range = bits lsb msb }
+
+let ports t = List.rev t.c_ports
+let inputs t = List.filter (fun p -> p.p_dir = `In) (ports t)
+let outputs t = List.filter (fun p -> p.p_dir = `Out) (ports t)
+let regs t = List.rev t.c_regs
+let transfers t = List.rev t.c_transfers
+
+let ep_width t e =
+  let declared =
+    match e.base with
+    | Eport n -> (try (find_port t n).p_width with Not_found -> fail t "unknown port %s" n)
+    | Ereg n -> (try (find_reg t n).r_width with Not_found -> fail t "unknown register %s" n)
+  in
+  if e.range.msb >= declared then
+    fail t "endpoint %s%s exceeds declared width %d" (ep_name e)
+      (Format.asprintf "%a" pp_range e.range)
+      declared;
+  range_width e.range
+
+let validate t =
+  List.iter
+    (fun tr ->
+      let sw = ep_width t tr.t_src and dw = ep_width t tr.t_dst in
+      (match tr.t_src.base with
+      | Eport n ->
+          if (find_port t n).p_dir <> `In then
+            fail t "transfer source %s is not an input port" n
+      | Ereg _ -> ());
+      (match tr.t_dst.base with
+      | Eport n ->
+          if (find_port t n).p_dir <> `Out then
+            fail t "transfer destination %s is not an output port" n
+      | Ereg _ -> ());
+      let expected =
+        match tr.t_kind with
+        | Direct | Mux _ -> sw
+        | Logic fn -> logic_fn_out_width fn sw
+      in
+      if expected <> dw then
+        fail t "transfer %s: width mismatch (%d -> %d bits)"
+          (Format.asprintf "%a" pp_transfer tr)
+          expected dw;
+      match tr.t_kind with
+      | Logic (Fadd op | Fsub op | Fand op | Fxor op) ->
+          ignore (ep_width t op)
+      | Direct | Mux _ | Logic (Finc | Fnot | Fdec7seg | Fparity) -> ())
+    (transfers t)
+
+let reg_bit_count t = List.fold_left (fun acc r -> acc + r.r_width) 0 (regs t)
+
+let input_bit_count t =
+  List.fold_left (fun acc p -> acc + p.p_width) 0 (inputs t)
+
+let output_bit_count t =
+  List.fold_left (fun acc p -> acc + p.p_width) 0 (outputs t)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v 2>core %s:@," t.c_name;
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "%s %s[%d]@,"
+        (match p.p_dir with `In -> "input" | `Out -> "output")
+        p.p_name p.p_width)
+    (ports t);
+  List.iter (fun r -> Format.fprintf fmt "reg %s[%d]@," r.r_name r.r_width) (regs t);
+  List.iter (fun tr -> Format.fprintf fmt "%a@," pp_transfer tr) (transfers t);
+  Format.fprintf fmt "@]"

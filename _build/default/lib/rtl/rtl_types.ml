@@ -1,0 +1,54 @@
+type range = { lsb : int; msb : int }
+
+let range_width r = r.msb - r.lsb + 1
+let full w = { lsb = 0; msb = w - 1 }
+
+let bits lsb msb =
+  if lsb > msb || lsb < 0 then invalid_arg "Rtl_types.bits";
+  { lsb; msb }
+
+let range_equal a b = a.lsb = b.lsb && a.msb = b.msb
+let ranges_overlap a b = a.lsb <= b.msb && b.lsb <= a.msb
+
+let pp_range fmt r =
+  if r.lsb = r.msb then Format.fprintf fmt "[%d]" r.lsb
+  else Format.fprintf fmt "[%d:%d]" r.msb r.lsb
+
+type ep_base = Eport of string | Ereg of string
+
+type endpoint = { base : ep_base; range : range }
+
+let ep_name e = match e.base with Eport s -> s | Ereg s -> s
+
+let pp_endpoint fmt e =
+  let prefix = match e.base with Eport _ -> "" | Ereg _ -> "$" in
+  Format.fprintf fmt "%s%s%a" prefix (ep_name e) pp_range e.range
+
+type logic_fn =
+  | Fadd of endpoint
+  | Fsub of endpoint
+  | Fand of endpoint
+  | Fxor of endpoint
+  | Finc
+  | Fnot
+  | Fdec7seg
+  | Fparity
+
+let logic_fn_out_width fn in_width =
+  match fn with
+  | Fadd _ | Fsub _ | Fand _ | Fxor _ | Finc | Fnot -> in_width
+  | Fdec7seg -> 7
+  | Fparity -> 1
+
+type path_kind = Direct | Mux of int | Logic of logic_fn
+
+type transfer = { t_src : endpoint; t_dst : endpoint; t_kind : path_kind }
+
+let pp_transfer fmt t =
+  let kind =
+    match t.t_kind with
+    | Direct -> "direct"
+    | Mux c -> Printf.sprintf "mux(ctrl=%d)" c
+    | Logic _ -> "logic"
+  in
+  Format.fprintf fmt "%a -> %a (%s)" pp_endpoint t.t_src pp_endpoint t.t_dst kind

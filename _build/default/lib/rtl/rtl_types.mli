@@ -1,0 +1,66 @@
+(** Register-transfer-level IR.
+
+    A core is described by its ports, registers and *transfers*: the
+    register-to-register, port-to-register and register-to-port data paths
+    that exist in the design, each flagged with how the path is implemented
+    (hard-wired, through an existing multiplexer input, or through a
+    functional unit).  This structural view is exactly what the paper's
+    core-level machinery consumes: HSCAN chain construction reuses
+    multiplexer paths (Sec. 2) and the transparency engine extracts the
+    register connectivity graph from it (Sec. 4). *)
+
+type range = { lsb : int; msb : int }
+(** Inclusive bit range; [lsb <= msb].  Bits are numbered from 0. *)
+
+val range_width : range -> int
+val full : int -> range
+(** [full w] is bits [0 .. w-1]. *)
+
+val bits : int -> int -> range
+(** [bits lsb msb]. *)
+
+val range_equal : range -> range -> bool
+val ranges_overlap : range -> range -> bool
+val pp_range : Format.formatter -> range -> unit
+
+type ep_base =
+  | Eport of string  (** an input or output port *)
+  | Ereg of string   (** a register *)
+
+type endpoint = { base : ep_base; range : range }
+
+val ep_name : endpoint -> string
+val pp_endpoint : Format.formatter -> endpoint -> unit
+
+type logic_fn =
+  | Fadd of endpoint   (** out := src + operand *)
+  | Fsub of endpoint   (** out := src - operand *)
+  | Fand of endpoint
+  | Fxor of endpoint
+  | Finc               (** out := src + 1 *)
+  | Fnot
+  | Fdec7seg           (** 4-bit BCD digit to 7-segment code *)
+  | Fparity            (** width-1 reduction: out := xor of src bits *)
+
+val logic_fn_out_width : logic_fn -> int -> int
+(** Output width of a functional unit given its primary-input width. *)
+
+type path_kind =
+  | Direct
+      (** hard-wired connection *)
+  | Mux of int
+      (** through an existing multiplexer input; the argument is the number
+          of control/gating bits that must be overridden to steer this path
+          in test mode (drives the transparency-logic area model) *)
+  | Logic of logic_fn
+      (** through a functional unit — carries data but not losslessly, so
+          it is invisible to HSCAN and to the transparency engine; it exists
+          for gate-level realism (area, fault population) *)
+
+type transfer = {
+  t_src : endpoint;
+  t_dst : endpoint;
+  t_kind : path_kind;
+}
+
+val pp_transfer : Format.formatter -> transfer -> unit

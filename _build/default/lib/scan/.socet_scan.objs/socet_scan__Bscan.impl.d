@@ -1,0 +1,1 @@
+lib/scan/bscan.ml: Rtl_core Socet_rtl

@@ -1,0 +1,1 @@
+lib/scan/bscan.mli: Rtl_core Socet_rtl

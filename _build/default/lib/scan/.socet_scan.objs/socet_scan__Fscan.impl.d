@@ -1,0 +1,1 @@
+lib/scan/fscan.ml: Array Cell List Netlist Socet_netlist

@@ -1,0 +1,1 @@
+lib/scan/fscan.mli: Netlist Socet_netlist

@@ -1,0 +1,1 @@
+lib/scan/hscan.ml: Array Hashtbl List Rcg Rtl_types Socet_graph Socet_rtl

@@ -1,0 +1,1 @@
+lib/scan/hscan.mli: Rcg Socet_rtl

@@ -1,0 +1,10 @@
+open Socet_rtl
+
+let cell_area = 2
+
+let ring_overhead core =
+  cell_area * (Rtl_core.input_bit_count core + Rtl_core.output_bit_count core)
+
+let test_time ~n_ff ~n_inputs ~n_vectors =
+  let shift = n_ff + n_inputs in
+  (shift * n_vectors) + shift - 1

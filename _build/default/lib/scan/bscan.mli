@@ -1,0 +1,18 @@
+(** Boundary scan isolation, and the FSCAN-BSCAN baseline arithmetic.
+
+    In the FSCAN-BSCAN scheme every core is full-scanned and wrapped in a
+    boundary-scan ring, so each core is tested in isolation through its
+    ring.  The paper's worked example gives the per-core test time as
+    [(ff + inputs) * vectors + (ff + inputs) - 1] cycles (Sec. 3:
+    (66+20) x 105 + (66+20) - 1 = 9,115 for the DISPLAY core). *)
+
+open Socet_rtl
+
+val cell_area : int
+(** Area of one boundary-scan cell, in cell units. *)
+
+val ring_overhead : Rtl_core.t -> int
+(** Boundary-scan ring cost for a core: one cell per port bit. *)
+
+val test_time : n_ff:int -> n_inputs:int -> n_vectors:int -> int
+(** Per-core FSCAN-BSCAN test application time (formula above). *)

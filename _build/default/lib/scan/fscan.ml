@@ -1,0 +1,38 @@
+open Socet_netlist
+
+type result = {
+  chain : Netlist.net list;
+  overhead_cells : int;
+  scan_in : Netlist.net;
+  scan_enable : Netlist.net;
+}
+
+let overhead nl =
+  List.fold_left
+    (fun acc ff -> acc + Cell.scan_upgrade_area (Netlist.kind nl ff))
+    0 (Netlist.dffs nl)
+
+let insert nl =
+  let cost = overhead nl in
+  let scan_in = Netlist.add_pi nl "scan_in" in
+  let scan_enable = Netlist.add_pi nl "scan_en" in
+  let prev = ref scan_in in
+  let chain = Netlist.dffs nl in
+  List.iter
+    (fun ff ->
+      let fanin = Netlist.fanin nl ff in
+      (match Netlist.kind nl ff with
+      | Cell.Dff -> Netlist.set_kind nl ff Cell.Sdff [| fanin.(0); !prev; scan_enable |]
+      | Cell.Dffe ->
+          Netlist.set_kind nl ff Cell.Sdffe
+            [| fanin.(0); fanin.(1); !prev; scan_enable |]
+      | Cell.Sdff | Cell.Sdffe -> () (* already scanned *)
+      | _ -> assert false);
+      prev := ff)
+    chain;
+  (match chain with
+  | [] -> ()
+  | _ -> Netlist.add_po nl "scan_out" !prev);
+  { chain; overhead_cells = cost; scan_in; scan_enable }
+
+let test_time ~n_ff ~n_vectors = ((n_ff + 1) * n_vectors) + n_ff

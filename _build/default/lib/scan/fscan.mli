@@ -1,0 +1,25 @@
+(** Full scan (FSCAN): every flip-flop becomes a scan flip-flop on a single
+    chain.  This is the conventional core-level DFT the paper compares
+    against (column "FSCAN Ovhd." of Table 2). *)
+
+open Socet_netlist
+
+type result = {
+  chain : Netlist.net list;  (** scan order, scan-in end first *)
+  overhead_cells : int;
+  scan_in : Netlist.net;     (** added PI *)
+  scan_enable : Netlist.net; (** added PI *)
+}
+
+val insert : Netlist.t -> result
+(** Mutates the netlist: upgrades every flip-flop to its scan variant,
+    threads them on one chain and adds [scan_in]/[scan_enable] PIs and a
+    [scan_out] PO. *)
+
+val overhead : Netlist.t -> int
+(** Area cost {!insert} would incur, without mutating. *)
+
+val test_time : n_ff:int -> n_vectors:int -> int
+(** Cycles to apply [n_vectors] scan vectors through a single chain of
+    [n_ff] flip-flops with overlapped scan-out:
+    [(n_ff + 1) * n_vectors + n_ff]. *)

@@ -1,0 +1,233 @@
+open Socet_rtl
+open Rtl_types
+module Digraph = Socet_graph.Digraph
+
+type added_edge = { ae_src : int; ae_dst : int; ae_width : int; ae_cost : int }
+
+type result = {
+  depth : int;
+  overhead_cells : int;
+  chains : int list list;
+  added : added_edge list;
+}
+
+let edge_cost (e : Rcg.edge_label Digraph.edge) =
+  match e.label.e_via with `Direct -> 1 | `Mux _ -> 2
+
+let insert rcg =
+  let g = Rcg.graph rcg in
+  let inputs = Rcg.input_ids rcg in
+  let outputs = Rcg.output_ids rcg in
+  let regs = Rcg.reg_ids rcg in
+  let added = ref [] in
+  (* Fixed test-enable distribution plus per-register chain control (the
+     OR gate at each load signal plus enable fanout, Fig. 1). *)
+  let overhead = ref (2 + (2 * List.length regs)) in
+  let mark (e : Rcg.edge_label Digraph.edge) =
+    if not e.label.e_hscan then begin
+      e.label.e_hscan <- true;
+      overhead := !overhead + edge_cost e
+    end
+  in
+  let add_test_mux ~src ~dst ~(width : int) ~(dst_range : range) ~(src_range : range) =
+    let cost = 2 * width in
+    overhead := !overhead + cost;
+    let e =
+      Digraph.add_edge g ~src ~dst
+        {
+          Rcg.e_src_range = src_range;
+          e_dst_range = dst_range;
+          e_via = `Mux 0;
+          e_transfer = -1;
+          e_hscan = true;
+          e_enabled = true;
+        }
+    in
+    added := { ae_src = src; ae_dst = dst; ae_width = width; ae_cost = cost } :: !added;
+    e
+  in
+  (* --- Select one chain feed per register slice group. ------------- *)
+  (* [selections] maps (reg node, group index) to the chosen in-edge.
+     Selection escalates the acceptable candidate rank pass by pass, so a
+     register prefers its first-declared feed and waits for that feed's
+     source to join a chain before falling back to alternatives.  The
+     "source is ok" discipline makes the marked subgraph acyclic. *)
+  let groups = List.map (fun r -> (r, Rcg.in_slice_groups rcg r)) regs in
+  let selections = Hashtbl.create 16 in
+  let ok = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace ok i ()) inputs;
+  let is_ok v = Hashtbl.mem ok v in
+  let reg_complete r =
+    let gs = List.assoc r groups in
+    List.for_all
+      (fun idx -> Hashtbl.mem selections (r, idx))
+      (List.mapi (fun i _ -> i) gs)
+  in
+  let max_rank =
+    List.fold_left
+      (fun acc (_, gs) ->
+        List.fold_left (fun acc (_, es) -> max acc (List.length es)) acc gs)
+      1 groups
+  in
+  for rank = 1 to max_rank do
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      List.iter
+        (fun (r, gs) ->
+          List.iteri
+            (fun idx (_, edges) ->
+              if not (Hashtbl.mem selections (r, idx)) then begin
+                let candidates =
+                  List.filteri (fun i _ -> i < rank) edges
+                  |> List.filter (fun (e : Rcg.edge_label Digraph.edge) ->
+                         is_ok e.src)
+                in
+                match candidates with
+                | e :: _ ->
+                    Hashtbl.replace selections (r, idx) e;
+                    progress := true
+                | [] -> ()
+              end)
+            gs;
+          if (not (is_ok r)) && reg_complete r then begin
+            Hashtbl.replace ok r ();
+            progress := true
+          end)
+        groups
+    done
+  done;
+  (* Fallback: registers with uncovered slices — including registers with
+     no structural feed at all — get a test-mux feed from an input
+     (round-robin over inputs). *)
+  let input_arr = Array.of_list inputs in
+  let next_input = ref 0 in
+  let pick_input () =
+    if Array.length input_arr = 0 then
+      invalid_arg "Hscan.insert: core has no inputs"
+    else begin
+      let s = input_arr.(!next_input mod Array.length input_arr) in
+      incr next_input;
+      s
+    end
+  in
+  let mux_feed r range =
+    let src = pick_input () in
+    let w = range_width range in
+    let src_node = Rcg.node rcg src in
+    let src_range = full (min w src_node.Rcg.n_width) in
+    add_test_mux ~src ~dst:r ~width:w ~dst_range:range ~src_range
+  in
+  List.iter
+    (fun (r, gs) ->
+      List.iteri
+        (fun idx (range, _) ->
+          if not (Hashtbl.mem selections (r, idx)) then
+            Hashtbl.replace selections (r, idx) (mux_feed r range))
+        gs;
+      (* Bits never written by any transfer still need a chain feed. *)
+      let width = (Rcg.node rcg r).Rcg.n_width in
+      let covered =
+        List.fold_left
+          (fun acc (range, _) ->
+            acc lor (((1 lsl range_width range) - 1) lsl range.lsb))
+          0 gs
+      in
+      let missing = ((1 lsl width) - 1) land lnot covered in
+      if missing <> 0 then begin
+        (* Feed the lowest maximal run of missing bits; iterate until all
+           bits are chained. *)
+        let rec runs mask =
+          if mask = 0 then ()
+          else begin
+            let lsb =
+              let rec lowest i = if (mask lsr i) land 1 = 1 then i else lowest (i + 1) in
+              lowest 0
+            in
+            let msb =
+              let rec highest i =
+                if i + 1 < width && (mask lsr (i + 1)) land 1 = 1 then highest (i + 1)
+                else i
+              in
+              highest lsb
+            in
+            ignore (mux_feed r (bits lsb msb));
+            runs (mask land lnot (((1 lsl (msb - lsb + 1)) - 1) lsl lsb))
+          end
+        in
+        runs missing
+      end;
+      Hashtbl.replace ok r ())
+    groups;
+  (* Mark the selected feeds. *)
+  Hashtbl.iter (fun _ e -> mark e) selections;
+  (* --- Chain termination: every register must shift onward. -------- *)
+  let has_marked_out r =
+    List.exists (fun (e : Rcg.edge_label Digraph.edge) -> e.label.e_hscan) (Digraph.succ g r)
+  in
+  let output_arr = Array.of_list outputs in
+  let next_output = ref 0 in
+  List.iter
+    (fun r ->
+      if not (has_marked_out r) then begin
+        (* Prefer an existing path to an output, in declaration order. *)
+        let to_output =
+          List.find_opt
+            (fun (e : Rcg.edge_label Digraph.edge) ->
+              (Rcg.node rcg e.dst).Rcg.n_kind = Rcg.Out)
+            (Digraph.succ g r)
+        in
+        match to_output with
+        | Some e -> mark e
+        | None ->
+            if Array.length output_arr = 0 then
+              invalid_arg "Hscan.insert: core has no outputs"
+            else begin
+              let dst = output_arr.(!next_output mod Array.length output_arr) in
+              incr next_output;
+              let rw = (Rcg.node rcg r).Rcg.n_width in
+              let dw = (Rcg.node rcg dst).Rcg.n_width in
+              let w = min rw dw in
+              ignore
+                (add_test_mux ~src:r ~dst ~width:w ~dst_range:(full w)
+                   ~src_range:(full w))
+            end
+      end)
+    regs;
+  (* --- Depth and chain extraction over the marked subgraph. -------- *)
+  let marked_succ v =
+    List.filter (fun (e : Rcg.edge_label Digraph.edge) -> e.label.e_hscan) (Digraph.succ g v)
+  in
+  let n = Digraph.node_count g in
+  let memo = Array.make n (-1) in
+  let rec depth_from v =
+    if memo.(v) >= 0 then memo.(v)
+    else begin
+      memo.(v) <- 0;
+      (* pre-set to cut accidental cycles *)
+      let here = if (Rcg.node rcg v).Rcg.n_kind = Rcg.Reg then 1 else 0 in
+      let best =
+        List.fold_left (fun acc e -> max acc (depth_from e.Digraph.dst)) 0 (marked_succ v)
+      in
+      memo.(v) <- here + best;
+      memo.(v)
+    end
+  in
+  let depth = List.fold_left (fun acc i -> max acc (depth_from i)) 0 inputs in
+  (* Maximal chains for reporting. *)
+  let chains = ref [] in
+  let rec walk v path =
+    match marked_succ v with
+    | [] -> chains := List.rev (v :: path) :: !chains
+    | succs -> List.iter (fun e -> walk e.Digraph.dst (v :: path)) succs
+  in
+  List.iter (fun i -> if marked_succ i <> [] then walk i []) inputs;
+  {
+    depth;
+    overhead_cells = !overhead;
+    chains = List.rev !chains;
+    added = List.rev !added;
+  }
+
+let vector_multiplier r = r.depth + 1
+let vector_count r ~atpg_vectors = atpg_vectors * vector_multiplier r

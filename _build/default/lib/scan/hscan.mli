@@ -1,0 +1,44 @@
+(** HSCAN insertion (Bhattacharya & Dey, VTS'96; paper Sec. 2).
+
+    HSCAN threads the core's registers into parallel scan chains running
+    from circuit inputs to circuit outputs by {e reusing existing register
+    transfer paths}: a multiplexer path costs two extra gates, a direct
+    connection one OR gate at the destination's load signal, and only where
+    no path exists is a test multiplexer added (integrated with the
+    destination flip-flops).
+
+    Chain selection prefers transfer declaration order, which is how the
+    core designer expresses the intended chain routing.  Every register
+    slice must receive a chain feed, and every chain must terminate at an
+    output (adding an observation multiplexer if necessary).  The marked
+    edges (including any added test-mux edges, which become real paths of
+    the core) are recorded in the RCG with [e_hscan = true] — the
+    transparency engine's "HSCAN edges". *)
+
+open Socet_rtl
+
+type added_edge = {
+  ae_src : int;   (** RCG node id *)
+  ae_dst : int;
+  ae_width : int;
+  ae_cost : int;  (** cells *)
+}
+
+type result = {
+  depth : int;
+      (** registers on the longest chain; the HSCAN vector count is
+          [atpg_vectors * (depth + 1)] *)
+  overhead_cells : int;
+  chains : int list list;
+      (** maximal input-to-output chain paths, as RCG node ids *)
+  added : added_edge list;
+}
+
+val insert : Rcg.t -> result
+(** Mutates the RCG: marks chain edges with [e_hscan] and inserts any
+    test-mux edges it had to create. *)
+
+val vector_multiplier : result -> int
+(** [depth + 1]: shift cycles consumed per ATPG vector. *)
+
+val vector_count : result -> atpg_vectors:int -> int

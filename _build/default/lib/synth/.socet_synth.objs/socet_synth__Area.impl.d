@@ -1,0 +1,1 @@
+lib/synth/area.ml: Format List Netlist Socet_netlist

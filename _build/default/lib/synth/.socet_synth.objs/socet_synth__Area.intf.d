@@ -1,0 +1,1 @@
+lib/synth/area.mli: Format Netlist Socet_netlist

@@ -1,0 +1,1 @@
+lib/synth/elaborate.ml: Array Builder Cell Hashtbl Lazy List Netlist Option Printf Rtl_core Rtl_types Socet_netlist Socet_rtl

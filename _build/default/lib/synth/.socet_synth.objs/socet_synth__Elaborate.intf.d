@@ -1,0 +1,1 @@
+lib/synth/elaborate.mli: Netlist Rtl_core Socet_netlist Socet_rtl

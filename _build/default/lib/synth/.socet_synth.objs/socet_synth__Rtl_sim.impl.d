@@ -1,0 +1,1 @@
+lib/synth/rtl_sim.ml: Array Bitvec Elaborate List Rtl_core Rtl_types Socet_rtl Socet_util

@@ -1,0 +1,1 @@
+lib/synth/rtl_sim.mli: Bitvec Rtl_core Socet_rtl Socet_util

@@ -1,0 +1,10 @@
+open Socet_netlist
+
+let of_netlist = Netlist.area
+
+let ff_count nl = List.length (Netlist.dffs nl)
+
+let overhead_percent ~base ~extra =
+  if base = 0 then 0.0 else 100.0 *. float_of_int extra /. float_of_int base
+
+let pp_percent fmt p = Format.fprintf fmt "%.1f" p

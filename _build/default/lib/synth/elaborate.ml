@@ -1,0 +1,245 @@
+open Socet_rtl
+open Socet_netlist
+open Rtl_types
+
+let ceil_log2 n =
+  let rec loop b v = if v >= n then b else loop (b + 1) (v * 2) in
+  loop 0 1
+
+let control_state_width core =
+  let n = List.length (Rtl_core.transfers core) in
+  max 2 (ceil_log2 (n + 1))
+
+(* Slice [range] out of a word. *)
+let slice word (r : range) = Array.sub word r.lsb (range_width r)
+
+(* BCD digit (4 bits, LSB first) to active-high 7-segment code (a..g).
+   Sum-of-products over the decoded digit lines; digits >= 10 display
+   blank. *)
+let dec7seg nl src =
+  if Array.length src <> 4 then invalid_arg "Elaborate: Fdec7seg needs 4 bits";
+  let inv = Array.map (fun b -> Netlist.add_gate nl Cell.Inv [| b |]) src in
+  let minterm d =
+    let lits =
+      Array.mapi (fun i _ -> if (d lsr i) land 1 = 1 then src.(i) else inv.(i)) src
+    in
+    Array.fold_left
+      (fun acc l ->
+        match acc with
+        | None -> Some l
+        | Some x -> Some (Netlist.add_gate nl Cell.And2 [| x; l |]))
+      None lits
+    |> Option.get
+  in
+  let digit = Array.init 10 minterm in
+  (* Segments a..g: which digits light each segment. *)
+  let seg_digits =
+    [|
+      [ 0; 2; 3; 5; 6; 7; 8; 9 ] (* a *);
+      [ 0; 1; 2; 3; 4; 7; 8; 9 ] (* b *);
+      [ 0; 1; 3; 4; 5; 6; 7; 8; 9 ] (* c *);
+      [ 0; 2; 3; 5; 6; 8; 9 ] (* d *);
+      [ 0; 2; 6; 8 ] (* e *);
+      [ 0; 4; 5; 6; 8; 9 ] (* f *);
+      [ 2; 3; 4; 5; 6; 8; 9 ] (* g *);
+    |]
+  in
+  Array.map
+    (fun ds ->
+      List.fold_left
+        (fun acc d ->
+          match acc with
+          | None -> Some digit.(d)
+          | Some x -> Some (Netlist.add_gate nl Cell.Or2 [| x; digit.(d) |]))
+        None ds
+      |> Option.get)
+    seg_digits
+
+let core_to_netlist ?(test_access = false) core =
+  Rtl_core.validate core;
+  let nl = Netlist.create (Rtl_core.name core) in
+  (* Input ports. *)
+  let in_words = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Rtl_core.port) ->
+      if p.p_dir = `In then
+        Hashtbl.replace in_words p.p_name (Builder.input_word nl p.p_name p.p_width))
+    (Rtl_core.ports core);
+  (* Registers (Q nets); D connections are wired afterwards. *)
+  let reg_words = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Rtl_core.reg) ->
+      Hashtbl.replace reg_words r.r_name
+        (Builder.new_register nl ~name:r.r_name ~width:r.r_width))
+    (Rtl_core.regs core);
+  (* Control FSM: a counter perturbed by an input bit, decoded one-hot. *)
+  let sw = control_state_width core in
+  let state = Builder.new_register nl ~name:"_ctrl" ~width:sw in
+  let next = Builder.inc_word nl state in
+  let next =
+    match Rtl_core.inputs core with
+    | [] -> next
+    | p :: _ ->
+        let b = (Hashtbl.find in_words p.p_name).(0) in
+        let flipped = Netlist.add_gate nl Cell.Xor2 [| next.(0); b |] in
+        Array.mapi (fun i n -> if i = 0 then flipped else n) next
+  in
+  Builder.connect_register nl ~q:state ~d:next ();
+  let transfers = Rtl_core.transfers core in
+  (* Optional transparency-mode hardware: a [test_mode] pin that silences
+     the functional decoder plus one steering override per transfer — the
+     gate-level realization of the paper's T2/T3-style transparency
+     controls, driven by the chip's test controller. *)
+  let test_pins =
+    if test_access then begin
+      let test_mode = Netlist.add_pi nl "test_mode" in
+      let overrides =
+        List.mapi (fun k _ -> Netlist.add_pi nl (Printf.sprintf "t_ov.%d" k)) transfers
+      in
+      Some (test_mode, overrides)
+    end
+    else None
+  in
+  (* A transfer fires only when the FSM is in its state AND the opcode
+     nibble on the first input port matches the transfer's opcode — the
+     instruction-decode discipline of a real core.  Random functional
+     stimuli therefore exercise the datapath only very rarely (the paper's
+     "Orig." rows), while full-scan ATPG controls the state directly. *)
+  let opcode_nibble =
+    match Rtl_core.inputs core with
+    | [] -> None
+    | p :: _ ->
+        let word = Hashtbl.find in_words p.p_name in
+        Some (Array.sub word 0 (min 3 (Array.length word)))
+  in
+  let sel_of_index k =
+    let const = Builder.const_word nl ~width:sw (k land ((1 lsl sw) - 1)) in
+    let base = Builder.eq_word nl state const in
+    let base =
+      match opcode_nibble with
+      | None -> base
+      | Some op ->
+          let expected =
+            Builder.const_word nl ~width:(Array.length op) (((5 * k) + 3) land 7)
+          in
+          let matches = Builder.eq_word nl op expected in
+          Netlist.add_gate nl Cell.And2 [| base; matches |]
+    in
+    match test_pins with
+    | None -> base
+    | Some (test_mode, overrides) ->
+        let not_test = Netlist.add_gate nl Cell.Inv [| test_mode |] in
+        let gated = Netlist.add_gate nl Cell.And2 [| base; not_test |] in
+        Netlist.add_gate nl Cell.Or2 [| gated; List.nth overrides k |]
+  in
+  let selects = List.mapi (fun k _ -> lazy (sel_of_index k)) transfers in
+  let value_of_endpoint (e : endpoint) =
+    match e.base with
+    | Eport n -> slice (Hashtbl.find in_words n) e.range
+    | Ereg n -> slice (Hashtbl.find reg_words n) e.range
+  in
+  (* Data produced by one transfer (after any functional unit). *)
+  let transfer_value tr =
+    let src = value_of_endpoint tr.t_src in
+    match tr.t_kind with
+    | Direct | Mux _ -> src
+    | Logic fn -> (
+        match fn with
+        | Fadd op ->
+            let zero = Netlist.add_gate nl Cell.Const0 [||] in
+            fst (Builder.adder nl src (value_of_endpoint op) ~cin:zero)
+        | Fsub op -> fst (Builder.subtractor nl src (value_of_endpoint op))
+        | Fand op -> Builder.and_word nl src (value_of_endpoint op)
+        | Fxor op -> Builder.xor_word nl src (value_of_endpoint op)
+        | Finc -> Builder.inc_word nl src
+        | Fnot -> Builder.not_word nl src
+        | Fparity ->
+            let x =
+              Array.fold_left
+                (fun acc b ->
+                  match acc with
+                  | None -> Some b
+                  | Some y -> Some (Netlist.add_gate nl Cell.Xor2 [| y; b |]))
+                None src
+            in
+            (match x with Some n -> [| n |] | None -> assert false)
+        | Fdec7seg -> dec7seg nl src)
+  in
+  (* Wire the registers bit by bit: every transfer covering a bit adds a
+     rung to that bit's priority-mux chain (later declarations win), and
+     the bit's load enable is the OR of those transfers' selects.  Per-bit
+     wiring handles arbitrary overlap between transfer destination slices
+     (e.g. a full-width ALU writeback over a register whose halves also
+     load from different sources). *)
+  let indexed = List.mapi (fun k tr -> (k, tr)) transfers in
+  let values =
+    List.map (fun (k, tr) -> (k, lazy (transfer_value tr))) indexed
+  in
+  List.iter
+    (fun (r : Rtl_core.reg) ->
+      let q = Hashtbl.find reg_words r.r_name in
+      let into =
+        List.filter (fun (_, tr) -> tr.t_dst.base = Ereg r.r_name) indexed
+      in
+      Array.iteri
+        (fun b qb ->
+          let covering =
+            List.filter
+              (fun (_, tr) ->
+                tr.t_dst.range.lsb <= b && b <= tr.t_dst.range.msb)
+              into
+          in
+          if covering <> [] then begin
+            let d, enables =
+              List.fold_left
+                (fun (acc, ens) (k, tr) ->
+                  let v = Lazy.force (List.assoc k values) in
+                  let bit = v.(b - tr.t_dst.range.lsb) in
+                  let sel = Lazy.force (List.nth selects k) in
+                  (Netlist.add_gate nl Cell.Mux2 [| sel; acc; bit |], sel :: ens))
+                (qb, []) covering
+            in
+            let enable =
+              match enables with
+              | [ e ] -> e
+              | es -> Builder.reduce_or nl (Array.of_list es)
+            in
+            Netlist.set_kind nl qb Cell.Dffe [| d; enable |]
+          end)
+        q)
+    (Rtl_core.regs core);
+  (* Output ports: combinational mux chain (default all-zero). *)
+  List.iter
+    (fun (p : Rtl_core.port) ->
+      if p.p_dir = `Out then begin
+        let into =
+          List.filter (fun (_, tr) -> tr.t_dst.base = Eport p.p_name) indexed
+        in
+        let word = ref (Builder.const_word nl ~width:p.p_width 0) in
+        List.iter
+          (fun (k, tr) ->
+            let v = transfer_value tr in
+            let lsb = tr.t_dst.range.lsb in
+            let current = Array.sub !word lsb (range_width tr.t_dst.range) in
+            let muxed =
+              (* A single direct driver needs no select; shared slices get
+                 the decoded select. *)
+              let only_driver =
+                List.for_all
+                  (fun (k', tr') ->
+                    k' = k || not (ranges_overlap tr'.t_dst.range tr.t_dst.range))
+                  into
+              in
+              if only_driver && tr.t_kind = Direct then v
+              else
+                let sel = Lazy.force (List.nth selects k) in
+                Builder.mux2_word nl ~sel ~a:current ~b:v
+            in
+            let w = Array.copy !word in
+            Array.blit muxed 0 w lsb (Array.length muxed);
+            word := w)
+          into;
+        Builder.output_word nl p.p_name !word
+      end)
+    (Rtl_core.ports core);
+  nl

@@ -1,0 +1,30 @@
+(** RTL-to-gate elaboration — the stand-in for the paper's "in-house
+    synthesis tool".
+
+    Each register becomes a word of (load-enabled) flip-flops fed by a
+    multiplexer chain over its declared transfer sources; functional-unit
+    transfers instantiate the corresponding arithmetic/logic network; and a
+    small free-running control FSM (a counter mixed with an input bit,
+    decoded one-hot) drives the multiplexer selects and load enables, so the
+    flat netlist is meaningfully sequential: random sequential test
+    generation on it yields the poor coverage the paper reports for the
+    undesigned-for-test SOC, while full-scan combinational ATPG covers it
+    well. *)
+
+open Socet_rtl
+open Socet_netlist
+
+val core_to_netlist : ?test_access:bool -> Rtl_core.t -> Netlist.t
+(** The core must validate.  PIs are named [<port>.<bit>] in port
+    declaration order; POs likewise; flip-flops are created register by
+    register in declaration order, control-state flip-flops last.
+
+    With [test_access] (default false), the netlist additionally gets a
+    [test_mode] PI that silences the functional control decoder and one
+    steering-override PI per transfer ([t_ov.<k>]) — the transparency-mode
+    controls that the paper's test controller drives.  The gate-level
+    transparency simulator ({!Socet_core.Tsim}) uses them to prove that
+    transparency paths really move data through the synthesized gates. *)
+
+val control_state_width : Rtl_core.t -> int
+(** Width of the control FSM's state register. *)

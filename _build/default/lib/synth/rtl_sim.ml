@@ -1,0 +1,157 @@
+open Socet_util
+open Socet_rtl
+open Rtl_types
+
+type state = { regs : (string * Bitvec.t) list; ctrl : int }
+
+let init core =
+  {
+    regs =
+      List.map
+        (fun (r : Rtl_core.reg) -> (r.r_name, Bitvec.create r.r_width))
+        (Rtl_core.regs core);
+    ctrl = 0;
+  }
+
+let ctrl_state s = s.ctrl
+let reg_value s name = List.assoc name s.regs
+
+let to_int bv = Bitvec.to_int bv
+let of_int ~width v = Bitvec.of_int ~width v
+
+(* Mirrors Elaborate.dec7seg: BCD digit to segments a..g, blank above 9. *)
+let seg_digits =
+  [|
+    [ 0; 2; 3; 5; 6; 7; 8; 9 ];
+    [ 0; 1; 2; 3; 4; 7; 8; 9 ];
+    [ 0; 1; 3; 4; 5; 6; 7; 8; 9 ];
+    [ 0; 2; 3; 5; 6; 8; 9 ];
+    [ 0; 2; 6; 8 ];
+    [ 0; 4; 5; 6; 8; 9 ];
+    [ 2; 3; 4; 5; 6; 8; 9 ];
+  |]
+
+let dec7seg digit =
+  let out = Bitvec.create 7 in
+  if digit < 10 then
+    Array.iteri (fun seg ds -> if List.mem digit ds then Bitvec.set out seg true) seg_digits;
+  out
+
+let slice bv (r : range) = Bitvec.sub bv ~pos:r.lsb ~len:(range_width r)
+
+let step core s ~inputs =
+  let ep_value (e : endpoint) =
+    match e.base with
+    | Eport n -> slice (inputs n) e.range
+    | Ereg n -> slice (List.assoc n s.regs) e.range
+  in
+  let transfer_value tr =
+    let src = ep_value tr.t_src in
+    match tr.t_kind with
+    | Direct | Mux _ -> src
+    | Logic fn -> (
+        let w = Bitvec.length src in
+        let mask = (1 lsl w) - 1 in
+        match fn with
+        | Fadd op -> of_int ~width:w ((to_int src + to_int (ep_value op)) land mask)
+        | Fsub op -> of_int ~width:w ((to_int src - to_int (ep_value op)) land mask)
+        | Fand op -> Bitvec.logand src (ep_value op)
+        | Fxor op -> Bitvec.logxor src (ep_value op)
+        | Finc -> of_int ~width:w ((to_int src + 1) land mask)
+        | Fnot -> Bitvec.lognot src
+        | Fparity ->
+            let bv = Bitvec.create 1 in
+            Bitvec.set bv 0 (Bitvec.popcount src land 1 = 1);
+            bv
+        | Fdec7seg -> dec7seg (to_int src))
+  in
+  let transfers = Rtl_core.transfers core in
+  (* Same firing discipline Elaborate synthesizes: transfer k fires when
+     the FSM sits in state k AND the opcode nibble (low 3 bits of the
+     first input port) carries (5k+3) land 7. *)
+  let sw = Elaborate.control_state_width core in
+  let opcode =
+    match Rtl_core.inputs core with
+    | [] -> None
+    | p :: _ ->
+        let v = inputs p.Rtl_core.p_name in
+        let nbits = min 3 (Bitvec.length v) in
+        Some (to_int (Bitvec.sub v ~pos:0 ~len:nbits), (1 lsl nbits) - 1)
+  in
+  let fires k _tr =
+    s.ctrl = k land ((1 lsl sw) - 1)
+    &&
+    match opcode with
+    | None -> true
+    | Some (op, mask) -> op = ((5 * k) + 3) land 7 land mask
+  in
+  let indexed = List.mapi (fun k tr -> (k, tr)) transfers in
+  (* Outputs are sampled before the edge: combinational mux chains where
+     the last firing (or sole direct) transfer wins, defaulting to zero. *)
+  let outputs =
+    List.filter_map
+      (fun (p : Rtl_core.port) ->
+        if p.Rtl_core.p_dir = `Out then begin
+          let word = Bitvec.create p.Rtl_core.p_width in
+          let into =
+            List.filter
+              (fun (_, tr) -> tr.t_dst.base = Eport p.Rtl_core.p_name)
+              indexed
+          in
+          List.iter
+            (fun (k, tr) ->
+              let only_driver =
+                List.for_all
+                  (fun (k', tr') ->
+                    k' = k || not (ranges_overlap tr'.t_dst.range tr.t_dst.range))
+                  into
+              in
+              if (only_driver && tr.t_kind = Direct) || fires k tr then begin
+                let v = transfer_value tr in
+                Bitvec.blit ~src:v ~src_pos:0 ~dst:word ~dst_pos:tr.t_dst.range.lsb
+                  ~len:(Bitvec.length v)
+              end)
+            into;
+          Some (p.Rtl_core.p_name, word)
+        end
+        else None)
+      (Rtl_core.ports core)
+  in
+  (* Register updates: per bit, the last firing covering transfer wins;
+     bits with no firing transfer hold. *)
+  let regs' =
+    List.map
+      (fun (name, q) ->
+        let q' = Bitvec.copy q in
+        List.iter
+          (fun (k, tr) ->
+            if tr.t_dst.base = Ereg name && fires k tr then begin
+              let v = transfer_value tr in
+              Bitvec.blit ~src:v ~src_pos:0 ~dst:q' ~dst_pos:tr.t_dst.range.lsb
+                ~len:(Bitvec.length v)
+            end)
+          indexed;
+        (name, q'))
+      s.regs
+  in
+  (* Control FSM: increment, with bit 0 xored with the first input's bit 0
+     (mirroring Elaborate). *)
+  let ctrl' =
+    let inc = (s.ctrl + 1) land ((1 lsl sw) - 1) in
+    match Rtl_core.inputs core with
+    | [] -> inc
+    | p :: _ ->
+        let b = Bitvec.get (inputs p.Rtl_core.p_name) 0 in
+        if b then inc lxor 1 else inc
+  in
+  ({ regs = regs'; ctrl = ctrl' }, outputs)
+
+let run core ~cycles ~inputs =
+  let rec loop s t acc =
+    if t >= cycles then List.rev acc
+    else begin
+      let s', out = step core s ~inputs:(inputs t) in
+      loop s' (t + 1) (out :: acc)
+    end
+  in
+  loop (init core) 0 []

@@ -1,0 +1,36 @@
+(** Reference interpreter for RTL cores.
+
+    Executes a core cycle by cycle directly on the transfer semantics —
+    the same control model {!Elaborate} synthesizes (a counter-based FSM
+    whose decoded state, qualified by the opcode nibble of the first input
+    port, fires one transfer per cycle) — without ever building gates.
+
+    Its purpose is sequential equivalence checking: for any core and any
+    stimulus, the interpreter and the gate-level simulation of the
+    elaborated netlist must agree on every register and output bit, every
+    cycle.  The test suite fuzzes exactly that. *)
+
+open Socet_util
+open Socet_rtl
+
+type state
+
+val init : Rtl_core.t -> state
+(** All registers and the control state start at zero. *)
+
+val ctrl_state : state -> int
+val reg_value : state -> string -> Bitvec.t
+
+val step :
+  Rtl_core.t -> state -> inputs:(string -> Bitvec.t) -> state * (string * Bitvec.t) list
+(** One clock cycle: returns the next state and the output-port values
+    sampled {e before} the clock edge (matching
+    {!Socet_netlist.Sim.eval}).  [inputs] maps each input port name to its
+    value for this cycle. *)
+
+val run :
+  Rtl_core.t ->
+  cycles:int ->
+  inputs:(int -> string -> Bitvec.t) ->
+  (string * Bitvec.t) list list
+(** Convenience driver: outputs of each cycle, in order. *)

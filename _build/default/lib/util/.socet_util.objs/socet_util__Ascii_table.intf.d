@@ -1,0 +1,1 @@
+lib/util/ascii_table.mli:

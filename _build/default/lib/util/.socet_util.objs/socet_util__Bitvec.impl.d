@@ -1,0 +1,1 @@
+lib/util/bitvec.ml: Bytes Char Format List String Sys

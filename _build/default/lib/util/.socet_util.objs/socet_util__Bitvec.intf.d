@@ -1,0 +1,1 @@
+lib/util/bitvec.mli: Format

@@ -1,0 +1,13 @@
+(** Aligned ASCII tables for the benchmark harness and CLI reports.
+
+    Every figure/table of the paper is re-printed through this module so the
+    bench output is directly comparable with the published tables. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] draws a boxed table.  [aligns] defaults to
+    left-aligning the first column and right-aligning the rest. *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)

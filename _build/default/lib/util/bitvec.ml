@@ -1,0 +1,131 @@
+type t = { len : int; data : Bytes.t }
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create";
+  { len; data = Bytes.make ((len + 7) / 8) '\000' }
+
+let length v = v.len
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Bitvec: index out of range"
+
+let get v i =
+  check v i;
+  Char.code (Bytes.get v.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set v i b =
+  check v i;
+  let byte = Char.code (Bytes.get v.data (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte = if b then byte lor mask else byte land lnot mask in
+  Bytes.set v.data (i lsr 3) (Char.chr (byte land 0xff))
+
+let copy v = { len = v.len; data = Bytes.copy v.data }
+
+let equal a b = a.len = b.len && Bytes.equal a.data b.data
+
+let fill v b =
+  Bytes.fill v.data 0 (Bytes.length v.data) (if b then '\xff' else '\000');
+  (* Clear the unused high bits of the last byte so [equal] stays valid. *)
+  if b && v.len land 7 <> 0 then begin
+    let last = Bytes.length v.data - 1 in
+    let keep = (1 lsl (v.len land 7)) - 1 in
+    Bytes.set v.data last (Char.chr (Char.code (Bytes.get v.data last) land keep))
+  end
+
+let popcount v =
+  let n = ref 0 in
+  for i = 0 to Bytes.length v.data - 1 do
+    let b = ref (Char.code (Bytes.get v.data i)) in
+    while !b <> 0 do
+      n := !n + (!b land 1);
+      b := !b lsr 1
+    done
+  done;
+  !n
+
+let map2 f a b =
+  if a.len <> b.len then invalid_arg "Bitvec: length mismatch";
+  let r = create a.len in
+  for i = 0 to Bytes.length a.data - 1 do
+    let x = f (Char.code (Bytes.get a.data i)) (Char.code (Bytes.get b.data i)) in
+    Bytes.set r.data i (Char.chr (x land 0xff))
+  done;
+  r
+
+let logand = map2 ( land )
+let logor = map2 ( lor )
+let logxor = map2 ( lxor )
+
+let lognot a =
+  let r = create a.len in
+  for i = 0 to a.len - 1 do
+    set r i (not (get a i))
+  done;
+  r
+
+let is_zero v =
+  let rec loop i = i >= Bytes.length v.data || (Bytes.get v.data i = '\000' && loop (i + 1)) in
+  loop 0
+
+let of_string s =
+  let n = String.length s in
+  let v = create n in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '0' -> ()
+      | '1' -> set v (n - 1 - i) true
+      | _ -> invalid_arg "Bitvec.of_string")
+    s;
+  v
+
+let to_string v =
+  String.init v.len (fun i -> if get v (v.len - 1 - i) then '1' else '0')
+
+let of_int ~width k =
+  let v = create width in
+  for i = 0 to width - 1 do
+    set v i ((k lsr i) land 1 = 1)
+  done;
+  v
+
+let to_int v =
+  if v.len > Sys.int_size - 1 then invalid_arg "Bitvec.to_int: too wide";
+  let r = ref 0 in
+  for i = v.len - 1 downto 0 do
+    r := (!r lsl 1) lor (if get v i then 1 else 0)
+  done;
+  !r
+
+let blit ~src ~src_pos ~dst ~dst_pos ~len =
+  if len < 0 || src_pos < 0 || dst_pos < 0
+     || src_pos + len > src.len || dst_pos + len > dst.len
+  then invalid_arg "Bitvec.blit";
+  for i = 0 to len - 1 do
+    set dst (dst_pos + i) (get src (src_pos + i))
+  done
+
+let sub v ~pos ~len =
+  let r = create len in
+  blit ~src:v ~src_pos:pos ~dst:r ~dst_pos:0 ~len;
+  r
+
+let concat vs =
+  let total = List.fold_left (fun acc v -> acc + v.len) 0 vs in
+  let r = create total in
+  let _ =
+    List.fold_left
+      (fun off v ->
+        blit ~src:v ~src_pos:0 ~dst:r ~dst_pos:off ~len:v.len;
+        off + v.len)
+      0 vs
+  in
+  r
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i (get v i)
+  done
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,60 @@
+(** Fixed-length mutable bit vectors.
+
+    Used throughout the test-generation substrate to represent test vectors,
+    scan-chain contents and fault-detection masks.  Bits are indexed from 0
+    (least significant). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero vector of [n] bits.  [n >= 0]. *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+(** [get v i] is bit [i].  @raise Invalid_argument if out of range. *)
+
+val set : t -> int -> bool -> unit
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val fill : t -> bool -> unit
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+(** Bitwise operations; operands must have equal length. *)
+
+val lognot : t -> t
+
+val is_zero : t -> bool
+
+val of_string : string -> t
+(** [of_string "1011"] has bit 0 = true (rightmost character is bit 0),
+    bit 1 = true, bit 2 = false, bit 3 = true.
+    @raise Invalid_argument on characters other than '0'/'1'. *)
+
+val to_string : t -> string
+(** Inverse of {!of_string}: most significant bit first. *)
+
+val of_int : width:int -> int -> t
+(** [of_int ~width k] is the low [width] bits of [k]. *)
+
+val to_int : t -> int
+(** @raise Invalid_argument if length exceeds [Sys.int_size - 1]. *)
+
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+
+val sub : t -> pos:int -> len:int -> t
+
+val concat : t list -> t
+(** [concat [a; b]] places [a] in the low bits. *)
+
+val iteri : (int -> bool -> unit) -> t -> unit
+
+val pp : Format.formatter -> t -> unit

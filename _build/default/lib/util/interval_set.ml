@@ -1,0 +1,54 @@
+(* Invariant: sorted by [lo], pairwise disjoint and non-adjacent,
+   every interval non-empty. *)
+type t = (int * int) list
+
+let empty = []
+
+let is_empty s = s = []
+
+let add s ~lo ~hi =
+  if hi < lo then invalid_arg "Interval_set.add";
+  if hi = lo then s
+  else
+    let rec insert = function
+      | [] -> [ (lo, hi) ]
+      | (a, b) :: rest ->
+          if hi < a then (lo, hi) :: (a, b) :: rest
+          else if b < lo then (a, b) :: insert rest
+          else
+            (* Overlap or adjacency: merge and keep absorbing. *)
+            let rec absorb lo hi = function
+              | (a, b) :: rest when a <= hi ->
+                  absorb (min lo a) (max hi b) rest
+              | rest -> (lo, hi) :: rest
+            in
+            absorb (min lo a) (max hi b) rest
+    in
+    insert s
+
+let mem s t = List.exists (fun (a, b) -> a <= t && t < b) s
+
+let overlaps s ~lo ~hi =
+  hi > lo && List.exists (fun (a, b) -> a < hi && lo < b) s
+
+let first_fit s ~earliest ~len =
+  if len = 0 then earliest
+  else
+    let rec search t = function
+      | [] -> t
+      | (a, b) :: rest ->
+          if b <= t then search t rest
+          else if t + len <= a then t
+          else search b rest
+    in
+    search earliest s
+
+let intervals s = s
+
+let total_reserved s = List.fold_left (fun acc (a, b) -> acc + (b - a)) 0 s
+
+let pp fmt s =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+    (fun fmt (a, b) -> Format.fprintf fmt "[%d,%d)" a b)
+    fmt s

@@ -1,0 +1,34 @@
+(** Sets of disjoint half-open integer intervals [\[a, b)].
+
+    The chip-level test scheduler reserves core-connectivity-graph edges for
+    specific clock-cycle windows (paper, Sec. 5.1: "We mark this path and
+    reserve the edges for the cycles in which they will be used").  An
+    [Interval_set.t] is the reservation calendar of one edge. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val add : t -> lo:int -> hi:int -> t
+(** [add s ~lo ~hi] reserves [\[lo, hi)].  Overlapping or adjacent intervals
+    are merged.  @raise Invalid_argument if [hi < lo]. *)
+
+val mem : t -> int -> bool
+(** Is the given cycle reserved? *)
+
+val overlaps : t -> lo:int -> hi:int -> bool
+(** Does [\[lo, hi)] intersect any reserved interval? *)
+
+val first_fit : t -> earliest:int -> len:int -> int
+(** [first_fit s ~earliest ~len] is the smallest [t >= earliest] such that
+    [\[t, t+len)] is completely free. *)
+
+val intervals : t -> (int * int) list
+(** Reserved intervals in increasing order, as [(lo, hi)] pairs. *)
+
+val total_reserved : t -> int
+(** Sum of interval lengths. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All experiments in this repository are reproducible: every random choice
+    (random test patterns, random fault sampling) flows through an explicit
+    [Rng.t] seeded by the caller. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. *)
+
+val int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound > 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bitvec : t -> int -> Bitvec.t
+(** [bitvec t n] is a uniformly random [n]-bit vector. *)
+
+val split : t -> t
+(** An independent generator derived from [t]'s stream. *)

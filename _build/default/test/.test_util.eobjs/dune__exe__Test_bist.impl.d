@@ -1,0 +1,1 @@
+test/test_bist.ml: Alcotest Lfsr List Logic_bist March Mem Misr Printf QCheck QCheck_alcotest Socet_atpg Socet_bist Socet_cores Socet_synth

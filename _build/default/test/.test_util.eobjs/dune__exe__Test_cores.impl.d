@@ -1,0 +1,1 @@
+test/test_cores.ml: Alcotest Ccg Cpu Display Gcd_core Graphics List Preprocessor Rcg Rtl_core Soc Socet_atpg Socet_core Socet_cores Socet_rtl Socet_scan Socet_synth Systems Version X25

@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Bitvec Elaborate Hashtbl List Netlist Printf QCheck QCheck_alcotest Rng Rtl_core Rtl_sim Rtl_types Sim Socet_cores Socet_netlist Socet_rtl Socet_synth Socet_util

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Digraph List QCheck QCheck_alcotest Search Socet_graph Socet_util

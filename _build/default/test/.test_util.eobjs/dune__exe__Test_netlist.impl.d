@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Bitvec Builder Cell List Netlist Printf QCheck QCheck_alcotest Rng Sim Socet_netlist Socet_util

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest List Rcg Rtl_core Rtl_types Socet_cores Socet_graph Socet_rtl Socet_scan

@@ -1,0 +1,1 @@
+test/test_scan.ml: Alcotest Bitvec Bscan Cell Fscan Hscan List Netlist Printf Rcg Rtl_core Rtl_types Sim Socet_cores Socet_graph Socet_netlist Socet_rtl Socet_scan Socet_util

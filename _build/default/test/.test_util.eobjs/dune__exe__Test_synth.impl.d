@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Area Array Bitvec Elaborate List Netlist Rtl_core Rtl_types Sim Socet_cores Socet_netlist Socet_rtl Socet_synth Socet_util

@@ -1,0 +1,1 @@
+test/test_transparency.ml: Alcotest List Printf QCheck QCheck_alcotest Rcg Rtl_core Rtl_types Socet_core Socet_cores Socet_graph Socet_rtl Socet_scan Socet_util Tsearch Tsim Version

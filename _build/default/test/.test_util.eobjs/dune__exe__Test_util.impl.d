@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Ascii_table Bitvec Format Gen Interval_set List QCheck QCheck_alcotest Rng Socet_util String

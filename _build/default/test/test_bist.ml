@@ -1,0 +1,217 @@
+open Socet_bist
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* LFSR                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lfsr_maximal_period () =
+  List.iter
+    (fun w ->
+      check_int
+        (Printf.sprintf "width %d is maximal" w)
+        ((1 lsl w) - 1)
+        (Lfsr.period w))
+    [ 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ]
+
+let test_lfsr_deterministic () =
+  let a = Lfsr.create 8 and b = Lfsr.create 8 in
+  for _ = 1 to 100 do
+    check "same seed, same stream" true (Lfsr.step a = Lfsr.step b)
+  done
+
+let test_lfsr_zero_seed_rejected () =
+  check "zero seed rejected" true
+    (try
+       ignore (Lfsr.create ~seed:0 8);
+       false
+     with Invalid_argument _ -> true)
+
+let test_lfsr_pattern_bits () =
+  let t = Lfsr.create 8 in
+  let p = Lfsr.pattern t ~bits:16 in
+  check "pattern fits" true (p >= 0 && p < 1 lsl 16)
+
+let test_lfsr_nonzero_states () =
+  (* A maximal LFSR never reaches zero. *)
+  let t = Lfsr.create 6 in
+  for _ = 1 to 200 do
+    check "state nonzero" true (Lfsr.step t <> 0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* MISR                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_misr_distinguishes_streams () =
+  let s1 = Misr.of_stream ~width:16 [ 1; 2; 3; 4; 5 ] in
+  let s2 = Misr.of_stream ~width:16 [ 1; 2; 3; 4; 6 ] in
+  let s3 = Misr.of_stream ~width:16 [ 2; 1; 3; 4; 5 ] in
+  check "single-bit difference changes signature" true (s1 <> s2);
+  check "order matters" true (s1 <> s3)
+
+let test_misr_reset () =
+  let m = Misr.create 8 in
+  Misr.absorb m 0xAB;
+  Misr.reset m;
+  check_int "reset clears" 0 (Misr.signature m)
+
+let prop_misr_linear =
+  (* MISRs are linear: sig(a xor b) = sig(a) xor sig(b) over equal-length
+     streams (with zero initial state). *)
+  QCheck.Test.make ~name:"misr linearity" ~count:200
+    QCheck.(pair (list_of_size QCheck.Gen.(1 -- 20) (int_bound 255))
+              (list_of_size QCheck.Gen.(1 -- 20) (int_bound 255)))
+    (fun (a, b) ->
+      let n = min (List.length a) (List.length b) in
+      QCheck.assume (n > 0);
+      let a = List.filteri (fun i _ -> i < n) a in
+      let b = List.filteri (fun i _ -> i < n) b in
+      let x = List.map2 ( lxor ) a b in
+      Misr.of_stream ~width:12 x
+      = Misr.of_stream ~width:12 a lxor Misr.of_stream ~width:12 b)
+
+(* ------------------------------------------------------------------ *)
+(* Memory model                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_mem_good_readback () =
+  let m = Mem.create ~words:16 ~width:8 () in
+  Mem.write m 3 0xA5;
+  check_int "readback" 0xA5 (Mem.read m 3);
+  check_int "others untouched" 0 (Mem.read m 4)
+
+let test_mem_saf () =
+  let m = Mem.create ~fault:(Mem.Cell_saf { addr = 2; bit = 0; stuck = true }) ~words:8 ~width:4 () in
+  Mem.write m 2 0;
+  check_int "bit stuck at 1" 1 (Mem.read m 2)
+
+let test_mem_transition () =
+  let m =
+    Mem.create ~fault:(Mem.Transition { addr = 1; bit = 2; rising = true })
+      ~words:8 ~width:4 ()
+  in
+  Mem.write m 1 0b0100;
+  check_int "rising transition blocked" 0 (Mem.read m 1);
+  (* Falling direction still works: preload via the fault-free path. *)
+  let m2 =
+    Mem.create ~fault:(Mem.Transition { addr = 1; bit = 2; rising = false })
+      ~words:8 ~width:4 ()
+  in
+  Mem.write m2 1 0b0100;
+  check_int "rising ok under falling fault" 0b0100 (Mem.read m2 1);
+  Mem.write m2 1 0;
+  check_int "falling blocked" 0b0100 (Mem.read m2 1)
+
+let test_mem_coupling () =
+  let m =
+    Mem.create
+      ~fault:(Mem.Coupling { aggressor = 0; victim = 1; bit = 1; value = true })
+      ~words:4 ~width:4 ()
+  in
+  Mem.write m 1 0;
+  Mem.write m 0 0b0010;
+  check_int "victim disturbed" 0b0010 (Mem.read m 1)
+
+let test_mem_decoder_alias () =
+  let m = Mem.create ~fault:(Mem.Decoder_alias { a = 0; b = 3 }) ~words:4 ~width:4 () in
+  Mem.write m 0 0xF;
+  (* The write landed on cell 3: address 3 sees it too. *)
+  check_int "aliased readback" 0xF (Mem.read m 3);
+  Mem.write m 3 0x1;
+  check_int "collision visible at address 0" 0x1 (Mem.read m 0)
+
+(* ------------------------------------------------------------------ *)
+(* March tests                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_march_passes_good_memory () =
+  let m = Mem.create ~words:32 ~width:8 () in
+  check "March C- passes a good memory" true (March.run m March.march_c_minus);
+  let m2 = Mem.create ~words:32 ~width:8 () in
+  check "MATS+ passes a good memory" true (March.run m2 March.mats_plus)
+
+let test_march_c_minus_full_coverage () =
+  let r = March.evaluate ~words:16 ~width:4 ~name:"March C-" March.march_c_minus in
+  Alcotest.(check (float 0.01)) "March C- catches everything" 100.0 r.March.coverage;
+  check_int "10N operations" (10 * 16) r.March.ops
+
+let test_mats_plus_weaker () =
+  let c = March.evaluate ~words:16 ~width:4 ~name:"March C-" March.march_c_minus in
+  let m = March.evaluate ~words:16 ~width:4 ~name:"MATS+" March.mats_plus in
+  check "MATS+ cheaper" true (m.March.ops < c.March.ops);
+  check "MATS+ weaker" true (m.March.coverage < c.March.coverage);
+  (* But MATS+ still catches all stuck-at faults. *)
+  let saf_d, saf_t =
+    match List.assoc_opt "stuck-at" (List.map (fun (c, d, t) -> (c, (d, t))) m.March.by_class) with
+    | Some x -> x
+    | None -> (0, 1)
+  in
+  check_int "MATS+ catches all SAFs" saf_t saf_d
+
+let test_bist_area_model () =
+  let small = March.bist_area ~words:256 ~width:8 in
+  let large = March.bist_area ~words:4096 ~width:8 in
+  check "area grows with address width" true (large > small);
+  check "plausible magnitude" true (small > 50 && small < 500)
+
+(* ------------------------------------------------------------------ *)
+(* Logic BIST                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_logic_bist_on_core () =
+  let nl = Socet_synth.Elaborate.core_to_netlist (Socet_cores.Gcd_core.core ()) in
+  let r = Logic_bist.run ~patterns:512 nl in
+  check "pseudo-random coverage substantial" true (r.Logic_bist.coverage > 60.0);
+  let atpg = Socet_atpg.Podem.run nl in
+  check "deterministic ATPG at least as good" true
+    (atpg.Socet_atpg.Podem.coverage >= r.Logic_bist.coverage -. 0.001);
+  check "aliasing rare" true (r.Logic_bist.aliased * 4 <= r.Logic_bist.aliasing_sampled)
+
+let test_logic_bist_deterministic () =
+  let nl = Socet_synth.Elaborate.core_to_netlist (Socet_cores.X25.core ()) in
+  let a = Logic_bist.run ~patterns:128 nl in
+  let b = Logic_bist.run ~patterns:128 nl in
+  check_int "same signature across runs" a.Logic_bist.golden_signature
+    b.Logic_bist.golden_signature
+
+let () =
+  Alcotest.run "socet_bist"
+    [
+      ( "lfsr",
+        [
+          Alcotest.test_case "maximal periods" `Quick test_lfsr_maximal_period;
+          Alcotest.test_case "deterministic" `Quick test_lfsr_deterministic;
+          Alcotest.test_case "zero seed" `Quick test_lfsr_zero_seed_rejected;
+          Alcotest.test_case "pattern bits" `Quick test_lfsr_pattern_bits;
+          Alcotest.test_case "nonzero states" `Quick test_lfsr_nonzero_states;
+        ] );
+      ( "misr",
+        [
+          Alcotest.test_case "distinguishes streams" `Quick test_misr_distinguishes_streams;
+          Alcotest.test_case "reset" `Quick test_misr_reset;
+          QCheck_alcotest.to_alcotest prop_misr_linear;
+        ] );
+      ( "mem",
+        [
+          Alcotest.test_case "good readback" `Quick test_mem_good_readback;
+          Alcotest.test_case "stuck-at" `Quick test_mem_saf;
+          Alcotest.test_case "transition" `Quick test_mem_transition;
+          Alcotest.test_case "coupling" `Quick test_mem_coupling;
+          Alcotest.test_case "decoder alias" `Quick test_mem_decoder_alias;
+        ] );
+      ( "march",
+        [
+          Alcotest.test_case "good memory passes" `Quick test_march_passes_good_memory;
+          Alcotest.test_case "March C- full coverage" `Quick test_march_c_minus_full_coverage;
+          Alcotest.test_case "MATS+ weaker but cheaper" `Quick test_mats_plus_weaker;
+          Alcotest.test_case "BIST area model" `Quick test_bist_area_model;
+        ] );
+      ( "logic-bist",
+        [
+          Alcotest.test_case "coverage on a core" `Quick test_logic_bist_on_core;
+          Alcotest.test_case "deterministic" `Quick test_logic_bist_deterministic;
+        ] );
+    ]

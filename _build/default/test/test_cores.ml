@@ -1,0 +1,130 @@
+open Socet_rtl
+open Socet_core
+open Socet_cores
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let all_cores () =
+  [
+    Cpu.core ();
+    Preprocessor.core ();
+    Display.core ();
+    Gcd_core.core ();
+    Graphics.core ();
+    X25.core ();
+  ]
+
+let test_all_cores_validate () =
+  List.iter
+    (fun core ->
+      Rtl_core.validate core;
+      check (Rtl_core.name core ^ " has ports") true (Rtl_core.ports core <> []);
+      check (Rtl_core.name core ^ " has registers") true (Rtl_core.regs core <> []))
+    (all_cores ())
+
+let test_cpu_interface () =
+  let c = Cpu.core () in
+  check_int "Data width" 8 (Rtl_core.find_port c Cpu.p_data).Rtl_core.p_width;
+  check_int "Address_lo width" 8
+    (Rtl_core.find_port c Cpu.p_address_lo).Rtl_core.p_width;
+  check_int "Address_hi width" 4
+    (Rtl_core.find_port c Cpu.p_address_hi).Rtl_core.p_width;
+  check "Read is an output" true
+    ((Rtl_core.find_port c Cpu.p_read).Rtl_core.p_dir = `Out)
+
+let test_display_paper_inputs () =
+  (* The paper: "the DISPLAY core has 66 flip-flops and 20 internal
+     inputs" — our model reproduces the 20 input bits exactly and lands
+     near the flip-flop count. *)
+  let c = Display.core () in
+  check_int "20 input bits" 20 (Rtl_core.input_bit_count c);
+  let ffs = Rtl_core.reg_bit_count c in
+  check "flip-flop count near the paper's 66" true (ffs >= 60 && ffs <= 80)
+
+let test_display_port_names () =
+  check "p_port bounds" true
+    (try
+       ignore (Display.p_port 0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check string) "port 3" "PORT3" (Display.p_port 3)
+
+(* Every core must reach high test efficiency under full-scan ATPG —
+   that is the paper's premise for the precomputed core test sets. *)
+let test_atpg_quality_all_cores () =
+  List.iter
+    (fun core ->
+      let nl = Socet_synth.Elaborate.core_to_netlist core in
+      let stats = Socet_atpg.Podem.run nl in
+      check
+        (Rtl_core.name core ^ " efficiency > 97%")
+        true
+        (stats.Socet_atpg.Podem.efficiency > 97.0);
+      check
+        (Rtl_core.name core ^ " coverage > 85%")
+        true
+        (stats.Socet_atpg.Podem.coverage > 85.0);
+      check
+        (Rtl_core.name core ^ " no aborted faults")
+        true
+        (List.length stats.Socet_atpg.Podem.aborted
+        * 100
+        < stats.Socet_atpg.Podem.total_faults);
+      (* The generated vectors really achieve the claimed coverage. *)
+      let redet =
+        Socet_atpg.Fsim.run_comb nl ~vectors:stats.Socet_atpg.Podem.vectors
+          ~faults:(Socet_atpg.Fault.collapse nl)
+      in
+      check_int
+        (Rtl_core.name core ^ " vectors re-detect")
+        (List.length stats.Socet_atpg.Podem.detected)
+        (List.length redet))
+    (all_cores ())
+
+let test_version_ladders_all_cores () =
+  List.iter
+    (fun core ->
+      let rcg = Rcg.of_core core in
+      let _ = Socet_scan.Hscan.insert rcg in
+      let versions = Version.generate rcg in
+      check (Rtl_core.name core ^ " at least 2 versions") true
+        (List.length versions >= 2))
+    (all_cores ())
+
+let test_systems_construct () =
+  let s1 = Systems.system1 () in
+  let s2 = Systems.system2 () in
+  check_int "S1 cores" 3 (List.length s1.Soc.insts);
+  check_int "S2 cores" 3 (List.length s2.Soc.insts);
+  check "S1 bigger than S2" true (Soc.original_area s1 > Soc.original_area s2)
+
+let test_memories_excluded () =
+  let s1 = Systems.system1 () in
+  (* Memories are listed but own no CCG nodes. *)
+  let ccg = Ccg.build s1 ~choice:[] in
+  check "no RAM node" true
+    (try
+       ignore (Ccg.node_id ccg (Ccg.N_cin ("RAM", "addr")));
+       false
+     with Not_found -> true);
+  check_int "memories recorded" 2 (List.length s1.Soc.memories)
+
+let () =
+  Alcotest.run "socet_cores"
+    [
+      ( "cores",
+        [
+          Alcotest.test_case "all validate" `Quick test_all_cores_validate;
+          Alcotest.test_case "CPU interface" `Quick test_cpu_interface;
+          Alcotest.test_case "DISPLAY paper inputs" `Quick test_display_paper_inputs;
+          Alcotest.test_case "DISPLAY port names" `Quick test_display_port_names;
+          Alcotest.test_case "ATPG quality" `Quick test_atpg_quality_all_cores;
+          Alcotest.test_case "version ladders" `Quick test_version_ladders_all_cores;
+        ] );
+      ( "systems",
+        [
+          Alcotest.test_case "construct" `Quick test_systems_construct;
+          Alcotest.test_case "memories excluded" `Quick test_memories_excluded;
+        ] );
+    ]

@@ -1,0 +1,171 @@
+(* Sequential equivalence: the RTL reference interpreter and the gate-level
+   simulation of the elaborated netlist must agree on every output bit and
+   every register bit, every cycle, for any core and any stimulus. *)
+
+open Socet_util
+open Socet_rtl
+open Socet_netlist
+open Socet_synth
+
+let check = Alcotest.(check bool)
+
+(* Drive both models [cycles] steps with the same random stimulus and
+   compare outputs and register contents each cycle. *)
+let equivalent ?(cycles = 48) ~seed core =
+  let nl = Elaborate.core_to_netlist core in
+  let rng = Rng.create seed in
+  let in_ports = Rtl_core.inputs core in
+  let npi = List.length (Netlist.pis nl) in
+  let pi_pos = Hashtbl.create 16 in
+  List.iteri
+    (fun i net -> Hashtbl.replace pi_pos (Netlist.gate_name nl net) i)
+    (Netlist.pis nl);
+  let gate_state = ref (Sim.initial_state nl) in
+  let rtl_state = ref (Rtl_sim.init core) in
+  let ok = ref true in
+  for _cycle = 1 to cycles do
+    (* Fresh random value per input port. *)
+    let port_values =
+      List.map
+        (fun (p : Rtl_core.port) -> (p.p_name, Rng.bitvec rng p.p_width))
+        in_ports
+    in
+    let lookup name = List.assoc name port_values in
+    (* Gate level. *)
+    let pi = Bitvec.create npi in
+    List.iter
+      (fun (name, v) ->
+        Bitvec.iteri
+          (fun i b ->
+            Bitvec.set pi (Hashtbl.find pi_pos (Printf.sprintf "%s.%d" name i)) b)
+          v)
+      port_values;
+    let po, gate_state' = Sim.eval nl ~pi ~state:!gate_state in
+    (* RTL level. *)
+    let rtl_state', rtl_out = Rtl_sim.step core !rtl_state ~inputs:lookup in
+    (* Compare outputs. *)
+    let po_pos = Hashtbl.create 16 in
+    List.iteri (fun i (name, _) -> Hashtbl.replace po_pos name i) (Netlist.pos nl);
+    List.iter
+      (fun (port, rtl_v) ->
+        Bitvec.iteri
+          (fun i rtl_b ->
+            match Hashtbl.find_opt po_pos (Printf.sprintf "%s.%d" port i) with
+            | Some k -> if Bitvec.get po k <> rtl_b then ok := false
+            | None -> ok := false)
+          rtl_v)
+      rtl_out;
+    (* Compare register contents (gate state layout: registers in
+       declaration order, then the control FSM). *)
+    let offset = ref 0 in
+    List.iter
+      (fun (r : Rtl_core.reg) ->
+        let rtl_v = Rtl_sim.reg_value rtl_state' r.r_name in
+        for i = 0 to r.r_width - 1 do
+          if Bitvec.get gate_state' (!offset + i) <> Bitvec.get rtl_v i then
+            ok := false
+        done;
+        offset := !offset + r.r_width)
+      (Rtl_core.regs core);
+    (* Control FSM state. *)
+    let sw = Elaborate.control_state_width core in
+    let gate_ctrl =
+      Bitvec.to_int (Bitvec.sub gate_state' ~pos:!offset ~len:sw)
+    in
+    if gate_ctrl <> Rtl_sim.ctrl_state rtl_state' then ok := false;
+    gate_state := gate_state';
+    rtl_state := rtl_state'
+  done;
+  !ok
+
+let test_equiv_example_cores () =
+  List.iter
+    (fun core ->
+      check
+        (Rtl_core.name core ^ " gates = RTL semantics")
+        true
+        (equivalent ~seed:11 core))
+    [
+      Socet_cores.Cpu.core ();
+      Socet_cores.Preprocessor.core ();
+      Socet_cores.Display.core ();
+      Socet_cores.Gcd_core.core ();
+      Socet_cores.Graphics.core ();
+      Socet_cores.X25.core ();
+    ]
+
+(* Reuse the fuzz generator shape for random cores (duplicated minimally
+   here to keep suites independent). *)
+let random_core rng =
+  let open Rtl_types in
+  let w = 4 in
+  let n_regs = 2 + Rng.int rng 5 in
+  let n_ins = 1 + Rng.int rng 2 in
+  let n_outs = 1 + Rng.int rng 2 in
+  let c = Rtl_core.create (Printf.sprintf "eq%d" (Rng.int rng 100000)) in
+  for i = 0 to n_ins - 1 do
+    Rtl_core.add_input c (Printf.sprintf "I%d" i) w
+  done;
+  for i = 0 to n_outs - 1 do
+    Rtl_core.add_output c (Printf.sprintf "O%d" i) w
+  done;
+  for i = 0 to n_regs - 1 do
+    Rtl_core.add_reg c (Printf.sprintf "R%d" i) w
+  done;
+  let t = Rtl_core.add_transfer c in
+  for i = 0 to n_regs - 1 do
+    let src =
+      if i = 0 || Rng.bool rng then
+        Rtl_core.port c (Printf.sprintf "I%d" (Rng.int rng n_ins))
+      else Rtl_core.reg c (Printf.sprintf "R%d" (Rng.int rng i))
+    in
+    t ~src ~dst:(Rtl_core.reg c (Printf.sprintf "R%d" i)) ();
+    if Rng.int rng 3 = 0 then
+      t
+        ~kind:
+          (Logic
+             (match Rng.int rng 4 with
+             | 0 -> Finc
+             | 1 -> Fnot
+             | 2 -> Fadd (Rtl_core.reg c (Printf.sprintf "R%d" (Rng.int rng (i + 1))))
+             | _ -> Fxor (Rtl_core.reg c (Printf.sprintf "R%d" (Rng.int rng (i + 1))))))
+        ~src:(Rtl_core.reg c (Printf.sprintf "R%d" i))
+        ~dst:(Rtl_core.reg c (Printf.sprintf "R%d" i))
+        ()
+  done;
+  for o = 0 to n_outs - 1 do
+    t ~kind:Rtl_types.Direct
+      ~src:(Rtl_core.reg c (Printf.sprintf "R%d" (Rng.int rng n_regs)))
+      ~dst:(Rtl_core.port c (Printf.sprintf "O%d" o))
+      ()
+  done;
+  Rtl_core.validate c;
+  c
+
+let prop_equivalence_random_cores =
+  QCheck.Test.make ~name:"equivalence: random cores, gates = RTL" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let core = random_core rng in
+      equivalent ~cycles:24 ~seed:(seed + 1) core)
+
+let test_rtl_sim_runs () =
+  let core = Socet_cores.Gcd_core.core () in
+  let outs =
+    Rtl_sim.run core ~cycles:8 ~inputs:(fun t name ->
+        let p = Rtl_core.find_port core name in
+        Bitvec.of_int ~width:p.Rtl_core.p_width (t * 3))
+  in
+  Alcotest.(check int) "eight cycles of outputs" 8 (List.length outs)
+
+let () =
+  Alcotest.run "socet_equiv"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "example cores" `Quick test_equiv_example_cores;
+          Alcotest.test_case "rtl_sim runs" `Quick test_rtl_sim_runs;
+          QCheck_alcotest.to_alcotest prop_equivalence_random_cores;
+        ] );
+    ]

@@ -1,0 +1,258 @@
+(* Cross-layer fuzzing: generate random (but valid) RTL cores and check
+   the invariants that every layer of the flow promises, ending with the
+   strongest one — values really ride the discovered transparency paths
+   through the synthesized gates. *)
+
+open Socet_util
+open Socet_rtl
+open Rtl_types
+open Socet_core
+module Digraph = Socet_graph.Digraph
+
+let w = 4 (* uniform register/port width keeps slice arithmetic honest *)
+
+(* A random core: a few registers fed from earlier registers or inputs
+   (guaranteeing forward progress), every register reaching an output
+   either directly or via the chain, plus some functional-unit transfers
+   and an occasional sliced feed. *)
+let random_core rng =
+  let n_regs = 2 + Rng.int rng 6 in
+  let n_ins = 1 + Rng.int rng 2 in
+  let n_outs = 1 + Rng.int rng 2 in
+  let c = Rtl_core.create (Printf.sprintf "fuzz%d" (Rng.int rng 100000)) in
+  for i = 0 to n_ins - 1 do
+    Rtl_core.add_input c (Printf.sprintf "I%d" i) w
+  done;
+  for i = 0 to n_outs - 1 do
+    Rtl_core.add_output c (Printf.sprintf "O%d" i) w
+  done;
+  for i = 0 to n_regs - 1 do
+    Rtl_core.add_reg c (Printf.sprintf "R%d" i) w
+  done;
+  let t = Rtl_core.add_transfer c in
+  (* Register feeds: from an input or a strictly earlier register. *)
+  for i = 0 to n_regs - 1 do
+    let src =
+      if i = 0 || Rng.bool rng then Rtl_core.port c (Printf.sprintf "I%d" (Rng.int rng n_ins))
+      else Rtl_core.reg c (Printf.sprintf "R%d" (Rng.int rng i))
+    in
+    let dst = Rtl_core.reg c (Printf.sprintf "R%d" i) in
+    if Rng.int rng 4 = 0 && i > 0 then begin
+      (* Sliced feed: the two halves arrive from different places. *)
+      let src2 =
+        if Rng.bool rng then Rtl_core.port_bits c (Printf.sprintf "I%d" (Rng.int rng n_ins)) 0 1
+        else Rtl_core.reg_bits c (Printf.sprintf "R%d" (Rng.int rng i)) 0 1
+      in
+      let hi =
+        match src with
+        | { base = Eport n; _ } -> Rtl_core.port_bits c n 2 3
+        | { base = Ereg n; _ } -> Rtl_core.reg_bits c n 2 3
+      in
+      t ~src:hi ~dst:(Rtl_core.reg_bits c (Printf.sprintf "R%d" i) 2 3) ();
+      t ~src:src2 ~dst:(Rtl_core.reg_bits c (Printf.sprintf "R%d" i) 0 1) ()
+    end
+    else t ~src ~dst ();
+    (* Occasional functional unit for gate-level variety. *)
+    if Rng.int rng 3 = 0 then
+      t
+        ~kind:(Logic (Fxor (Rtl_core.reg c (Printf.sprintf "R%d" (Rng.int rng (i + 1))))))
+        ~src:dst ~dst ()
+  done;
+  (* Outputs: each from a random register (direct). *)
+  for o = 0 to n_outs - 1 do
+    t ~kind:Direct
+      ~src:(Rtl_core.reg c (Printf.sprintf "R%d" (Rng.int rng n_regs)))
+      ~dst:(Rtl_core.port c (Printf.sprintf "O%d" o))
+      ()
+  done;
+  Rtl_core.validate c;
+  c
+
+let check = Alcotest.(check bool)
+
+let prop_hscan_covers_everything =
+  QCheck.Test.make ~name:"fuzz: hscan feeds every register slice" ~count:120
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let core = random_core rng in
+      let rcg = Rcg.of_core core in
+      let _ = Socet_scan.Hscan.insert rcg in
+      List.for_all
+        (fun reg ->
+          (* Every bit of every register is written by some marked edge. *)
+          let covered =
+            List.fold_left
+              (fun acc (e : Rcg.edge_label Digraph.edge) ->
+                if e.label.Rcg.e_hscan && e.dst = reg then
+                  acc
+                  lor (((1 lsl range_width e.label.Rcg.e_dst_range) - 1)
+                      lsl e.label.Rcg.e_dst_range.lsb)
+                else acc)
+              0
+              (Digraph.pred (Rcg.graph rcg) reg)
+          in
+          covered = (1 lsl w) - 1)
+        (Rcg.reg_ids rcg))
+
+let prop_hscan_marked_subgraph_acyclic =
+  QCheck.Test.make ~name:"fuzz: hscan chains are acyclic" ~count:120
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let core = random_core rng in
+      let rcg = Rcg.of_core core in
+      let _ = Socet_scan.Hscan.insert rcg in
+      (* Build the marked subgraph and topologically sort it. *)
+      let g = Rcg.graph rcg in
+      let marked = Digraph.create () in
+      for _ = 1 to Digraph.node_count g do
+        ignore (Digraph.add_node marked)
+      done;
+      List.iter
+        (fun (e : Rcg.edge_label Digraph.edge) ->
+          if e.label.Rcg.e_hscan then
+            ignore (Digraph.add_edge marked ~src:e.src ~dst:e.dst ()))
+        (Digraph.edges g);
+      Socet_graph.Search.topological marked <> None)
+
+let prop_version_ladder_invariants =
+  QCheck.Test.make ~name:"fuzz: version ladders monotone and complete" ~count:80
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let core = random_core rng in
+      let rcg = Rcg.of_core core in
+      let _ = Socet_scan.Hscan.insert rcg in
+      let versions = Version.generate rcg in
+      versions <> []
+      && (* overheads strictly increase along the ladder *)
+      (let rec mono = function
+         | a :: (b :: _ as rest) ->
+             a.Version.v_overhead < b.Version.v_overhead && mono rest
+         | _ -> true
+       in
+       mono versions)
+      && (* v1 justifies every output and propagates every input *)
+      (let v1 = List.hd versions in
+       List.length v1.Version.v_just = List.length (Rcg.output_ids rcg)
+       && List.length v1.Version.v_prop = List.length (Rcg.input_ids rcg))
+      && (* pair latencies never get worse up the ladder *)
+      (let rec pairs_ok = function
+         | a :: (b :: _ as rest) ->
+             List.for_all
+               (fun (p : Version.pair) ->
+                 match
+                   Version.latency_between b ~input:p.Version.pr_input
+                     ~output:p.Version.pr_output
+                 with
+                 | Some l -> l <= p.Version.pr_latency
+                 | None -> true)
+               a.Version.v_pairs
+             && pairs_ok rest
+         | _ -> true
+       in
+       pairs_ok versions))
+
+let prop_solution_latency_consistent =
+  QCheck.Test.make ~name:"fuzz: reported latency equals depth-schedule max" ~count:80
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let core = random_core rng in
+      let rcg = Rcg.of_core core in
+      let _ = Socet_scan.Hscan.insert rcg in
+      let v1 = List.hd (Version.generate rcg) in
+      List.for_all
+        (fun (_, (s : Tsearch.sol)) ->
+          let max_depth =
+            List.fold_left (fun acc (_, d) -> max acc d) 0 s.Tsearch.s_depths
+          in
+          s.Tsearch.s_latency <= max_depth
+          && s.Tsearch.s_latency >= 0
+          && List.for_all (fun (_, cyc) -> cyc > 0) s.Tsearch.s_freezes)
+        (v1.Version.v_just @ v1.Version.v_prop))
+
+let prop_gate_level_transparency =
+  QCheck.Test.make ~name:"fuzz: propagation paths carry data through gates"
+    ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let core = random_core rng in
+      let rcg = Rcg.of_core core in
+      let _ = Socet_scan.Hscan.insert rcg in
+      let inputs = Rcg.input_ids rcg in
+      List.for_all
+        (fun input ->
+          match
+            Tsearch.propagate rcg ~prefer_hscan:true
+              ~allowed:(fun _ -> true)
+              ~input ()
+          with
+          | None -> true (* nothing found: nothing to validate *)
+          | Some sol ->
+              if
+                List.exists
+                  (fun (e : Rcg.edge_label Digraph.edge) ->
+                    e.label.Rcg.e_transfer < 0)
+                  sol.Tsearch.s_edges
+              then true (* synthesized edges: not simulable *)
+              else
+                let name = (Rcg.node rcg input).Rcg.n_name in
+                let value = Rng.bitvec rng w in
+                Tsim.check_propagation rcg sol ~input:name ~value)
+        inputs)
+
+let prop_elaboration_sound =
+  QCheck.Test.make ~name:"fuzz: elaboration yields a legal sequential netlist"
+    ~count:120
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let core = random_core rng in
+      let nl = Socet_synth.Elaborate.core_to_netlist core in
+      let open Socet_netlist in
+      Array.length (Netlist.comb_order nl) = Netlist.gate_count nl
+      && List.length (Netlist.pis nl) = Rtl_core.input_bit_count core
+      && List.length (Netlist.pos nl) = Rtl_core.output_bit_count core)
+
+let prop_atpg_vectors_detect =
+  QCheck.Test.make ~name:"fuzz: ATPG vectors detect what they claim" ~count:15
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let core = random_core rng in
+      let nl = Socet_synth.Elaborate.core_to_netlist core in
+      let stats = Socet_atpg.Podem.run ~random_patterns:32 nl in
+      let redetected =
+        Socet_atpg.Fsim.run_comb nl ~vectors:stats.Socet_atpg.Podem.vectors
+          ~faults:(Socet_atpg.Fault.collapse nl)
+      in
+      List.length redetected = List.length stats.Socet_atpg.Podem.detected)
+
+let smoke_one_fuzz_core () =
+  (* A deterministic instance of the generator, as a plain test. *)
+  let rng = Rng.create 2024 in
+  let core = random_core rng in
+  Rtl_core.validate core;
+  let rcg = Rcg.of_core core in
+  let h = Socet_scan.Hscan.insert rcg in
+  check "depth positive" true (h.Socet_scan.Hscan.depth > 0);
+  check "versions exist" true (Version.generate rcg <> [])
+
+let () =
+  Alcotest.run "socet_fuzz"
+    [
+      ( "fuzz",
+        [
+          Alcotest.test_case "generator smoke" `Quick smoke_one_fuzz_core;
+          QCheck_alcotest.to_alcotest prop_hscan_covers_everything;
+          QCheck_alcotest.to_alcotest prop_hscan_marked_subgraph_acyclic;
+          QCheck_alcotest.to_alcotest prop_version_ladder_invariants;
+          QCheck_alcotest.to_alcotest prop_solution_latency_consistent;
+          QCheck_alcotest.to_alcotest prop_elaboration_sound;
+          QCheck_alcotest.to_alcotest prop_gate_level_transparency;
+          QCheck_alcotest.to_alcotest prop_atpg_vectors_detect;
+        ] );
+    ]

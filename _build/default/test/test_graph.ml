@@ -1,0 +1,254 @@
+open Socet_graph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let any _ = true
+
+(* A small diamond with a tail:  0 -> 1 -> 3 -> 4,  0 -> 2 -> 3. *)
+let diamond () =
+  let g = Digraph.create () in
+  let n () = Digraph.add_node g in
+  let v0 = n () and v1 = n () and v2 = n () and v3 = n () and v4 = n () in
+  let e a b = ignore (Digraph.add_edge g ~src:a ~dst:b ()) in
+  e v0 v1;
+  e v0 v2;
+  e v1 v3;
+  e v2 v3;
+  e v3 v4;
+  (g, v0, v1, v2, v3, v4)
+
+let test_digraph_basic () =
+  let g, v0, v1, _, v3, _ = diamond () in
+  check_int "node count" 5 (Digraph.node_count g);
+  check_int "edge count" 5 (Digraph.edge_count g);
+  check_int "succ of 0" 2 (List.length (Digraph.succ g v0));
+  check_int "pred of 3" 2 (List.length (Digraph.pred g v3));
+  check "find existing edge" true (Digraph.find_edge g ~src:v0 ~dst:v1 <> None);
+  check "find missing edge" true (Digraph.find_edge g ~src:v1 ~dst:v0 = None)
+
+let test_digraph_edge_ids_dense () =
+  let g, _, _, _, _, _ = diamond () in
+  let ids = List.map (fun (e : _ Digraph.edge) -> e.id) (Digraph.edges g) in
+  Alcotest.(check (list int)) "dense ids in insertion order" [ 0; 1; 2; 3; 4 ] ids
+
+let test_digraph_reverse () =
+  let g, v0, _, _, _, v4 = diamond () in
+  let r = Digraph.reverse g in
+  check_int "reverse preserves nodes" 5 (Digraph.node_count r);
+  check "forward path exists" true
+    (Search.bfs_path g ~start:v0 ~is_goal:(fun v -> v = v4) ~follow:any <> None);
+  check "reverse path exists" true
+    (Search.bfs_path r ~start:v4 ~is_goal:(fun v -> v = v0) ~follow:any <> None)
+
+let test_bfs_order () =
+  let g, v0, _, _, _, _ = diamond () in
+  let order = Search.bfs_order g ~start:v0 ~follow:any in
+  check_int "visits all" 5 (List.length order);
+  Alcotest.(check int) "starts at source" v0 (List.hd order)
+
+let test_bfs_path_shortest () =
+  let g = Digraph.create () in
+  let n () = Digraph.add_node g in
+  let a = n () and b = n () and c = n () and d = n () in
+  let e x y = ignore (Digraph.add_edge g ~src:x ~dst:y ()) in
+  (* Long way a->b->c->d, shortcut a->d. *)
+  e a b;
+  e b c;
+  e c d;
+  e a d;
+  match Search.bfs_path g ~start:a ~is_goal:(fun v -> v = d) ~follow:any with
+  | None -> Alcotest.fail "path not found"
+  | Some p -> check_int "takes the shortcut" 1 (List.length p)
+
+let test_bfs_follow_filter () =
+  let g = Digraph.create () in
+  let a = Digraph.add_node g and b = Digraph.add_node g in
+  ignore (Digraph.add_edge g ~src:a ~dst:b "blocked");
+  check "filtered edge not followed" true
+    (Search.bfs_path g ~start:a ~is_goal:(fun v -> v = b)
+       ~follow:(fun e -> e.label <> "blocked")
+    = None)
+
+let test_reachable () =
+  let g, v0, _, _, _, v4 = diamond () in
+  let extra = Digraph.add_node g in
+  let r = Search.reachable g ~start:v0 ~follow:any in
+  check "reaches sink" true r.(v4);
+  check "does not reach isolated node" false r.(extra)
+
+let test_topological () =
+  let g, _, _, _, _, _ = diamond () in
+  (match Search.topological g with
+  | None -> Alcotest.fail "diamond is acyclic"
+  | Some order ->
+      let pos = Array.make (Digraph.node_count g) 0 in
+      List.iteri (fun i v -> pos.(v) <- i) order;
+      List.iter
+        (fun (e : _ Digraph.edge) ->
+          check "topological order respects edges" true (pos.(e.src) < pos.(e.dst)))
+        (Digraph.edges g));
+  (* A cycle has no topological order. *)
+  let c = Digraph.create () in
+  let a = Digraph.add_node c and b = Digraph.add_node c in
+  ignore (Digraph.add_edge c ~src:a ~dst:b ());
+  ignore (Digraph.add_edge c ~src:b ~dst:a ());
+  check "cycle detected" true (Search.topological c = None)
+
+let test_scc () =
+  let g = Digraph.create () in
+  let n () = Digraph.add_node g in
+  let a = n () and b = n () and c = n () and d = n () in
+  let e x y = ignore (Digraph.add_edge g ~src:x ~dst:y ()) in
+  e a b;
+  e b a;
+  e b c;
+  e c d;
+  let comps = Search.scc g in
+  check_int "three components" 3 (List.length comps);
+  let ab = List.find (fun comp -> List.mem a comp) comps in
+  check "a and b share a component" true (List.mem b ab)
+
+let test_dijkstra_plain_shortest () =
+  let g = Digraph.create () in
+  let n () = Digraph.add_node g in
+  let a = n () and b = n () and c = n () in
+  let _e1 = Digraph.add_edge g ~src:a ~dst:b 10 in
+  let _e2 = Digraph.add_edge g ~src:a ~dst:c 1 in
+  let _e3 = Digraph.add_edge g ~src:c ~dst:b 2 in
+  match
+    Search.dijkstra_timed g ~sources:[ (a, 0) ]
+      ~is_goal:(fun v -> v = b)
+      ~latency:(fun e -> e.label)
+      ~earliest_departure:(fun _ t -> t)
+  with
+  | None -> Alcotest.fail "no path"
+  | Some tp ->
+      check_int "indirect route is cheaper" 3 tp.arrival;
+      check_int "two hops" 2 (List.length tp.path_edges)
+
+let test_dijkstra_timed_waits () =
+  (* One edge, busy during [0, 4): departure must wait. *)
+  let g = Digraph.create () in
+  let a = Digraph.add_node g and b = Digraph.add_node g in
+  ignore (Digraph.add_edge g ~src:a ~dst:b 2);
+  match
+    Search.dijkstra_timed g ~sources:[ (a, 0) ]
+      ~is_goal:(fun v -> v = b)
+      ~latency:(fun e -> e.label)
+      ~earliest_departure:(fun _ t -> max t 4)
+  with
+  | None -> Alcotest.fail "no path"
+  | Some tp ->
+      check_int "waits for the edge" 6 tp.arrival;
+      Alcotest.(check (list int)) "departure recorded" [ 4 ] tp.departures
+
+let test_dijkstra_multi_source () =
+  let g = Digraph.create () in
+  let n () = Digraph.add_node g in
+  let a = n () and b = n () and goal = n () in
+  ignore (Digraph.add_edge g ~src:a ~dst:goal 10);
+  ignore (Digraph.add_edge g ~src:b ~dst:goal 1);
+  match
+    Search.dijkstra_timed g ~sources:[ (a, 0); (b, 3) ]
+      ~is_goal:(fun v -> v = goal)
+      ~latency:(fun e -> e.label)
+      ~earliest_departure:(fun _ t -> t)
+  with
+  | None -> Alcotest.fail "no path"
+  | Some tp -> check_int "picks the later but cheaper source" 4 tp.arrival
+
+let test_dijkstra_unreachable () =
+  let g = Digraph.create () in
+  let a = Digraph.add_node g and b = Digraph.add_node g in
+  ignore b;
+  check "unreachable returns None" true
+    (Search.dijkstra_timed g ~sources:[ (a, 0) ]
+       ~is_goal:(fun v -> v = b)
+       ~latency:(fun _ -> 1)
+       ~earliest_departure:(fun _ t -> t)
+    = None)
+
+(* Random-DAG property: timed dijkstra with identity departure equals
+   plain shortest path computed by Bellman-Ford. *)
+let prop_dijkstra_matches_bellman_ford =
+  QCheck.Test.make ~name:"dijkstra = bellman-ford on random DAGs" ~count:100
+    QCheck.(pair (int_bound 1000) (int_range 2 12))
+    (fun (seed, nodes) ->
+      let rng = Socet_util.Rng.create seed in
+      let g = Digraph.create () in
+      for _ = 1 to nodes do
+        ignore (Digraph.add_node g)
+      done;
+      (* Edges only forward: guarantees a DAG. *)
+      for src = 0 to nodes - 2 do
+        let count = 1 + Socet_util.Rng.int rng 3 in
+        for _ = 1 to count do
+          let dst = src + 1 + Socet_util.Rng.int rng (nodes - src - 1) in
+          ignore (Digraph.add_edge g ~src ~dst (1 + Socet_util.Rng.int rng 9))
+        done
+      done;
+      let goal = nodes - 1 in
+      (* Bellman-Ford. *)
+      let dist = Array.make nodes max_int in
+      dist.(0) <- 0;
+      for _ = 1 to nodes do
+        List.iter
+          (fun (e : int Digraph.edge) ->
+            if dist.(e.src) < max_int then
+              dist.(e.dst) <- min dist.(e.dst) (dist.(e.src) + e.label))
+          (Digraph.edges g)
+      done;
+      let expected = dist.(goal) in
+      match
+        Search.dijkstra_timed g ~sources:[ (0, 0) ]
+          ~is_goal:(fun v -> v = goal)
+          ~latency:(fun e -> e.label)
+          ~earliest_departure:(fun _ t -> t)
+      with
+      | None -> expected = max_int
+      | Some tp -> tp.arrival = expected)
+
+
+let test_map_labels_and_edge_by_id () =
+  let g = Digraph.create () in
+  let a = Digraph.add_node g and b = Digraph.add_node g in
+  let e = Digraph.add_edge g ~src:a ~dst:b 41 in
+  let h = Digraph.map_labels (fun x -> x + 1) g in
+  (match Digraph.succ h a with
+  | [ e' ] -> check_int "label mapped" 42 e'.Digraph.label
+  | _ -> Alcotest.fail "one edge expected");
+  check_int "edge_by_id finds it" 41 (Digraph.edge_by_id g e.Digraph.id).Digraph.label;
+  (* Reverse preserves labels and flips direction. *)
+  let r = Digraph.reverse g in
+  check "reversed edge" true (Digraph.find_edge r ~src:b ~dst:a <> None)
+
+let () =
+  Alcotest.run "socet_graph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "basic" `Quick test_digraph_basic;
+          Alcotest.test_case "edge ids dense" `Quick test_digraph_edge_ids_dense;
+          Alcotest.test_case "reverse" `Quick test_digraph_reverse;
+        ] );
+      ( "labels",
+        [ Alcotest.test_case "map/reverse/by-id" `Quick test_map_labels_and_edge_by_id ] );
+      ( "search",
+        [
+          Alcotest.test_case "bfs order" `Quick test_bfs_order;
+          Alcotest.test_case "bfs shortest" `Quick test_bfs_path_shortest;
+          Alcotest.test_case "bfs follow filter" `Quick test_bfs_follow_filter;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+          Alcotest.test_case "topological" `Quick test_topological;
+          Alcotest.test_case "scc" `Quick test_scc;
+        ] );
+      ( "dijkstra",
+        [
+          Alcotest.test_case "plain shortest" `Quick test_dijkstra_plain_shortest;
+          Alcotest.test_case "waits on busy edge" `Quick test_dijkstra_timed_waits;
+          Alcotest.test_case "multi source" `Quick test_dijkstra_multi_source;
+          Alcotest.test_case "unreachable" `Quick test_dijkstra_unreachable;
+          QCheck_alcotest.to_alcotest prop_dijkstra_matches_bellman_ford;
+        ] );
+    ]

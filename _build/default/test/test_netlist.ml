@@ -1,0 +1,319 @@
+open Socet_util
+open Socet_netlist
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Cell                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cell_arity_area () =
+  check_int "mux2 arity" 3 (Cell.arity Cell.Mux2);
+  check_int "sdffe arity" 4 (Cell.arity Cell.Sdffe);
+  check_int "pi has no area" 0 (Cell.area Cell.Pi);
+  check "scan upgrade costs something" true (Cell.scan_upgrade_area Cell.Dff > 0);
+  check "dff is dff" true (Cell.is_dff Cell.Dffe);
+  check "mux is not dff" false (Cell.is_dff Cell.Mux2);
+  check "sdff is scan" true (Cell.is_scan Cell.Sdff);
+  check "scan_of dff" true (Cell.scan_of Cell.Dff = Cell.Sdff);
+  Alcotest.check_raises "scan_of non-ff" (Invalid_argument "Cell.scan_of: not a flip-flop")
+    (fun () -> ignore (Cell.scan_of Cell.And2))
+
+(* ------------------------------------------------------------------ *)
+(* Netlist construction                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_netlist_build () =
+  let nl = Netlist.create "t" in
+  let a = Netlist.add_pi nl "a" in
+  let b = Netlist.add_pi nl "b" in
+  let g = Netlist.add_gate nl Cell.And2 [| a; b |] in
+  Netlist.add_po nl "y" g;
+  check_int "three gates" 3 (Netlist.gate_count nl);
+  check_int "two PIs" 2 (List.length (Netlist.pis nl));
+  check_int "one PO" 1 (List.length (Netlist.pos nl));
+  check "fanout of a contains the and" true (List.mem g (Netlist.fanout nl a));
+  check_int "pi index of b" 1 (Netlist.pi_index nl b);
+  check "find_pi" true (Netlist.find_pi nl "a" = a);
+  check "find_po" true (Netlist.find_po nl "y" = g)
+
+let test_netlist_arity_check () =
+  let nl = Netlist.create "t" in
+  let a = Netlist.add_pi nl "a" in
+  Alcotest.check_raises "arity mismatch rejected"
+    (Invalid_argument "Netlist.add_gate: and2 expects 2 fanins, got 1") (fun () ->
+      ignore (Netlist.add_gate nl Cell.And2 [| a |]))
+
+let test_netlist_area () =
+  let nl = Netlist.create "t" in
+  let a = Netlist.add_pi nl "a" in
+  let inv = Netlist.add_gate nl Cell.Inv [| a |] in
+  let ff = Netlist.add_gate nl Cell.Dff [| inv |] in
+  ignore ff;
+  check_int "area = inv + dff" (Cell.area Cell.Inv + Cell.area Cell.Dff)
+    (Netlist.area nl)
+
+let test_comb_order_cycle_detection () =
+  let nl = Netlist.create "t" in
+  let a = Netlist.add_pi nl "a" in
+  (* Create a combinational loop via set_kind. *)
+  let g1 = Netlist.add_gate nl Cell.Buf [| a |] in
+  let g2 = Netlist.add_gate nl Cell.Buf [| g1 |] in
+  Netlist.set_kind nl g1 Cell.Buf [| g2 |];
+  check "cycle detected" true
+    (try
+       ignore (Netlist.comb_order nl);
+       false
+     with Failure _ -> true)
+
+let test_comb_order_ff_breaks_cycle () =
+  let nl = Netlist.create "t" in
+  let zero = Netlist.add_gate nl Cell.Const0 [||] in
+  let ff = Netlist.add_gate nl Cell.Dff [| zero |] in
+  let inv = Netlist.add_gate nl Cell.Inv [| ff |] in
+  Netlist.set_kind nl ff Cell.Dff [| inv |];
+  (* ff <- inv <- ff is fine: the flip-flop breaks the loop. *)
+  check_int "order covers all gates" 3 (Array.length (Netlist.comb_order nl))
+
+(* ------------------------------------------------------------------ *)
+(* Simulation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Exhaustively verify every 2-input cell function. *)
+let test_sim_gate_functions () =
+  let truth kind f =
+    let nl = Netlist.create "t" in
+    let a = Netlist.add_pi nl "a" and b = Netlist.add_pi nl "b" in
+    let g = Netlist.add_gate nl kind [| a; b |] in
+    Netlist.add_po nl "y" g;
+    for ia = 0 to 1 do
+      for ib = 0 to 1 do
+        let pi = Bitvec.create 2 in
+        Bitvec.set pi 0 (ia = 1);
+        Bitvec.set pi 1 (ib = 1);
+        let po, _ = Sim.eval nl ~pi ~state:(Sim.initial_state nl) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s(%d,%d)" (Cell.name kind) ia ib)
+          (f (ia = 1) (ib = 1))
+          (Bitvec.get po 0)
+      done
+    done
+  in
+  truth Cell.And2 ( && );
+  truth Cell.Or2 ( || );
+  truth Cell.Nand2 (fun a b -> not (a && b));
+  truth Cell.Nor2 (fun a b -> not (a || b));
+  truth Cell.Xor2 ( <> );
+  truth Cell.Xnor2 ( = )
+
+let test_sim_mux () =
+  let nl = Netlist.create "t" in
+  let s = Netlist.add_pi nl "s" in
+  let a = Netlist.add_pi nl "a" in
+  let b = Netlist.add_pi nl "b" in
+  let g = Netlist.add_gate nl Cell.Mux2 [| s; a; b |] in
+  Netlist.add_po nl "y" g;
+  let run s' a' b' =
+    let pi = Bitvec.create 3 in
+    Bitvec.set pi 0 s';
+    Bitvec.set pi 1 a';
+    Bitvec.set pi 2 b';
+    let po, _ = Sim.eval nl ~pi ~state:(Sim.initial_state nl) in
+    Bitvec.get po 0
+  in
+  check "sel=0 passes a" true (run false true false);
+  check "sel=1 passes b" false (run true true false);
+  check "sel=1 passes b (true)" true (run true false true)
+
+let test_sim_dff_delay () =
+  let nl = Netlist.create "t" in
+  let d = Netlist.add_pi nl "d" in
+  let ff = Netlist.add_gate nl Cell.Dff [| d |] in
+  Netlist.add_po nl "q" ff;
+  let pi = Bitvec.of_string "1" in
+  let st0 = Sim.initial_state nl in
+  let po0, st1 = Sim.eval nl ~pi ~state:st0 in
+  check "q is 0 before the edge" false (Bitvec.get po0 0);
+  let po1, _ = Sim.eval nl ~pi ~state:st1 in
+  check "q is 1 after one cycle" true (Bitvec.get po1 0)
+
+let test_sim_dffe_hold () =
+  let nl = Netlist.create "t" in
+  let d = Netlist.add_pi nl "d" in
+  let en = Netlist.add_pi nl "en" in
+  let ff = Netlist.add_gate nl Cell.Dffe [| d; en |] in
+  Netlist.add_po nl "q" ff;
+  let step pi st =
+    let _, st' = Sim.eval nl ~pi ~state:st in
+    st'
+  in
+  (* Load 1 with enable, then present 0 with enable off: must hold. *)
+  let st = Sim.initial_state nl in
+  let st = step (Bitvec.of_string "11") st in
+  check "loaded" true (Bitvec.get st 0);
+  let st = step (Bitvec.of_string "00") st in
+  check "held with enable low" true (Bitvec.get st 0);
+  let st = step (Bitvec.of_string "10") st in
+  check "loads 0 when enabled" false (Bitvec.get st 0)
+
+let test_sim_sdff_scan_path () =
+  let nl = Netlist.create "t" in
+  let d = Netlist.add_pi nl "d" in
+  let si = Netlist.add_pi nl "si" in
+  let se = Netlist.add_pi nl "se" in
+  let ff = Netlist.add_gate nl Cell.Sdff [| d; si; se |] in
+  Netlist.add_po nl "q" ff;
+  let load pi st =
+    let _, st' = Sim.eval nl ~pi ~state:st in
+    st'
+  in
+  (* se=1 loads si; se=0 loads d.  pi order: d, si, se. *)
+  let st = Sim.initial_state nl in
+  let st = load (Bitvec.of_string "110") st in
+  (* se=1, si=1, d=0 *)
+  check "scan-in wins when se=1" true (Bitvec.get st 0);
+  let st = load (Bitvec.of_string "001") st in
+  (* se=0, si=0, d=1 *)
+  check "functional path when se=0" true (Bitvec.get st 0);
+  let st = load (Bitvec.of_string "000") st in
+  check "functional zero" false (Bitvec.get st 0)
+
+(* Builder word helpers against integer arithmetic. *)
+let mk_adder_nl w =
+  let nl = Netlist.create "adder" in
+  let a = Builder.input_word nl "a" w in
+  let b = Builder.input_word nl "b" w in
+  let zero = Netlist.add_gate nl Cell.Const0 [||] in
+  let sum, cout = Builder.adder nl a b ~cin:zero in
+  Builder.output_word nl "sum" sum;
+  Netlist.add_po nl "cout" cout;
+  nl
+
+let eval_comb_ints nl ~width inputs =
+  let pi = Bitvec.create (List.length (Netlist.pis nl)) in
+  List.iteri
+    (fun word_idx v ->
+      for i = 0 to width - 1 do
+        Bitvec.set pi ((word_idx * width) + i) ((v lsr i) land 1 = 1)
+      done)
+    inputs;
+  let po, _ = Sim.eval nl ~pi ~state:(Sim.initial_state nl) in
+  po
+
+let test_builder_adder () =
+  let w = 4 in
+  let nl = mk_adder_nl w in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      let po = eval_comb_ints nl ~width:w [ a; b ] in
+      let sum = Bitvec.to_int (Bitvec.sub po ~pos:0 ~len:w) in
+      let cout = if Bitvec.get po w then 1 else 0 in
+      check_int (Printf.sprintf "%d+%d" a b) (a + b) ((cout * 16) + sum)
+    done
+  done
+
+let test_builder_subtractor_comparators () =
+  let w = 4 in
+  let nl = Netlist.create "cmp" in
+  let a = Builder.input_word nl "a" w in
+  let b = Builder.input_word nl "b" w in
+  let diff, geq = Builder.subtractor nl a b in
+  let eq = Builder.eq_word nl a b in
+  let lt = Builder.lt_word nl a b in
+  Builder.output_word nl "diff" diff;
+  Netlist.add_po nl "geq" geq;
+  Netlist.add_po nl "eq" eq;
+  Netlist.add_po nl "lt" lt;
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      let po = eval_comb_ints nl ~width:w [ x; y ] in
+      let diff_v = Bitvec.to_int (Bitvec.sub po ~pos:0 ~len:w) in
+      check_int "difference mod 16" ((x - y) land 15) diff_v;
+      check "geq flag" true (Bitvec.get po w = (x >= y));
+      check "eq flag" true (Bitvec.get po (w + 1) = (x = y));
+      check "lt flag" true (Bitvec.get po (w + 2) = (x < y))
+    done
+  done
+
+let test_builder_register_roundtrip () =
+  let nl = Netlist.create "reg" in
+  let d = Builder.input_word nl "d" 4 in
+  let en = Netlist.add_pi nl "en" in
+  let q = Builder.new_register nl ~name:"r" ~width:4 in
+  Builder.connect_register nl ~q ~d ~enable:en ();
+  Builder.output_word nl "q" q;
+  let step v en_v st =
+    let pi = Bitvec.create 5 in
+    for i = 0 to 3 do
+      Bitvec.set pi i ((v lsr i) land 1 = 1)
+    done;
+    Bitvec.set pi 4 en_v;
+    let _, st' = Sim.eval nl ~pi ~state:st in
+    st'
+  in
+  let st = Sim.initial_state nl in
+  let st = step 0b1010 true st in
+  check_int "register loads" 0b1010 (Bitvec.to_int st);
+  let st = step 0b0101 false st in
+  check_int "register holds" 0b1010 (Bitvec.to_int st)
+
+let prop_word_parallel_matches_scalar =
+  QCheck.Test.make ~name:"word engine agrees with scalar engine" ~count:50
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let w = 3 in
+      let nl = mk_adder_nl w in
+      let npi = List.length (Netlist.pis nl) in
+      (* A few random patterns through the word engine at once. *)
+      let pats = List.init 8 (fun _ -> Rng.bitvec rng npi) in
+      let pi_words = Array.make npi 0 in
+      List.iteri
+        (fun k p ->
+          for i = 0 to npi - 1 do
+            if Bitvec.get p i then pi_words.(i) <- pi_words.(i) lor (1 lsl k)
+          done)
+        pats;
+      let v = Sim.eval_words nl ~pi:pi_words ~state:[||] ~inject:(fun _ x -> x) in
+      let po_words = Sim.po_words nl v in
+      List.for_all
+        (fun (k, p) ->
+          let po, _ = Sim.eval nl ~pi:p ~state:(Sim.initial_state nl) in
+          let ok = ref true in
+          Array.iteri
+            (fun i w ->
+              if Bitvec.get po i <> ((w lsr k) land 1 = 1) then ok := false)
+            po_words;
+          !ok)
+        (List.mapi (fun k p -> (k, p)) pats))
+
+let () =
+  Alcotest.run "socet_netlist"
+    [
+      ("cell", [ Alcotest.test_case "arity/area" `Quick test_cell_arity_area ]);
+      ( "netlist",
+        [
+          Alcotest.test_case "build" `Quick test_netlist_build;
+          Alcotest.test_case "arity check" `Quick test_netlist_arity_check;
+          Alcotest.test_case "area" `Quick test_netlist_area;
+          Alcotest.test_case "cycle detection" `Quick test_comb_order_cycle_detection;
+          Alcotest.test_case "ff breaks cycle" `Quick test_comb_order_ff_breaks_cycle;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "gate functions" `Quick test_sim_gate_functions;
+          Alcotest.test_case "mux" `Quick test_sim_mux;
+          Alcotest.test_case "dff delay" `Quick test_sim_dff_delay;
+          Alcotest.test_case "dffe hold" `Quick test_sim_dffe_hold;
+          Alcotest.test_case "sdff scan path" `Quick test_sim_sdff_scan_path;
+          QCheck_alcotest.to_alcotest prop_word_parallel_matches_scalar;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "adder exhaustive" `Quick test_builder_adder;
+          Alcotest.test_case "subtractor/comparators" `Quick
+            test_builder_subtractor_comparators;
+          Alcotest.test_case "register roundtrip" `Quick test_builder_register_roundtrip;
+        ] );
+    ]

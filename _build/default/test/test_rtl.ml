@@ -1,0 +1,208 @@
+open Socet_rtl
+open Rtl_types
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Ranges                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_range_basics () =
+  check_int "full width" 8 (range_width (full 8));
+  check_int "bits width" 4 (range_width (bits 4 7));
+  check "equal" true (range_equal (bits 0 3) (bits 0 3));
+  check "not equal" false (range_equal (bits 0 3) (bits 0 4));
+  check "overlap" true (ranges_overlap (bits 0 3) (bits 3 5));
+  check "no overlap" false (ranges_overlap (bits 0 3) (bits 4 7));
+  Alcotest.check_raises "bad range" (Invalid_argument "Rtl_types.bits") (fun () ->
+      ignore (bits 5 4))
+
+(* ------------------------------------------------------------------ *)
+(* Core building and validation                                        *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_core () =
+  let c = Rtl_core.create "tiny" in
+  Rtl_core.add_input c "IN" 8;
+  Rtl_core.add_output c "OUT" 8;
+  Rtl_core.add_reg c "R" 8;
+  Rtl_core.add_transfer c ~src:(Rtl_core.port c "IN") ~dst:(Rtl_core.reg c "R") ();
+  Rtl_core.add_transfer c ~kind:Direct ~src:(Rtl_core.reg c "R")
+    ~dst:(Rtl_core.port c "OUT") ();
+  c
+
+let test_core_builder () =
+  let c = tiny_core () in
+  Rtl_core.validate c;
+  check_int "ports" 2 (List.length (Rtl_core.ports c));
+  check_int "inputs" 1 (List.length (Rtl_core.inputs c));
+  check_int "outputs" 1 (List.length (Rtl_core.outputs c));
+  check_int "regs" 1 (List.length (Rtl_core.regs c));
+  check_int "transfers" 2 (List.length (Rtl_core.transfers c));
+  check_int "reg bits" 8 (Rtl_core.reg_bit_count c);
+  check_int "input bits" 8 (Rtl_core.input_bit_count c);
+  check_int "output bits" 8 (Rtl_core.output_bit_count c)
+
+let test_duplicate_name_rejected () =
+  let c = Rtl_core.create "dup" in
+  Rtl_core.add_input c "X" 4;
+  check "duplicate rejected" true
+    (try
+       Rtl_core.add_reg c "X" 4;
+       false
+     with Invalid_argument _ -> true)
+
+let test_width_mismatch_rejected () =
+  let c = Rtl_core.create "w" in
+  Rtl_core.add_input c "IN" 8;
+  Rtl_core.add_reg c "R" 4;
+  Rtl_core.add_transfer c ~src:(Rtl_core.port c "IN") ~dst:(Rtl_core.reg c "R") ();
+  check "width mismatch rejected" true
+    (try
+       Rtl_core.validate c;
+       false
+     with Invalid_argument _ -> true)
+
+let test_direction_rules () =
+  let c = Rtl_core.create "dir" in
+  Rtl_core.add_input c "IN" 4;
+  Rtl_core.add_output c "OUT" 4;
+  (* Output used as a source must be rejected. *)
+  Rtl_core.add_transfer c ~src:(Rtl_core.port c "OUT") ~dst:(Rtl_core.port c "OUT") ();
+  check "output as source rejected" true
+    (try
+       Rtl_core.validate c;
+       false
+     with Invalid_argument _ -> true)
+
+let test_logic_width_change () =
+  let c = Rtl_core.create "seg" in
+  Rtl_core.add_input c "IN" 4;
+  Rtl_core.add_output c "OUT" 7;
+  Rtl_core.add_reg c "R" 7;
+  Rtl_core.add_transfer c ~kind:(Logic Fdec7seg) ~src:(Rtl_core.port c "IN")
+    ~dst:(Rtl_core.reg c "R") ();
+  Rtl_core.add_transfer c ~kind:Direct ~src:(Rtl_core.reg c "R")
+    ~dst:(Rtl_core.port c "OUT") ();
+  Rtl_core.validate c;
+  check "7seg widths accepted" true true
+
+let test_unknown_names () =
+  let c = Rtl_core.create "u" in
+  check "unknown reg" true
+    (try
+       ignore (Rtl_core.reg c "nope");
+       false
+     with Invalid_argument _ -> true);
+  check "unknown port" true
+    (try
+       ignore (Rtl_core.port c "nope");
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* RCG extraction                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let split_core () =
+  (* IN -> R1 (full), R1[hi] -> R2, R1[lo] -> R3, {R2,R3} -> R4 slices,
+     R4 -> OUT.  R1 is O-split, R4 is C-split. *)
+  let c = Rtl_core.create "split" in
+  Rtl_core.add_input c "IN" 8;
+  Rtl_core.add_output c "OUT" 8;
+  Rtl_core.add_reg c "R1" 8;
+  Rtl_core.add_reg c "R2" 4;
+  Rtl_core.add_reg c "R3" 4;
+  Rtl_core.add_reg c "R4" 8;
+  let t = Rtl_core.add_transfer c in
+  t ~src:(Rtl_core.port c "IN") ~dst:(Rtl_core.reg c "R1") ();
+  t ~src:(Rtl_core.reg_bits c "R1" 4 7) ~dst:(Rtl_core.reg c "R2") ();
+  t ~src:(Rtl_core.reg_bits c "R1" 0 3) ~dst:(Rtl_core.reg c "R3") ();
+  t ~src:(Rtl_core.reg c "R2") ~dst:(Rtl_core.reg_bits c "R4" 4 7) ();
+  t ~src:(Rtl_core.reg c "R3") ~dst:(Rtl_core.reg_bits c "R4" 0 3) ();
+  t ~kind:Direct ~src:(Rtl_core.reg c "R4") ~dst:(Rtl_core.port c "OUT") ();
+  Rtl_core.validate c;
+  c
+
+let test_rcg_nodes_edges () =
+  let rcg = Rcg.of_core (split_core ()) in
+  check_int "inputs" 1 (List.length (Rcg.input_ids rcg));
+  check_int "outputs" 1 (List.length (Rcg.output_ids rcg));
+  check_int "regs" 4 (List.length (Rcg.reg_ids rcg));
+  check_int "edges" 6 (Socet_graph.Digraph.edge_count (Rcg.graph rcg))
+
+let test_rcg_split_detection () =
+  let rcg = Rcg.of_core (split_core ()) in
+  let id = Rcg.node_id rcg in
+  check "R1 is O-split" true (Rcg.is_o_split rcg (id "R1"));
+  check "R1 is not C-split" false (Rcg.is_c_split rcg (id "R1"));
+  check "R4 is C-split" true (Rcg.is_c_split rcg (id "R4"));
+  check "R4 is not O-split" false (Rcg.is_o_split rcg (id "R4"));
+  check "R2 is plain" false
+    (Rcg.is_c_split rcg (id "R2") || Rcg.is_o_split rcg (id "R2"))
+
+let test_rcg_slice_groups () =
+  let rcg = Rcg.of_core (split_core ()) in
+  let id = Rcg.node_id rcg in
+  let out_groups = Rcg.out_slice_groups rcg (id "R1") in
+  check_int "R1 fans out in two slices" 2 (List.length out_groups);
+  let in_groups = Rcg.in_slice_groups rcg (id "R4") in
+  check_int "R4 written in two slices" 2 (List.length in_groups);
+  (* Groups are sorted by lsb. *)
+  (match in_groups with
+  | (r1, _) :: (r2, _) :: _ ->
+      check "sorted by lsb" true (r1.lsb < r2.lsb)
+  | _ -> Alcotest.fail "expected two groups")
+
+let test_rcg_excludes_logic_edges () =
+  let c = Rtl_core.create "lg" in
+  Rtl_core.add_input c "IN" 4;
+  Rtl_core.add_output c "OUT" 4;
+  Rtl_core.add_reg c "R" 4;
+  Rtl_core.add_transfer c ~kind:(Logic Finc) ~src:(Rtl_core.port c "IN")
+    ~dst:(Rtl_core.reg c "R") ();
+  Rtl_core.add_transfer c ~kind:Direct ~src:(Rtl_core.reg c "R")
+    ~dst:(Rtl_core.port c "OUT") ();
+  Rtl_core.validate c;
+  let rcg = Rcg.of_core c in
+  (* Only the direct edge is present; the incrementer path is lossy. *)
+  check_int "logic edge omitted" 1 (Socet_graph.Digraph.edge_count (Rcg.graph rcg))
+
+let test_rcg_cpu_matches_paper () =
+  (* The paper's Fig. 7 marks ACCUMULATOR as C-split and IR as O-split. *)
+  let rcg = Rcg.of_core (Socet_cores.Cpu.core ()) in
+  let id = Rcg.node_id rcg in
+  check "AC is C-split" true (Rcg.is_c_split rcg (id "AC"));
+  check "IR is O-split" true (Rcg.is_o_split rcg (id "IR"))
+
+let test_hscan_marking_roundtrip () =
+  let rcg = Rcg.of_core (split_core ()) in
+  check_int "no hscan marks initially" 0 (List.length (Rcg.hscan_edges rcg));
+  let result = Socet_scan.Hscan.insert rcg in
+  check "hscan marks appear" true (List.length (Rcg.hscan_edges rcg) > 0);
+  check "depth positive" true (result.Socet_scan.Hscan.depth > 0)
+
+let () =
+  Alcotest.run "socet_rtl"
+    [
+      ("range", [ Alcotest.test_case "basics" `Quick test_range_basics ]);
+      ( "core",
+        [
+          Alcotest.test_case "builder" `Quick test_core_builder;
+          Alcotest.test_case "duplicate names" `Quick test_duplicate_name_rejected;
+          Alcotest.test_case "width mismatch" `Quick test_width_mismatch_rejected;
+          Alcotest.test_case "direction rules" `Quick test_direction_rules;
+          Alcotest.test_case "logic width change" `Quick test_logic_width_change;
+          Alcotest.test_case "unknown names" `Quick test_unknown_names;
+        ] );
+      ( "rcg",
+        [
+          Alcotest.test_case "nodes and edges" `Quick test_rcg_nodes_edges;
+          Alcotest.test_case "split detection" `Quick test_rcg_split_detection;
+          Alcotest.test_case "slice groups" `Quick test_rcg_slice_groups;
+          Alcotest.test_case "logic edges excluded" `Quick test_rcg_excludes_logic_edges;
+          Alcotest.test_case "CPU splits match paper" `Quick test_rcg_cpu_matches_paper;
+          Alcotest.test_case "hscan marking" `Quick test_hscan_marking_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,241 @@
+open Socet_util
+open Socet_rtl
+open Socet_netlist
+open Socet_scan
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* FSCAN                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline_netlist n =
+  let nl = Netlist.create "pipe" in
+  let d = Netlist.add_pi nl "d" in
+  let prev = ref d in
+  for i = 1 to n do
+    prev := Netlist.add_gate nl ~name:(Printf.sprintf "ff%d" i) Cell.Dff [| !prev |]
+  done;
+  Netlist.add_po nl "q" !prev;
+  nl
+
+let test_fscan_overhead () =
+  let nl = pipeline_netlist 5 in
+  check_int "upgrade cost" (5 * Cell.scan_upgrade_area Cell.Dff) (Fscan.overhead nl)
+
+let test_fscan_insert_upgrades_all () =
+  let nl = pipeline_netlist 4 in
+  let r = Fscan.insert nl in
+  check_int "chain covers all ffs" 4 (List.length r.Fscan.chain);
+  List.iter
+    (fun ff -> check "scan kind" true (Cell.is_scan (Netlist.kind nl ff)))
+    (Netlist.dffs nl);
+  check "scan_out PO added" true
+    (List.exists (fun (n, _) -> n = "scan_out") (Netlist.pos nl))
+
+(* Shift a pattern through the inserted chain and read it on scan_out. *)
+let test_fscan_chain_shifts () =
+  let nl = pipeline_netlist 3 in
+  let _ = Fscan.insert nl in
+  (* PI order: d, scan_in, scan_en. *)
+  let shift_in bit st =
+    let pi = Bitvec.create 3 in
+    Bitvec.set pi 1 bit;
+    Bitvec.set pi 2 true;
+    let _, st' = Sim.eval nl ~pi ~state:st in
+    st'
+  in
+  let st = Sim.initial_state nl in
+  let st = shift_in true st in
+  let st = shift_in false st in
+  let st = shift_in true st in
+  (* After shifting 1,0,1 the chain (ff1 ff2 ff3) holds 1,0,1 with ff3
+     holding the first bit shifted. *)
+  Alcotest.(check string) "chain contents" "101" (Bitvec.to_string st)
+
+let test_fscan_test_time_formula () =
+  check_int "formula" ((10 + 1) * 5 + 10) (Fscan.test_time ~n_ff:10 ~n_vectors:5)
+
+(* ------------------------------------------------------------------ *)
+(* BSCAN                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_bscan_paper_display_number () =
+  (* Paper Sec. 3: (66 + 20) x 105 + (66 + 20) - 1 = 9,115 cycles. *)
+  check_int "paper worked example" 9115
+    (Bscan.test_time ~n_ff:66 ~n_inputs:20 ~n_vectors:105)
+
+let test_bscan_ring_overhead () =
+  let c = Rtl_core.create "r" in
+  Rtl_core.add_input c "A" 8;
+  Rtl_core.add_output c "B" 4;
+  check_int "ring = cells x port bits" (12 * Bscan.cell_area) (Bscan.ring_overhead c)
+
+(* ------------------------------------------------------------------ *)
+(* HSCAN                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let linear_core () =
+  let c = Rtl_core.create "lin" in
+  Rtl_core.add_input c "IN" 4;
+  Rtl_core.add_output c "OUT" 4;
+  Rtl_core.add_reg c "R1" 4;
+  Rtl_core.add_reg c "R2" 4;
+  let t = Rtl_core.add_transfer c in
+  t ~src:(Rtl_core.port c "IN") ~dst:(Rtl_core.reg c "R1") ();
+  t ~src:(Rtl_core.reg c "R1") ~dst:(Rtl_core.reg c "R2") ();
+  t ~kind:Rtl_types.Direct ~src:(Rtl_core.reg c "R2") ~dst:(Rtl_core.port c "OUT") ();
+  Rtl_core.validate c;
+  c
+
+let test_hscan_linear_chain () =
+  let rcg = Rcg.of_core (linear_core ()) in
+  let r = Hscan.insert rcg in
+  check_int "depth" 2 r.Hscan.depth;
+  check_int "no test muxes" 0 (List.length r.Hscan.added);
+  (* 2 (enable) + 2 per register (chain control) + two mux reuses (2
+     each) + one direct termination (1). *)
+  check_int "overhead" 11 r.Hscan.overhead_cells;
+  check_int "one chain" 1 (List.length r.Hscan.chains);
+  check_int "multiplier" 3 (Hscan.vector_multiplier r);
+  check_int "vector count" 30 (Hscan.vector_count r ~atpg_vectors:10)
+
+let test_hscan_unreachable_reg_gets_mux () =
+  (* R2 has no structural feed: a test mux from an input must appear. *)
+  let c = Rtl_core.create "orphan" in
+  Rtl_core.add_input c "IN" 4;
+  Rtl_core.add_output c "OUT" 4;
+  Rtl_core.add_reg c "R1" 4;
+  Rtl_core.add_reg c "R2" 4;
+  let t = Rtl_core.add_transfer c in
+  t ~src:(Rtl_core.port c "IN") ~dst:(Rtl_core.reg c "R1") ();
+  t ~kind:Rtl_types.Direct ~src:(Rtl_core.reg c "R1") ~dst:(Rtl_core.port c "OUT") ();
+  t ~kind:Rtl_types.Direct ~src:(Rtl_core.reg c "R2") ~dst:(Rtl_core.port c "OUT") ();
+  Rtl_core.validate c;
+  let rcg = Rcg.of_core c in
+  let r = Hscan.insert rcg in
+  check_int "one added mux" 1 (List.length r.Hscan.added);
+  check "added mux feeds R2" true
+    (List.exists
+       (fun a -> (Rcg.node rcg a.Hscan.ae_dst).Rcg.n_name = "R2")
+       r.Hscan.added)
+
+let test_hscan_dead_end_reg_gets_observation () =
+  (* R2 receives data but reaches no output: an observation mux must be
+     added from R2 to an output. *)
+  let c = Rtl_core.create "deadend" in
+  Rtl_core.add_input c "IN" 4;
+  Rtl_core.add_output c "OUT" 4;
+  Rtl_core.add_reg c "R1" 4;
+  Rtl_core.add_reg c "R2" 4;
+  let t = Rtl_core.add_transfer c in
+  t ~src:(Rtl_core.port c "IN") ~dst:(Rtl_core.reg c "R1") ();
+  t ~src:(Rtl_core.reg c "R1") ~dst:(Rtl_core.reg c "R2") ();
+  t ~kind:Rtl_types.Direct ~src:(Rtl_core.reg c "R1") ~dst:(Rtl_core.port c "OUT") ();
+  Rtl_core.validate c;
+  let rcg = Rcg.of_core c in
+  let r = Hscan.insert rcg in
+  check_int "one added mux" 1 (List.length r.Hscan.added);
+  check "added mux observes R2" true
+    (List.exists
+       (fun a -> (Rcg.node rcg a.Hscan.ae_src).Rcg.n_name = "R2")
+       r.Hscan.added)
+
+let test_hscan_every_register_covered () =
+  List.iter
+    (fun core ->
+      let rcg = Rcg.of_core core in
+      let _ = Hscan.insert rcg in
+      (* Every register node must have a marked in-edge (chain feed). *)
+      List.iter
+        (fun reg ->
+          let fed =
+            List.exists
+              (fun (e : Rcg.edge_label Socet_graph.Digraph.edge) ->
+                e.label.Rcg.e_hscan)
+              (Socet_graph.Digraph.pred (Rcg.graph rcg) reg)
+          in
+          check
+            (Printf.sprintf "%s: register %s fed" (Rtl_core.name core)
+               (Rcg.node rcg reg).Rcg.n_name)
+            true fed)
+        (Rcg.reg_ids rcg))
+    [
+      Socet_cores.Cpu.core ();
+      Socet_cores.Preprocessor.core ();
+      Socet_cores.Display.core ();
+      Socet_cores.Gcd_core.core ();
+      Socet_cores.Graphics.core ();
+      Socet_cores.X25.core ();
+    ]
+
+let test_hscan_cpu_depth_and_chains () =
+  let rcg = Rcg.of_core (Socet_cores.Cpu.core ()) in
+  let r = Hscan.insert rcg in
+  check_int "CPU chain depth" 6 r.Hscan.depth;
+  check_int "no test muxes needed" 0 (List.length r.Hscan.added);
+  (* The long chain of Fig. 4(a): Data through IR..MAR_off to Address. *)
+  let chain_names =
+    List.map (fun ch -> List.map (fun v -> (Rcg.node rcg v).Rcg.n_name) ch) r.Hscan.chains
+  in
+  check "fig 4(a) main chain present" true
+    (List.mem
+       [ "Data"; "IR"; "DR"; "TR"; "AC"; "PC"; "MAR_off"; "Address_lo" ]
+       chain_names)
+
+let test_hscan_declaration_order_preference () =
+  (* Two feeds for R2; the first-declared one must carry the chain. *)
+  let c = Rtl_core.create "pref" in
+  Rtl_core.add_input c "IN" 4;
+  Rtl_core.add_output c "OUT" 4;
+  Rtl_core.add_reg c "R1" 4;
+  Rtl_core.add_reg c "R2" 4;
+  let t = Rtl_core.add_transfer c in
+  t ~src:(Rtl_core.port c "IN") ~dst:(Rtl_core.reg c "R1") ();
+  t ~src:(Rtl_core.reg c "R1") ~dst:(Rtl_core.reg c "R2") ();
+  (* Alternative, declared later. *)
+  t ~src:(Rtl_core.port c "IN") ~dst:(Rtl_core.reg c "R2") ();
+  t ~kind:Rtl_types.Direct ~src:(Rtl_core.reg c "R2") ~dst:(Rtl_core.port c "OUT") ();
+  Rtl_core.validate c;
+  let rcg = Rcg.of_core c in
+  let _ = Hscan.insert rcg in
+  let id = Rcg.node_id rcg in
+  let marked_from src dst =
+    List.exists
+      (fun (e : Rcg.edge_label Socet_graph.Digraph.edge) ->
+        e.src = src && e.label.Rcg.e_hscan)
+      (Socet_graph.Digraph.pred (Rcg.graph rcg) dst)
+  in
+  check "R1 -> R2 carries the chain" true (marked_from (id "R1") (id "R2"));
+  check "IN -> R2 alternative unmarked" false (marked_from (id "IN") (id "R2"))
+
+let () =
+  Alcotest.run "socet_scan"
+    [
+      ( "fscan",
+        [
+          Alcotest.test_case "overhead" `Quick test_fscan_overhead;
+          Alcotest.test_case "insert upgrades all" `Quick test_fscan_insert_upgrades_all;
+          Alcotest.test_case "chain shifts" `Quick test_fscan_chain_shifts;
+          Alcotest.test_case "test time formula" `Quick test_fscan_test_time_formula;
+        ] );
+      ( "bscan",
+        [
+          Alcotest.test_case "paper display number" `Quick test_bscan_paper_display_number;
+          Alcotest.test_case "ring overhead" `Quick test_bscan_ring_overhead;
+        ] );
+      ( "hscan",
+        [
+          Alcotest.test_case "linear chain" `Quick test_hscan_linear_chain;
+          Alcotest.test_case "unreachable register" `Quick
+            test_hscan_unreachable_reg_gets_mux;
+          Alcotest.test_case "dead-end register" `Quick
+            test_hscan_dead_end_reg_gets_observation;
+          Alcotest.test_case "all registers covered" `Quick
+            test_hscan_every_register_covered;
+          Alcotest.test_case "CPU depth and chains" `Quick test_hscan_cpu_depth_and_chains;
+          Alcotest.test_case "declaration order preference" `Quick
+            test_hscan_declaration_order_preference;
+        ] );
+    ]

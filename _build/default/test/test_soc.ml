@@ -1,0 +1,478 @@
+open Socet_core
+open Socet_cores
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A shared System 1 (ATPG runs lazily, once). *)
+let soc1 = lazy (Systems.system1 ())
+let soc2 = lazy (Systems.system2 ())
+
+let all_v1 soc = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts
+
+(* ------------------------------------------------------------------ *)
+(* Soc construction and validation                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_soc_validation_catches_undriven () =
+  let cpu = Soc.instantiate "CPU" (Cpu.core ()) in
+  check "undriven input rejected" true
+    (try
+       ignore
+         (Soc.make ~name:"bad" ~pis:[ ("X", 8) ] ~pos:[] ~cores:[ cpu ]
+            ~connections:[] ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_soc_validation_width_mismatch () =
+  let cpu = Soc.instantiate "CPU" (Cpu.core ()) in
+  check "width mismatch rejected" true
+    (try
+       ignore
+         (Soc.make ~name:"bad" ~pis:[ ("X", 4) ] ~pos:[]
+            ~cores:[ cpu ]
+            ~connections:[ { Soc.c_from = Soc.Pi "X"; c_to = Soc.Cport ("CPU", "Data") } ]
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_soc_system1_shape () =
+  let soc = Lazy.force soc1 in
+  check_int "three cores" 3 (List.length soc.Soc.insts);
+  check_int "two memories" 2 (List.length soc.Soc.memories);
+  check "original area plausible" true (Soc.original_area soc > 3000);
+  check "hscan overhead positive" true (Soc.hscan_area_overhead soc > 0);
+  check "driver of CPU.Data is PREP.DB" true
+    (Soc.driver_of soc "CPU" "Data" = Some (Soc.Cport ("PREP", "DB")))
+
+let test_version_of_clamps () =
+  let soc = Lazy.force soc1 in
+  let cpu = Soc.inst soc "CPU" in
+  check_int "version 1" 1 (Soc.version_of cpu 1).Version.v_index;
+  check_int "version 99 clamps to top" 3 (Soc.version_of cpu 99).Version.v_index;
+  check_int "version 0 clamps to bottom" 1 (Soc.version_of cpu 0).Version.v_index
+
+(* ------------------------------------------------------------------ *)
+(* CCG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ccg_structure () =
+  let soc = Lazy.force soc1 in
+  let ccg = Ccg.build soc ~choice:(all_v1 soc) in
+  (* Nodes: 2 PIs + 7 POs + core ports. *)
+  check "has PI node" true (Ccg.node_id ccg (Ccg.N_pi "NUM") >= 0);
+  check "has DISPLAY input node" true (Ccg.node_id ccg (Ccg.N_cin ("DISPLAY", "D")) >= 0);
+  (* The Fig. 9 edges exist: NUM -> DB inside PREP, Data -> Address inside
+     the CPU, wires across. *)
+  let g = ccg.Ccg.graph in
+  let has_transp src dst =
+    List.exists
+      (fun (e : Ccg.cedge Socet_graph.Digraph.edge) ->
+        match e.label with Ccg.Transp _ -> e.dst = dst | _ -> false)
+      (Socet_graph.Digraph.succ g src)
+  in
+  check "PREP NUM -> DB transparency edge" true
+    (has_transp
+       (Ccg.node_id ccg (Ccg.N_cin ("PREP", "NUM")))
+       (Ccg.node_id ccg (Ccg.N_cout ("PREP", "DB"))));
+  check "CPU Data -> Address_lo transparency edge" true
+    (has_transp
+       (Ccg.node_id ccg (Ccg.N_cin ("CPU", "Data")))
+       (Ccg.node_id ccg (Ccg.N_cout ("CPU", "Address_lo"))));
+  check "wire DB -> CPU.Data" true
+    (Socet_graph.Digraph.find_edge g
+       ~src:(Ccg.node_id ccg (Ccg.N_cout ("PREP", "DB")))
+       ~dst:(Ccg.node_id ccg (Ccg.N_cin ("CPU", "Data")))
+    <> None)
+
+let test_smux_cost () =
+  check_int "3w+1" 13 (Ccg.smux_cost ~width:4);
+  check_int "1-bit" 4 (Ccg.smux_cost ~width:1)
+
+(* ------------------------------------------------------------------ *)
+(* Access: the Sec. 3 worked example                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-vector cycles for testing the DISPLAY with PREP at version 2 and
+   the CPU at version k: the paper's 9 / 4 / 3 ladder. *)
+let display_period cpu_version =
+  let soc = Lazy.force soc1 in
+  let sched =
+    Schedule.build soc
+      ~choice:[ ("PREP", 2); ("CPU", cpu_version); ("DISPLAY", 1) ]
+      ()
+  in
+  let t = List.find (fun t -> t.Schedule.ct_inst = "DISPLAY") sched.Schedule.s_tests in
+  t.Schedule.ct_period
+
+let test_worked_example_v1 () =
+  check_int "CPU V1: 9 cycles per vector (paper Sec. 3)" 9 (display_period 1)
+
+let test_worked_example_v2 () =
+  check_int "CPU V2: 4 cycles per vector (paper: 525x4+3)" 4 (display_period 2)
+
+let test_worked_example_v3 () =
+  check_int "CPU V3: 3 cycles per vector (paper: 525x3+3)" 3 (display_period 3)
+
+let test_worked_example_tat_formula () =
+  let soc = Lazy.force soc1 in
+  let sched =
+    Schedule.build soc ~choice:[ ("PREP", 2); ("CPU", 3); ("DISPLAY", 1) ] ()
+  in
+  let t = List.find (fun t -> t.Schedule.ct_inst = "DISPLAY") sched.Schedule.s_tests in
+  check_int "TAT = vectors x period + tail"
+    ((t.Schedule.ct_vectors * t.Schedule.ct_period) + t.Schedule.ct_tail)
+    t.Schedule.ct_time;
+  (* Tail = remaining scan-out of the last response (depth - 1, DISPLAY
+     outputs are chip POs so observation is free). *)
+  let disp = Soc.inst soc "DISPLAY" in
+  check_int "tail is depth - 1"
+    (disp.Soc.ci_hscan.Socet_scan.Hscan.depth - 1)
+    t.Schedule.ct_tail
+
+let test_reservation_serializes_shared_edges () =
+  (* With everything at version 1, justifying DISPLAY's three inputs
+     reuses PREP's NUM -> DB edge (5 cycles each use): the bookings force
+     distinct time slots, so the period exceeds one bare path latency. *)
+  let soc = Lazy.force soc1 in
+  let sched = Schedule.build soc ~choice:(all_v1 soc) () in
+  let t = List.find (fun t -> t.Schedule.ct_inst = "DISPLAY") sched.Schedule.s_tests in
+  (* Bare path: 5 (PREP) + 8 (CPU serial) = 13; D's extra slot pushes it
+     beyond 13. *)
+  check "period at least 13" true (t.Schedule.ct_period >= 13)
+
+let test_unobservable_output_gets_smux () =
+  (* PREP.Address and CPU.Read/Write face the (excluded) RAM: the router
+     must fall back to system-level muxes, as the paper does in Fig. 9. *)
+  let soc = Lazy.force soc1 in
+  let sched = Schedule.build soc ~choice:(all_v1 soc) () in
+  check "smux cost charged" true (sched.Schedule.s_smux_cost > 0);
+  let prep_test =
+    List.find (fun t -> t.Schedule.ct_inst = "PREP") sched.Schedule.s_tests
+  in
+  let smuxed =
+    List.filter (fun r -> r.Access.r_added_smux <> None) prep_test.Schedule.ct_observe
+  in
+  check "PREP has an smuxed output" true (smuxed <> [])
+
+let test_usage_counts_populated () =
+  let soc = Lazy.force soc1 in
+  let sched = Schedule.build soc ~choice:(all_v1 soc) () in
+  check "usage table non-empty" true (Hashtbl.length sched.Schedule.s_usage > 0);
+  (* NUM -> DB is used by several tests (paper counts 3 uses). *)
+  let prep = Soc.inst soc "PREP" in
+  let rcg = prep.Soc.ci_rcg in
+  let key =
+    ("PREP", Socet_rtl.Rcg.node_id rcg "NUM", Socet_rtl.Rcg.node_id rcg "DB")
+  in
+  match Hashtbl.find_opt sched.Schedule.s_usage key with
+  | Some n -> check "NUM->DB used several times" true (n >= 3)
+  | None -> Alcotest.fail "NUM->DB unused?"
+
+(* ------------------------------------------------------------------ *)
+(* Select                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_design_space_size_and_extremes () =
+  let soc = Lazy.force soc1 in
+  let points = Select.design_space soc in
+  check_int "27 design points (3 versions each)" 27 (List.length points);
+  let min_area = List.fold_left (fun a p -> min a p.Select.pt_area) max_int points in
+  let min_time = List.fold_left (fun a p -> min a p.Select.pt_time) max_int points in
+  let max_time = List.fold_left (fun a p -> max a p.Select.pt_time) 0 points in
+  (* The all-V1 point has the least area; the TAT spread is the paper's
+     several-fold reduction. *)
+  let p1 = List.hd points in
+  check_int "first point is all-V1 and min area" min_area p1.Select.pt_area;
+  check "TAT spread at least 3x" true (max_time >= 3 * min_time)
+
+let test_delta_tat_positive_for_used_cores () =
+  let soc = Lazy.force soc1 in
+  let p = Select.evaluate soc ~choice:(all_v1 soc) () in
+  (match Select.delta_tat soc p "PREP" with
+  | Some (_, dtat, da) ->
+      check "PREP dTAT positive" true (dtat > 0);
+      check "PREP dA positive" true (da > 0)
+  | None -> Alcotest.fail "PREP has a next version");
+  (* A core already at the top rung has no move. *)
+  let top = List.map (fun ci -> (ci.Soc.ci_name, 3)) soc.Soc.insts in
+  let p3 = Select.evaluate soc ~choice:top () in
+  check "no move at top" true (Select.delta_tat soc p3 "PREP" = None)
+
+let test_minimize_time_trajectory () =
+  let soc = Lazy.force soc1 in
+  let traj = Select.minimize_time soc ~max_area:500 in
+  check "at least two steps" true (List.length traj >= 2);
+  let first = List.hd traj in
+  let last = List.nth traj (List.length traj - 1) in
+  check "time improves overall" true (last.Select.pt_time < first.Select.pt_time);
+  List.iter (fun p -> check "area cap respected" true (p.Select.pt_area <= 500)) traj
+
+let test_minimize_area_meets_bound () =
+  let soc = Lazy.force soc1 in
+  let traj = Select.minimize_area soc ~max_time:5000 in
+  let last = List.nth traj (List.length traj - 1) in
+  check "bound met" true (last.Select.pt_time <= 5000);
+  (* The trajectory should not have bought the most expensive point. *)
+  let all3 = List.map (fun ci -> (ci.Soc.ci_name, 3)) soc.Soc.insts in
+  let top = Select.evaluate soc ~choice:all3 () in
+  check "cheaper than max-version point" true (last.Select.pt_area <= top.Select.pt_area)
+
+(* ------------------------------------------------------------------ *)
+(* Chip composition and coverage                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_chip_compose_structure () =
+  let soc = Lazy.force soc1 in
+  let chip = Chip.compose soc () in
+  let open Socet_netlist in
+  check_int "chip PIs = PI bits" 9 (List.length (Netlist.pis chip));
+  check_int "chip POs = PO bits" 47 (List.length (Netlist.pos chip));
+  check "gate count ~ sum of cores" true
+    (Netlist.gate_count chip
+    > List.fold_left
+        (fun acc ci -> acc + Netlist.gate_count ci.Soc.ci_netlist)
+        0 soc.Soc.insts);
+  check_int "comb order total" (Netlist.gate_count chip)
+    (Array.length (Netlist.comb_order chip))
+
+let test_chip_compose_scan_variant () =
+  let soc = Lazy.force soc1 in
+  let plain = Chip.compose soc () in
+  let scanned = Chip.compose soc ~with_core_scan:true () in
+  let open Socet_netlist in
+  check "scan variant bigger" true (Netlist.area scanned > Netlist.area plain);
+  check "test_se pin present" true
+    (try
+       ignore (Netlist.find_pi scanned "test_se");
+       true
+     with Not_found -> false)
+
+let test_coverage_ordering () =
+  let soc = Lazy.force soc1 in
+  let orig = Testgen.sequential_coverage soc ~cycles:128 () in
+  let full = Testgen.scan_access_coverage soc in
+  check "orig far below full scan access" true (orig.Testgen.fc +. 20.0 < full.Testgen.fc);
+  check "full access high" true (full.Testgen.fc > 90.0);
+  check "teff at least fc" true (full.Testgen.teff >= full.Testgen.fc)
+
+let test_baseline_dominated () =
+  (* The headline claim: SOCET needs far less chip-level overhead and TAT
+     than FSCAN-BSCAN. *)
+  let soc = Lazy.force soc1 in
+  let b = Baseline.evaluate soc in
+  let sched = Schedule.build soc ~choice:(all_v1 soc) () in
+  check "TAT advantage" true (sched.Schedule.s_total_time < b.Baseline.b_time);
+  check "area advantage" true
+    (Soc.hscan_area_overhead soc + sched.Schedule.s_area_overhead
+    < b.Baseline.b_total_overhead)
+
+let test_system2_end_to_end () =
+  let soc = Lazy.force soc2 in
+  let sched = Schedule.build soc ~choice:(all_v1 soc) () in
+  check "schedule nonempty" true (sched.Schedule.s_tests <> []);
+  check "total time positive" true (sched.Schedule.s_total_time > 0);
+  let b = Baseline.evaluate soc in
+  check "S2 TAT advantage" true (sched.Schedule.s_total_time < b.Baseline.b_time);
+  let cov = Testgen.scan_access_coverage soc in
+  check "S2 coverage high" true (cov.Testgen.fc > 90.0)
+
+
+(* ------------------------------------------------------------------ *)
+(* Test-bus baseline and overlapped scheduling                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_test_bus_baseline () =
+  let soc = Lazy.force soc1 in
+  let bus = Baseline.test_bus soc in
+  let fb = Baseline.evaluate soc in
+  check "bus pays muxes on every port" true (bus.Baseline.tb_mux_overhead > 0);
+  check "bus includes full scan" true
+    (bus.Baseline.tb_scan_overhead = fb.Baseline.b_core_scan_overhead);
+  check "bus time positive" true (bus.Baseline.tb_time > 0);
+  (* SOCET still beats the bus on chip-level hardware. *)
+  let sched = Schedule.build soc ~choice:(all_v1 soc) () in
+  check "SOCET cheaper than bus muxes" true
+    (sched.Schedule.s_area_overhead < bus.Baseline.tb_mux_overhead)
+
+let test_involved_cores () =
+  let soc = Lazy.force soc1 in
+  let sched = Schedule.build soc ~choice:(all_v1 soc) () in
+  let disp =
+    List.find (fun t -> t.Schedule.ct_inst = "DISPLAY") sched.Schedule.s_tests
+  in
+  let involved = Schedule.involved_cores disp in
+  (* Testing the DISPLAY rides through the PREPROCESSOR and the CPU. *)
+  check "CUT included" true (List.mem "DISPLAY" involved);
+  check "PREP conduit" true (List.mem "PREP" involved);
+  check "CPU conduit" true (List.mem "CPU" involved)
+
+let test_parallel_schedule_system1_serializes () =
+  (* System 1 is one long chain: every test involves the PREPROCESSOR, so
+     overlapping buys nothing. *)
+  let soc = Lazy.force soc1 in
+  let sched = Schedule.build soc ~choice:(all_v1 soc) () in
+  let makespan, starts = Schedule.parallel_makespan sched in
+  check_int "chain topology cannot overlap" sched.Schedule.s_total_time makespan;
+  check_int "every test placed" (List.length sched.Schedule.s_tests)
+    (List.length starts)
+
+let test_parallel_schedule_system3_overlaps () =
+  (* System 3's three subsystems are independent: the makespan must drop
+     below the sequential sum. *)
+  let soc = Socet_cores.Systems.system3 () in
+  let sched =
+    Schedule.build soc ~choice:(List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts) ()
+  in
+  let makespan, starts = Schedule.parallel_makespan sched in
+  check "overlap shortens the session" true (makespan < sched.Schedule.s_total_time);
+  (* At least two tests start at cycle 0. *)
+  check "concurrent starts" true
+    (List.length (List.filter (fun (_, s) -> s = 0) starts) >= 2);
+  (* Overlap never loses correctness headroom: makespan at least the
+     longest single test. *)
+  let longest =
+    List.fold_left (fun acc t -> max acc t.Schedule.ct_time) 0 sched.Schedule.s_tests
+  in
+  check "makespan bounds" true (makespan >= longest)
+
+let bus_parallel_tests =
+  [
+    Alcotest.test_case "test-bus baseline" `Quick test_test_bus_baseline;
+    Alcotest.test_case "involved cores" `Quick test_involved_cores;
+    Alcotest.test_case "system1 serializes" `Quick test_parallel_schedule_system1_serializes;
+    Alcotest.test_case "system3 overlaps" `Quick test_parallel_schedule_system3_overlaps;
+  ]
+
+
+(* ------------------------------------------------------------------ *)
+(* DOT export                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub hay i nn = needle || loop (i + 1)) in
+  loop 0
+
+let test_rcg_dot () =
+  let soc = Lazy.force soc1 in
+  let cpu = Soc.inst soc "CPU" in
+  let dot = Export.rcg_dot cpu.Soc.ci_rcg in
+  check "digraph header" true (contains dot "digraph \"CPU\"");
+  check "register node present" true (contains dot "MAR_off");
+  check "hscan edge styled" true (contains dot "penwidth=2");
+  check "split annotation" true (contains dot "AC[8] C")
+
+let test_ccg_dot () =
+  let soc = Lazy.force soc1 in
+  let ccg = Ccg.build soc ~choice:(all_v1 soc) in
+  let dot = Export.ccg_dot ccg in
+  check "digraph header" true (contains dot "digraph \"System1\"");
+  check "PI node" true (contains dot "PI NUM");
+  check "latency label" true (contains dot "label=\"5\"")
+
+let export_tests =
+  [
+    Alcotest.test_case "rcg dot" `Quick test_rcg_dot;
+    Alcotest.test_case "ccg dot" `Quick test_ccg_dot;
+  ]
+
+
+(* ------------------------------------------------------------------ *)
+(* Controller and explicit smux requests                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_controller_cost_grows_with_versions () =
+  let soc = Lazy.force soc1 in
+  let base = Controller.cost soc ~choice:(all_v1 soc) ~n_smux:0 in
+  let rich =
+    Controller.cost soc
+      ~choice:(List.map (fun ci -> (ci.Soc.ci_name, 3)) soc.Soc.insts)
+      ~n_smux:0
+  in
+  check "higher versions need more control signals" true (rich >= base);
+  check "muxes add signals" true
+    (Controller.cost soc ~choice:(all_v1 soc) ~n_smux:3 > base);
+  check_int "signal arithmetic"
+    (Controller.base_cost
+    + Controller.per_signal_cost * Controller.signal_count soc ~choice:(all_v1 soc) ~n_smux:0)
+    base
+
+let test_schedule_explicit_smux_request () =
+  let soc = Lazy.force soc1 in
+  let plain = Schedule.build soc ~choice:(all_v1 soc) () in
+  let with_mux =
+    Schedule.build soc ~choice:(all_v1 soc)
+      ~smuxes:[ { Schedule.sm_inst = "DISPLAY"; sm_port = "A_lo"; sm_dir = `In } ]
+      ()
+  in
+  (* The requested mux is paid for and shortens the DISPLAY test. *)
+  check "mux cost charged" true
+    (with_mux.Schedule.s_smux_cost > plain.Schedule.s_smux_cost);
+  let period s =
+    (List.find (fun t -> t.Schedule.ct_inst = "DISPLAY") s.Schedule.s_tests)
+      .Schedule.ct_period
+  in
+  check "display justification faster" true (period with_mux < period plain)
+
+let test_version_total_latency () =
+  let soc = Lazy.force soc1 in
+  let cpu = Soc.inst soc "CPU" in
+  let v1 = Soc.version_of cpu 1 and v3 = Soc.version_of cpu 3 in
+  check "total latency shrinks along the ladder" true
+    (Version.total_latency v3 < Version.total_latency v1);
+  (* V1: A_lo 6 + A_hi 2 + Read 2 + Write 2 = 12. *)
+  check_int "V1 sum over outputs" 12 (Version.total_latency v1)
+
+let controller_tests =
+  [
+    Alcotest.test_case "controller cost" `Quick test_controller_cost_grows_with_versions;
+    Alcotest.test_case "explicit smux request" `Quick test_schedule_explicit_smux_request;
+    Alcotest.test_case "version total latency" `Quick test_version_total_latency;
+  ]
+
+let () =
+  Alcotest.run "socet_soc"
+    [
+      ( "soc",
+        [
+          Alcotest.test_case "undriven input" `Quick test_soc_validation_catches_undriven;
+          Alcotest.test_case "width mismatch" `Quick test_soc_validation_width_mismatch;
+          Alcotest.test_case "system1 shape" `Quick test_soc_system1_shape;
+          Alcotest.test_case "version clamping" `Quick test_version_of_clamps;
+        ] );
+      ( "ccg",
+        [
+          Alcotest.test_case "structure" `Quick test_ccg_structure;
+          Alcotest.test_case "smux cost" `Quick test_smux_cost;
+        ] );
+      ( "worked-example",
+        [
+          Alcotest.test_case "CPU V1: 9 cycles" `Quick test_worked_example_v1;
+          Alcotest.test_case "CPU V2: 4 cycles" `Quick test_worked_example_v2;
+          Alcotest.test_case "CPU V3: 3 cycles" `Quick test_worked_example_v3;
+          Alcotest.test_case "TAT formula" `Quick test_worked_example_tat_formula;
+          Alcotest.test_case "reservations serialize" `Quick
+            test_reservation_serializes_shared_edges;
+          Alcotest.test_case "smux fallback" `Quick test_unobservable_output_gets_smux;
+          Alcotest.test_case "usage counts" `Quick test_usage_counts_populated;
+        ] );
+      ( "select",
+        [
+          Alcotest.test_case "design space" `Quick test_design_space_size_and_extremes;
+          Alcotest.test_case "delta TAT" `Quick test_delta_tat_positive_for_used_cores;
+          Alcotest.test_case "minimize time" `Quick test_minimize_time_trajectory;
+          Alcotest.test_case "minimize area" `Quick test_minimize_area_meets_bound;
+        ] );
+      ("extensions", bus_parallel_tests);
+      ("export", export_tests);
+      ("controller", controller_tests);
+      ( "chip",
+        [
+          Alcotest.test_case "compose" `Quick test_chip_compose_structure;
+          Alcotest.test_case "compose with scan" `Quick test_chip_compose_scan_variant;
+          Alcotest.test_case "coverage ordering" `Quick test_coverage_ordering;
+          Alcotest.test_case "baseline dominated" `Quick test_baseline_dominated;
+          Alcotest.test_case "system 2 end to end" `Quick test_system2_end_to_end;
+        ] );
+    ]

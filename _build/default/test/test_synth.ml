@@ -1,0 +1,151 @@
+open Socet_util
+open Socet_rtl
+open Socet_netlist
+open Socet_synth
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tiny_core () =
+  let c = Rtl_core.create "tiny" in
+  Rtl_core.add_input c "IN" 8;
+  Rtl_core.add_output c "OUT" 8;
+  Rtl_core.add_reg c "R" 8;
+  Rtl_core.add_transfer c ~src:(Rtl_core.port c "IN") ~dst:(Rtl_core.reg c "R") ();
+  Rtl_core.add_transfer c ~kind:Rtl_types.Direct ~src:(Rtl_core.reg c "R")
+    ~dst:(Rtl_core.port c "OUT") ();
+  Rtl_core.validate c;
+  c
+
+let test_elaborate_structure () =
+  let nl = Elaborate.core_to_netlist (tiny_core ()) in
+  check_int "PIs = input bits" 8 (List.length (Netlist.pis nl));
+  check_int "POs = output bits" 8 (List.length (Netlist.pos nl));
+  (* Flip-flops: 8 register bits + the control FSM state. *)
+  check_int "FF count" (8 + Elaborate.control_state_width (tiny_core ()))
+    (List.length (Netlist.dffs nl));
+  check "area positive" true (Netlist.area nl > 0);
+  (* Must be a legal DAG under the sequential convention. *)
+  check_int "comb order covers all gates" (Netlist.gate_count nl)
+    (Array.length (Netlist.comb_order nl))
+
+(* Drive the control FSM state directly (full-scan style) and check that
+   the selected transfer actually moves data: with _ctrl = k the k-th
+   transfer's destination captures its source. *)
+let test_elaborate_transfer_semantics () =
+  let core = tiny_core () in
+  let nl = Elaborate.core_to_netlist core in
+  let nff = List.length (Netlist.dffs nl) in
+  let sw = Elaborate.control_state_width core in
+  (* State layout: R bits first (declaration order), then _ctrl. *)
+  let state = Bitvec.create nff in
+  (* Select transfer 0 (IN -> R): _ctrl = 0 and the opcode nibble of the
+     first input must carry transfer 0's opcode (3). *)
+  let pi = Bitvec.of_int ~width:8 0xA3 in
+  let _po, state' = Sim.eval nl ~pi ~state in
+  let r' = Bitvec.to_int (Bitvec.sub state' ~pos:0 ~len:8) in
+  check_int "IN -> R transfer captured" 0xA3 r';
+  (* A non-matching opcode must leave the register alone. *)
+  let pi_bad = Bitvec.of_int ~width:8 0xA5 in
+  let _po, state_bad = Sim.eval nl ~pi:pi_bad ~state in
+  check_int "opcode mismatch holds" 0
+    (Bitvec.to_int (Bitvec.sub state_bad ~pos:0 ~len:8));
+  ignore sw
+
+let test_elaborate_hold_semantics () =
+  let core = tiny_core () in
+  let nl = Elaborate.core_to_netlist core in
+  let nff = List.length (Netlist.dffs nl) in
+  (* Load R with 0x33 (opcode nibble 3 selects transfer 0), then set
+     _ctrl to a non-selecting value: R holds. *)
+  let state = Bitvec.create nff in
+  let pi = Bitvec.of_int ~width:8 0x33 in
+  let _, st1 = Sim.eval nl ~pi ~state in
+  check_int "loaded" 0x33 (Bitvec.to_int (Bitvec.sub st1 ~pos:0 ~len:8));
+  (* Force _ctrl to 2 (no transfer index 2 targets R... transfer 1 targets
+     OUT).  Set control state bits directly. *)
+  let st1 = Bitvec.copy st1 in
+  Bitvec.set st1 8 false;
+  Bitvec.set st1 9 true;
+  (* _ctrl = 2 *)
+  let pi0 = Bitvec.of_int ~width:8 0x00 in
+  let _, st2 = Sim.eval nl ~pi:pi0 ~state:st1 in
+  check_int "held with other control state" 0x33
+    (Bitvec.to_int (Bitvec.sub st2 ~pos:0 ~len:8))
+
+let test_elaborate_output_mux () =
+  let core = tiny_core () in
+  let nl = Elaborate.core_to_netlist core in
+  let nff = List.length (Netlist.dffs nl) in
+  (* OUT is driven directly by R (sole direct driver: no select needed). *)
+  let state = Bitvec.create nff in
+  for i = 0 to 7 do
+    Bitvec.set state i ((0x5A lsr i) land 1 = 1)
+  done;
+  let po, _ = Sim.eval nl ~pi:(Bitvec.create 8) ~state in
+  check_int "OUT mirrors R" 0x5A (Bitvec.to_int (Bitvec.sub po ~pos:0 ~len:8))
+
+let test_elaborate_logic_units () =
+  (* A core where R2 := R1 + IN through a functional unit. *)
+  let c = Rtl_core.create "add" in
+  Rtl_core.add_input c "IN" 4;
+  Rtl_core.add_output c "OUT" 4;
+  Rtl_core.add_reg c "R1" 4;
+  Rtl_core.add_reg c "R2" 4;
+  Rtl_core.add_transfer c ~src:(Rtl_core.port c "IN") ~dst:(Rtl_core.reg c "R1") ();
+  Rtl_core.add_transfer c
+    ~kind:(Rtl_types.Logic (Rtl_types.Fadd (Rtl_core.reg c "R1")))
+    ~src:(Rtl_core.port c "IN") ~dst:(Rtl_core.reg c "R2") ();
+  Rtl_core.add_transfer c ~kind:Rtl_types.Direct ~src:(Rtl_core.reg c "R2")
+    ~dst:(Rtl_core.port c "OUT") ();
+  Rtl_core.validate c;
+  let nl = Elaborate.core_to_netlist c in
+  let nff = List.length (Netlist.dffs nl) in
+  (* _ctrl = 1 selects the adder transfer, whose opcode is (5*1+3) = 8:
+     IN must carry it, and IN is also the addend.  R1 preloaded with 3. *)
+  let state = Bitvec.create nff in
+  for i = 0 to 3 do
+    Bitvec.set state i ((3 lsr i) land 1 = 1)
+  done;
+  Bitvec.set state 8 true;
+  (* _ctrl bit 0 = 1 -> state 1 *)
+  let pi = Bitvec.of_int ~width:4 8 in
+  let _, st' = Sim.eval nl ~pi ~state in
+  check_int "R2 = IN + R1" 11 (Bitvec.to_int (Bitvec.sub st' ~pos:4 ~len:4))
+
+let test_elaborate_all_example_cores () =
+  List.iter
+    (fun core ->
+      let nl = Elaborate.core_to_netlist core in
+      check (Rtl_core.name core ^ " has gates") true (Netlist.gate_count nl > 50);
+      check (Rtl_core.name core ^ " is acyclic") true
+        (Array.length (Netlist.comb_order nl) = Netlist.gate_count nl))
+    [
+      Socet_cores.Cpu.core ();
+      Socet_cores.Preprocessor.core ();
+      Socet_cores.Display.core ();
+      Socet_cores.Gcd_core.core ();
+      Socet_cores.Graphics.core ();
+      Socet_cores.X25.core ();
+    ]
+
+let test_area_helpers () =
+  let nl = Elaborate.core_to_netlist (tiny_core ()) in
+  check_int "area matches netlist" (Netlist.area nl) (Area.of_netlist nl);
+  check "ff_count" true (Area.ff_count nl > 8);
+  Alcotest.(check (float 0.01)) "percent" 12.5 (Area.overhead_percent ~base:8 ~extra:1)
+
+let () =
+  Alcotest.run "socet_synth"
+    [
+      ( "elaborate",
+        [
+          Alcotest.test_case "structure" `Quick test_elaborate_structure;
+          Alcotest.test_case "transfer semantics" `Quick test_elaborate_transfer_semantics;
+          Alcotest.test_case "hold semantics" `Quick test_elaborate_hold_semantics;
+          Alcotest.test_case "output mux" `Quick test_elaborate_output_mux;
+          Alcotest.test_case "functional units" `Quick test_elaborate_logic_units;
+          Alcotest.test_case "all example cores" `Quick test_elaborate_all_example_cores;
+        ] );
+      ("area", [ Alcotest.test_case "helpers" `Quick test_area_helpers ]);
+    ]

@@ -1,0 +1,418 @@
+open Socet_rtl
+open Socet_core
+module Digraph = Socet_graph.Digraph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let any (_ : Rcg.edge_label Digraph.edge) = true
+let hscan (e : Rcg.edge_label Digraph.edge) = e.label.Rcg.e_hscan
+
+let prepared core =
+  let rcg = Rcg.of_core core in
+  let _ = Socet_scan.Hscan.insert rcg in
+  rcg
+
+(* ------------------------------------------------------------------ *)
+(* Tsearch on hand-built cores                                         *)
+(* ------------------------------------------------------------------ *)
+
+let linear_core () =
+  let c = Rtl_core.create "lin" in
+  Rtl_core.add_input c "IN" 4;
+  Rtl_core.add_output c "OUT" 4;
+  Rtl_core.add_reg c "R1" 4;
+  Rtl_core.add_reg c "R2" 4;
+  let t = Rtl_core.add_transfer c in
+  t ~src:(Rtl_core.port c "IN") ~dst:(Rtl_core.reg c "R1") ();
+  t ~src:(Rtl_core.reg c "R1") ~dst:(Rtl_core.reg c "R2") ();
+  t ~kind:Rtl_types.Direct ~src:(Rtl_core.reg c "R2") ~dst:(Rtl_core.port c "OUT") ();
+  Rtl_core.validate c;
+  c
+
+let test_propagate_linear () =
+  let rcg = prepared (linear_core ()) in
+  match Tsearch.propagate rcg ~allowed:any ~input:(Rcg.node_id rcg "IN") () with
+  | None -> Alcotest.fail "no propagation path"
+  | Some s ->
+      check_int "two register writes" 2 s.Tsearch.s_latency;
+      check_int "three edges" 3 (List.length s.Tsearch.s_edges);
+      check_int "no freezes" 0 (List.length s.Tsearch.s_freezes);
+      Alcotest.(check (list int)) "terminal is OUT" [ Rcg.node_id rcg "OUT" ]
+        s.Tsearch.s_terminals
+
+let test_justify_linear () =
+  let rcg = prepared (linear_core ()) in
+  match Tsearch.justify rcg ~allowed:any ~output:(Rcg.node_id rcg "OUT") () with
+  | None -> Alcotest.fail "no justification path"
+  | Some s ->
+      check_int "latency" 2 s.Tsearch.s_latency;
+      Alcotest.(check (list int)) "terminal is IN" [ Rcg.node_id rcg "IN" ]
+        s.Tsearch.s_terminals
+
+let test_no_path_none () =
+  (* Output fed by a register that is unreachable from any input. *)
+  let c = Rtl_core.create "cut" in
+  Rtl_core.add_input c "IN" 4;
+  Rtl_core.add_output c "OUT" 4;
+  Rtl_core.add_reg c "R1" 4;
+  Rtl_core.add_reg c "R2" 4;
+  let t = Rtl_core.add_transfer c in
+  t ~src:(Rtl_core.port c "IN") ~dst:(Rtl_core.reg c "R1") ();
+  t ~kind:Rtl_types.Direct ~src:(Rtl_core.reg c "R2") ~dst:(Rtl_core.port c "OUT") ();
+  Rtl_core.validate c;
+  let rcg = Rcg.of_core c in
+  check "propagation impossible" true
+    (Tsearch.propagate rcg ~allowed:any ~input:(Rcg.node_id rcg "IN") () = None);
+  check "justification impossible" true
+    (Tsearch.justify rcg ~allowed:any ~output:(Rcg.node_id rcg "OUT") () = None)
+
+let test_allowed_filter_respected () =
+  let rcg = Rcg.of_core (linear_core ()) in
+  (* Nothing marked as HSCAN yet: the HSCAN-only search must fail. *)
+  check "hscan-only fails before insertion" true
+    (Tsearch.propagate rcg ~allowed:hscan ~input:(Rcg.node_id rcg "IN") () = None)
+
+let test_split_balancing_freeze () =
+  (* IN -> A; A -> B -> C[hi] (2 hops) and A -> C[lo] (1 hop): the short
+     branch's source register A must be frozen 1 cycle. *)
+  let c = Rtl_core.create "bal" in
+  Rtl_core.add_input c "IN" 8;
+  Rtl_core.add_output c "OUT" 8;
+  Rtl_core.add_reg c "A" 8;
+  Rtl_core.add_reg c "B" 4;
+  Rtl_core.add_reg c "C" 8;
+  let t = Rtl_core.add_transfer c in
+  t ~src:(Rtl_core.port c "IN") ~dst:(Rtl_core.reg c "A") ();
+  t ~src:(Rtl_core.reg_bits c "A" 4 7) ~dst:(Rtl_core.reg c "B") ();
+  t ~src:(Rtl_core.reg c "B") ~dst:(Rtl_core.reg_bits c "C" 4 7) ();
+  t ~src:(Rtl_core.reg_bits c "A" 0 3) ~dst:(Rtl_core.reg_bits c "C" 0 3) ();
+  t ~kind:Rtl_types.Direct ~src:(Rtl_core.reg c "C") ~dst:(Rtl_core.port c "OUT") ();
+  Rtl_core.validate c;
+  let rcg = Rcg.of_core c in
+  match Tsearch.justify rcg ~allowed:any ~output:(Rcg.node_id rcg "OUT") () with
+  | None -> Alcotest.fail "no path"
+  | Some s ->
+      check_int "latency is the long branch" 3 s.Tsearch.s_latency;
+      Alcotest.(check (list (pair int int)))
+        "A frozen one cycle"
+        [ (Rcg.node_id rcg "A", 1) ]
+        s.Tsearch.s_freezes
+
+let test_reach_in_one_cycle () =
+  let rcg = prepared (Socet_cores.Cpu.core ()) in
+  let regs = Tsearch.reach_in_one_cycle rcg ~input:(Rcg.node_id rcg "Data") in
+  let names = List.map (fun v -> (Rcg.node rcg v).Rcg.n_name) regs in
+  check "IR reachable" true (List.mem "IR" names);
+  check "MAR_off reachable (mux M)" true (List.mem "MAR_off" names);
+  check "PC not reachable in one" false (List.mem "PC" names)
+
+(* ------------------------------------------------------------------ *)
+(* Paper Figure 6: the CPU version ladder                              *)
+(* ------------------------------------------------------------------ *)
+
+let cpu_versions () =
+  let rcg = prepared (Socet_cores.Cpu.core ()) in
+  (rcg, Version.generate rcg)
+
+let latency rcg v i o =
+  Version.latency_between v ~input:(Rcg.node_id rcg i) ~output:(Rcg.node_id rcg o)
+
+let test_fig6_version1 () =
+  let rcg, versions = cpu_versions () in
+  let v1 = List.nth versions 0 in
+  Alcotest.(check (option int)) "D -> A(7-0) = 6" (Some 6)
+    (latency rcg v1 "Data" "Address_lo");
+  Alcotest.(check (option int)) "D -> A(11-8) = 2" (Some 2)
+    (latency rcg v1 "Data" "Address_hi");
+  check_int "overhead 3 cells" 3 v1.Version.v_overhead;
+  (* The paper's one-cycle Status-register freeze. *)
+  let just_alo =
+    List.assoc (Rcg.node_id rcg "Address_lo") v1.Version.v_just
+  in
+  Alcotest.(check (list (pair int int)))
+    "SR frozen one cycle"
+    [ (Rcg.node_id rcg "SR", 1) ]
+    just_alo.Tsearch.s_freezes
+
+let test_fig6_version2 () =
+  let rcg, versions = cpu_versions () in
+  let v2 = List.nth versions 1 in
+  Alcotest.(check (option int)) "D -> A(7-0) = 1" (Some 1)
+    (latency rcg v2 "Data" "Address_lo");
+  Alcotest.(check (option int)) "D -> A(11-8) = 2" (Some 2)
+    (latency rcg v2 "Data" "Address_hi");
+  check_int "overhead 10 cells" 10 v2.Version.v_overhead
+
+let test_fig6_version3 () =
+  let rcg, versions = cpu_versions () in
+  check_int "three versions" 3 (List.length versions);
+  let v3 = List.nth versions 2 in
+  Alcotest.(check (option int)) "D -> A(7-0) = 1" (Some 1)
+    (latency rcg v3 "Data" "Address_lo");
+  Alcotest.(check (option int)) "D -> A(11-8) = 1" (Some 1)
+    (latency rcg v3 "Data" "Address_hi");
+  check_int "overhead 30 cells" 30 v3.Version.v_overhead;
+  check_int "one transparency mux" 1 (List.length v3.Version.v_added_muxes)
+
+let test_cpu_control_chains () =
+  let rcg, versions = cpu_versions () in
+  let v1 = List.nth versions 0 in
+  (* Sec. 3: Reset -> Read and Interrupt -> Write in two cycles. *)
+  Alcotest.(check (option int)) "Reset -> Read = 2" (Some 2)
+    (latency rcg v1 "Reset" "Read");
+  Alcotest.(check (option int)) "Interrupt -> Write = 2" (Some 2)
+    (latency rcg v1 "Interrupt" "Write")
+
+(* ------------------------------------------------------------------ *)
+(* Paper Figure 8: PREPROCESSOR and DISPLAY ladders                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig8_preprocessor () =
+  let rcg = prepared (Socet_cores.Preprocessor.core ()) in
+  let versions = Version.generate rcg in
+  check_int "three versions" 3 (List.length versions);
+  let v k = List.nth versions (k - 1) in
+  Alcotest.(check (option int)) "V1 NUM->DB = 5" (Some 5)
+    (latency rcg (v 1) "NUM" "DB");
+  Alcotest.(check (option int)) "V1 NUM->A = 2" (Some 2)
+    (latency rcg (v 1) "NUM" "Address");
+  Alcotest.(check (option int)) "V2 NUM->DB = 1" (Some 1)
+    (latency rcg (v 2) "NUM" "DB");
+  Alcotest.(check (option int)) "V3 NUM->A = 1" (Some 1)
+    (latency rcg (v 3) "NUM" "Address");
+  Alcotest.(check (option int)) "Reset->Eoc = 2 in all versions" (Some 2)
+    (latency rcg (v 3) "Reset" "Eoc");
+  (* Overheads: measured 3/19/39 against the paper's 2/19/37 (documented
+     in EXPERIMENTS.md); V2 must match exactly. *)
+  check_int "V2 overhead 19" 19 (v 2).Version.v_overhead;
+  check "ladder is monotone" true
+    ((v 1).Version.v_overhead < (v 2).Version.v_overhead
+    && (v 2).Version.v_overhead < (v 3).Version.v_overhead)
+
+let test_fig8_display () =
+  let rcg = prepared (Socet_cores.Display.core ()) in
+  let versions = Version.generate rcg in
+  check_int "three versions" 3 (List.length versions);
+  let v k = List.nth versions (k - 1) in
+  Alcotest.(check (option int)) "V1 D->OUT = 2" (Some 2)
+    (latency rcg (v 1) "D" "PORT1");
+  Alcotest.(check (option int)) "V1 A->OUT = 3" (Some 3)
+    (latency rcg (v 1) "A_lo" "PORT6");
+  Alcotest.(check (option int)) "V2 A->OUT = 1" (Some 1)
+    (latency rcg (v 2) "A_lo" "PORT6");
+  Alcotest.(check (option int)) "V2 D->OUT still 2" (Some 2)
+    (latency rcg (v 2) "D" "PORT1");
+  Alcotest.(check (option int)) "V3 D->OUT = 1" (Some 1)
+    (latency rcg (v 3) "D" "PORT1");
+  check_int "V2 overhead 20 (paper 20)" 20 (v 2).Version.v_overhead;
+  check_int "V3 overhead 55 (paper 55)" 55 (v 3).Version.v_overhead
+
+(* ------------------------------------------------------------------ *)
+(* Version generation invariants (property-based)                      *)
+(* ------------------------------------------------------------------ *)
+
+let all_cores () =
+  [
+    Socet_cores.Cpu.core ();
+    Socet_cores.Preprocessor.core ();
+    Socet_cores.Display.core ();
+    Socet_cores.Gcd_core.core ();
+    Socet_cores.Graphics.core ();
+    Socet_cores.X25.core ();
+  ]
+
+let test_versions_monotone_everywhere () =
+  List.iter
+    (fun core ->
+      let rcg = prepared core in
+      let versions = Version.generate rcg in
+      check (Rtl_core.name core ^ " has versions") true (versions <> []);
+      let rec pairwise = function
+        | a :: (b :: _ as rest) ->
+            check "overhead grows" true
+              (a.Version.v_overhead < b.Version.v_overhead);
+            (* Latency of every common pair never increases. *)
+            List.iter
+              (fun (p : Version.pair) ->
+                match
+                  Version.latency_between b ~input:p.Version.pr_input
+                    ~output:p.Version.pr_output
+                with
+                | Some l -> check "latency never increases" true (l <= p.Version.pr_latency)
+                | None -> ())
+              a.Version.v_pairs;
+            pairwise rest
+        | _ -> ()
+      in
+      pairwise versions)
+    (all_cores ())
+
+let test_justification_covers_all_outputs () =
+  List.iter
+    (fun core ->
+      let rcg = prepared core in
+      let versions = Version.generate rcg in
+      let v1 = List.hd versions in
+      check_int
+        (Rtl_core.name core ^ ": every output justified")
+        (List.length (Rcg.output_ids rcg))
+        (List.length v1.Version.v_just))
+    (all_cores ())
+
+let test_propagation_covers_all_inputs () =
+  List.iter
+    (fun core ->
+      let rcg = prepared core in
+      let versions = Version.generate rcg in
+      let v1 = List.hd versions in
+      check_int
+        (Rtl_core.name core ^ ": every input propagated")
+        (List.length (Rcg.input_ids rcg))
+        (List.length v1.Version.v_prop))
+    (all_cores ())
+
+let prop_sol_uses_only_allowed_edges =
+  QCheck.Test.make ~name:"V1 hscan-first solutions prefer chain edges" ~count:1
+    QCheck.unit
+    (fun () ->
+      let rcg = prepared (Socet_cores.Cpu.core ()) in
+      let versions = Version.generate rcg in
+      let v1 = List.hd versions in
+      (* Every edge of every V1 solution is either an HSCAN edge or was
+         explicitly paid for (non-HSCAN edges appear only when chains
+         cannot provide the path — here the CPU chains suffice except for
+         nothing at all). *)
+      List.for_all
+        (fun (_, (s : Tsearch.sol)) ->
+          List.for_all
+            (fun (e : Rcg.edge_label Digraph.edge) -> e.label.Rcg.e_hscan)
+            s.Tsearch.s_edges)
+        v1.Version.v_just)
+
+
+(* ------------------------------------------------------------------ *)
+(* Gate-level transparency simulation                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_tsim_cpu_data_path () =
+  let rcg = prepared (Socet_cores.Cpu.core ()) in
+  match
+    Tsearch.propagate rcg ~allowed:hscan ~input:(Rcg.node_id rcg "Data") ()
+  with
+  | None -> Alcotest.fail "no propagation path"
+  | Some sol ->
+      check_int "six-cycle path" 6 sol.Tsearch.s_latency;
+      List.iter
+        (fun v ->
+          check
+            (Printf.sprintf "value %02x rides the gates" v)
+            true
+            (Tsim.check_propagation rcg sol ~input:"Data"
+               ~value:(Socet_util.Bitvec.of_int ~width:8 v)))
+        [ 0x00; 0xFF; 0xA5; 0x5A; 0x0F; 0x81 ]
+
+let test_tsim_cpu_control_chain () =
+  let rcg = prepared (Socet_cores.Cpu.core ()) in
+  match
+    Tsearch.propagate rcg ~allowed:hscan ~input:(Rcg.node_id rcg "Reset") ()
+  with
+  | None -> Alcotest.fail "no propagation path"
+  | Some sol ->
+      List.iter
+        (fun v ->
+          check "reset bit rides to Read" true
+            (Tsim.check_propagation rcg sol ~input:"Reset"
+               ~value:(Socet_util.Bitvec.of_int ~width:1 v)))
+        [ 0; 1 ]
+
+let test_tsim_preprocessor_pipeline () =
+  let rcg = prepared (Socet_cores.Preprocessor.core ()) in
+  match
+    Tsearch.propagate rcg ~allowed:hscan ~input:(Rcg.node_id rcg "NUM") ()
+  with
+  | None -> Alcotest.fail "no propagation path"
+  | Some sol ->
+      List.iter
+        (fun v ->
+          check "NUM value rides to outputs" true
+            (Tsim.check_propagation rcg sol ~input:"NUM"
+               ~value:(Socet_util.Bitvec.of_int ~width:8 v)))
+        [ 0x3C; 0xC3; 0x7E ]
+
+let test_tsim_mux_m_shortcut () =
+  (* Version 2's one-cycle path through mux M must also work in the
+     gates. *)
+  let rcg = prepared (Socet_cores.Cpu.core ()) in
+  match Tsearch.propagate rcg ~allowed:any ~input:(Rcg.node_id rcg "Data") () with
+  | None -> Alcotest.fail "no path"
+  | Some sol ->
+      check "short path found" true (sol.Tsearch.s_latency <= 2);
+      check "short path rides the gates" true
+        (Tsim.check_propagation rcg sol ~input:"Data"
+           ~value:(Socet_util.Bitvec.of_int ~width:8 0x96))
+
+let test_tsim_rejects_synthetic_edges () =
+  (* A V3 path through an added transparency mux has no gate realization
+     in the functional netlist: the simulator must refuse, not lie. *)
+  let rcg = prepared (Socet_cores.Cpu.core ()) in
+  let versions = Version.generate rcg in
+  let v3 = List.nth versions 2 in
+  let just_ahi = List.assoc (Rcg.node_id rcg "Address_hi") v3.Version.v_just in
+  if
+    List.exists
+      (fun (e : Rcg.edge_label Digraph.edge) -> e.label.Rcg.e_transfer < 0)
+      just_ahi.Tsearch.s_edges
+  then
+    check "simulator refuses synthetic edges" true
+      (Tsim.run_propagation rcg just_ahi ~input:"Data"
+         ~value:(Socet_util.Bitvec.of_int ~width:8 0)
+      = None)
+  else
+    (* The V3 justification may avoid the added mux; nothing to check. *)
+    check "path is simulable" true true
+
+let tsim_tests =
+  [
+    Alcotest.test_case "CPU data path rides gates" `Quick test_tsim_cpu_data_path;
+    Alcotest.test_case "CPU control chain" `Quick test_tsim_cpu_control_chain;
+    Alcotest.test_case "PREP pipeline" `Quick test_tsim_preprocessor_pipeline;
+    Alcotest.test_case "mux M shortcut" `Quick test_tsim_mux_m_shortcut;
+    Alcotest.test_case "synthetic edges rejected" `Quick test_tsim_rejects_synthetic_edges;
+  ]
+
+let () =
+  Alcotest.run "socet_transparency"
+    [
+      ( "tsearch",
+        [
+          Alcotest.test_case "propagate linear" `Quick test_propagate_linear;
+          Alcotest.test_case "justify linear" `Quick test_justify_linear;
+          Alcotest.test_case "no path" `Quick test_no_path_none;
+          Alcotest.test_case "allowed filter" `Quick test_allowed_filter_respected;
+          Alcotest.test_case "split balancing freeze" `Quick test_split_balancing_freeze;
+          Alcotest.test_case "reach in one cycle" `Quick test_reach_in_one_cycle;
+        ] );
+      ( "fig6",
+        [
+          Alcotest.test_case "version 1" `Quick test_fig6_version1;
+          Alcotest.test_case "version 2" `Quick test_fig6_version2;
+          Alcotest.test_case "version 3" `Quick test_fig6_version3;
+          Alcotest.test_case "control chains" `Quick test_cpu_control_chains;
+        ] );
+      ( "fig8",
+        [
+          Alcotest.test_case "preprocessor ladder" `Quick test_fig8_preprocessor;
+          Alcotest.test_case "display ladder" `Quick test_fig8_display;
+        ] );
+      ("tsim", tsim_tests);
+      ( "invariants",
+        [
+          Alcotest.test_case "monotone ladders" `Quick test_versions_monotone_everywhere;
+          Alcotest.test_case "all outputs justified" `Quick
+            test_justification_covers_all_outputs;
+          Alcotest.test_case "all inputs propagated" `Quick
+            test_propagation_covers_all_inputs;
+          QCheck_alcotest.to_alcotest prop_sol_uses_only_allowed_edges;
+        ] );
+    ]

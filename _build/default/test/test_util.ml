@@ -1,0 +1,257 @@
+open Socet_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Bitvec                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitvec_basic () =
+  let v = Bitvec.create 10 in
+  check_int "fresh length" 10 (Bitvec.length v);
+  check "fresh is zero" true (Bitvec.is_zero v);
+  Bitvec.set v 3 true;
+  check "set bit reads back" true (Bitvec.get v 3);
+  check "other bit clear" false (Bitvec.get v 4);
+  Bitvec.set v 3 false;
+  check "cleared bit" false (Bitvec.get v 3)
+
+let test_bitvec_bounds () =
+  let v = Bitvec.create 8 in
+  Alcotest.check_raises "get out of range" (Invalid_argument "Bitvec: index out of range")
+    (fun () -> ignore (Bitvec.get v 8));
+  Alcotest.check_raises "negative index" (Invalid_argument "Bitvec: index out of range")
+    (fun () -> ignore (Bitvec.get v (-1)))
+
+let test_bitvec_string_roundtrip () =
+  let s = "1011001110001111" in
+  check_str "roundtrip" s (Bitvec.to_string (Bitvec.of_string s));
+  let v = Bitvec.of_string "100" in
+  check "bit0 of 100" false (Bitvec.get v 0);
+  check "bit2 of 100" true (Bitvec.get v 2)
+
+let test_bitvec_int_roundtrip () =
+  for k = 0 to 255 do
+    check_int "of_int/to_int" k (Bitvec.to_int (Bitvec.of_int ~width:8 k))
+  done
+
+let test_bitvec_logic () =
+  let a = Bitvec.of_string "1100" and b = Bitvec.of_string "1010" in
+  check_str "and" "1000" (Bitvec.to_string (Bitvec.logand a b));
+  check_str "or" "1110" (Bitvec.to_string (Bitvec.logor a b));
+  check_str "xor" "0110" (Bitvec.to_string (Bitvec.logxor a b));
+  check_str "not" "0011" (Bitvec.to_string (Bitvec.lognot a))
+
+let test_bitvec_popcount_fill () =
+  let v = Bitvec.create 13 in
+  Bitvec.fill v true;
+  check_int "popcount after fill" 13 (Bitvec.popcount v);
+  let w = Bitvec.create 13 in
+  Bitvec.fill w true;
+  check "fill respects length in equal" true (Bitvec.equal v w)
+
+let test_bitvec_blit_concat () =
+  let a = Bitvec.of_string "1111" and b = Bitvec.of_string "0000" in
+  let c = Bitvec.concat [ a; b ] in
+  check_str "concat puts first arg low" "00001111" (Bitvec.to_string c);
+  check_str "sub high half" "0000" (Bitvec.to_string (Bitvec.sub c ~pos:4 ~len:4));
+  let d = Bitvec.create 8 in
+  Bitvec.blit ~src:a ~src_pos:0 ~dst:d ~dst_pos:2 ~len:4;
+  check_str "blit into middle" "00111100" (Bitvec.to_string d)
+
+let prop_bitvec_xor_involution =
+  QCheck.Test.make ~name:"bitvec: (a xor b) xor b = a" ~count:200
+    QCheck.(pair (list_of_size Gen.(0 -- 64) bool) (list_of_size Gen.(0 -- 64) bool))
+    (fun (la, lb) ->
+      let n = min (List.length la) (List.length lb) in
+      QCheck.assume (n > 0);
+      let mk l =
+        let v = Bitvec.create n in
+        List.iteri (fun i b -> if i < n then Bitvec.set v i b) l;
+        v
+      in
+      let a = mk la and b = mk lb in
+      Bitvec.equal (Bitvec.logxor (Bitvec.logxor a b) b) a)
+
+let prop_bitvec_string_roundtrip =
+  QCheck.Test.make ~name:"bitvec: of_string/to_string roundtrip" ~count:200
+    QCheck.(string_gen_of_size Gen.(1 -- 100) (Gen.oneofl [ '0'; '1' ]))
+    (fun s -> Bitvec.to_string (Bitvec.of_string s) = s)
+
+(* ------------------------------------------------------------------ *)
+(* Interval_set                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_interval_add_merge () =
+  let s = Interval_set.add Interval_set.empty ~lo:0 ~hi:5 in
+  let s = Interval_set.add s ~lo:10 ~hi:12 in
+  Alcotest.(check (list (pair int int)))
+    "two disjoint" [ (0, 5); (10, 12) ] (Interval_set.intervals s);
+  let s = Interval_set.add s ~lo:5 ~hi:10 in
+  Alcotest.(check (list (pair int int)))
+    "adjacent intervals merge" [ (0, 12) ] (Interval_set.intervals s)
+
+let test_interval_mem_overlap () =
+  let s = Interval_set.add Interval_set.empty ~lo:3 ~hi:7 in
+  check "mem inside" true (Interval_set.mem s 3);
+  check "hi is exclusive" false (Interval_set.mem s 7);
+  check "overlaps straddle" true (Interval_set.overlaps s ~lo:6 ~hi:9);
+  check "no overlap touching" false (Interval_set.overlaps s ~lo:7 ~hi:9);
+  check "empty probe never overlaps" false (Interval_set.overlaps s ~lo:5 ~hi:5)
+
+let test_interval_first_fit () =
+  let s = Interval_set.add Interval_set.empty ~lo:2 ~hi:5 in
+  let s = Interval_set.add s ~lo:7 ~hi:9 in
+  check_int "fits before first" 0 (Interval_set.first_fit s ~earliest:0 ~len:2);
+  check_int "fits in gap" 5 (Interval_set.first_fit s ~earliest:1 ~len:2);
+  check_int "skips too-small gap" 9 (Interval_set.first_fit s ~earliest:1 ~len:3);
+  check_int "after everything" 9 (Interval_set.first_fit s ~earliest:8 ~len:1);
+  check_int "zero length fits anywhere" 3 (Interval_set.first_fit s ~earliest:3 ~len:0)
+
+let test_interval_empty_add () =
+  let s = Interval_set.add Interval_set.empty ~lo:4 ~hi:4 in
+  check "adding empty interval is no-op" true (Interval_set.is_empty s)
+
+let prop_interval_first_fit_is_free =
+  QCheck.Test.make ~name:"interval: first_fit returns a free slot" ~count:300
+    QCheck.(triple (small_list (pair small_nat small_nat)) small_nat small_nat)
+    (fun (pairs, earliest, len) ->
+      let len = len + 1 in
+      let s =
+        List.fold_left
+          (fun s (a, b) -> Interval_set.add s ~lo:(min a b) ~hi:(max a b))
+          Interval_set.empty pairs
+      in
+      let t = Interval_set.first_fit s ~earliest ~len in
+      t >= earliest && not (Interval_set.overlaps s ~lo:t ~hi:(t + len)))
+
+let prop_interval_total_reserved =
+  QCheck.Test.make ~name:"interval: total equals point count" ~count:200
+    QCheck.(small_list (pair (int_bound 50) (int_bound 50)))
+    (fun pairs ->
+      let s =
+        List.fold_left
+          (fun s (a, b) -> Interval_set.add s ~lo:(min a b) ~hi:(max a b))
+          Interval_set.empty pairs
+      in
+      let by_points = ref 0 in
+      for t = 0 to 120 do
+        if Interval_set.mem s t then incr by_points
+      done;
+      Interval_set.total_reserved s = !by_points)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 1 and b = Rng.create 1 in
+  for _ = 1 to 20 do
+    check "same seed, same stream" true (Rng.int64 a = Rng.int64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 99 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check "int in bounds" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    check "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_bitvec () =
+  let r = Rng.create 5 in
+  let v = Rng.bitvec r 256 in
+  let pc = Bitvec.popcount v in
+  check "random vector is roughly balanced" true (pc > 64 && pc < 192)
+
+(* ------------------------------------------------------------------ *)
+(* Ascii_table                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1)) in
+  loop 0
+
+let test_table_render () =
+  let s =
+    Ascii_table.render ~header:[ "name"; "v" ] [ [ "a"; "1" ]; [ "bb"; "22" ] ]
+  in
+  check "contains header" true (contains_substring s "name");
+  check "contains cell" true (contains_substring s "22")
+
+let test_table_alignment () =
+  let s = Ascii_table.render ~header:[ "h" ] [ [ "xyz" ] ] in
+  (* Every line has the same width. *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let widths = List.map String.length lines in
+  match widths with
+  | [] -> Alcotest.fail "no output"
+  | w :: rest -> List.iter (fun w' -> check_int "line widths equal" w w') rest
+
+
+let test_bitvec_iteri_pp () =
+  let v = Bitvec.of_string "101" in
+  let seen = ref [] in
+  Bitvec.iteri (fun i b -> seen := (i, b) :: !seen) v;
+  Alcotest.(check (list (pair int bool)))
+    "iteri order" [ (0, true); (1, false); (2, true) ] (List.rev !seen);
+  check_str "pp prints msb first" "101" (Format.asprintf "%a" Bitvec.pp v)
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  (* The split stream differs from the parent's continuation. *)
+  check "split differs" true (Rng.int64 a <> Rng.int64 b)
+
+let test_interval_pp () =
+  let s = Interval_set.add (Interval_set.add Interval_set.empty ~lo:1 ~hi:3) ~lo:7 ~hi:9 in
+  check_str "pp" "[1,3) [7,9)" (Format.asprintf "%a" Interval_set.pp s)
+
+let () =
+  Alcotest.run "socet_util"
+    [
+      ( "bitvec",
+        [
+          Alcotest.test_case "basic set/get" `Quick test_bitvec_basic;
+          Alcotest.test_case "bounds checking" `Quick test_bitvec_bounds;
+          Alcotest.test_case "string roundtrip" `Quick test_bitvec_string_roundtrip;
+          Alcotest.test_case "int roundtrip" `Quick test_bitvec_int_roundtrip;
+          Alcotest.test_case "logic ops" `Quick test_bitvec_logic;
+          Alcotest.test_case "popcount/fill" `Quick test_bitvec_popcount_fill;
+          Alcotest.test_case "blit/concat/sub" `Quick test_bitvec_blit_concat;
+          QCheck_alcotest.to_alcotest prop_bitvec_xor_involution;
+          QCheck_alcotest.to_alcotest prop_bitvec_string_roundtrip;
+        ] );
+      ( "interval_set",
+        [
+          Alcotest.test_case "add and merge" `Quick test_interval_add_merge;
+          Alcotest.test_case "mem/overlaps" `Quick test_interval_mem_overlap;
+          Alcotest.test_case "first_fit" `Quick test_interval_first_fit;
+          Alcotest.test_case "empty add" `Quick test_interval_empty_add;
+          QCheck_alcotest.to_alcotest prop_interval_first_fit_is_free;
+          QCheck_alcotest.to_alcotest prop_interval_total_reserved;
+        ] );
+      ( "extras",
+        [
+          Alcotest.test_case "bitvec iteri/pp" `Quick test_bitvec_iteri_pp;
+          Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+          Alcotest.test_case "interval pp" `Quick test_interval_pp;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "bitvec balance" `Quick test_rng_bitvec;
+        ] );
+      ( "ascii_table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+        ] );
+    ]
