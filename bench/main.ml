@@ -7,6 +7,8 @@ open Socet_util
 open Socet_rtl
 open Socet_core
 open Socet_cores
+module Obs = Socet_obs.Obs
+module Json = Socet_obs.Json
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -646,7 +648,93 @@ let bechamel_suite () =
   in
   Ascii_table.print ~header:[ "benchmark"; "time" ] (List.sort compare rows)
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output: BENCH_socet.json                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-engine phases: wall time comes from the observability span
+   timers, counter totals from the registry.  Only metrics whose full
+   name starts with one of the phase's prefixes are attributed to it. *)
+let bench_phases =
+  [
+    ("atpg", [ "atpg.podem."; "atpg.dalg."; "atpg.compact." ],
+     [ "atpg.podem.run"; "atpg.dalg.run" ]);
+    ("fsim", [ "atpg.fsim." ], [ "atpg.fsim.run_comb"; "atpg.fsim.run_seq" ]);
+    ("schedule",
+     [ "core.schedule."; "core.access."; "core.tsearch."; "core.select.";
+       "core.version." ],
+     [ "core.schedule.build"; "core.select.design_space";
+       "core.select.minimize_time"; "core.select.minimize_area" ]);
+  ]
+
+let write_bench_json file =
+  let counters = Obs.snapshot_counters () in
+  let timers = Obs.snapshot_timers () in
+  let histograms = Obs.snapshot_histograms () in
+  let starts_with_any prefixes name =
+    List.exists (fun p -> String.starts_with ~prefix:p name) prefixes
+  in
+  let phase (name, prefixes, wall_timers) =
+    let wall_ms =
+      List.fold_left (fun acc t -> acc +. Obs.timer_total_ms t) 0.0 wall_timers
+    in
+    let phase_counters =
+      List.filter_map
+        (fun (n, v) ->
+          if starts_with_any prefixes n then
+            Some (n, Json.Num (float_of_int v))
+          else None)
+        counters
+    in
+    ( name,
+      Json.Obj
+        [ ("wall_ms", Json.Num wall_ms); ("counters", Json.Obj phase_counters) ]
+    )
+  in
+  let histogram_json (n, (s : Socet_obs.Histogram.summary)) =
+    ( n,
+      Json.Obj
+        [
+          ("count", Json.Num (float_of_int s.Socet_obs.Histogram.s_count));
+          ("min", Json.Num s.Socet_obs.Histogram.s_min);
+          ("p50", Json.Num s.Socet_obs.Histogram.s_p50);
+          ("p90", Json.Num s.Socet_obs.Histogram.s_p90);
+          ("p99", Json.Num s.Socet_obs.Histogram.s_p99);
+          ("max", Json.Num s.Socet_obs.Histogram.s_max);
+        ] )
+  in
+  let timer_json (n, (count, total_ms)) =
+    ( n,
+      Json.Obj
+        [
+          ("calls", Json.Num (float_of_int count));
+          ("total_ms", Json.Num total_ms);
+        ] )
+  in
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "socet");
+        ("paper", Json.Str "DAC'98 Ghosh/Dey/Jha");
+        ("phases", Json.Obj (List.map phase bench_phases));
+        ( "counters",
+          Json.Obj
+            (List.map (fun (n, v) -> (n, Json.Num (float_of_int v))) counters)
+        );
+        ("timers", Json.Obj (List.map timer_json timers));
+        ("histograms", Json.Obj (List.map histogram_json histograms));
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (Json.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
 let () =
+  (* No-op sink: counters and span timers accumulate, but no trace
+     events are buffered — keeps the harness overhead negligible. *)
+  Obs.configure ();
   Printf.printf "SOCET reproduction bench harness (DAC'98 Ghosh/Dey/Jha)\n";
   Printf.printf "Systems: %s (%d cells), %s (%d cells)\n" soc1.Soc.soc_name
     (Soc.original_area soc1) soc2.Soc.soc_name (Soc.original_area soc2);
@@ -662,4 +750,5 @@ let () =
   bist_section ();
   diagnosis_section ();
   bechamel_suite ();
+  write_bench_json "BENCH_socet.json";
   print_newline ()

@@ -7,6 +7,52 @@
 open Cmdliner
 open Socet_rtl
 open Socet_core
+module Obs = Socet_obs.Obs
+
+(* ------------------------------------------------------------------ *)
+(* Observability plumbing: --stats / --trace on every subcommand       *)
+(* ------------------------------------------------------------------ *)
+
+type obs_opts = { oo_stats : bool; oo_trace : string option }
+
+let obs_opts_t =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print the engines' observability report (counters, span \
+             timers, histograms) after the command finishes.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record engine spans and write them as Chrome trace-event \
+             JSON to $(docv) (load it in chrome://tracing or \
+             https://ui.perfetto.dev).")
+  in
+  Term.(const (fun oo_stats oo_trace -> { oo_stats; oo_trace }) $ stats $ trace)
+
+let with_obs opts run =
+  if opts.oo_stats || opts.oo_trace <> None then
+    Obs.configure ~trace:(opts.oo_trace <> None) ();
+  let code = run () in
+  if opts.oo_stats then print_string (Obs.stats_table ());
+  match opts.oo_trace with
+  | None -> code
+  | Some file -> (
+      try
+        Obs.write_trace file;
+        Printf.eprintf "wrote %d spans to %s\n"
+          (List.length (Obs.span_events ()))
+          file;
+        code
+      with Sys_error e ->
+        Printf.eprintf "socet: cannot write trace: %s\n" e;
+        1)
 
 let builtin_cores () =
   [
@@ -28,7 +74,8 @@ let system_of_name = function
 (* socet cores                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_cores () =
+let cmd_cores opts () =
+  with_obs opts @@ fun () ->
   let rows =
     List.map
       (fun (key, core) ->
@@ -55,7 +102,8 @@ let cmd_cores () =
 (* socet core <name>                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_core name =
+let cmd_core opts name =
+  with_obs opts @@ fun () ->
   match List.assoc_opt name (builtin_cores ()) with
   | None ->
       Printf.eprintf "unknown core %S; try: %s\n" name
@@ -92,7 +140,8 @@ let cmd_core name =
 (* socet space <system>                                                *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_space system =
+let cmd_space opts system =
+  with_obs opts @@ fun () ->
   match system_of_name system with
   | Error e ->
       prerr_endline e;
@@ -119,7 +168,8 @@ let cmd_space system =
 (* socet explore <system>                                              *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_explore system objective max_area max_time =
+let cmd_explore opts system objective max_area max_time =
+  with_obs opts @@ fun () ->
   match system_of_name system with
   | Error e ->
       prerr_endline e;
@@ -151,7 +201,8 @@ let cmd_explore system objective max_area max_time =
 (* socet coverage <system>                                             *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_coverage system cycles =
+let cmd_coverage opts system cycles =
+  with_obs opts @@ fun () ->
   match system_of_name system with
   | Error e ->
       prerr_endline e;
@@ -187,7 +238,8 @@ let cmd_coverage system cycles =
 (* socet baseline <system>                                             *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_baseline system =
+let cmd_baseline opts system =
+  with_obs opts @@ fun () ->
   match system_of_name system with
   | Error e ->
       prerr_endline e;
@@ -218,7 +270,8 @@ let cmd_baseline system =
 (* socet dot                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_dot kind name =
+let cmd_dot opts kind name =
+  with_obs opts @@ fun () ->
   match kind with
   | `Core -> (
       match List.assoc_opt name (builtin_cores ()) with
@@ -244,7 +297,8 @@ let cmd_dot kind name =
 (* socet schedule                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_schedule system overlap =
+let cmd_schedule opts system overlap =
+  with_obs opts @@ fun () ->
   match system_of_name system with
   | Error e ->
       prerr_endline e;
@@ -276,7 +330,8 @@ let cmd_schedule system overlap =
 (* socet bist                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_bist words width =
+let cmd_bist opts words width =
+  with_obs opts @@ fun () ->
   let open Socet_bist in
   Socet_util.Ascii_table.print
     ~header:[ "algorithm"; "ops"; "coverage %" ]
@@ -295,14 +350,14 @@ let cmd_bist words width =
 
 let system_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"SYSTEM")
 
-let cores_t = Term.(const cmd_cores $ const ())
+let cores_t = Term.(const cmd_cores $ obs_opts_t $ const ())
 
 let core_t =
   Term.(
-    const cmd_core
+    const cmd_core $ obs_opts_t
     $ Arg.(required & pos 0 (some string) None & info [] ~docv:"CORE"))
 
-let space_t = Term.(const cmd_space $ system_arg)
+let space_t = Term.(const cmd_space $ obs_opts_t $ system_arg)
 
 let explore_t =
   let objective =
@@ -317,15 +372,15 @@ let explore_t =
   let max_time =
     Arg.(value & opt int 5000 & info [ "max-time" ] ~doc:"TAT bound in cycles.")
   in
-  Term.(const cmd_explore $ system_arg $ objective $ max_area $ max_time)
+  Term.(const cmd_explore $ obs_opts_t $ system_arg $ objective $ max_area $ max_time)
 
 let coverage_t =
   let cycles =
     Arg.(value & opt int 512 & info [ "cycles" ] ~doc:"Functional stimulus length.")
   in
-  Term.(const cmd_coverage $ system_arg $ cycles)
+  Term.(const cmd_coverage $ obs_opts_t $ system_arg $ cycles)
 
-let baseline_t = Term.(const cmd_baseline $ system_arg)
+let baseline_t = Term.(const cmd_baseline $ obs_opts_t $ system_arg)
 
 let dot_t =
   let kind =
@@ -335,7 +390,7 @@ let dot_t =
       & info [] ~docv:"KIND")
   in
   let target = Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME") in
-  Term.(const cmd_dot $ kind $ target)
+  Term.(const cmd_dot $ obs_opts_t $ kind $ target)
 
 let bist_t =
   let words =
@@ -344,13 +399,13 @@ let bist_t =
   let width =
     Arg.(value & opt int 8 & info [ "width" ] ~doc:"Word width in bits.")
   in
-  Term.(const cmd_bist $ words $ width)
+  Term.(const cmd_bist $ obs_opts_t $ words $ width)
 
 let schedule_t =
   let overlap =
     Arg.(value & flag & info [ "overlap" ] ~doc:"Also pack tests concurrently.")
   in
-  Term.(const cmd_schedule $ system_arg $ overlap)
+  Term.(const cmd_schedule $ obs_opts_t $ system_arg $ overlap)
 
 let () =
   let info name doc = Cmd.info name ~doc in

@@ -1,4 +1,11 @@
+module Obs = Socet_obs.Obs
+
+let c_in = Obs.counter ~scope:"atpg" "compact.vectors_in"
+let c_kept = Obs.counter ~scope:"atpg" "compact.vectors_kept"
+
 let reverse_order nl ~vectors ~faults =
+  Obs.with_span ~cat:"atpg" "compact.reverse_order" @@ fun () ->
+  Obs.add c_in (List.length vectors);
   let kept = ref [] in
   let remaining = ref faults in
   List.iter
@@ -12,4 +19,5 @@ let reverse_order nl ~vectors ~faults =
         end
       end)
     (List.rev vectors);
+  Obs.add c_kept (List.length !kept);
   !kept

@@ -1,5 +1,11 @@
 open Socet_util
 open Socet_netlist
+module Obs = Socet_obs.Obs
+
+let c_faults = Obs.counter ~scope:"atpg" "dalg.faults_targeted"
+let c_decisions = Obs.counter ~scope:"atpg" "dalg.decisions"
+let g_frontier_peak = Obs.gauge ~scope:"atpg" "dalg.d_frontier_peak"
+let h_frontier = Obs.histogram ~scope:"atpg" "dalg.d_frontier_size"
 
 type outcome = Test of Bitvec.t | Untestable | Aborted
 
@@ -37,6 +43,7 @@ exception Conflict
 exception Give_up
 
 let generate ?(decision_limit = 20_000) nl (fault : Fault.t) =
+  Obs.incr c_faults;
   let n = Netlist.gate_count nl in
   let v = Array.make n X in
   let order = Netlist.comb_order nl in
@@ -178,12 +185,18 @@ let generate ?(decision_limit = 20_000) nl (fault : Fault.t) =
   (* D-frontier: gates whose output is X with an error on some input, and
      the side assignments that drive the error through. *)
   let d_frontier () =
-    List.filter
-      (fun g ->
-        (not (is_input g))
-        && v.(g) = X
-        && Array.exists (fun p -> v.(p) = D || v.(p) = Db) (Netlist.fanin nl g))
-      (Array.to_list order)
+    let frontier =
+      List.filter
+        (fun g ->
+          (not (is_input g))
+          && v.(g) = X
+          && Array.exists (fun p -> v.(p) = D || v.(p) = Db) (Netlist.fanin nl g))
+        (Array.to_list order)
+    in
+    let n = List.length frontier in
+    Obs.observe h_frontier (float_of_int n);
+    Obs.max_gauge g_frontier_peak n;
+    frontier
   in
   let drive_cubes g =
     let f = Netlist.fanin nl g in
@@ -211,6 +224,7 @@ let generate ?(decision_limit = 20_000) nl (fault : Fault.t) =
   let decisions = ref 0 in
   let bump () =
     incr decisions;
+    Obs.incr c_decisions;
     if !decisions > decision_limit then raise Give_up
   in
   let rec solve () =
@@ -320,6 +334,7 @@ type stats = {
 }
 
 let run ?decision_limit ?(sample = 1) nl =
+  Obs.with_span ~cat:"atpg" "dalg.run" @@ fun () ->
   let faults =
     Fault.collapse nl |> List.filteri (fun i _ -> i mod max 1 sample = 0)
   in

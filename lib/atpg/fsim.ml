@@ -1,5 +1,14 @@
 open Socet_util
 open Socet_netlist
+module Obs = Socet_obs.Obs
+
+(* Observability: one word batch simulates up to [Sim.word_width] vectors
+   in parallel, and each remaining fault costs one cone re-evaluation per
+   batch — [fault_evals] is the engine's true unit of work. *)
+let c_batches = Obs.counter ~scope:"atpg" "fsim.word_batches"
+let c_fault_evals = Obs.counter ~scope:"atpg" "fsim.fault_evals"
+let c_dropped = Obs.counter ~scope:"atpg" "fsim.faults_dropped"
+let c_seq_cycles = Obs.counter ~scope:"atpg" "fsim.seq_cycles"
 
 type vector = Bitvec.t
 
@@ -52,6 +61,7 @@ let eval_gate nl v g =
       ((lnot s land v.(f.(1))) lor (s land v.(f.(2)))) land all_ones
 
 let run_comb nl ~vectors ~faults =
+  Obs.with_span ~cat:"atpg" "fsim.run_comb" @@ fun () ->
   let npi = List.length (Netlist.pis nl) in
   let nff = List.length (Netlist.dffs nl) in
   let order = Netlist.comb_order nl in
@@ -69,6 +79,8 @@ let run_comb nl ~vectors ~faults =
   List.iter
     (fun batch ->
       if !remaining <> [] then begin
+        Obs.incr c_batches;
+        Obs.add c_fault_evals (List.length !remaining);
         let nbatch = List.length batch in
         let pi = Array.make npi 0 and st = Array.make nff 0 in
         List.iteri
@@ -109,11 +121,14 @@ let run_comb nl ~vectors ~faults =
         remaining := List.rev !still
       end)
     batches;
-  List.rev !detected
+  let detected = List.rev !detected in
+  Obs.add c_dropped (List.length detected);
+  detected
 
 let detects_comb nl vec f = run_comb nl ~vectors:[ vec ] ~faults:[ f ] <> []
 
 let run_seq nl ~inputs ~faults =
+  Obs.with_span ~cat:"atpg" "fsim.run_seq" @@ fun () ->
   let npi = List.length (Netlist.pis nl) in
   let nff = List.length (Netlist.dffs nl) in
   let good_slot = Sim.word_width - 1 in
@@ -141,6 +156,7 @@ let run_seq nl ~inputs ~faults =
       let caught = Array.make (List.length batch) false in
       List.iter
         (fun pi_bits ->
+          Obs.incr c_seq_cycles;
           let pi =
             Array.init npi (fun i -> if Bitvec.get pi_bits i then all_ones else 0)
           in

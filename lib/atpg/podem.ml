@@ -1,5 +1,13 @@
 open Socet_util
 open Socet_netlist
+module Obs = Socet_obs.Obs
+
+(* Observability: PODEM's effort is dominated by its decision/backtrack
+   loop, so those are the counters every perf PR will watch. *)
+let c_faults = Obs.counter ~scope:"atpg" "podem.faults_targeted"
+let c_decisions = Obs.counter ~scope:"atpg" "podem.decisions"
+let c_backtracks = Obs.counter ~scope:"atpg" "podem.backtracks"
+let h_backtracks = Obs.histogram ~scope:"atpg" "podem.backtracks_per_fault"
 
 type outcome = Test of Bitvec.t | Untestable | Aborted
 
@@ -70,6 +78,7 @@ let capture_tv nl v ff =
   | _ -> assert false
 
 let generate ?(backtrack_limit = 1000) ?scoap nl (fault : Fault.t) =
+  Obs.incr c_faults;
   let n = Netlist.gate_count nl in
   let order = Netlist.comb_order nl in
   let inputs = inputs_of nl in
@@ -268,12 +277,14 @@ let generate ?(backtrack_limit = 1000) ?scoap nl (fault : Fault.t) =
       in
       match next_decision with
       | Some (i, v) ->
+          Obs.incr c_decisions;
           assign.(i) <- v;
           stack := (i, v, false) :: !stack;
           imply ()
       | None ->
           (* Backtrack. *)
           incr backtracks;
+          Obs.incr c_backtracks;
           if !backtracks > backtrack_limit then result := Some Aborted
           else begin
             let rec pop () =
@@ -296,6 +307,7 @@ let generate ?(backtrack_limit = 1000) ?scoap nl (fault : Fault.t) =
           end
     end
   done;
+  Obs.observe h_backtracks (float_of_int !backtracks);
   match !result with Some r -> r | None -> assert false
 
 type stats = {
@@ -310,6 +322,7 @@ type stats = {
 
 let run ?(backtrack_limit = 1000) ?(random_patterns = 64) ?(seed = 42)
     ?(use_scoap = true) nl =
+  Obs.with_span ~cat:"atpg" "podem.run" @@ fun () ->
   let scoap = if use_scoap then Some (Scoap.compute nl) else None in
   let faults = Fault.collapse nl in
   let total = List.length faults in
@@ -319,18 +332,20 @@ let run ?(backtrack_limit = 1000) ?(random_patterns = 64) ?(seed = 42)
   let remaining = ref faults in
   let detected = ref [] in
   (* Phase 1: random patterns with fault dropping. *)
-  if random_patterns > 0 && veclen > 0 then begin
-    let random_vecs = List.init random_patterns (fun _ -> Rng.bitvec rng veclen) in
-    let hit = Fsim.run_comb nl ~vectors:random_vecs ~faults:!remaining in
-    (* Keep only the random vectors that contribute; cheap pre-compaction. *)
-    let contributing =
-      Compact.reverse_order nl ~vectors:random_vecs ~faults:hit
-    in
-    vectors := contributing;
-    detected := hit;
-    remaining :=
-      List.filter (fun f -> not (List.exists (Fault.equal f) hit)) !remaining
-  end;
+  if random_patterns > 0 && veclen > 0 then
+    Obs.with_span ~cat:"atpg" "podem.random_phase" (fun () ->
+        let random_vecs =
+          List.init random_patterns (fun _ -> Rng.bitvec rng veclen)
+        in
+        let hit = Fsim.run_comb nl ~vectors:random_vecs ~faults:!remaining in
+        (* Keep only the random vectors that contribute; cheap pre-compaction. *)
+        let contributing =
+          Compact.reverse_order nl ~vectors:random_vecs ~faults:hit
+        in
+        vectors := contributing;
+        detected := hit;
+        remaining :=
+          List.filter (fun f -> not (List.exists (Fault.equal f) hit)) !remaining);
   (* Phase 2: deterministic PODEM with fault dropping. *)
   let redundant = ref [] and aborted = ref [] in
   let rec loop () =
@@ -356,7 +371,7 @@ let run ?(backtrack_limit = 1000) ?(random_patterns = 64) ?(seed = 42)
             vectors := vec :: !vectors;
             loop ())
   in
-  loop ();
+  Obs.with_span ~cat:"atpg" "podem.determ_phase" loop;
   let final_vectors =
     Compact.reverse_order nl ~vectors:(List.rev !vectors) ~faults:!detected
   in

@@ -1,6 +1,14 @@
 module Digraph = Socet_graph.Digraph
 module Search = Socet_graph.Search
 module Interval_set = Socet_util.Interval_set
+module Obs = Socet_obs.Obs
+
+(* Observability: a reservation conflict is one "a resource was busy,
+   retry later" round in the calendar settling loop — the congestion
+   signal for the chip-level access router. *)
+let c_conflicts = Obs.counter ~scope:"core" "access.reservation_conflicts"
+let c_routes = Obs.counter ~scope:"core" "access.routes_committed"
+let c_smux_fallbacks = Obs.counter ~scope:"core" "access.smux_fallbacks"
 
 type bookings = (Ccg.resource, Interval_set.t ref) Hashtbl.t
 
@@ -44,7 +52,11 @@ let earliest_departure bookings (e : Ccg.cedge Digraph.edge) t =
               max acc (Interval_set.first_fit !(calendar bookings r) ~earliest:acc ~len:lat))
             t rs
         in
-        if t' = t then t else settle t'
+        if t' = t then t
+        else begin
+          Obs.incr c_conflicts;
+          settle t'
+        end
       in
       settle t
 
@@ -79,6 +91,7 @@ let route_between ccg bookings ~sources ~is_goal =
     ~earliest_departure:(fun e t -> earliest_departure bookings e t)
 
 let commit bookings (tp : Ccg.cedge Search.timed_path) target =
+  Obs.incr c_routes;
   List.iter2 (fun e dep -> reserve bookings e ~departure:dep) tp.Search.path_edges
     tp.Search.departures;
   {
@@ -98,6 +111,7 @@ let port_width ccg node_id =
   | Ccg.N_po n -> List.assoc n ccg.Ccg.soc.Soc.soc_pos
 
 let justify_input ?(allow_smux = true) ccg bookings ~input =
+  Obs.with_span ~cat:"core" "access.justify" @@ fun () ->
   let sources = pis_of ccg in
   if sources = [] then None
   else
@@ -108,6 +122,7 @@ let justify_input ?(allow_smux = true) ccg bookings ~input =
         (* No existing access: bolt a system-level test mux onto the first
            PI (paper: "we add a system-level test multiplexer to connect
            the input of the core directly to a PI"). *)
+        Obs.incr c_smux_fallbacks;
         let pi = List.hd sources in
         let width = port_width ccg input in
         let e = Ccg.add_smux ccg ~src:pi ~dst:input ~width in
@@ -121,6 +136,7 @@ let justify_input ?(allow_smux = true) ccg bookings ~input =
           }
 
 let observe_output ?(allow_smux = true) ccg bookings ~output =
+  Obs.with_span ~cat:"core" "access.observe" @@ fun () ->
   let goals = pos_of ccg in
   if goals = [] then None
   else
@@ -131,6 +147,7 @@ let observe_output ?(allow_smux = true) ccg bookings ~output =
     | Some tp -> Some (commit bookings tp output)
     | None when not allow_smux -> None
     | None ->
+        Obs.incr c_smux_fallbacks;
         let po = List.hd goals in
         let width = port_width ccg output in
         let e = Ccg.add_smux ccg ~src:output ~dst:po ~width in

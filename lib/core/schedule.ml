@@ -1,5 +1,8 @@
 open Socet_scan
 module Digraph = Socet_graph.Digraph
+module Obs = Socet_obs.Obs
+
+let c_builds = Obs.counter ~scope:"core" "schedule.builds"
 
 type core_test = {
   ct_inst : string;
@@ -25,6 +28,8 @@ type t = {
 type smux_request = { sm_inst : string; sm_port : string; sm_dir : [ `In | `Out ] }
 
 let build soc ~choice ?(smuxes = []) () =
+  Obs.with_span ~cat:"core" "schedule.build" @@ fun () ->
+  Obs.incr c_builds;
   let ccg = Ccg.build soc ~choice in
   (* Explicitly requested system-level test muxes become real CCG edges up
      front, so routing can use them. *)

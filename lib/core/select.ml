@@ -1,3 +1,11 @@
+module Obs = Socet_obs.Obs
+
+(* Observability: the iterative-improvement optimizer is measured in
+   design points evaluated (each one a full schedule build) and in
+   improvement steps taken. *)
+let c_evals = Obs.counter ~scope:"core" "select.points_evaluated"
+let c_steps = Obs.counter ~scope:"core" "select.steps"
+
 type point = {
   pt_choice : (string * int) list;
   pt_smuxes : Schedule.smux_request list;
@@ -7,6 +15,7 @@ type point = {
 }
 
 let evaluate soc ~choice ?(smuxes = []) () =
+  Obs.incr c_evals;
   let s = Schedule.build soc ~choice ~smuxes () in
   {
     pt_choice = choice;
@@ -17,6 +26,7 @@ let evaluate soc ~choice ?(smuxes = []) () =
   }
 
 let design_space soc =
+  Obs.with_span ~cat:"core" "select.design_space" @@ fun () ->
   let axes =
     List.map
       (fun ci ->
@@ -127,6 +137,7 @@ let bump choice inst k =
 (* One optimizer step; [pick] chooses among (inst, next, dTAT, dA)
    candidates.  Returns the improved point, or None when out of moves. *)
 let step soc point ~pick =
+  Obs.incr c_steps;
   let candidates =
     List.filter_map
       (fun ci ->
@@ -162,6 +173,7 @@ let step soc point ~pick =
   | None -> mux_move ()
 
 let minimize_time soc ~max_area =
+  Obs.with_span ~cat:"core" "select.minimize_time" @@ fun () ->
   let start =
     evaluate soc ~choice:(List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts) ()
   in
@@ -187,6 +199,7 @@ let minimize_time soc ~max_area =
   loop [] start 64
 
 let minimize_area soc ~max_time =
+  Obs.with_span ~cat:"core" "select.minimize_area" @@ fun () ->
   let start =
     evaluate soc ~choice:(List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts) ()
   in

@@ -1,6 +1,13 @@
 open Socet_rtl
 open Rtl_types
 module Digraph = Socet_graph.Digraph
+module Obs = Socet_obs.Obs
+
+(* Observability: transparency-path search is the inner loop of version
+   generation; nodes expanded ~ search effort, give-ups ~ budget misses. *)
+let c_nodes = Obs.counter ~scope:"core" "tsearch.nodes_expanded"
+let c_solves = Obs.counter ~scope:"core" "tsearch.solves"
+let c_giveups = Obs.counter ~scope:"core" "tsearch.give_ups"
 
 type sol = {
   s_edges : Rcg.edge_label Digraph.edge list;
@@ -126,6 +133,8 @@ let covers groups needed =
   end
 
 let solve rcg dir ?(prefer_hscan = false) ~allowed ~start () =
+  Obs.with_span ~cat:"core" "tsearch.solve" @@ fun () ->
+  Obs.incr c_solves;
   let budget = ref 50_000 in
   let dist = distance_map rcg dir allowed in
   let edge_rank (e : Rcg.edge_label Digraph.edge) =
@@ -137,6 +146,7 @@ let solve rcg dir ?(prefer_hscan = false) ~allowed ~start () =
      share a sub-path; deduplicated at the end). *)
   let rec go v needed on_path =
     decr budget;
+    Obs.incr c_nodes;
     if !budget < 0 then raise Give_up;
     if needed = 0 then Some []
     else if is_terminal rcg dir v then Some []
@@ -183,7 +193,12 @@ let solve rcg dir ?(prefer_hscan = false) ~allowed ~start () =
   in
   let width = (Rcg.node rcg start).Rcg.n_width in
   let needed = (1 lsl width) - 1 in
-  match (try go start needed [] with Give_up -> None) with
+  match
+    (try go start needed []
+     with Give_up ->
+       Obs.incr c_giveups;
+       None)
+  with
   | None -> None
   | Some raw ->
       (* Deduplicate shared sub-paths. *)

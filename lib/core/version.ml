@@ -1,6 +1,9 @@
 open Socet_rtl
 open Rtl_types
 module Digraph = Socet_graph.Digraph
+module Obs = Socet_obs.Obs
+
+let c_ladders = Obs.counter ~scope:"core" "version.ladders_generated"
 
 let freeze_cost = 3
 let activation_cost ~ctrl = (2 * ctrl) + 1
@@ -221,6 +224,8 @@ let latencies_signature (prop, just) =
     |> List.sort compare )
 
 let generate ?(max_versions = 3) rcg =
+  Obs.with_span ~cat:"core" "version.generate" @@ fun () ->
+  Obs.incr c_ladders;
   let accumulated = ref [] in
   (* hardware of adopted rungs *)
   let muxes_so_far = ref [] in

@@ -1,0 +1,7 @@
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let epoch = ref (now_us ())
+
+let reset () = epoch := now_us ()
+
+let since_start_us () = now_us () -. !epoch

@@ -1,0 +1,14 @@
+(** Wall-clock time source for the observability subsystem.
+
+    All span and timer measurements are expressed in microseconds relative
+    to the last {!reset} (done by [Obs.configure]), so Chrome trace
+    timestamps start near zero and stay readable. *)
+
+val now_us : unit -> float
+(** Absolute wall-clock time in microseconds. *)
+
+val reset : unit -> unit
+(** Re-anchor the epoch used by {!since_start_us} to "now". *)
+
+val since_start_us : unit -> float
+(** Microseconds elapsed since the last {!reset} (or process start). *)

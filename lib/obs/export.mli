@@ -1,0 +1,15 @@
+(** Exporters: human-readable stats tables, flat stats JSON, and Chrome
+    trace-event JSON (loadable in chrome://tracing or https://ui.perfetto.dev). *)
+
+val stats_table : Registry.t -> string
+(** ASCII tables (via [Socet_util.Ascii_table]) of all non-empty metric
+    sections: counters/gauges, timers, histograms. *)
+
+val stats_json : Registry.t -> Json.t
+(** Flat dump:
+    [{"counters": {..}, "gauges": {..}, "timers": {name: {count, total_ms}},
+      "histograms": {name: {count, min, mean, p50, p90, p99, max}}}]. *)
+
+val trace_json : ?dropped:int -> Sink.span_event list -> Json.t
+(** Chrome trace-event JSON object format: complete ("ph":"X") events with
+    microsecond timestamps, one process/thread. *)

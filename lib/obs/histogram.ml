@@ -1,0 +1,97 @@
+(* Buckets span 2^min_exp .. 2^max_exp with [n_sub] linear sub-buckets per
+   octave.  Everything below the range lands in bucket 0, everything above
+   in the last bucket; clamping against the exact min/max keeps reported
+   quantiles honest at the edges. *)
+
+let n_sub = 8
+let min_exp = -10 (* ~1 millisecond when values are microseconds *)
+let max_exp = 52
+let n_buckets = (max_exp - min_exp) * n_sub
+
+type t = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  buckets : int array;
+}
+
+let create () =
+  {
+    h_count = 0;
+    h_sum = 0.0;
+    h_min = infinity;
+    h_max = neg_infinity;
+    buckets = Array.make n_buckets 0;
+  }
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let index_of v =
+  if v <= 0.0 then 0
+  else
+    let l = Float.log2 v in
+    clamp 0 (n_buckets - 1)
+      (int_of_float (Float.floor ((l -. float_of_int min_exp) *. float_of_int n_sub)))
+
+(* Geometric midpoint of bucket [i]. *)
+let representative i =
+  Float.exp2 (float_of_int min_exp +. ((float_of_int i +. 0.5) /. float_of_int n_sub))
+
+let observe t v =
+  let v = Float.max 0.0 v in
+  t.h_count <- t.h_count + 1;
+  t.h_sum <- t.h_sum +. v;
+  if v < t.h_min then t.h_min <- v;
+  if v > t.h_max then t.h_max <- v;
+  let i = index_of v in
+  t.buckets.(i) <- t.buckets.(i) + 1
+
+let count t = t.h_count
+let sum t = t.h_sum
+let min_value t = if t.h_count = 0 then 0.0 else t.h_min
+let max_value t = if t.h_count = 0 then 0.0 else t.h_max
+
+let quantile t q =
+  if t.h_count = 0 then 0.0
+  else begin
+    let q = clamp 0.0 1.0 q in
+    let rank = q *. float_of_int (t.h_count - 1) in
+    let rec walk i cum =
+      if i >= n_buckets then t.h_max
+      else
+        let cum = cum + t.buckets.(i) in
+        if float_of_int cum > rank then representative i else walk (i + 1) cum
+    in
+    clamp t.h_min t.h_max (walk 0 0)
+  end
+
+type summary = {
+  s_count : int;
+  s_sum : float;
+  s_min : float;
+  s_max : float;
+  s_mean : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+}
+
+let summarize t =
+  {
+    s_count = t.h_count;
+    s_sum = t.h_sum;
+    s_min = min_value t;
+    s_max = max_value t;
+    s_mean = (if t.h_count = 0 then 0.0 else t.h_sum /. float_of_int t.h_count);
+    s_p50 = quantile t 0.5;
+    s_p90 = quantile t 0.9;
+    s_p99 = quantile t 0.99;
+  }
+
+let reset t =
+  t.h_count <- 0;
+  t.h_sum <- 0.0;
+  t.h_min <- infinity;
+  t.h_max <- neg_infinity;
+  Array.fill t.buckets 0 n_buckets 0

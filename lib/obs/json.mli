@@ -1,0 +1,35 @@
+(** Minimal JSON value type, printer and parser.
+
+    The repo deliberately has no third-party JSON dependency, but the
+    observability exporters must emit machine-readable output (Chrome
+    trace-event files, [BENCH_socet.json]) and the test suite must be able
+    to re-read and validate what was written.  This module is that tiny,
+    self-contained substrate: a strict printer (always emits valid JSON,
+    non-finite numbers are clamped to [0]) and a strict recursive-descent
+    parser sufficient for round-tripping our own output. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize.  With [pretty] (default false), two-space indentation. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document (trailing whitespace allowed). *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+val to_list : t -> t list option
+(** The elements of an [Arr]; [None] otherwise. *)
+
+val to_float : t -> float option
+(** The payload of a [Num]; [None] otherwise. *)
+
+val to_str : t -> string option
+(** The payload of a [Str]; [None] otherwise. *)

@@ -1,0 +1,27 @@
+type counter = int Atomic.t
+type gauge = int Atomic.t
+
+let make_counter () = Atomic.make 0
+let make_gauge () = Atomic.make 0
+
+let incr = Atomic.incr
+let add c n = ignore (Atomic.fetch_and_add c n)
+let value = Atomic.get
+
+let set = Atomic.set
+
+let rec set_max g v =
+  let cur = Atomic.get g in
+  if v > cur && not (Atomic.compare_and_set g cur v) then set_max g v
+
+type timer = { mutable tm_count : int; mutable tm_total_us : float }
+
+let make_timer () = { tm_count = 0; tm_total_us = 0.0 }
+
+let timer_add t us =
+  t.tm_count <- t.tm_count + 1;
+  t.tm_total_us <- t.tm_total_us +. us
+
+let timer_reset t =
+  t.tm_count <- 0;
+  t.tm_total_us <- 0.0

@@ -1,0 +1,26 @@
+(** Primitive metric cells: atomic counters/gauges and monotonic timers.
+
+    Counters and gauges are [Atomic.t] ints so instrumented engines stay
+    safe if a future PR parallelizes them across domains.  Timers
+    accumulate wall-time (microseconds) and a call count; they are plain
+    mutable records — per-domain use only, like the span stack. *)
+
+type counter = int Atomic.t
+type gauge = int Atomic.t
+
+val make_counter : unit -> counter
+val make_gauge : unit -> gauge
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val set : gauge -> int -> unit
+val set_max : gauge -> int -> unit
+(** Lock-free monotonic maximum (peak tracking, e.g. D-frontier size). *)
+
+type timer = { mutable tm_count : int; mutable tm_total_us : float }
+
+val make_timer : unit -> timer
+val timer_add : timer -> float -> unit
+val timer_reset : timer -> unit

@@ -1,0 +1,63 @@
+type entry =
+  | Counter of Metric.counter
+  | Gauge of Metric.gauge
+  | Timer of Metric.timer
+  | Histogram of Histogram.t
+
+type t = (string, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Timer _ -> "timer"
+  | Histogram _ -> "histogram"
+
+let find t name ~kind ~make ~extract =
+  match Hashtbl.find_opt t name with
+  | None ->
+      let cell = make () in
+      Hashtbl.replace t name cell;
+      (match extract cell with Some c -> c | None -> assert false)
+  | Some existing -> (
+      match extract existing with
+      | Some c -> c
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Obs registry: %S is a %s, requested as %s" name
+               (kind_name existing) kind))
+
+let counter t name =
+  find t name ~kind:"counter"
+    ~make:(fun () -> Counter (Metric.make_counter ()))
+    ~extract:(function Counter c -> Some c | _ -> None)
+
+let gauge t name =
+  find t name ~kind:"gauge"
+    ~make:(fun () -> Gauge (Metric.make_gauge ()))
+    ~extract:(function Gauge g -> Some g | _ -> None)
+
+let timer t name =
+  find t name ~kind:"timer"
+    ~make:(fun () -> Timer (Metric.make_timer ()))
+    ~extract:(function Timer tm -> Some tm | _ -> None)
+
+let histogram t name =
+  find t name ~kind:"histogram"
+    ~make:(fun () -> Histogram (Histogram.create ()))
+    ~extract:(function Histogram h -> Some h | _ -> None)
+
+let entries t =
+  Hashtbl.fold (fun name entry acc -> (name, entry) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset t =
+  Hashtbl.iter
+    (fun _ entry ->
+      match entry with
+      | Counter c -> Atomic.set c 0
+      | Gauge g -> Atomic.set g 0
+      | Timer tm -> Metric.timer_reset tm
+      | Histogram h -> Histogram.reset h)
+    t

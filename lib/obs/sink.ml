@@ -1,0 +1,43 @@
+type span_event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_start_us : float;
+  ev_dur_us : float;
+  ev_depth : int;
+}
+
+type t = {
+  emit : span_event -> unit;
+  events : unit -> span_event list;
+  dropped : unit -> int;
+  clear : unit -> unit;
+}
+
+let noop =
+  {
+    emit = ignore;
+    events = (fun () -> []);
+    dropped = (fun () -> 0);
+    clear = (fun () -> ());
+  }
+
+let memory ?(limit = 200_000) () =
+  let stored = ref [] (* newest first *) in
+  let n = ref 0 in
+  let dropped = ref 0 in
+  {
+    emit =
+      (fun ev ->
+        if !n < limit then begin
+          stored := ev :: !stored;
+          incr n
+        end
+        else incr dropped);
+    events = (fun () -> List.rev !stored);
+    dropped = (fun () -> !dropped);
+    clear =
+      (fun () ->
+        stored := [];
+        n := 0;
+        dropped := 0);
+  }

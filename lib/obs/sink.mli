@@ -1,0 +1,29 @@
+(** Where completed spans go.
+
+    A sink is a record of closures so the disabled path costs one load and
+    an indirect call at most — and the facade ([Obs]) never even reaches
+    the sink when observability is off.  The default {!noop} sink drops
+    everything; the {!memory} sink buffers events (bounded) for the
+    Chrome trace-event exporter. *)
+
+type span_event = {
+  ev_name : string;  (** short span name, e.g. ["podem.run"] *)
+  ev_cat : string;  (** engine category, e.g. ["atpg"] *)
+  ev_start_us : float;  (** microseconds since [Obs.configure] *)
+  ev_dur_us : float;
+  ev_depth : int;  (** nesting depth at entry; 0 = root *)
+}
+
+type t = {
+  emit : span_event -> unit;
+  events : unit -> span_event list;  (** completed events, oldest first *)
+  dropped : unit -> int;  (** events discarded past the buffer limit *)
+  clear : unit -> unit;
+}
+
+val noop : t
+(** Drops everything; [events] is always []. *)
+
+val memory : ?limit:int -> unit -> t
+(** In-memory buffer keeping the first [limit] events (default 200_000);
+    later events are counted as dropped rather than silently lost. *)

@@ -1,0 +1,30 @@
+type frame = { f_name : string; f_cat : string; f_start_us : float }
+
+let stack : frame list ref = ref []
+
+let depth () = List.length !stack
+
+let enter ~name ~cat =
+  stack := { f_name = name; f_cat = cat; f_start_us = Clock.since_start_us () } :: !stack
+
+let leave ~sink ~registry =
+  match !stack with
+  | [] -> ()
+  | frame :: rest ->
+      stack := rest;
+      let now = Clock.since_start_us () in
+      let dur = Float.max 0.0 (now -. frame.f_start_us) in
+      sink.Sink.emit
+        {
+          Sink.ev_name = frame.f_name;
+          ev_cat = frame.f_cat;
+          ev_start_us = frame.f_start_us;
+          ev_dur_us = dur;
+          ev_depth = List.length rest;
+        };
+      let timer_name =
+        if frame.f_cat = "" then frame.f_name else frame.f_cat ^ "." ^ frame.f_name
+      in
+      Metric.timer_add (Registry.timer registry timer_name) dur
+
+let reset () = stack := []

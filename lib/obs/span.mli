@@ -1,0 +1,23 @@
+(** Hierarchical wall-time spans.
+
+    A span covers one dynamic extent of an engine phase ("podem.run",
+    "schedule.build", ...).  Spans nest: entering while another span is
+    open records the parent-relative depth, so the Chrome trace viewer
+    shows the call hierarchy.  On exit a span is emitted to the active
+    sink and its duration is accumulated into a registry timer named
+    [<cat>.<name>], which is what the stats table and [BENCH_socet.json]
+    report as per-phase wall time.
+
+    The span stack is global and single-domain (like the engines today);
+    [Obs] only touches it when observability is enabled. *)
+
+val depth : unit -> int
+(** Number of currently open spans. *)
+
+val enter : name:string -> cat:string -> unit
+
+val leave : sink:Sink.t -> registry:Registry.t -> unit
+(** Closes the innermost open span; no-op if none is open. *)
+
+val reset : unit -> unit
+(** Drop all open spans (test isolation / error recovery). *)

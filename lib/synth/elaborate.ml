@@ -1,6 +1,10 @@
 open Socet_rtl
 open Socet_netlist
 open Rtl_types
+module Obs = Socet_obs.Obs
+
+let c_cores = Obs.counter ~scope:"synth" "elaborate.cores"
+let c_cells = Obs.counter ~scope:"synth" "elaborate.cells"
 
 let ceil_log2 n =
   let rec loop b v = if v >= n then b else loop (b + 1) (v * 2) in
@@ -56,6 +60,8 @@ let dec7seg nl src =
     seg_digits
 
 let core_to_netlist ?(test_access = false) core =
+  Obs.with_span ~cat:"synth" "elaborate.core_to_netlist" @@ fun () ->
+  Obs.incr c_cores;
   Rtl_core.validate core;
   let nl = Netlist.create (Rtl_core.name core) in
   (* Input ports. *)
@@ -242,4 +248,5 @@ let core_to_netlist ?(test_access = false) core =
         Builder.output_word nl p.p_name !word
       end)
     (Rtl_core.ports core);
+  Obs.add c_cells (Netlist.gate_count nl);
   nl
