@@ -578,6 +578,53 @@ let diagnosis_section () =
        [ ("GCD", Gcd_core.core); ("X25", X25.core) ])
 
 (* ------------------------------------------------------------------ *)
+(* Resilience: degradation ladders under injected failure              *)
+(* ------------------------------------------------------------------ *)
+
+let resilience_section () =
+  section "Resilience: degradation ladders (robustness extension)";
+  (* Per-fault ladder: a starvation-level PODEM backtrack limit forces
+     aborts, so the D-algorithm rescue and random top-off rungs fire. *)
+  let nl = Socet_synth.Elaborate.core_to_netlist (Cpu.core ()) in
+  let faults = Socet_atpg.Fault.collapse nl in
+  let tally = Hashtbl.create 4 in
+  List.iter
+    (fun f ->
+      let r = Resilient.generate_fault ~backtrack_limit:1 nl f in
+      let key =
+        match (r.Resilient.a_rung, r.Resilient.a_outcome) with
+        | Resilient.R_podem, _ -> "PODEM"
+        | Resilient.R_dalg, _ -> "D-alg rescue"
+        | Resilient.R_random, Socet_atpg.Podem.Test _ -> "random top-off"
+        | Resilient.R_random, _ -> "still aborted"
+      in
+      Hashtbl.replace tally key (1 + Option.value ~default:0 (Hashtbl.find_opt tally key)))
+    faults;
+  Ascii_table.print
+    ~header:[ "rung (CPU core, backtrack limit 1)"; "faults resolved" ]
+    (List.filter_map
+       (fun k ->
+         Option.map (fun v -> [ k; string_of_int v ]) (Hashtbl.find_opt tally k))
+       [ "PODEM"; "D-alg rescue"; "random top-off"; "still aborted" ]);
+  (* Per-core ladder: fail every access-routing site and check the chip
+     plan still comes out whole, every core on the FSCAN-BSCAN rung. *)
+  let show label plan_result =
+    match plan_result with
+    | Ok p ->
+        Printf.printf
+          "%s: %d/%d core(s) on FSCAN-BSCAN fallback, TAT %d cycles, area %d cells\n"
+          label p.Resilient.p_fallbacks
+          (List.length p.Resilient.p_cores)
+          p.Resilient.p_total_time p.Resilient.p_area_overhead
+    | Error e -> Printf.printf "%s: %s\n" label (Error.to_string e)
+  in
+  show "clean plan" (Resilient.plan soc1 ~choice:(all_v1 soc1) ());
+  Chaos.configure ~seed:7 ~prob:1.0 ~only:[ "core.access" ] true;
+  show "all access routing failed" (Resilient.plan soc1 ~choice:(all_v1 soc1) ());
+  Chaos.configure false;
+  show "recovered (chaos off)" (Resilient.plan soc1 ~choice:(all_v1 soc1) ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -665,6 +712,7 @@ let bench_phases =
        "core.version." ],
      [ "core.schedule.build"; "core.select.design_space";
        "core.select.minimize_time"; "core.select.minimize_area" ]);
+    ("resilient", [ "core.resilient." ], [ "core.resilient.plan" ]);
   ]
 
 let write_bench_json file =
@@ -749,6 +797,7 @@ let () =
   ablations_extensions ();
   bist_section ();
   diagnosis_section ();
+  resilience_section ();
   bechamel_suite ();
   write_bench_json "BENCH_socet.json";
   print_newline ()

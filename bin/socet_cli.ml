@@ -8,6 +8,23 @@ open Cmdliner
 open Socet_rtl
 open Socet_core
 module Obs = Socet_obs.Obs
+module Err = Socet_util.Error
+
+(* Documented exit codes: engine failures surface as structured errors
+   mapped to distinct codes, never as raw exceptions through main. *)
+let exit_invalid = 3
+let exit_exhausted = 4
+
+let exits =
+  Cmd.Exit.info exit_invalid
+    ~doc:
+      "on invalid input: a malformed core or system, or a netlist that \
+       fails load-time validation."
+  :: Cmd.Exit.info exit_exhausted
+       ~doc:
+         "on search-budget or deadline exhaustion, or a degraded result \
+          under $(b,--strict)."
+  :: Cmd.Exit.defaults
 
 (* ------------------------------------------------------------------ *)
 (* Observability plumbing: --stats / --trace on every subcommand       *)
@@ -39,7 +56,15 @@ let obs_opts_t =
 let with_obs opts run =
   if opts.oo_stats || opts.oo_trace <> None then
     Obs.configure ~trace:(opts.oo_trace <> None) ();
-  let code = run () in
+  let code =
+    try run () with
+    | Err.Socet_error e ->
+        prerr_endline (Err.to_string e);
+        Err.exit_code e
+    | Socet_util.Budget.Exhausted_exn label ->
+        Printf.eprintf "socet: budget %s exhausted\n" label;
+        exit_exhausted
+  in
   if opts.oo_stats then print_string (Obs.stats_table ());
   match opts.oo_trace with
   | None -> code
@@ -64,10 +89,20 @@ let builtin_cores () =
     ("x25", Socet_cores.X25.core ());
   ]
 
+(* Load-time validation: every elaborated core netlist goes through the
+   structural validator before any engine touches it, so corruption is
+   reported as a clean exit-code-3 failure naming the net, not a crash
+   deep inside ATPG or scheduling. *)
+let validated soc =
+  List.iter
+    (fun ci -> Socet_netlist.Validate.check_exn ci.Soc.ci_netlist)
+    soc.Soc.insts;
+  soc
+
 let system_of_name = function
-  | "system1" | "1" | "barcode" -> Ok (Socet_cores.Systems.system1 ())
-  | "system2" | "2" -> Ok (Socet_cores.Systems.system2 ())
-  | "system3" | "3" -> Ok (Socet_cores.Systems.system3 ())
+  | "system1" | "1" | "barcode" -> Ok (validated (Socet_cores.Systems.system1 ()))
+  | "system2" | "2" -> Ok (validated (Socet_cores.Systems.system2 ()))
+  | "system3" | "3" -> Ok (validated (Socet_cores.Systems.system3 ()))
   | s -> Error (Printf.sprintf "unknown system %S (use system1/system2/system3)" s)
 
 (* ------------------------------------------------------------------ *)
@@ -327,6 +362,54 @@ let cmd_schedule opts system overlap =
       0
 
 (* ------------------------------------------------------------------ *)
+(* socet chip <system>                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_chip opts system deadline strict =
+  with_obs opts @@ fun () ->
+  match system_of_name system with
+  | Error e ->
+      prerr_endline e;
+      exit_invalid
+  | Ok soc -> (
+      let budget =
+        Option.map
+          (fun s -> Socet_util.Budget.create ~label:"chip" ~deadline_s:s ())
+          deadline
+      in
+      let choice = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts in
+      match Resilient.plan ?budget soc ~choice () with
+      | Error e ->
+          prerr_endline (Err.to_string e);
+          Err.exit_code e
+      | Ok p ->
+          Socet_util.Ascii_table.print
+            ~header:[ "core"; "mechanism"; "test time"; "extra area" ]
+            (List.map
+               (fun (c : Resilient.core_plan) ->
+                 [
+                   c.Resilient.p_inst;
+                   (match c.Resilient.p_rung with
+                   | Resilient.Transparency -> "transparency"
+                   | Resilient.Fallback_fscan_bscan -> "FSCAN-BSCAN fallback");
+                   string_of_int c.Resilient.p_time;
+                   string_of_int c.Resilient.p_area;
+                 ])
+               p.Resilient.p_cores);
+          Printf.printf "total time: %d cycles, area overhead: %d cells\n"
+            p.Resilient.p_total_time p.Resilient.p_area_overhead;
+          if p.Resilient.p_fallbacks > 0 then
+            Printf.printf "degraded: %d core(s) fell back to FSCAN-BSCAN\n"
+              p.Resilient.p_fallbacks;
+          if strict && p.Resilient.p_fallbacks > 0 then begin
+            Printf.eprintf
+              "socet: --strict and %d core(s) degraded to the baseline\n"
+              p.Resilient.p_fallbacks;
+            exit_exhausted
+          end
+          else 0)
+
+(* ------------------------------------------------------------------ *)
 (* socet bist                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -407,8 +490,30 @@ let schedule_t =
   in
   Term.(const cmd_schedule $ obs_opts_t $ system_arg $ overlap)
 
+let chip_t =
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:
+            "Wall-clock allowance for the whole planning run; on \
+             exhaustion remaining work degrades (fallback schedules) or \
+             the command exits with code 4.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Treat any degradation (a core falling back to FSCAN-BSCAN) \
+             as a failure: exit with code 4 instead of 0.")
+  in
+  Term.(const cmd_chip $ obs_opts_t $ system_arg $ deadline $ strict)
+
 let () =
-  let info name doc = Cmd.info name ~doc in
+  Socet_util.Chaos.from_env ();
+  let info name doc = Cmd.info name ~doc ~exits in
   let cmds =
     [
       Cmd.v (info "cores" "List the built-in example cores.") cores_t;
@@ -419,6 +524,11 @@ let () =
       Cmd.v (info "baseline" "Compare against the FSCAN-BSCAN baseline.") baseline_t;
       Cmd.v (info "dot" "Emit Graphviz for a core's RCG or a system's CCG.") dot_t;
       Cmd.v (info "schedule" "Show the chip-level test schedule.") schedule_t;
+      Cmd.v
+        (info "chip"
+           "Plan the chip test with graceful degradation (budget, \
+            per-core FSCAN-BSCAN fallback).")
+        chip_t;
       Cmd.v (info "bist" "Evaluate March memory-BIST algorithms.") bist_t;
     ]
   in

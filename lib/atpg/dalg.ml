@@ -42,7 +42,7 @@ let neg = function Zero -> One | One -> Zero | D -> Db | Db -> D | X -> X
 exception Conflict
 exception Give_up
 
-let generate ?(decision_limit = 20_000) nl (fault : Fault.t) =
+let generate ?(decision_limit = 20_000) ?budget nl (fault : Fault.t) =
   Obs.incr c_faults;
   let n = Netlist.gate_count nl in
   let v = Array.make n X in
@@ -225,7 +225,10 @@ let generate ?(decision_limit = 20_000) nl (fault : Fault.t) =
   let bump () =
     incr decisions;
     Obs.incr c_decisions;
-    if !decisions > decision_limit then raise Give_up
+    if !decisions > decision_limit then raise Give_up;
+    match budget with
+    | Some b when not (Budget.spend b) -> raise Give_up
+    | _ -> ()
   in
   let rec solve () =
     match (try imply (); None with Conflict -> Some ()) with
@@ -333,7 +336,7 @@ type stats = {
   efficiency : float;
 }
 
-let run ?decision_limit ?(sample = 1) nl =
+let run ?decision_limit ?(sample = 1) ?budget nl =
   Obs.with_span ~cat:"atpg" "dalg.run" @@ fun () ->
   let faults =
     Fault.collapse nl |> List.filteri (fun i _ -> i mod max 1 sample = 0)
@@ -341,10 +344,15 @@ let run ?decision_limit ?(sample = 1) nl =
   let det = ref 0 and red = ref 0 and ab = ref 0 in
   List.iter
     (fun f ->
-      match generate ?decision_limit nl f with
-      | Test _ -> incr det
-      | Untestable -> incr red
-      | Aborted -> incr ab)
+      (* Between faults an exhausted budget degrades the rest to aborted
+         (no search is attempted); within a fault, [bump] checks it. *)
+      if match budget with Some b -> Budget.exhausted b | None -> false then
+        incr ab
+      else
+        match generate ?decision_limit ?budget nl f with
+        | Test _ -> incr det
+        | Untestable -> incr red
+        | Aborted -> incr ab)
     faults;
   let total = List.length faults in
   let pct x = if total = 0 then 0.0 else 100.0 *. float_of_int x /. float_of_int total in

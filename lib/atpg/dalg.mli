@@ -21,9 +21,11 @@ type outcome =
           suite re-simulates every one). *)
   | Aborted
 
-val generate : ?decision_limit:int -> Netlist.t -> Fault.t -> outcome
+val generate :
+  ?decision_limit:int -> ?budget:Budget.t -> Netlist.t -> Fault.t -> outcome
 (** [decision_limit] (default 20000) bounds the total decisions tried
-    before giving up with [Aborted]. *)
+    before giving up with [Aborted].  With [budget], every decision also
+    spends one unit and exhaustion aborts the search. *)
 
 type stats = {
   detected : int;
@@ -34,8 +36,10 @@ type stats = {
   efficiency : float;
 }
 
-val run : ?decision_limit:int -> ?sample:int -> Netlist.t -> stats
+val run :
+  ?decision_limit:int -> ?sample:int -> ?budget:Budget.t -> Netlist.t -> stats
 (** Plain per-fault run (no random phase, no compaction) — meant for
     comparing search behaviour against {!Podem}.  [sample] (default 1)
     processes every [sample]-th collapsed fault, for quick sweeps of large
-    netlists. *)
+    netlists.  With [budget], faults past the point of exhaustion count as
+    aborted. *)

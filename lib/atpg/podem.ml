@@ -9,6 +9,12 @@ let c_decisions = Obs.counter ~scope:"atpg" "podem.decisions"
 let c_backtracks = Obs.counter ~scope:"atpg" "podem.backtracks"
 let h_backtracks = Obs.histogram ~scope:"atpg" "podem.backtracks_per_fault"
 
+(* Adaptive-budget telemetry: one escalation per fault per pass that had
+   to be retried with a larger backtrack limit (ROADMAP: the
+   backtracks_per_fault histogram is bimodal, so most faults never leave
+   the cheap first pass). *)
+let c_escalations = Obs.counter ~scope:"atpg" "podem.budget_escalations"
+
 type outcome = Test of Bitvec.t | Untestable | Aborted
 
 (* Ternary values: 0, 1, X. *)
@@ -77,7 +83,7 @@ let capture_tv nl v ff =
       tv_mux v.(f.(3)) functional v.(f.(2))
   | _ -> assert false
 
-let generate ?(backtrack_limit = 1000) ?scoap nl (fault : Fault.t) =
+let generate ?(backtrack_limit = 1000) ?scoap ?budget nl (fault : Fault.t) =
   Obs.incr c_faults;
   let n = Netlist.gate_count nl in
   let order = Netlist.comb_order nl in
@@ -256,7 +262,11 @@ let generate ?(backtrack_limit = 1000) ?scoap nl (fault : Fault.t) =
   let result = ref None in
   imply ();
   while !result = None do
-    if observable_d () then begin
+    if (match budget with Some b -> not (Budget.spend b) | None -> false) then
+      (* Fuel or deadline gone mid-search: degrade to Aborted so the
+         caller's ladder (D-alg retry, random top-off) can take over. *)
+      result := Some Aborted
+    else if observable_d () then begin
       let vec = Bitvec.create ninputs in
       Array.iteri (fun i v -> if v = T1 then Bitvec.set vec i true) assign;
       result := Some (Test vec)
@@ -321,7 +331,7 @@ type stats = {
 }
 
 let run ?(backtrack_limit = 1000) ?(random_patterns = 64) ?(seed = 42)
-    ?(use_scoap = true) nl =
+    ?(use_scoap = true) ?budget nl =
   Obs.with_span ~cat:"atpg" "podem.run" @@ fun () ->
   let scoap = if use_scoap then Some (Scoap.compute nl) else None in
   let faults = Fault.collapse nl in
@@ -346,32 +356,68 @@ let run ?(backtrack_limit = 1000) ?(random_patterns = 64) ?(seed = 42)
         detected := hit;
         remaining :=
           List.filter (fun f -> not (List.exists (Fault.equal f) hit)) !remaining);
-  (* Phase 2: deterministic PODEM with fault dropping. *)
+  (* Phase 2: deterministic PODEM with fault dropping and an adaptive
+     backtrack budget.  The backtracks_per_fault histogram is bimodal
+     (p50 around 5, p99 at the limit), so a small first-pass limit covers
+     the easy mode cheaply; faults that abort are pushed to the end of the
+     queue and retried with the limit multiplied, up to the caller's
+     [backtrack_limit].  The final pass runs at exactly [backtrack_limit],
+     so the aborted set is the same one a flat run would produce — only
+     the wasted effort on hard faults moves. *)
   let redundant = ref [] and aborted = ref [] in
-  let rec loop () =
-    match !remaining with
-    | [] -> ()
-    | f :: rest -> (
-        remaining := rest;
-        match generate ~backtrack_limit ?scoap nl f with
-        | Untestable ->
-            redundant := f :: !redundant;
-            loop ()
-        | Aborted ->
-            aborted := f :: !aborted;
-            loop ()
-        | Test vec ->
-            detected := f :: !detected;
-            let extra = Fsim.run_comb nl ~vectors:[ vec ] ~faults:!remaining in
-            detected := extra @ !detected;
-            remaining :=
-              List.filter
-                (fun f' -> not (List.exists (Fault.equal f') extra))
-                !remaining;
-            vectors := vec :: !vectors;
-            loop ())
+  let budget_alive () =
+    match budget with None -> true | Some b -> not (Budget.exhausted b)
   in
-  Obs.with_span ~cat:"atpg" "podem.determ_phase" loop;
+  let determ () =
+    let limit = ref (min 32 backtrack_limit) in
+    let queue = ref !remaining in
+    let stop = ref false in
+    while not !stop do
+      let retry = ref [] in
+      let pass_on = ref true in
+      while !pass_on do
+        match !queue with
+        | [] -> pass_on := false
+        | f :: rest ->
+            queue := rest;
+            if not (budget_alive ()) then begin
+              (* Out of fuel/deadline: everything still queued is aborted;
+                 vectors found so far remain valid. *)
+              aborted := (f :: rest) @ !retry @ !aborted;
+              retry := [];
+              queue := [];
+              pass_on := false;
+              stop := true
+            end
+            else begin
+              match generate ~backtrack_limit:!limit ?scoap ?budget nl f with
+              | Untestable -> redundant := f :: !redundant
+              | Aborted -> retry := f :: !retry
+              | Test vec ->
+                  detected := f :: !detected;
+                  let extra = Fsim.run_comb nl ~vectors:[ vec ] ~faults:!queue in
+                  detected := extra @ !detected;
+                  queue :=
+                    List.filter
+                      (fun f' -> not (List.exists (Fault.equal f') extra))
+                      !queue;
+                  vectors := vec :: !vectors
+            end
+      done;
+      if not !stop then begin
+        match !retry with
+        | [] -> stop := true
+        | rs when !limit >= backtrack_limit ->
+            aborted := rs @ !aborted;
+            stop := true
+        | rs ->
+            Obs.add c_escalations (List.length rs);
+            limit := min (!limit * 8) backtrack_limit;
+            queue := List.rev rs
+      end
+    done
+  in
+  Obs.with_span ~cat:"atpg" "podem.determ_phase" determ;
   let final_vectors =
     Compact.reverse_order nl ~vectors:(List.rev !vectors) ~faults:!detected
   in

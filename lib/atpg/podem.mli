@@ -18,10 +18,16 @@ type outcome =
       (** Backtrack limit hit. *)
 
 val generate :
-  ?backtrack_limit:int -> ?scoap:Scoap.t -> Netlist.t -> Fault.t -> outcome
+  ?backtrack_limit:int ->
+  ?scoap:Scoap.t ->
+  ?budget:Budget.t ->
+  Netlist.t ->
+  Fault.t ->
+  outcome
 (** [backtrack_limit] defaults to 1000.  With [scoap], backtrace prefers
     the easiest-to-control fanin and the D-frontier is explored in
-    observability order. *)
+    observability order.  With [budget], every decision/backtrack step
+    spends one unit; exhaustion degrades the search to [Aborted]. *)
 
 type stats = {
   vectors : Bitvec.t list;
@@ -38,9 +44,23 @@ val run :
   ?random_patterns:int ->
   ?seed:int ->
   ?use_scoap:bool ->
+  ?budget:Budget.t ->
   Netlist.t ->
   stats
 (** Full test generation flow: a random-pattern phase (default 64 patterns,
     simulated with fault dropping), then PODEM on each remaining fault with
     each new vector fault-simulated against the remaining list, and finally
-    reverse-order compaction ({!Compact.reverse_order}). *)
+    reverse-order compaction ({!Compact.reverse_order}).
+
+    The deterministic phase uses an {e adaptive} backtrack budget: the
+    first pass runs with a small limit (32), aborted faults are re-queued
+    at the end, and the limit is multiplied by 8 per pass until it reaches
+    [backtrack_limit] — so easy faults (the vast majority, per the
+    [atpg.podem.backtracks_per_fault] histogram) never pay for the hard
+    tail, while the final aborted set matches a flat run at
+    [backtrack_limit].  Escalations are counted in
+    [atpg.podem.budget_escalations].
+
+    With [budget], the whole phase shares one fuel/deadline allowance;
+    when it exhausts, remaining faults are reported as aborted and the
+    vectors found so far are kept (graceful degradation). *)

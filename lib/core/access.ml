@@ -2,6 +2,7 @@ module Digraph = Socet_graph.Digraph
 module Search = Socet_graph.Search
 module Interval_set = Socet_util.Interval_set
 module Obs = Socet_obs.Obs
+module Chaos = Socet_util.Chaos
 
 (* Observability: a reservation conflict is one "a resource was busy,
    retry later" round in the calendar settling loop — the congestion
@@ -113,7 +114,11 @@ let port_width ccg node_id =
 let justify_input ?(allow_smux = true) ccg bookings ~input =
   Obs.with_span ~cat:"core" "access.justify" @@ fun () ->
   let sources = pis_of ccg in
-  if sources = [] then None
+  (* Chaos site: a tripped justification is a hard routing failure (no
+     smux fallback either), which leaves the core's schedule incomplete —
+     exactly the condition Resilient's FSCAN-BSCAN rung must absorb. *)
+  if Chaos.trip "core.access.justify" then None
+  else if sources = [] then None
   else
     match route_between ccg bookings ~sources ~is_goal:(fun v -> v = input) with
     | Some tp -> Some (commit bookings tp input)
@@ -138,7 +143,8 @@ let justify_input ?(allow_smux = true) ccg bookings ~input =
 let observe_output ?(allow_smux = true) ccg bookings ~output =
   Obs.with_span ~cat:"core" "access.observe" @@ fun () ->
   let goals = pos_of ccg in
-  if goals = [] then None
+  if Chaos.trip "core.access.observe" then None
+  else if goals = [] then None
   else
     match
       route_between ccg bookings ~sources:[ output ]

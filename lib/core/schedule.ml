@@ -27,7 +27,7 @@ type t = {
 
 type smux_request = { sm_inst : string; sm_port : string; sm_dir : [ `In | `Out ] }
 
-let build soc ~choice ?(smuxes = []) () =
+let build ?budget soc ~choice ?(smuxes = []) () =
   Obs.with_span ~cat:"core" "schedule.build" @@ fun () ->
   Obs.incr c_builds;
   let ccg = Ccg.build soc ~choice in
@@ -61,6 +61,25 @@ let build soc ~choice ?(smuxes = []) () =
     List.map
       (fun ci ->
         let name = ci.Soc.ci_name in
+        if
+          match budget with
+          | Some b -> Socet_util.Budget.exhausted b
+          | None -> false
+        then
+          (* Fuel/deadline gone: stub the remaining cores with no routes
+             (and skip their ATPG) — the resilient planner reads the
+             missing routes as a scheduling failure and ladders the core
+             down to its FSCAN-BSCAN fallback. *)
+          {
+            ct_inst = name;
+            ct_vectors = 0;
+            ct_period = 0;
+            ct_tail = 0;
+            ct_time = 0;
+            ct_justify = [];
+            ct_observe = [];
+          }
+        else begin
         (* Route the slowest input first (the paper justifies DISPLAY's A
            before D): probe each input on an empty calendar, then route in
            decreasing base-latency order against the shared calendar. *)
@@ -114,7 +133,8 @@ let build soc ~choice ?(smuxes = []) () =
           ct_time = (vectors * period) + tail;
           ct_justify = justify;
           ct_observe = observe;
-        })
+        }
+        end)
       soc.Soc.insts
   in
   let transparency_cost =

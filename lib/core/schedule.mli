@@ -36,7 +36,18 @@ type t = {
 type smux_request = { sm_inst : string; sm_port : string; sm_dir : [ `In | `Out ] }
 (** An explicitly requested system-level test mux (optimizer move). *)
 
-val build : Soc.t -> choice:(string * int) list -> ?smuxes:smux_request list -> unit -> t
+val build :
+  ?budget:Socet_util.Budget.t ->
+  Soc.t ->
+  choice:(string * int) list ->
+  ?smuxes:smux_request list ->
+  unit ->
+  t
+(** With [budget], the per-core loop checks exhaustion before each core:
+    once the fuel or deadline is gone, remaining cores are emitted with
+    {e no} routes and zero vectors (their ATPG is skipped too) — a stub
+    that [Resilient.plan] recognizes and degrades to the FSCAN-BSCAN
+    fallback.  Without a budget the behaviour is unchanged. *)
 
 (** {2 Overlapped scheduling (extension beyond the paper)}
 

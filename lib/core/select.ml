@@ -1,4 +1,5 @@
 module Obs = Socet_obs.Obs
+module Budget = Socet_util.Budget
 
 (* Observability: the iterative-improvement optimizer is measured in
    design points evaluated (each one a full schedule build) and in
@@ -172,13 +173,19 @@ let step soc point ~pick =
           (evaluate soc ~choice:(bump point.pt_choice inst k) ~smuxes:point.pt_smuxes ())
   | None -> mux_move ()
 
-let minimize_time soc ~max_area =
+let minimize_time ?budget soc ~max_area =
   Obs.with_span ~cat:"core" "select.minimize_time" @@ fun () ->
   let start =
     evaluate soc ~choice:(List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts) ()
   in
   let rec loop acc point guard =
-    if guard = 0 then List.rev (point :: acc)
+    (* Each optimizer step is a full schedule build, so one budget unit per
+       step; exhaustion gracefully returns the trajectory so far (always at
+       least the starting point — still a valid design). *)
+    if
+      guard = 0
+      || (match budget with Some b -> not (Budget.spend b) | None -> false)
+    then List.rev (point :: acc)
     else
       let pick candidates =
         (* w1 = 1, w2 = 0: highest dTAT. *)
@@ -198,13 +205,17 @@ let minimize_time soc ~max_area =
   in
   loop [] start 64
 
-let minimize_area soc ~max_time =
+let minimize_area ?budget soc ~max_time =
   Obs.with_span ~cat:"core" "select.minimize_area" @@ fun () ->
   let start =
     evaluate soc ~choice:(List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts) ()
   in
   let rec loop acc point guard =
-    if point.pt_time <= max_time || guard = 0 then List.rev (point :: acc)
+    if
+      point.pt_time <= max_time
+      || guard = 0
+      || (match budget with Some b -> not (Budget.spend b) | None -> false)
+    then List.rev (point :: acc)
     else
       let pick candidates =
         (* w1 = 0, w2 = 1: cheapest step that still helps. *)

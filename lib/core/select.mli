@@ -31,11 +31,13 @@ val design_space : Soc.t -> point list
 (** Every combination of available core versions (no extra muxes), in
     lexicographic order — the raw material of Fig. 10. *)
 
-val minimize_time : Soc.t -> max_area:int -> point list
+val minimize_time : ?budget:Socet_util.Budget.t -> Soc.t -> max_area:int -> point list
 (** Objective (i): within the area budget, drive test time down.  Returns
-    the improvement trajectory; the last point is the result. *)
+    the improvement trajectory; the last point is the result.  [budget]
+    charges one unit per optimizer step (each step is a full schedule
+    build); exhaustion returns the trajectory found so far. *)
 
-val minimize_area : Soc.t -> max_time:int -> point list
+val minimize_area : ?budget:Socet_util.Budget.t -> Soc.t -> max_time:int -> point list
 (** Objective (ii): cheapest point whose test time meets the bound.
     Returns the trajectory; the last point either meets the bound or no
-    further move existed. *)
+    further move existed (or the [budget] ran out). *)

@@ -44,7 +44,16 @@ let instantiate ?(atpg_seed = 42) ci_name core =
     ci_atpg = lazy (Podem.run ~seed:atpg_seed netlist);
   }
 
-let fail fmt = Printf.ksprintf invalid_arg fmt
+(* SOC assembly errors cross the user/library boundary: structured, so
+   the CLI can print the offending core/port and exit cleanly. *)
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      raise
+        (Socet_util.Error.Socet_error
+           (Socet_util.Error.make ~kind:Socet_util.Error.Validation
+              ~engine:"soc" s)))
+    fmt
 
 let endpoint_width soc = function
   | Pi n -> (
@@ -136,7 +145,10 @@ let version_of ci k =
         if v.Version.v_index <= k then best v rest else last
   in
   match ci.ci_versions with
-  | [] -> invalid_arg "Soc.version_of: core has no versions"
+  | [] ->
+      Socet_util.Error.raisef ~kind:Socet_util.Error.Validation ~engine:"soc"
+        ~ctx:[ ("core", ci.ci_name) ]
+        "version_of: core has no versions"
   | v :: rest -> best v rest
 
 let atpg_vectors ci = List.length (Lazy.force ci.ci_atpg).Podem.vectors

@@ -2,6 +2,8 @@ open Socet_rtl
 open Rtl_types
 module Digraph = Socet_graph.Digraph
 module Obs = Socet_obs.Obs
+module Budget = Socet_util.Budget
+module Chaos = Socet_util.Chaos
 
 (* Observability: transparency-path search is the inner loop of version
    generation; nodes expanded ~ search effort, give-ups ~ budget misses. *)
@@ -132,10 +134,16 @@ let covers groups needed =
       !subsets
   end
 
-let solve rcg dir ?(prefer_hscan = false) ~allowed ~start () =
+let default_steps = 50_000
+
+let solve rcg dir ?(prefer_hscan = false) ?budget ~allowed ~start () =
   Obs.with_span ~cat:"core" "tsearch.solve" @@ fun () ->
   Obs.incr c_solves;
-  let budget = ref 50_000 in
+  let budget =
+    match budget with
+    | Some b -> b
+    | None -> Budget.create ~label:"tsearch" ~steps:default_steps ()
+  in
   let dist = distance_map rcg dir allowed in
   let edge_rank (e : Rcg.edge_label Digraph.edge) =
     ( (if prefer_hscan && not e.label.Rcg.e_hscan then 1 else 0),
@@ -145,9 +153,8 @@ let solve rcg dir ?(prefer_hscan = false) ~allowed ~start () =
   (* Search returns the list of edges used (with repetitions when branches
      share a sub-path; deduplicated at the end). *)
   let rec go v needed on_path =
-    decr budget;
     Obs.incr c_nodes;
-    if !budget < 0 then raise Give_up;
+    if not (Budget.spend budget) then raise Give_up;
     if needed = 0 then Some []
     else if is_terminal rcg dir v then Some []
     else begin
@@ -194,7 +201,11 @@ let solve rcg dir ?(prefer_hscan = false) ~allowed ~start () =
   let width = (Rcg.node rcg start).Rcg.n_width in
   let needed = (1 lsl width) - 1 in
   match
-    (try go start needed []
+    (try
+       (* Chaos site: a tripped search behaves exactly like a budget miss,
+          so the degradation ladder downstream is what gets exercised. *)
+       if Chaos.trip "core.tsearch.solve" then raise Give_up
+       else go start needed []
      with Give_up ->
        Obs.incr c_giveups;
        None)
@@ -320,13 +331,13 @@ let solve rcg dir ?(prefer_hscan = false) ~allowed ~start () =
             |> List.sort compare;
         }
 
-let propagate rcg ?prefer_hscan ~allowed ~input () =
+let propagate rcg ?prefer_hscan ?budget ~allowed ~input () =
   let allowed e = e.Digraph.label.Rcg.e_enabled && allowed e in
-  solve rcg Prop ?prefer_hscan ~allowed ~start:input ()
+  solve rcg Prop ?prefer_hscan ?budget ~allowed ~start:input ()
 
-let justify rcg ?prefer_hscan ~allowed ~output () =
+let justify rcg ?prefer_hscan ?budget ~allowed ~output () =
   let allowed e = e.Digraph.label.Rcg.e_enabled && allowed e in
-  solve rcg Just ?prefer_hscan ~allowed ~start:output ()
+  solve rcg Just ?prefer_hscan ?budget ~allowed ~start:output ()
 
 let reach_in_one_cycle rcg ~input =
   Digraph.succ (Rcg.graph rcg) input

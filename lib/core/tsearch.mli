@@ -37,6 +37,7 @@ type sol = {
 val propagate :
   Rcg.t ->
   ?prefer_hscan:bool ->
+  ?budget:Socet_util.Budget.t ->
   allowed:(Rcg.edge_label Digraph.edge -> bool) ->
   input:int ->
   unit ->
@@ -46,11 +47,13 @@ val propagate :
     search, or [None].  With [prefer_hscan] (default false), HSCAN chain
     edges are explored before other edges regardless of distance — used by
     Version 1, which only buys non-chain logic when the chains cannot do
-    the job. *)
+    the job.  [budget] bounds node expansions (default: a fresh 50k-step
+    budget per call); exhaustion counts as a give-up and returns [None]. *)
 
 val justify :
   Rcg.t ->
   ?prefer_hscan:bool ->
+  ?budget:Socet_util.Budget.t ->
   allowed:(Rcg.edge_label Digraph.edge -> bool) ->
   output:int ->
   unit ->

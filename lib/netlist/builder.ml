@@ -1,3 +1,10 @@
+module Error = Socet_util.Error
+
+let width_err ~where a b =
+  Error.raisef ~engine:"netlist"
+    ~ctx:[ ("op", where) ]
+    "%s: width mismatch (%d vs %d bits)" where (Array.length a) (Array.length b)
+
 type word = Netlist.net array
 
 let const_word t ~width v =
@@ -13,7 +20,7 @@ let output_word t name word =
 let map1 t kind a = Array.map (fun x -> Netlist.add_gate t kind [| x |]) a
 
 let map2 t kind a b =
-  if Array.length a <> Array.length b then invalid_arg "Builder: width mismatch";
+  if Array.length a <> Array.length b then width_err ~where:"Builder.map2" a b;
   Array.mapi (fun i x -> Netlist.add_gate t kind [| x; b.(i) |]) a
 
 let not_word t a = map1 t Cell.Inv a
@@ -22,7 +29,7 @@ let or_word t a b = map2 t Cell.Or2 a b
 let xor_word t a b = map2 t Cell.Xor2 a b
 
 let mux2_word t ~sel ~a ~b =
-  if Array.length a <> Array.length b then invalid_arg "Builder.mux2_word";
+  if Array.length a <> Array.length b then width_err ~where:"Builder.mux2_word" a b;
   Array.mapi (fun i x -> Netlist.add_gate t Cell.Mux2 [| sel; x; b.(i) |]) a
 
 let full_adder t a b cin =
@@ -34,7 +41,7 @@ let full_adder t a b cin =
   (sum, cout)
 
 let adder t a b ~cin =
-  if Array.length a <> Array.length b then invalid_arg "Builder.adder";
+  if Array.length a <> Array.length b then width_err ~where:"Builder.adder" a b;
   let carry = ref cin in
   let sum =
     Array.mapi
@@ -77,7 +84,7 @@ let inc_word t a =
 
 let reduce t kind a =
   match Array.to_list a with
-  | [] -> invalid_arg "Builder.reduce: empty word"
+  | [] -> Error.raisef ~engine:"netlist" ~ctx:[ ("op", "Builder.reduce") ] "empty word"
   | x :: rest ->
       List.fold_left (fun acc y -> Netlist.add_gate t kind [| acc; y |]) x rest
 
@@ -90,7 +97,7 @@ let new_register t ~name ~width =
       Netlist.add_gate t ~name:(Printf.sprintf "%s.%d" name i) Cell.Dff [| zero |])
 
 let connect_register t ~q ~d ?enable () =
-  if Array.length q <> Array.length d then invalid_arg "Builder.connect_register";
+  if Array.length q <> Array.length d then width_err ~where:"Builder.connect_register" q d;
   Array.iteri
     (fun i qn ->
       match enable with

@@ -1,3 +1,5 @@
+module Error = Socet_util.Error
+
 type net = int
 
 type t = {
@@ -49,13 +51,16 @@ let grow t =
   end
 
 let check_net t x =
-  if x < 0 || x >= t.n then invalid_arg "Netlist: unknown net"
+  if x < 0 || x >= t.n then
+    Error.raisef ~engine:"netlist"
+      ~ctx:[ ("netlist", t.nl_name); ("net", string_of_int x) ]
+      "unknown net %d (have %d)" x t.n
 
 let add_gate t ?name kind fanin =
   if Array.length fanin <> Cell.arity kind then
-    invalid_arg
-      (Printf.sprintf "Netlist.add_gate: %s expects %d fanins, got %d"
-         (Cell.name kind) (Cell.arity kind) (Array.length fanin));
+    Error.raisef ~engine:"netlist" ~ctx:[ ("netlist", t.nl_name) ]
+      "add_gate: %s expects %d fanins, got %d" (Cell.name kind)
+      (Cell.arity kind) (Array.length fanin);
   Array.iter (check_net t) fanin;
   grow t;
   let id = t.n in
@@ -100,11 +105,15 @@ let fanout t x =
 let set_kind t x kind fanin =
   check_net t x;
   if Array.length fanin <> Cell.arity kind then
-    invalid_arg "Netlist.set_kind: arity mismatch";
+    Error.raisef ~engine:"netlist"
+      ~ctx:[ ("netlist", t.nl_name); ("net", string_of_int x) ]
+      "set_kind: arity mismatch for %s" (Cell.name kind);
   Array.iter (check_net t) fanin;
   let was_dff = Cell.is_dff t.kinds.(x) in
   if was_dff <> Cell.is_dff kind then
-    invalid_arg "Netlist.set_kind: cannot change sequential nature";
+    Error.raisef ~engine:"netlist"
+      ~ctx:[ ("netlist", t.nl_name); ("net", string_of_int x) ]
+      "set_kind: cannot change sequential nature";
   t.kinds.(x) <- kind;
   t.fanins.(x) <- Array.copy fanin;
   invalidate t
@@ -128,44 +137,87 @@ let area t =
   done;
   !a
 
-let comb_order t =
+let comb_order_result t =
   match t.order_cache with
-  | Some o -> o
-  | None ->
+  | Some o -> Ok o
+  | None -> (
       (* Kahn over the combinational dependency relation: a gate depends on
          its fanins unless the gate itself is sequential (flip-flop fanins
-         are sampled at the clock edge, not combinationally). *)
-      let indeg = Array.make t.n 0 in
+         are sampled at the clock edge, not combinationally).  Fanin ids
+         are re-checked here because {!corrupt_fanin} (and only it) can
+         leave dangling references; a corrupt netlist must yield a
+         structured error, not an array-bounds crash. *)
+      let dangling = ref None in
       for g = 0 to t.n - 1 do
-        if not (Cell.is_dff t.kinds.(g)) then
-          indeg.(g) <- Array.length t.fanins.(g)
+        Array.iter
+          (fun src ->
+            if (src < 0 || src >= t.n) && !dangling = None then
+              dangling := Some (g, src))
+          t.fanins.(g)
       done;
-      let queue = Queue.create () in
-      for g = 0 to t.n - 1 do
-        if indeg.(g) = 0 then Queue.add g queue
-      done;
-      let order = Array.make t.n 0 in
-      let count = ref 0 in
-      (* Precompute fanouts once. *)
-      let fo = Array.make t.n [] in
-      for g = 0 to t.n - 1 do
-        if not (Cell.is_dff t.kinds.(g)) then
-          Array.iter (fun src -> fo.(src) <- g :: fo.(src)) t.fanins.(g)
-      done;
-      while not (Queue.is_empty queue) do
-        let g = Queue.pop queue in
-        order.(!count) <- g;
-        incr count;
-        List.iter
-          (fun h ->
-            indeg.(h) <- indeg.(h) - 1;
-            if indeg.(h) = 0 then Queue.add h queue)
-          fo.(g)
-      done;
-      if !count <> t.n then
-        failwith (Printf.sprintf "Netlist %s: combinational cycle" t.nl_name);
-      t.order_cache <- Some order;
-      order
+      match !dangling with
+      | Some (g, src) ->
+          Error
+            (Error.make ~kind:Error.Validation ~engine:"netlist"
+               ~ctx:
+                 [
+                   ("netlist", t.nl_name);
+                   ("net", string_of_int g);
+                   ("fanin", string_of_int src);
+                 ]
+               (Printf.sprintf "gate %d has dangling fanin %d" g src))
+      | None ->
+          let indeg = Array.make t.n 0 in
+          for g = 0 to t.n - 1 do
+            if not (Cell.is_dff t.kinds.(g)) then
+              indeg.(g) <- Array.length t.fanins.(g)
+          done;
+          let queue = Queue.create () in
+          for g = 0 to t.n - 1 do
+            if indeg.(g) = 0 then Queue.add g queue
+          done;
+          let order = Array.make t.n 0 in
+          let count = ref 0 in
+          (* Precompute fanouts once. *)
+          let fo = Array.make t.n [] in
+          for g = 0 to t.n - 1 do
+            if not (Cell.is_dff t.kinds.(g)) then
+              Array.iter (fun src -> fo.(src) <- g :: fo.(src)) t.fanins.(g)
+          done;
+          while not (Queue.is_empty queue) do
+            let g = Queue.pop queue in
+            order.(!count) <- g;
+            incr count;
+            List.iter
+              (fun h ->
+                indeg.(h) <- indeg.(h) - 1;
+                if indeg.(h) = 0 then Queue.add h queue)
+              fo.(g)
+          done;
+          if !count <> t.n then
+            Error
+              (Error.make ~kind:Error.Validation ~engine:"netlist"
+                 ~ctx:[ ("netlist", t.nl_name) ]
+                 "combinational cycle")
+          else begin
+            t.order_cache <- Some order;
+            Ok order
+          end)
+
+let comb_order t =
+  match comb_order_result t with
+  | Ok o -> o
+  | Error e -> raise (Error.Socet_error e)
+
+let corrupt_fanin t g ~pin net =
+  if g < 0 || g >= t.n then
+    Error.raisef ~engine:"netlist" ~ctx:[ ("netlist", t.nl_name) ]
+      "corrupt_fanin: gate %d out of range" g;
+  if pin < 0 || pin >= Array.length t.fanins.(g) then
+    Error.raisef ~engine:"netlist" ~ctx:[ ("netlist", t.nl_name) ]
+      "corrupt_fanin: gate %d has no pin %d" g pin;
+  t.fanins.(g).(pin) <- net;
+  invalidate t
 
 let stats t =
   Printf.sprintf "%s: %d gates, %d PIs, %d POs, %d FFs, area %d cells"

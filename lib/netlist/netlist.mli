@@ -60,7 +60,20 @@ val area : t -> int
 val comb_order : t -> net array
 (** All gates in a topological order in which flip-flop outputs, PIs and
     constants precede everything, and each combinational gate follows its
-    fanins.  @raise Failure on a combinational cycle. *)
+    fanins.  @raise Socet_util.Error.Socet_error on a combinational cycle
+    or a dangling fanin reference. *)
+
+val comb_order_result : t -> (net array, Socet_util.Error.t) result
+(** {!comb_order} as a result: [Error] describes the combinational cycle
+    or dangling fanin instead of raising.  Pipeline entry points (the CLI,
+    [Validate.check]) use this form. *)
+
+val corrupt_fanin : t -> net -> pin:int -> net -> unit
+(** Fault-injection backdoor for the chaos harness ([Socet_util.Chaos],
+    [test/test_chaos.ml]): overwrite one fanin pin {e without} validating
+    the new net id, so tests can manufacture dangling references and
+    combinational loops that [Validate.check] must catch.  Never call this
+    outside tests. *)
 
 val stats : t -> string
 (** One-line summary: #gates, #PIs, #POs, #FFs, area. *)

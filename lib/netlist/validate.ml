@@ -1,0 +1,64 @@
+module Error = Socet_util.Error
+
+let err nl ?(ctx = []) msg =
+  Error.make ~kind:Error.Validation ~engine:"netlist"
+    ~ctx:(("netlist", Netlist.name nl) :: ctx)
+    msg
+
+let check nl =
+  let n = Netlist.gate_count nl in
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  for g = 0 to n - 1 do
+    let kind = Netlist.kind nl g in
+    let fanin = Netlist.fanin nl g in
+    if Array.length fanin <> Cell.arity kind then
+      add
+        (err nl
+           ~ctx:[ ("net", string_of_int g) ]
+           (Printf.sprintf "gate %d (%s) has %d fanins, expects %d" g
+              (Cell.name kind) (Array.length fanin) (Cell.arity kind)));
+    Array.iteri
+      (fun pin src ->
+        if src < 0 || src >= n then
+          add
+            (err nl
+               ~ctx:
+                 [
+                   ("net", string_of_int g);
+                   ("pin", string_of_int pin);
+                   ("fanin", string_of_int src);
+                 ]
+               (Printf.sprintf "gate %d (%s) pin %d dangles on net %d" g
+                  (Cell.name kind) pin src)))
+      fanin
+  done;
+  (* Multiply-driven / dangling primary outputs. *)
+  let seen_po = Hashtbl.create 8 in
+  List.iter
+    (fun (name, net) ->
+      if Hashtbl.mem seen_po name then
+        add
+          (err nl
+             ~ctx:[ ("po", name) ]
+             (Printf.sprintf "output %s is multiply driven" name))
+      else Hashtbl.replace seen_po name ();
+      if net < 0 || net >= n then
+        add
+          (err nl
+             ~ctx:[ ("po", name); ("net", string_of_int net) ]
+             (Printf.sprintf "output %s dangles on net %d" name net)))
+    (Netlist.pos nl);
+  (* Combinational loops — only meaningful once every reference resolves. *)
+  if !errors = [] then begin
+    match Netlist.comb_order_result nl with
+    | Ok _ -> ()
+    | Error e -> add e
+  end;
+  match List.rev !errors with [] -> Ok () | es -> Result.error es
+
+let check_exn nl =
+  match check nl with
+  | Ok () -> ()
+  | Error (e :: _) -> raise (Error.Socet_error e)
+  | Error [] -> ()

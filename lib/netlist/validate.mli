@@ -1,0 +1,27 @@
+(** Up-front netlist validation with structured errors.
+
+    The construction API ({!Netlist.add_gate} etc.) already rejects most
+    malformed inputs at build time, but three classes of corruption can
+    still reach the engines: dangling fanin references (via
+    {!Netlist.corrupt_fanin} or a buggy builder), combinational loops
+    (creatable with {!Netlist.set_kind}), and inconsistent output
+    declarations.  The engines' inner loops index arrays by net id and
+    assume acyclicity, so they would crash — this pass runs first (the CLI
+    runs it on every elaborated core before ATPG or scheduling) and turns
+    each defect into a {!Socet_util.Error.t} naming the net. *)
+
+val check : Netlist.t -> (unit, Socet_util.Error.t list) result
+(** All defects found, in net-id order:
+    - {e dangling nets}: a fanin pin referencing a net id outside the
+      netlist;
+    - {e arity mismatches}: a gate whose stored fanin count disagrees with
+      its {!Cell.arity} (a width-corruption symptom);
+    - {e multiply-driven outputs}: two primary outputs declared with the
+      same name;
+    - {e dangling outputs}: a primary output referencing a net outside the
+      netlist;
+    - {e combinational loops}: a cycle through non-flip-flop gates (the
+      first one found; reported via {!Netlist.comb_order_result}). *)
+
+val check_exn : Netlist.t -> unit
+(** @raise Socet_util.Error.Socet_error with the first defect. *)

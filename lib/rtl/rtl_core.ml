@@ -14,7 +14,13 @@ let create c_name = { c_name; c_ports = []; c_regs = []; c_transfers = [] }
 let name t = t.c_name
 
 let fail t fmt =
-  Printf.ksprintf (fun s -> invalid_arg (Printf.sprintf "core %s: %s" t.c_name s)) fmt
+  Printf.ksprintf
+    (fun s ->
+      raise
+        (Socet_util.Error.Socet_error
+           (Socet_util.Error.make ~kind:Socet_util.Error.Validation
+              ~engine:"rtl" ~ctx:[ ("core", t.c_name) ] s)))
+    fmt
 
 let check_fresh t n =
   if List.exists (fun p -> p.p_name = n) t.c_ports

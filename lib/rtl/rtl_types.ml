@@ -4,7 +4,10 @@ let range_width r = r.msb - r.lsb + 1
 let full w = { lsb = 0; msb = w - 1 }
 
 let bits lsb msb =
-  if lsb > msb || lsb < 0 then invalid_arg "Rtl_types.bits";
+  if lsb > msb || lsb < 0 then
+    Socet_util.Error.raisef ~engine:"rtl"
+      ~ctx:[ ("lsb", string_of_int lsb); ("msb", string_of_int msb) ]
+      "bits: empty or negative range [%d:%d]" msb lsb;
   { lsb; msb }
 
 let range_equal a b = a.lsb = b.lsb && a.msb = b.msb

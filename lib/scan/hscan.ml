@@ -104,7 +104,9 @@ let insert rcg =
   let next_input = ref 0 in
   let pick_input () =
     if Array.length input_arr = 0 then
-      invalid_arg "Hscan.insert: core has no inputs"
+      Socet_util.Error.raisef ~kind:Socet_util.Error.Validation ~engine:"scan"
+        ~ctx:[ ("core", Rtl_core.name (Rcg.core rcg)) ]
+        "Hscan.insert: core has no inputs"
     else begin
       let s = input_arr.(!next_input mod Array.length input_arr) in
       incr next_input;
@@ -181,7 +183,10 @@ let insert rcg =
         | Some e -> mark e
         | None ->
             if Array.length output_arr = 0 then
-              invalid_arg "Hscan.insert: core has no outputs"
+              Socet_util.Error.raisef ~kind:Socet_util.Error.Validation
+                ~engine:"scan"
+                ~ctx:[ ("core", Rtl_core.name (Rcg.core rcg)) ]
+                "Hscan.insert: core has no outputs"
             else begin
               let dst = output_arr.(!next_output mod Array.length output_arr) in
               incr next_output;

@@ -21,7 +21,10 @@ let slice word (r : range) = Array.sub word r.lsb (range_width r)
    Sum-of-products over the decoded digit lines; digits >= 10 display
    blank. *)
 let dec7seg nl src =
-  if Array.length src <> 4 then invalid_arg "Elaborate: Fdec7seg needs 4 bits";
+  if Array.length src <> 4 then
+    Socet_util.Error.raisef ~engine:"synth"
+      ~ctx:[ ("width", string_of_int (Array.length src)) ]
+      "Fdec7seg needs 4 bits, got %d" (Array.length src);
   let inv = Array.map (fun b -> Netlist.add_gate nl Cell.Inv [| b |]) src in
   let minterm d =
     let lits =

@@ -1,0 +1,59 @@
+type state = {
+  mutable on : bool;
+  mutable prob : float;
+  mutable only : string list; (* empty = every site *)
+  mutable rng : Rng.t;
+  trips : (string, int) Hashtbl.t;
+}
+
+let st =
+  { on = false; prob = 0.1; only = []; rng = Rng.create 0; trips = Hashtbl.create 8 }
+
+let configure ?(seed = 0) ?(prob = 0.1) ?(only = []) enabled =
+  st.on <- enabled;
+  st.prob <- prob;
+  st.only <- only;
+  st.rng <- Rng.create seed;
+  Hashtbl.reset st.trips
+
+let from_env () =
+  match Sys.getenv_opt "SOCET_CHAOS" with
+  | None | Some "" | Some "0" -> configure false
+  | Some spec ->
+      let seed =
+        match Sys.getenv_opt "SOCET_CHAOS_SEED" with
+        | Some s -> ( match int_of_string_opt s with Some i -> i | None -> 0)
+        | None -> 0
+      in
+      let prob =
+        match Sys.getenv_opt "SOCET_CHAOS_P" with
+        | Some s -> (
+            match float_of_string_opt s with
+            | Some p when p >= 0.0 && p <= 1.0 -> p
+            | _ -> 0.1)
+        | None -> 0.1
+      in
+      let only =
+        if spec = "1" || String.lowercase_ascii spec = "true" then []
+        else String.split_on_char ',' spec |> List.filter (fun s -> s <> "")
+      in
+      configure ~seed ~prob ~only true
+
+let enabled () = st.on
+
+let matches site =
+  st.only = [] || List.exists (fun p -> String.starts_with ~prefix:p site) st.only
+
+let trip site =
+  st.on
+  && matches site
+  && Rng.float st.rng < st.prob
+  && begin
+       Hashtbl.replace st.trips site
+         (1 + Option.value ~default:0 (Hashtbl.find_opt st.trips site));
+       true
+     end
+
+let report () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.trips []
+  |> List.sort compare

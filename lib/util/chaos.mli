@@ -1,0 +1,47 @@
+(** Fault injection (chaos) harness.
+
+    Engines expose named {e chaos sites} — points where a real deployment
+    could fail: a path search giving up, a router finding no route, an ATPG
+    budget tripping.  Each site asks {!trip} whether it should fail {e this
+    time}; when the harness is off (the default) that is a single boolean
+    load, so production paths pay nothing.
+
+    The point of the harness is the contract tested by [test/test_chaos.ml]:
+    under {e any} combination of injected failures the pipeline must
+    terminate with either a valid degraded result (see
+    [Socet_core.Resilient]) or a structured {!Error.t} — never an uncaught
+    exception.
+
+    Sites are dotted names mirroring the observability metric namespace
+    ("core.tsearch.solve", "core.access.justify", "atpg.podem.generate").
+    {!configure} can restrict injection to a site-name prefix list, so a
+    test can fail {e only} the transparency scheduler and assert the
+    FSCAN-BSCAN fallback fires.
+
+    Environment activation (used by the CLI and the CI chaos job):
+    - [SOCET_CHAOS]: unset/"0" = off; "1" = all sites; otherwise a
+      comma-separated list of site-name prefixes;
+    - [SOCET_CHAOS_SEED]: deterministic stream seed (default 0);
+    - [SOCET_CHAOS_P]: per-hit failure probability (default 0.1). *)
+
+val configure :
+  ?seed:int -> ?prob:float -> ?only:string list -> bool -> unit
+(** [configure enabled] (re)arms the harness.  [only] restricts injection
+    to sites whose name starts with one of the given prefixes (default:
+    all sites).  [prob] is the per-hit failure probability (default 0.1);
+    [1.0] makes every matching site fail deterministically. *)
+
+val from_env : unit -> unit
+(** Arm from [SOCET_CHAOS]/[SOCET_CHAOS_SEED]/[SOCET_CHAOS_P]; off when
+    [SOCET_CHAOS] is unset, empty or "0". *)
+
+val enabled : unit -> bool
+
+val trip : string -> bool
+(** [trip site] — should this site fail now?  Always [false] when the
+    harness is off.  Deterministic given the seed and the call sequence.
+    Records the hit (see {!report}). *)
+
+val report : unit -> (string * int) list
+(** Injected-failure counts per site since the last {!configure}, sorted
+    by site name.  Empty when nothing tripped. *)

@@ -1,0 +1,59 @@
+type kind = Invalid_input | Validation | Exhausted | Internal
+
+type t = {
+  err_engine : string;
+  err_kind : kind;
+  err_ctx : (string * string) list;
+  err_msg : string;
+}
+
+exception Socet_error of t
+
+let make ?(kind = Invalid_input) ?(ctx = []) ~engine msg =
+  { err_engine = engine; err_kind = kind; err_ctx = ctx; err_msg = msg }
+
+let raisef ?kind ?ctx ~engine fmt =
+  Printf.ksprintf (fun msg -> raise (Socet_error (make ?kind ?ctx ~engine msg))) fmt
+
+let error ?kind ?ctx ~engine msg = Result.error (make ?kind ?ctx ~engine msg)
+
+let kind_name = function
+  | Invalid_input -> "invalid input"
+  | Validation -> "validation"
+  | Exhausted -> "budget exhausted"
+  | Internal -> "internal"
+
+let to_string e =
+  let ctx =
+    match e.err_ctx with
+    | [] -> ""
+    | l ->
+        " ["
+        ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+        ^ "]"
+  in
+  Printf.sprintf "socet: %s %s: %s%s" e.err_engine (kind_name e.err_kind)
+    e.err_msg ctx
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+(* Registered so an error escaping all the way out of a test binary still
+   prints its structure instead of "Socet_error(_)". *)
+let () =
+  Printexc.register_printer (function
+    | Socet_error e -> Some (to_string e)
+    | _ -> None)
+
+let guard ~engine f =
+  try Ok (f ()) with
+  | Socet_error e -> Error e
+  | Invalid_argument msg -> error ~engine msg
+  | Failure msg -> error ~engine msg
+  | Not_found -> error ~kind:Internal ~engine "lookup failed (Not_found)"
+  | Stack_overflow -> error ~kind:Internal ~engine "stack overflow"
+
+let exit_code e =
+  match e.err_kind with
+  | Invalid_input | Validation -> 3
+  | Exhausted -> 4
+  | Internal -> 1

@@ -1,0 +1,70 @@
+(** Structured errors shared by every SOCET engine.
+
+    The paper's flow is a pipeline of engines (RTL → RCG → netlist → ATPG →
+    chip-level scheduling); when one of them rejects its input or runs out
+    of budget, the caller needs to know {e which} engine failed, {e why},
+    and {e on what} (core name, net id, fault id) — not just a string.
+    Engines raise {!Socet_error} at their public boundary; pipeline entry
+    points catch it with {!guard} and return a [result]; the CLI maps
+    {!exit_code} onto the process status.
+
+    Convention (see DESIGN.md "Error handling"): exceptions are for
+    programming errors inside one engine (e.g. [Bitvec] index checks stay
+    [Invalid_argument]); anything caused by {e input} crossing an engine
+    boundary — a malformed core, an inconsistent SOC, an unschedulable
+    netlist — is a structured {!t}. *)
+
+type kind =
+  | Invalid_input  (** the input value itself is malformed *)
+  | Validation     (** a well-formed input failed a consistency check *)
+  | Exhausted      (** a fuel/deadline budget ran out before an answer *)
+  | Internal       (** an engine invariant broke: a bug, not bad input *)
+
+type t = {
+  err_engine : string;  (** "netlist", "rtl", "soc", "synth", "scan", ... *)
+  err_kind : kind;
+  err_ctx : (string * string) list;
+      (** structured context, e.g. [("core", "CPU"); ("net", "42")] *)
+  err_msg : string;
+}
+
+exception Socet_error of t
+
+val make :
+  ?kind:kind -> ?ctx:(string * string) list -> engine:string -> string -> t
+(** [kind] defaults to [Invalid_input]. *)
+
+val raisef :
+  ?kind:kind ->
+  ?ctx:(string * string) list ->
+  engine:string ->
+  ('a, unit, string, 'b) format4 ->
+  'a
+(** [raisef ~engine fmt ...] raises {!Socet_error} with the formatted
+    message. *)
+
+val error :
+  ?kind:kind ->
+  ?ctx:(string * string) list ->
+  engine:string ->
+  string ->
+  ('a, t) result
+
+val kind_name : kind -> string
+
+val to_string : t -> string
+(** ["socet: <engine> <kind>: <msg> [ctx...]"] — one line, CLI-ready. *)
+
+val pp : Format.formatter -> t -> unit
+
+val guard : engine:string -> (unit -> 'a) -> ('a, t) result
+(** Runs the thunk, converting escaping exceptions into structured errors:
+    {!Socet_error} passes through as its payload; [Invalid_argument] and
+    [Failure] become [Invalid_input]; [Not_found] and any other exception
+    become [Internal] (attributed to [engine]).  This is the boundary
+    adapter pipeline entry points use so that {e no} input, however
+    corrupt, escapes as an uncaught exception. *)
+
+val exit_code : t -> int
+(** Process exit status for the CLI: 3 for [Invalid_input]/[Validation],
+    4 for [Exhausted], 1 for [Internal]. *)

@@ -231,6 +231,73 @@ let prop_atpg_vectors_detect =
       in
       List.length redetected = List.length stats.Socet_atpg.Podem.detected)
 
+(* Malformed inputs: the generators above only emit valid cores; these
+   two deliberately break the artifact afterwards and check the failure
+   is always a structured error — never an uncaught exception from an
+   engine's inner loop (the full combination matrix lives in
+   test_chaos.ml; these keep the fuzz corpus honest too). *)
+
+let prop_corrupted_elaboration_caught =
+  QCheck.Test.make ~name:"fuzz: corrupted netlists never escape the validator"
+    ~count:80
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let core = random_core rng in
+      let open Socet_netlist in
+      let nl = Socet_synth.Elaborate.core_to_netlist core in
+      let victim =
+        (* a combinational gate with fanin: skips PI pseudo-cells, and
+           stays retypeable (set_kind refuses to turn a DFF into logic) *)
+        let g = ref (-1) in
+        for n = 0 to Netlist.gate_count nl - 1 do
+          if
+            !g < 0
+            && Array.length (Netlist.fanin nl n) > 0
+            && not (Cell.is_dff (Netlist.kind nl n))
+          then g := n
+        done;
+        !g
+      in
+      victim >= 0
+      && begin
+           if Rng.bool rng then
+             Netlist.corrupt_fanin nl victim ~pin:0
+               (Netlist.gate_count nl + 1 + Rng.int rng 50)
+           else Netlist.set_kind nl victim Cell.Inv [| victim |];
+           (match Validate.check nl with
+           | Error (e :: _) -> e.Socet_util.Error.err_engine = "netlist"
+           | _ -> false)
+           && (try
+                 Validate.check_exn nl;
+                 false
+               with
+              | Socet_util.Error.Socet_error _ -> true
+              | _ -> false)
+         end)
+
+let prop_malformed_rtl_caught =
+  QCheck.Test.make ~name:"fuzz: malformed RTL mutations raise structured errors"
+    ~count:80
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let core = random_core rng in
+      try
+        (match Rng.int rng 3 with
+        | 0 -> Rtl_core.add_reg core "R0" w (* duplicate name *)
+        | 1 ->
+            (* width-mismatched transfer, caught by validate *)
+            Rtl_core.add_reg core "Wbad" (w + 3);
+            Rtl_core.add_transfer core ~src:(Rtl_core.port core "I0")
+              ~dst:(Rtl_core.reg core "Wbad") ();
+            Rtl_core.validate core
+        | _ -> ignore (Rtl_core.reg core "no_such_register"));
+        false
+      with
+      | Socet_util.Error.Socet_error _ -> true
+      | _ -> false)
+
 let smoke_one_fuzz_core () =
   (* A deterministic instance of the generator, as a plain test. *)
   let rng = Rng.create 2024 in
@@ -254,5 +321,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_elaboration_sound;
           QCheck_alcotest.to_alcotest prop_gate_level_transparency;
           QCheck_alcotest.to_alcotest prop_atpg_vectors_detect;
+          QCheck_alcotest.to_alcotest prop_corrupted_elaboration_caught;
+          QCheck_alcotest.to_alcotest prop_malformed_rtl_caught;
         ] );
     ]

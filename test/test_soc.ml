@@ -22,7 +22,7 @@ let test_soc_validation_catches_undriven () =
          (Soc.make ~name:"bad" ~pis:[ ("X", 8) ] ~pos:[] ~cores:[ cpu ]
             ~connections:[] ());
        false
-     with Invalid_argument _ -> true)
+     with Socet_util.Error.Socet_error _ -> true)
 
 let test_soc_validation_width_mismatch () =
   let cpu = Soc.instantiate "CPU" (Cpu.core ()) in
@@ -34,7 +34,7 @@ let test_soc_validation_width_mismatch () =
             ~connections:[ { Soc.c_from = Soc.Pi "X"; c_to = Soc.Cport ("CPU", "Data") } ]
             ());
        false
-     with Invalid_argument _ -> true)
+     with Socet_util.Error.Socet_error _ -> true)
 
 let test_soc_system1_shape () =
   let soc = Lazy.force soc1 in
