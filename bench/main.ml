@@ -625,6 +625,66 @@ let resilience_section () =
   show "recovered (chaos off)" (Resilient.plan soc1 ~choice:(all_v1 soc1) ())
 
 (* ------------------------------------------------------------------ *)
+(* Parallel scaling: domain-pool sweep                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* (engine, [(domains, best seconds)]) — stashed for BENCH_socet.json. *)
+let parallel_results : (string * (int * float) list) list ref = ref []
+
+let parallel_section () =
+  section "Parallel scaling: fault simulation and design-space search";
+  let time_best f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let sweep name f =
+    let times =
+      List.map
+        (fun d ->
+          Pool.set_size d;
+          (d, time_best f))
+        [ 1; 2; 4 ]
+    in
+    Pool.set_size 1;
+    parallel_results := (name, times) :: !parallel_results;
+    times
+  in
+  let cpu = Soc.inst soc1 "CPU" in
+  let nl = cpu.Soc.ci_netlist in
+  let faults = Socet_atpg.Fault.collapse nl in
+  let rng = Rng.create 4242 in
+  let vecs =
+    List.init 64 (fun _ -> Rng.bitvec rng (Socet_atpg.Fsim.vector_length nl))
+  in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let times = sweep name f in
+        let t1 = List.assoc 1 times in
+        (name
+        :: List.map (fun (_, t) -> Printf.sprintf "%.1f" (t *. 1000.0)) times)
+        @ [ Printf.sprintf "%.2fx" (t1 /. List.assoc 4 times) ])
+      [
+        ( "fsim CPU (64 vec, full fault list)",
+          fun () -> ignore (Socet_atpg.Fsim.run_comb nl ~vectors:vecs ~faults) );
+        ("design space System 1", fun () -> ignore (Select.design_space soc1));
+        ("design space System 2", fun () -> ignore (Select.design_space soc2));
+      ]
+  in
+  Ascii_table.print
+    ~header:[ "engine"; "1 dom (ms)"; "2 dom (ms)"; "4 dom (ms)"; "speedup@4" ]
+    rows;
+  Printf.printf
+    "(results are bit-identical at every domain count; this machine's\n\
+     recommended domain count is %d)\n"
+    (Domain.recommended_domain_count ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -759,12 +819,29 @@ let write_bench_json file =
           ("total_ms", Json.Num total_ms);
         ] )
   in
+  let parallel_json =
+    Json.Obj
+      (("recommended_domains",
+        Json.Num (float_of_int (Domain.recommended_domain_count ())))
+      :: List.rev_map
+           (fun (name, times) ->
+             let t1 = List.assoc 1 times in
+             ( name,
+               Json.Obj
+                 (List.map
+                    (fun (d, t) ->
+                      (Printf.sprintf "ms_%d_domains" d, Json.Num (t *. 1000.0)))
+                    times
+                 @ [ ("speedup_4", Json.Num (t1 /. List.assoc 4 times)) ]) ))
+           !parallel_results)
+  in
   let doc =
     Json.Obj
       [
         ("bench", Json.Str "socet");
         ("paper", Json.Str "DAC'98 Ghosh/Dey/Jha");
         ("phases", Json.Obj (List.map phase bench_phases));
+        ("parallel", parallel_json);
         ( "counters",
           Json.Obj
             (List.map (fun (n, v) -> (n, Json.Num (float_of_int v))) counters)
@@ -798,6 +875,7 @@ let () =
   bist_section ();
   diagnosis_section ();
   resilience_section ();
+  parallel_section ();
   bechamel_suite ();
   write_bench_json "BENCH_socet.json";
   print_newline ()

@@ -27,10 +27,10 @@ let exits =
   :: Cmd.Exit.defaults
 
 (* ------------------------------------------------------------------ *)
-(* Observability plumbing: --stats / --trace on every subcommand       *)
+(* Common plumbing: --stats / --trace / --jobs on every subcommand     *)
 (* ------------------------------------------------------------------ *)
 
-type obs_opts = { oo_stats : bool; oo_trace : string option }
+type obs_opts = { oo_stats : bool; oo_trace : string option; oo_jobs : int option }
 
 let obs_opts_t =
   let stats =
@@ -51,9 +51,23 @@ let obs_opts_t =
              JSON to $(docv) (load it in chrome://tracing or \
              https://ui.perfetto.dev).")
   in
-  Term.(const (fun oo_stats oo_trace -> { oo_stats; oo_trace }) $ stats $ trace)
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N" ~env:(Cmd.Env.info "SOCET_DOMAINS")
+          ~doc:
+            "Number of domains for the parallel engines (fault \
+             simulation, design-space search).  $(docv)=1 runs \
+             sequentially; the default is the machine's recommended \
+             domain count.  Results are identical at any setting.")
+  in
+  Term.(
+    const (fun oo_stats oo_trace oo_jobs -> { oo_stats; oo_trace; oo_jobs })
+    $ stats $ trace $ jobs)
 
 let with_obs opts run =
+  Option.iter Socet_util.Pool.set_size opts.oo_jobs;
   if opts.oo_stats || opts.oo_trace <> None then
     Obs.configure ~trace:(opts.oo_trace <> None) ();
   let code =

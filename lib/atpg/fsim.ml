@@ -4,11 +4,14 @@ module Obs = Socet_obs.Obs
 
 (* Observability: one word batch simulates up to [Sim.word_width] vectors
    in parallel, and each remaining fault costs one cone re-evaluation per
-   batch — [fault_evals] is the engine's true unit of work. *)
+   batch — [fault_evals] is the engine's true unit of work.
+   [cone_cache_hits] counts fault evaluations served from the per-site
+   fanout-cone cache instead of re-walking the netlist. *)
 let c_batches = Obs.counter ~scope:"atpg" "fsim.word_batches"
 let c_fault_evals = Obs.counter ~scope:"atpg" "fsim.fault_evals"
 let c_dropped = Obs.counter ~scope:"atpg" "fsim.faults_dropped"
 let c_seq_cycles = Obs.counter ~scope:"atpg" "fsim.seq_cycles"
+let c_cone_hits = Obs.counter ~scope:"atpg" "fsim.cone_cache_hits"
 
 type vector = Bitvec.t
 
@@ -22,20 +25,28 @@ let split_vector nl v =
 
 let all_ones = (1 lsl Sim.word_width) - 1
 
-(* Combinational fanout cone of a net (gates only reachable through
-   combinational paths; flip-flops absorb effects at their D inputs). *)
+(* Combinational fanout cone of a net, as a bitset over gates (gates only
+   reachable through combinational paths; flip-flops absorb effects at
+   their D inputs).  One byte-array bitset per fault site, computed once
+   per [run_comb] call and shared read-only by every domain. *)
+let bit_get b i = Char.code (Bytes.unsafe_get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set b i =
+  Bytes.unsafe_set b (i lsr 3)
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b (i lsr 3)) lor (1 lsl (i land 7))))
+
 let comb_cone nl site =
   let n = Netlist.gate_count nl in
-  let in_cone = Array.make n false in
+  let in_cone = Bytes.make ((n + 7) / 8) '\000' in
   let queue = Queue.create () in
-  in_cone.(site) <- true;
+  bit_set in_cone site;
   Queue.add site queue;
   while not (Queue.is_empty queue) do
     let g = Queue.pop queue in
     List.iter
       (fun h ->
-        if (not (Cell.is_dff (Netlist.kind nl h))) && not in_cone.(h) then begin
-          in_cone.(h) <- true;
+        if (not (Cell.is_dff (Netlist.kind nl h))) && not (bit_get in_cone h) then begin
+          bit_set in_cone h;
           Queue.add h queue
         end)
       (Netlist.fanout nl g)
@@ -60,6 +71,20 @@ let eval_gate nl v g =
       let s = v.(f.(0)) in
       ((lnot s land v.(f.(1))) lor (s land v.(f.(2)))) land all_ones
 
+(* Per-domain scratch for the faulty value array: each pool worker reuses
+   one buffer across every fault it simulates instead of allocating a
+   gate-count array per fault evaluation. *)
+let scratch_key : int array Domain.DLS.key = Domain.DLS.new_key (fun () -> [||])
+
+let scratch n =
+  let a = Domain.DLS.get scratch_key in
+  if Array.length a >= n then a
+  else begin
+    let a = Array.make n 0 in
+    Domain.DLS.set scratch_key a;
+    a
+  end
+
 let run_comb nl ~vectors ~faults =
   Obs.with_span ~cat:"atpg" "fsim.run_comb" @@ fun () ->
   let npi = List.length (Netlist.pis nl) in
@@ -67,6 +92,18 @@ let run_comb nl ~vectors ~faults =
   let order = Netlist.comb_order nl in
   let remaining = ref faults in
   let detected = ref [] in
+  (* Pre-warm the cone cache for every fault site on the submitting
+     domain, so the parallel fault loop only ever reads the table. *)
+  let cones = Hashtbl.create (List.length faults) in
+  List.iter
+    (fun (f : Fault.t) ->
+      if not (Hashtbl.mem cones f.f_net) then
+        Hashtbl.replace cones f.f_net (comb_cone nl f.f_net))
+    faults;
+  let cone_of site =
+    Obs.incr c_cone_hits;
+    Hashtbl.find cones site
+  in
   let batches =
     let rec chunk acc cur n = function
       | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
@@ -96,28 +133,41 @@ let run_comb nl ~vectors ~faults =
         let good_po = Sim.po_words nl good in
         let good_ns = Sim.next_state_words nl good in
         let used = (1 lsl nbatch) - 1 in
-        let faulty = Array.make (Array.length good) 0 in
+        let ngates = Array.length good in
+        (* Fault-parallel: the remaining fault list is partitioned across
+           the domain pool; the good-circuit words are shared read-only
+           and each domain overwrites its own scratch copy per fault.
+           Results come back in submission order, so dropping and the
+           detected list are bit-identical to the sequential engine. *)
+        let rem = Array.of_list !remaining in
+        let hit =
+          Pool.parallel_map
+            (fun (f : Fault.t) ->
+              let cone = cone_of f.f_net in
+              let faulty = scratch ngates in
+              Array.blit good 0 faulty 0 ngates;
+              Array.iter
+                (fun g ->
+                  if bit_get cone g then begin
+                    let v =
+                      if g = f.f_net then (if f.f_stuck then all_ones else 0)
+                      else eval_gate nl faulty g
+                    in
+                    faulty.(g) <- v
+                  end)
+                order;
+              let fpo = Sim.po_words nl faulty in
+              let fns = Sim.next_state_words nl faulty in
+              let diff = ref 0 in
+              Array.iteri (fun i w -> diff := !diff lor (w lxor good_po.(i))) fpo;
+              Array.iteri (fun i w -> diff := !diff lor (w lxor good_ns.(i))) fns;
+              !diff land used <> 0)
+            rem
+        in
         let still = ref [] in
-        List.iter
-          (fun (f : Fault.t) ->
-            let cone = comb_cone nl f.f_net in
-            Array.blit good 0 faulty 0 (Array.length good);
-            Array.iter
-              (fun g ->
-                if cone.(g) then begin
-                  let v = if g = f.f_net then (if f.f_stuck then all_ones else 0)
-                          else eval_gate nl faulty g in
-                  faulty.(g) <- v
-                end)
-              order;
-            let fpo = Sim.po_words nl faulty in
-            let fns = Sim.next_state_words nl faulty in
-            let diff = ref 0 in
-            Array.iteri (fun i w -> diff := !diff lor (w lxor good_po.(i))) fpo;
-            Array.iteri (fun i w -> diff := !diff lor (w lxor good_ns.(i))) fns;
-            if !diff land used <> 0 then detected := f :: !detected
-            else still := f :: !still)
-          !remaining;
+        Array.iteri
+          (fun i f -> if hit.(i) then detected := f :: !detected else still := f :: !still)
+          rem;
         remaining := List.rev !still
       end)
     batches;

@@ -24,7 +24,13 @@ val split_vector : Netlist.t -> vector -> Bitvec.t * Bitvec.t
 val run_comb :
   Netlist.t -> vectors:vector list -> faults:Fault.t list -> Fault.t list
 (** Faults from [faults] detected by at least one vector (fault dropping:
-    each fault is simulated only until first detection). *)
+    each fault is simulated only until first detection).
+
+    Per word batch the remaining faults are evaluated in parallel across
+    the {!Socet_util.Pool} domains (shared read-only good-circuit words,
+    one reusable scratch array per domain, fanout cones precomputed per
+    fault site — [atpg.fsim.cone_cache_hits]); detections are merged in
+    fault order, so the result is identical at any domain count. *)
 
 val detects_comb : Netlist.t -> vector -> Fault.t -> bool
 (** Does this single vector detect this single fault? *)

@@ -27,9 +27,121 @@ type t = {
 
 type smux_request = { sm_inst : string; sm_port : string; sm_dir : [ `In | `Out ] }
 
+let justify_routes ccg name =
+  (* Route the slowest input first (the paper justifies DISPLAY's A
+     before D): probe each input on an empty calendar, then route in
+     decreasing base-latency order against the shared calendar. *)
+  let inputs = Ccg.core_inputs ccg name in
+  let base_latency input =
+    match
+      Access.justify_input ~allow_smux:false ccg (Access.fresh_bookings ())
+        ~input
+    with
+    | Some r -> r.Access.r_arrival
+    | None -> 0
+  in
+  let inputs =
+    List.map (fun i -> (base_latency i, i)) inputs
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+    |> List.map snd
+  in
+  let bookings = Access.fresh_bookings () in
+  List.filter_map
+    (fun input -> Access.justify_input ccg bookings ~input)
+    inputs
+
+let observe_routes ccg name =
+  let bookings = Access.fresh_bookings () in
+  List.filter_map
+    (fun output -> Access.observe_output ccg bookings ~output)
+    (Ccg.core_outputs ccg name)
+
+let core_test_of_routes ci ~justify ~observe =
+  let period =
+    max 1 (List.fold_left (fun acc r -> max acc r.Access.r_arrival) 0 justify)
+  in
+  let observe_makespan =
+    List.fold_left (fun acc r -> max acc r.Access.r_arrival) 0 observe
+  in
+  let tail = max 0 (ci.Soc.ci_hscan.Hscan.depth - 1) + observe_makespan in
+  let vectors = Soc.hscan_vectors ci in
+  {
+    ct_inst = ci.Soc.ci_name;
+    ct_vectors = vectors;
+    ct_period = period;
+    ct_tail = tail;
+    ct_time = (vectors * period) + tail;
+    ct_justify = justify;
+    ct_observe = observe;
+  }
+
+let build_core_test ?budget ccg ci =
+  let name = ci.Soc.ci_name in
+  if
+    match budget with
+    | Some b -> Socet_util.Budget.exhausted b
+    | None -> false
+  then
+    (* Fuel/deadline gone: stub the remaining cores with no routes
+       (and skip their ATPG) — the resilient planner reads the
+       missing routes as a scheduling failure and ladders the core
+       down to its FSCAN-BSCAN fallback. *)
+    {
+      ct_inst = name;
+      ct_vectors = 0;
+      ct_period = 0;
+      ct_tail = 0;
+      ct_time = 0;
+      ct_justify = [];
+      ct_observe = [];
+    }
+  else
+    let justify = justify_routes ccg name in
+    let observe = observe_routes ccg name in
+    core_test_of_routes ci ~justify ~observe
+
+let assemble soc ~choice ?(n_requested = 0) ?(requested_cost = 0) ccg tests =
+  Obs.incr c_builds;
+  let all_routes =
+    List.concat_map (fun t -> t.ct_justify @ t.ct_observe) tests
+  in
+  let forced_cost =
+    List.fold_left
+      (fun acc (r : Access.route) ->
+        match r.Access.r_added_smux with
+        | Some (_, _, w) -> acc + Ccg.smux_cost ~width:w
+        | None -> acc)
+      0 all_routes
+  in
+  let transparency_cost =
+    List.fold_left
+      (fun acc ci ->
+        let k = Option.value ~default:1 (List.assoc_opt ci.Soc.ci_name choice) in
+        acc + (Soc.version_of ci k).Version.v_overhead)
+      0 soc.Soc.insts
+  in
+  let n_smux =
+    n_requested
+    + List.length
+        (List.filter
+           (fun (r : Access.route) -> r.Access.r_added_smux <> None)
+           all_routes)
+  in
+  let controller_cost = Controller.cost soc ~choice ~n_smux in
+  let smux_cost = requested_cost + forced_cost in
+  {
+    s_ccg = ccg;
+    s_tests = tests;
+    s_total_time = List.fold_left (fun acc t -> acc + t.ct_time) 0 tests;
+    s_transparency_cost = transparency_cost;
+    s_smux_cost = smux_cost;
+    s_controller_cost = controller_cost;
+    s_area_overhead = transparency_cost + smux_cost + controller_cost;
+    s_usage = Access.edge_usage all_routes;
+  }
+
 let build ?budget soc ~choice ?(smuxes = []) () =
   Obs.with_span ~cat:"core" "schedule.build" @@ fun () ->
-  Obs.incr c_builds;
   let ccg = Ccg.build soc ~choice in
   (* Explicitly requested system-level test muxes become real CCG edges up
      front, so routing can use them. *)
@@ -55,114 +167,9 @@ let build ?budget soc ~choice ?(smuxes = []) () =
           let src = Ccg.node_id ccg (Ccg.N_cout (sm_inst, sm_port)) in
           ignore (Ccg.add_smux ccg ~src ~dst:po ~width))
     smuxes;
-  let forced_cost = ref 0 in
-  let all_routes = ref [] in
-  let tests =
-    List.map
-      (fun ci ->
-        let name = ci.Soc.ci_name in
-        if
-          match budget with
-          | Some b -> Socet_util.Budget.exhausted b
-          | None -> false
-        then
-          (* Fuel/deadline gone: stub the remaining cores with no routes
-             (and skip their ATPG) — the resilient planner reads the
-             missing routes as a scheduling failure and ladders the core
-             down to its FSCAN-BSCAN fallback. *)
-          {
-            ct_inst = name;
-            ct_vectors = 0;
-            ct_period = 0;
-            ct_tail = 0;
-            ct_time = 0;
-            ct_justify = [];
-            ct_observe = [];
-          }
-        else begin
-        (* Route the slowest input first (the paper justifies DISPLAY's A
-           before D): probe each input on an empty calendar, then route in
-           decreasing base-latency order against the shared calendar. *)
-        let inputs = Ccg.core_inputs ccg name in
-        let base_latency input =
-          match
-            Access.justify_input ~allow_smux:false ccg (Access.fresh_bookings ())
-              ~input
-          with
-          | Some r -> r.Access.r_arrival
-          | None -> 0
-        in
-        let inputs =
-          List.map (fun i -> (base_latency i, i)) inputs
-          |> List.sort (fun (a, _) (b, _) -> compare b a)
-          |> List.map snd
-        in
-        let bookings = Access.fresh_bookings () in
-        let justify =
-          List.filter_map
-            (fun input -> Access.justify_input ccg bookings ~input)
-            inputs
-        in
-        let observe_bookings = Access.fresh_bookings () in
-        let observe =
-          List.filter_map
-            (fun output -> Access.observe_output ccg observe_bookings ~output)
-            (Ccg.core_outputs ccg name)
-        in
-        List.iter
-          (fun (r : Access.route) ->
-            match r.Access.r_added_smux with
-            | Some (_, _, w) -> forced_cost := !forced_cost + Ccg.smux_cost ~width:w
-            | None -> ())
-          (justify @ observe);
-        all_routes := justify @ observe @ !all_routes;
-        let period =
-          max 1
-            (List.fold_left (fun acc r -> max acc r.Access.r_arrival) 0 justify)
-        in
-        let observe_makespan =
-          List.fold_left (fun acc r -> max acc r.Access.r_arrival) 0 observe
-        in
-        let tail = max 0 (ci.Soc.ci_hscan.Hscan.depth - 1) + observe_makespan in
-        let vectors = Soc.hscan_vectors ci in
-        {
-          ct_inst = name;
-          ct_vectors = vectors;
-          ct_period = period;
-          ct_tail = tail;
-          ct_time = (vectors * period) + tail;
-          ct_justify = justify;
-          ct_observe = observe;
-        }
-        end)
-      soc.Soc.insts
-  in
-  let transparency_cost =
-    List.fold_left
-      (fun acc ci ->
-        let k = Option.value ~default:1 (List.assoc_opt ci.Soc.ci_name choice) in
-        acc + (Soc.version_of ci k).Version.v_overhead)
-      0 soc.Soc.insts
-  in
-  let n_smux =
-    List.length smuxes
-    + List.length
-        (List.filter
-           (fun (r : Access.route) -> r.Access.r_added_smux <> None)
-           !all_routes)
-  in
-  let controller_cost = Controller.cost soc ~choice ~n_smux in
-  let smux_cost = !requested_cost + !forced_cost in
-  {
-    s_ccg = ccg;
-    s_tests = tests;
-    s_total_time = List.fold_left (fun acc t -> acc + t.ct_time) 0 tests;
-    s_transparency_cost = transparency_cost;
-    s_smux_cost = smux_cost;
-    s_controller_cost = controller_cost;
-    s_area_overhead = transparency_cost + smux_cost + controller_cost;
-    s_usage = Access.edge_usage !all_routes;
-  }
+  let tests = List.map (build_core_test ?budget ccg) soc.Soc.insts in
+  assemble soc ~choice ~n_requested:(List.length smuxes)
+    ~requested_cost:!requested_cost ccg tests
 
 let involved_cores t =
   let insts =

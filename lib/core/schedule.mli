@@ -49,6 +49,52 @@ val build :
     that [Resilient.plan] recognizes and degrades to the FSCAN-BSCAN
     fallback.  Without a budget the behaviour is unchanged. *)
 
+(** {2 Memoization seam}
+
+    [build] is [Ccg.build] + requested-mux insertion + one
+    [build_core_test] per core + [assemble].  [Select.design_space]
+    drives the pieces directly so per-core tests can be memoized across
+    design points: a core's test only depends on the versions of the
+    cores its access routes can traverse, so the same [core_test] value
+    recurs across many full-choice combinations.
+
+    Caveat for callers: [build_core_test] may add {e forced} system-level
+    mux edges to [ccg] as a side effect (visible as [r_added_smux] on the
+    returned routes).  A result whose routes contain a forced mux — or one
+    computed {e after} such a mutation within the same [ccg] — is specific
+    to that build and must not be reused against a fresh CCG. *)
+
+val justify_routes : Ccg.t -> string -> Access.route list
+(** Justification routes for the named core's inputs: slowest first
+    (empty-calendar probe), then routed against one shared calendar.
+    Depends only on the transparency of cores {e upstream} of the
+    target. *)
+
+val observe_routes : Ccg.t -> string -> Access.route list
+(** Observation routes for the named core's outputs; depends only on
+    cores {e downstream} of the target. *)
+
+val core_test_of_routes :
+  Soc.core_inst -> justify:Access.route list -> observe:Access.route list -> core_test
+(** Period/tail/time arithmetic over already-computed routes. *)
+
+val build_core_test :
+  ?budget:Socet_util.Budget.t -> Ccg.t -> Soc.core_inst -> core_test
+(** One core's test (routes, period, tail, time) against [ccg]:
+    [justify_routes] then [observe_routes] then [core_test_of_routes]
+    (or the no-route stub once [budget] is exhausted). *)
+
+val assemble :
+  Soc.t ->
+  choice:(string * int) list ->
+  ?n_requested:int ->
+  ?requested_cost:int ->
+  Ccg.t ->
+  core_test list ->
+  t
+(** Totals per-core tests into a schedule (costs, usage, controller);
+    increments the [core.schedule.builds] counter. *)
+
 (** {2 Overlapped scheduling (extension beyond the paper)}
 
     The paper tests the cores one after another.  Core tests whose access

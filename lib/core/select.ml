@@ -1,11 +1,14 @@
 module Obs = Socet_obs.Obs
 module Budget = Socet_util.Budget
+module Pool = Socet_util.Pool
 
 (* Observability: the iterative-improvement optimizer is measured in
    design points evaluated (each one a full schedule build) and in
-   improvement steps taken. *)
+   improvement steps taken.  [memo_hits] counts per-core tests served
+   from the design-space memo table instead of being re-routed. *)
 let c_evals = Obs.counter ~scope:"core" "select.points_evaluated"
 let c_steps = Obs.counter ~scope:"core" "select.steps"
+let c_memo_hits = Obs.counter ~scope:"core" "select.memo_hits"
 
 type point = {
   pt_choice : (string * int) list;
@@ -26,8 +29,61 @@ let evaluate soc ~choice ?(smuxes = []) () =
     pt_time = s.Schedule.s_total_time;
   }
 
+(* Which cores' version choices can influence core [X]'s test: routes
+   justifying X's inputs ride directed paths PI -> ... -> X.in, so only
+   cores with a directed path to X matter on the justify side; dually,
+   observation rides X.out -> ... -> PO, so only cores reachable from X
+   matter on the observe side.  Closing the core-to-core connection
+   graph gives static per-side dependency sets — two full choices
+   agreeing on X's justify (observe) set yield bit-identical justify
+   (observe) routes for X.  X itself only joins a set when it sits on a
+   connection cycle (a route could then re-enter its own transparency). *)
+let dependency_sets soc =
+  let preds = Hashtbl.create 16 and succs = Hashtbl.create 16 in
+  let push tbl k v =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt tbl k) in
+    if not (List.mem v cur) then Hashtbl.replace tbl k (v :: cur)
+  in
+  List.iter
+    (fun (c : Soc.connection) ->
+      match (c.Soc.c_from, c.Soc.c_to) with
+      | Soc.Cport (a, _), Soc.Cport (b, _) when a <> b ->
+          push preds b a;
+          push succs a b
+      | _ -> ())
+    soc.Soc.conns;
+  (* Proper reachability: [seed] is included only via a cycle back to
+     itself, not by fiat. *)
+  let reach tbl seed =
+    let seen = Hashtbl.create 8 in
+    let rec go n =
+      if not (Hashtbl.mem seen n) then begin
+        Hashtbl.add seen n ();
+        List.iter go (Option.value ~default:[] (Hashtbl.find_opt tbl n))
+      end
+    in
+    List.iter go (Option.value ~default:[] (Hashtbl.find_opt tbl seed));
+    seen
+  in
+  let names_in tbl =
+    List.filter_map
+      (fun ci ->
+        let n = ci.Soc.ci_name in
+        if Hashtbl.mem tbl n then Some n else None)
+      soc.Soc.insts
+  in
+  List.map
+    (fun ci ->
+      let name = ci.Soc.ci_name in
+      (name, names_in (reach preds name), names_in (reach succs name)))
+    soc.Soc.insts
+
 let design_space soc =
   Obs.with_span ~cat:"core" "select.design_space" @@ fun () ->
+  (* [ci_atpg] is a [Lazy.t], which is not safe to force concurrently:
+     force every core's test set here, on the submitting domain, before
+     any worker can race on it. *)
+  List.iter (fun ci -> ignore (Soc.atpg_vectors ci)) soc.Soc.insts;
   let axes =
     List.map
       (fun ci ->
@@ -41,7 +97,81 @@ let design_space soc =
         let tails = expand rest in
         List.concat_map (fun k -> List.map (fun t -> (name, k) :: t) tails) ks
   in
-  List.map (fun choice -> evaluate soc ~choice ()) (expand axes)
+  let deps = dependency_sets soc in
+  (* Route memo, one entry per (core, versions of the cores that side's
+     routes can traverse).  Justify and observe key on their own
+     dependency sides, so e.g. in a PREP -> CPU -> DISPLAY chain CPU's
+     justify routes are shared across every DISPLAY version. *)
+  let memo : (string * [ `J | `O ] * (string * int) list, Access.route list) Hashtbl.t
+      =
+    Hashtbl.create 64
+  in
+  let memo_mu = Mutex.create () in
+  let memo_find key =
+    Mutex.lock memo_mu;
+    let r = Hashtbl.find_opt memo key in
+    Mutex.unlock memo_mu;
+    r
+  in
+  let memo_store key routes =
+    Mutex.lock memo_mu;
+    if not (Hashtbl.mem memo key) then Hashtbl.add memo key routes;
+    Mutex.unlock memo_mu
+  in
+  let has_forced_smux routes =
+    List.exists (fun (r : Access.route) -> r.Access.r_added_smux <> None) routes
+  in
+  let eval_choice choice =
+    Obs.incr c_evals;
+    let ccg = Ccg.build soc ~choice in
+    (* [clean] turns false at the first forced system-level mux: from
+       then on the CCG is mutated, so neither memo lookups nor stores
+       are sound for the rest of this design point. *)
+    let clean = ref true in
+    let routes_for ~side ~compute name dep_names =
+      let key =
+        ( name,
+          side,
+          List.map
+            (fun d -> (d, Option.value ~default:1 (List.assoc_opt d choice)))
+            dep_names )
+      in
+      match (if !clean then memo_find key else None) with
+      | Some routes ->
+          Obs.incr c_memo_hits;
+          routes
+      | None ->
+          let routes = compute ccg name in
+          if has_forced_smux routes then clean := false
+          else if !clean then memo_store key routes;
+          routes
+    in
+    let tests =
+      List.map
+        (fun ci ->
+          let name = ci.Soc.ci_name in
+          let _, back, fwd =
+            List.find (fun (n, _, _) -> n = name) deps
+          in
+          let justify =
+            routes_for ~side:`J ~compute:Schedule.justify_routes name back
+          in
+          let observe =
+            routes_for ~side:`O ~compute:Schedule.observe_routes name fwd
+          in
+          Schedule.core_test_of_routes ci ~justify ~observe)
+        soc.Soc.insts
+    in
+    let s = Schedule.assemble soc ~choice ccg tests in
+    {
+      pt_choice = choice;
+      pt_smuxes = [];
+      pt_schedule = s;
+      pt_area = s.Schedule.s_area_overhead;
+      pt_time = s.Schedule.s_total_time;
+    }
+  in
+  Pool.parallel_map_list eval_choice (expand axes)
 
 (* Estimated test-time gain of stepping [inst] to its next version:
    usage count of each transparency pair times its latency drop

@@ -29,7 +29,14 @@ val delta_tat : Soc.t -> point -> string -> (Version.t * int * int) option
 
 val design_space : Soc.t -> point list
 (** Every combination of available core versions (no extra muxes), in
-    lexicographic order — the raw material of Fig. 10. *)
+    lexicographic order — the raw material of Fig. 10.
+
+    Evaluation fans out across the {!Socet_util.Pool} domains and
+    memoizes per-core tests on (core, versions of the cores its routes
+    can reach), so a core's routing is reused across the many points
+    that only differ elsewhere ([core.select.memo_hits] counts reuse).
+    Results are independent of the domain count and identical to
+    evaluating each choice with {!evaluate}. *)
 
 val minimize_time : ?budget:Socet_util.Budget.t -> Soc.t -> max_area:int -> point list
 (** Objective (i): within the area budget, drive test time down.  Returns

@@ -26,15 +26,16 @@ let stats_table registry =
   let timer_rows =
     List.filter_map
       (fun (n, (tm : Metric.timer)) ->
-        if tm.Metric.tm_count = 0 then None
+        let count = Metric.timer_count tm in
+        let total_us = Metric.timer_total_us tm in
+        if count = 0 then None
         else
           Some
             [
               n;
-              string_of_int tm.Metric.tm_count;
-              Printf.sprintf "%.3f" (ms tm.Metric.tm_total_us);
-              Printf.sprintf "%.1f"
-                (tm.Metric.tm_total_us /. float_of_int tm.Metric.tm_count);
+              string_of_int count;
+              Printf.sprintf "%.3f" (ms total_us);
+              Printf.sprintf "%.1f" (total_us /. float_of_int count);
             ])
       timers
   in
@@ -83,8 +84,8 @@ let stats_json registry =
                ( n,
                  Json.Obj
                    [
-                     ("count", num_i tm.Metric.tm_count);
-                     ("total_ms", Json.Num (ms tm.Metric.tm_total_us));
+                     ("count", num_i (Metric.timer_count tm));
+                     ("total_ms", Json.Num (ms (Metric.timer_total_us tm)));
                    ] ))
              timers) );
       ( "histograms",

@@ -14,6 +14,9 @@ type t = {
   mutable h_min : float;
   mutable h_max : float;
   buckets : int array;
+  (* Observations can arrive from pool worker domains; count/sum/min/max
+     update together, so a per-histogram mutex keeps them coherent. *)
+  mu : Mutex.t;
 }
 
 let create () =
@@ -23,6 +26,7 @@ let create () =
     h_min = infinity;
     h_max = neg_infinity;
     buckets = Array.make n_buckets 0;
+    mu = Mutex.create ();
   }
 
 let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
@@ -40,12 +44,14 @@ let representative i =
 
 let observe t v =
   let v = Float.max 0.0 v in
+  Mutex.lock t.mu;
   t.h_count <- t.h_count + 1;
   t.h_sum <- t.h_sum +. v;
   if v < t.h_min then t.h_min <- v;
   if v > t.h_max then t.h_max <- v;
   let i = index_of v in
-  t.buckets.(i) <- t.buckets.(i) + 1
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  Mutex.unlock t.mu
 
 let count t = t.h_count
 let sum t = t.h_sum
@@ -90,8 +96,10 @@ let summarize t =
   }
 
 let reset t =
+  Mutex.lock t.mu;
   t.h_count <- 0;
   t.h_sum <- 0.0;
   t.h_min <- infinity;
   t.h_max <- neg_infinity;
-  Array.fill t.buckets 0 n_buckets 0
+  Array.fill t.buckets 0 n_buckets 0;
+  Mutex.unlock t.mu

@@ -1,9 +1,10 @@
 (** Primitive metric cells: atomic counters/gauges and monotonic timers.
 
-    Counters and gauges are [Atomic.t] ints so instrumented engines stay
-    safe if a future PR parallelizes them across domains.  Timers
-    accumulate wall-time (microseconds) and a call count; they are plain
-    mutable records — per-domain use only, like the span stack. *)
+    Every cell is safe to update from any domain: counters and gauges are
+    [Atomic.t] ints, and timers keep their call count and accumulated
+    wall-time (microseconds) in atomics as well — the pool workers in
+    [Socet_util.Pool] close spans concurrently, and each close lands in a
+    shared registry timer. *)
 
 type counter = int Atomic.t
 type gauge = int Atomic.t
@@ -19,8 +20,13 @@ val set : gauge -> int -> unit
 val set_max : gauge -> int -> unit
 (** Lock-free monotonic maximum (peak tracking, e.g. D-frontier size). *)
 
-type timer = { mutable tm_count : int; mutable tm_total_us : float }
+type timer
 
 val make_timer : unit -> timer
+
 val timer_add : timer -> float -> unit
+(** Accumulate one call of the given duration (µs); lock-free. *)
+
+val timer_count : timer -> int
+val timer_total_us : timer -> float
 val timer_reset : timer -> unit

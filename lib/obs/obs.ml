@@ -79,7 +79,7 @@ let snapshot_timers () =
   List.filter_map
     (function
       | n, Registry.Timer tm ->
-          Some (n, (tm.Metric.tm_count, tm.Metric.tm_total_us))
+          Some (n, (Metric.timer_count tm, Metric.timer_total_us tm))
       | _ -> None)
     (Registry.entries registry)
 

@@ -4,9 +4,13 @@ type entry =
   | Timer of Metric.timer
   | Histogram of Histogram.t
 
-type t = (string, entry) Hashtbl.t
+(* The table is mutated on first use of each name — which can now happen
+   on a pool worker (a span closing registers its timer) — so every
+   access goes through the mutex.  Lookups are module-init or span-close
+   frequency, never per-gate, so the lock is not on a hot path. *)
+type t = { tbl : (string, entry) Hashtbl.t; mu : Mutex.t }
 
-let create () : t = Hashtbl.create 64
+let create () : t = { tbl = Hashtbl.create 64; mu = Mutex.create () }
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -14,11 +18,16 @@ let kind_name = function
   | Timer _ -> "timer"
   | Histogram _ -> "histogram"
 
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
 let find t name ~kind ~make ~extract =
-  match Hashtbl.find_opt t name with
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.tbl name with
   | None ->
       let cell = make () in
-      Hashtbl.replace t name cell;
+      Hashtbl.replace t.tbl name cell;
       (match extract cell with Some c -> c | None -> assert false)
   | Some existing -> (
       match extract existing with
@@ -49,10 +58,12 @@ let histogram t name =
     ~extract:(function Histogram h -> Some h | _ -> None)
 
 let entries t =
-  Hashtbl.fold (fun name entry acc -> (name, entry) :: acc) t []
+  locked t @@ fun () ->
+  Hashtbl.fold (fun name entry acc -> (name, entry) :: acc) t.tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let reset t =
+  locked t @@ fun () ->
   Hashtbl.iter
     (fun _ entry ->
       match entry with
@@ -60,4 +71,4 @@ let reset t =
       | Gauge g -> Atomic.set g 0
       | Timer tm -> Metric.timer_reset tm
       | Histogram h -> Histogram.reset h)
-    t
+    t.tbl

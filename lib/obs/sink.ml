@@ -22,21 +22,31 @@ let noop =
   }
 
 let memory ?(limit = 200_000) () =
+  (* Spans close on pool workers too; the buffer is shared, so emit and
+     clear are serialized.  Uncontended locks cost nanoseconds and span
+     closes are engine-phase frequency, not per-gate. *)
+  let mu = Mutex.create () in
+  let locked f =
+    Mutex.lock mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+  in
   let stored = ref [] (* newest first *) in
   let n = ref 0 in
   let dropped = ref 0 in
   {
     emit =
       (fun ev ->
+        locked @@ fun () ->
         if !n < limit then begin
           stored := ev :: !stored;
           incr n
         end
         else incr dropped);
-    events = (fun () -> List.rev !stored);
-    dropped = (fun () -> !dropped);
+    events = (fun () -> locked @@ fun () -> List.rev !stored);
+    dropped = (fun () -> locked @@ fun () -> !dropped);
     clear =
       (fun () ->
+        locked @@ fun () ->
         stored := [];
         n := 0;
         dropped := 0);

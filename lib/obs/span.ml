@@ -1,13 +1,22 @@
 type frame = { f_name : string; f_cat : string; f_start_us : float }
 
-let stack : frame list ref = ref []
+(* One stack per domain: pool workers open and close their own spans
+   without seeing each other's frames.  Closed spans from every domain
+   still aggregate into the same shared sink and registry timers. *)
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let depth () = List.length !stack
+let stack () = Domain.DLS.get stack_key
+
+let depth () = List.length !(stack ())
 
 let enter ~name ~cat =
-  stack := { f_name = name; f_cat = cat; f_start_us = Clock.since_start_us () } :: !stack
+  let stack = stack () in
+  stack :=
+    { f_name = name; f_cat = cat; f_start_us = Clock.since_start_us () } :: !stack
 
 let leave ~sink ~registry =
+  let stack = stack () in
   match !stack with
   | [] -> ()
   | frame :: rest ->
@@ -27,4 +36,4 @@ let leave ~sink ~registry =
       in
       Metric.timer_add (Registry.timer registry timer_name) dur
 
-let reset () = stack := []
+let reset () = stack () := []

@@ -8,11 +8,13 @@
     [<cat>.<name>], which is what the stats table and [BENCH_socet.json]
     report as per-phase wall time.
 
-    The span stack is global and single-domain (like the engines today);
-    [Obs] only touches it when observability is enabled. *)
+    The span stack is per-domain (domain-local storage): pool workers
+    nest their own spans without interleaving with the submitter's stack,
+    while every close still aggregates into the shared sink and registry
+    timers.  [Obs] only touches it when observability is enabled. *)
 
 val depth : unit -> int
-(** Number of currently open spans. *)
+(** Number of currently open spans on the calling domain. *)
 
 val enter : name:string -> cat:string -> unit
 
@@ -20,4 +22,4 @@ val leave : sink:Sink.t -> registry:Registry.t -> unit
 (** Closes the innermost open span; no-op if none is open. *)
 
 val reset : unit -> unit
-(** Drop all open spans (test isolation / error recovery). *)
+(** Drop the calling domain's open spans (test isolation / recovery). *)

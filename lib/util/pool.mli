@@ -1,0 +1,55 @@
+(** Fixed domain pool with chunked work-stealing and a deterministic
+    reduction contract.
+
+    The pool owns [size () - 1] worker domains (the submitting domain is
+    the last worker), spawned lazily on the first parallel call and kept
+    alive across calls.  Work is split into chunks; idle domains steal the
+    next unclaimed chunk via a single atomic cursor, so an uneven workload
+    (e.g. faults with very different cone sizes) still load-balances.
+
+    {b Deterministic-reduction contract.}  Every combinator merges partial
+    results in {e submission order}: [parallel_map f xs] writes slot [i]
+    from [xs.(i)] no matter which domain computed it, and
+    [parallel_reduce] folds the mapped values left-to-right over the input
+    order.  Provided [f] itself is pure (or touches only atomics/
+    per-domain scratch), the N-domain result is bit-identical to the
+    1-domain result — the property the SOCET engines' qcheck determinism
+    suite pins down.
+
+    Sizing: [SOCET_DOMAINS] in the environment, or {!set_size} (the CLI's
+    [--jobs]), else [Domain.recommended_domain_count ()].  At size 1, or
+    when called from inside a pool task (nested parallelism), every
+    combinator degrades to the plain sequential loop — same results, no
+    deadlock. *)
+
+val size : unit -> int
+(** Effective pool size (>= 1): the {!set_size} override if any, else
+    [SOCET_DOMAINS], else [Domain.recommended_domain_count ()]. *)
+
+val set_size : int -> unit
+(** Override the pool size (clamped to >= 1).  An existing pool of a
+    different size is torn down and respawned on the next parallel call. *)
+
+val parallel_map : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map f xs] is [Array.map f xs] computed on the pool.
+    [chunk] is the work-stealing granularity (default [len / (4 * size)],
+    at least 1).  Output order is input order.  The first exception raised
+    by [f] is re-raised on the calling domain after all chunks settle. *)
+
+val parallel_map_list : ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [List.map f xs] on the pool; order preserved. *)
+
+val parallel_reduce :
+  ?chunk:int ->
+  map:('a -> 'b) ->
+  merge:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a array ->
+  'acc
+(** Maps on the pool, then folds [merge] sequentially over the results in
+    submission order — deterministic even when [merge] is not
+    commutative. *)
+
+val shutdown : unit -> unit
+(** Join and discard the worker domains (idempotent).  A later parallel
+    call respawns them; registered with [at_exit] automatically. *)

@@ -9,64 +9,10 @@ open Rtl_types
 open Socet_core
 module Digraph = Socet_graph.Digraph
 
-let w = 4 (* uniform register/port width keeps slice arithmetic honest *)
+let w = Gen.w (* uniform register/port width keeps slice arithmetic honest *)
 
-(* A random core: a few registers fed from earlier registers or inputs
-   (guaranteeing forward progress), every register reaching an output
-   either directly or via the chain, plus some functional-unit transfers
-   and an occasional sliced feed. *)
-let random_core rng =
-  let n_regs = 2 + Rng.int rng 6 in
-  let n_ins = 1 + Rng.int rng 2 in
-  let n_outs = 1 + Rng.int rng 2 in
-  let c = Rtl_core.create (Printf.sprintf "fuzz%d" (Rng.int rng 100000)) in
-  for i = 0 to n_ins - 1 do
-    Rtl_core.add_input c (Printf.sprintf "I%d" i) w
-  done;
-  for i = 0 to n_outs - 1 do
-    Rtl_core.add_output c (Printf.sprintf "O%d" i) w
-  done;
-  for i = 0 to n_regs - 1 do
-    Rtl_core.add_reg c (Printf.sprintf "R%d" i) w
-  done;
-  let t = Rtl_core.add_transfer c in
-  (* Register feeds: from an input or a strictly earlier register. *)
-  for i = 0 to n_regs - 1 do
-    let src =
-      if i = 0 || Rng.bool rng then Rtl_core.port c (Printf.sprintf "I%d" (Rng.int rng n_ins))
-      else Rtl_core.reg c (Printf.sprintf "R%d" (Rng.int rng i))
-    in
-    let dst = Rtl_core.reg c (Printf.sprintf "R%d" i) in
-    if Rng.int rng 4 = 0 && i > 0 then begin
-      (* Sliced feed: the two halves arrive from different places. *)
-      let src2 =
-        if Rng.bool rng then Rtl_core.port_bits c (Printf.sprintf "I%d" (Rng.int rng n_ins)) 0 1
-        else Rtl_core.reg_bits c (Printf.sprintf "R%d" (Rng.int rng i)) 0 1
-      in
-      let hi =
-        match src with
-        | { base = Eport n; _ } -> Rtl_core.port_bits c n 2 3
-        | { base = Ereg n; _ } -> Rtl_core.reg_bits c n 2 3
-      in
-      t ~src:hi ~dst:(Rtl_core.reg_bits c (Printf.sprintf "R%d" i) 2 3) ();
-      t ~src:src2 ~dst:(Rtl_core.reg_bits c (Printf.sprintf "R%d" i) 0 1) ()
-    end
-    else t ~src ~dst ();
-    (* Occasional functional unit for gate-level variety. *)
-    if Rng.int rng 3 = 0 then
-      t
-        ~kind:(Logic (Fxor (Rtl_core.reg c (Printf.sprintf "R%d" (Rng.int rng (i + 1))))))
-        ~src:dst ~dst ()
-  done;
-  (* Outputs: each from a random register (direct). *)
-  for o = 0 to n_outs - 1 do
-    t ~kind:Direct
-      ~src:(Rtl_core.reg c (Printf.sprintf "R%d" (Rng.int rng n_regs)))
-      ~dst:(Rtl_core.port c (Printf.sprintf "O%d" o))
-      ()
-  done;
-  Rtl_core.validate c;
-  c
+(* The random-core generator lives in [Gen] (shared with test_parallel). *)
+let random_core = Gen.random_core
 
 let check = Alcotest.(check bool)
 
