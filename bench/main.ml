@@ -175,14 +175,7 @@ let fig10 () =
 (* ------------------------------------------------------------------ *)
 
 let min_tapp_point soc ~max_area =
-  let traj = Select.minimize_time soc ~max_area in
-  List.fold_left
-    (fun best p ->
-      match best with
-      | Some b when b.Select.pt_time <= p.Select.pt_time -> best
-      | _ -> Some p)
-    None traj
-  |> Option.get
+  Select.best_time_point (Select.minimize_time soc ~max_area)
 
 let table1 () =
   section "Table 1: design space exploration for System 1";
@@ -625,6 +618,70 @@ let resilience_section () =
   show "recovered (chaos off)" (Resilient.plan soc1 ~choice:(all_v1 soc1) ())
 
 (* ------------------------------------------------------------------ *)
+(* Optimizer: memoized vs oracle iterative improvement                 *)
+(* ------------------------------------------------------------------ *)
+
+(* (system, [(mode, (wall_ms, steps, full_builds, memo_hits))]) —
+   stashed for the BENCH_socet.json "optimizer" section. *)
+let optimizer_results :
+    (string * (string * (float * int * int * int)) list) list ref =
+  ref []
+
+let optimizer_section () =
+  section "Optimizer: memoized vs oracle minimize_time (max_area 600)";
+  let run soc ~use_memo =
+    let c0 = Obs.snapshot_counters () in
+    let t0 = Unix.gettimeofday () in
+    ignore (Select.minimize_time ~use_memo soc ~max_area:600);
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let c1 = Obs.snapshot_counters () in
+    let delta name =
+      Option.value ~default:0 (List.assoc_opt name c1)
+      - Option.value ~default:0 (List.assoc_opt name c0)
+    in
+    ( wall_ms,
+      delta "core.select.opt_steps",
+      delta "core.schedule.full_builds",
+      delta "core.select.opt_memo_hits" )
+  in
+  let rows =
+    List.concat_map
+      (fun soc ->
+        List.map
+          (fun (mode, use_memo) ->
+            let ((wall_ms, steps, full_builds, memo_hits) as r) =
+              run soc ~use_memo
+            in
+            (match
+               List.assoc_opt soc.Soc.soc_name !optimizer_results
+             with
+            | Some modes ->
+                optimizer_results :=
+                  (soc.Soc.soc_name, (mode, r) :: modes)
+                  :: List.remove_assoc soc.Soc.soc_name !optimizer_results
+            | None ->
+                optimizer_results :=
+                  (soc.Soc.soc_name, [ (mode, r) ]) :: !optimizer_results);
+            [
+              soc.Soc.soc_name;
+              mode;
+              Printf.sprintf "%.1f" wall_ms;
+              string_of_int steps;
+              string_of_int full_builds;
+              string_of_int memo_hits;
+            ])
+          [ ("memoized", true); ("oracle", false) ])
+      [ soc1; soc2 ]
+  in
+  Ascii_table.print
+    ~header:
+      [ "system"; "mode"; "wall (ms)"; "opt steps"; "full builds"; "memo hits" ]
+    rows;
+  Printf.printf
+    "Same trajectories either way (test_select enforces bit-identity); the \
+     memo replaces full schedule builds with per-core route reuse.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Parallel scaling: domain-pool sweep                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -835,12 +892,33 @@ let write_bench_json file =
                  @ [ ("speedup_4", Json.Num (t1 /. List.assoc 4 times)) ]) ))
            !parallel_results)
   in
+  let optimizer_json =
+    Json.Obj
+      (List.rev_map
+         (fun (system, modes) ->
+           ( system,
+             Json.Obj
+               (List.rev_map
+                  (fun (mode, (wall_ms, steps, full_builds, memo_hits)) ->
+                    ( mode,
+                      Json.Obj
+                        [
+                          ("wall_ms", Json.Num wall_ms);
+                          ("steps", Json.Num (float_of_int steps));
+                          ( "full_builds",
+                            Json.Num (float_of_int full_builds) );
+                          ("memo_hits", Json.Num (float_of_int memo_hits));
+                        ] ))
+                  modes) ))
+         !optimizer_results)
+  in
   let doc =
     Json.Obj
       [
         ("bench", Json.Str "socet");
         ("paper", Json.Str "DAC'98 Ghosh/Dey/Jha");
         ("phases", Json.Obj (List.map phase bench_phases));
+        ("optimizer", optimizer_json);
         ("parallel", parallel_json);
         ( "counters",
           Json.Obj
@@ -875,6 +953,7 @@ let () =
   bist_section ();
   diagnosis_section ();
   resilience_section ();
+  optimizer_section ();
   parallel_section ();
   bechamel_suite ();
   write_bench_json "BENCH_socet.json";

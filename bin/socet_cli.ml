@@ -217,17 +217,23 @@ let cmd_space opts system =
 (* socet explore <system>                                              *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_explore opts system objective max_area max_time =
+let cmd_explore opts system objective max_area max_time search_budget no_memo =
   with_obs opts @@ fun () ->
   match system_of_name system with
   | Error e ->
       prerr_endline e;
       1
   | Ok soc ->
+      let budget =
+        Option.map
+          (fun steps -> Socet_util.Budget.create ~label:"select.opt" ~steps ())
+          search_budget
+      in
+      let use_memo = not no_memo in
       let traj =
         match objective with
-        | `Time -> Select.minimize_time soc ~max_area
-        | `Area -> Select.minimize_area soc ~max_time
+        | `Time -> Select.minimize_time ?budget ~use_memo soc ~max_area
+        | `Area -> Select.minimize_area ?budget ~use_memo soc ~max_time
       in
       Socet_util.Ascii_table.print
         ~header:[ "step"; "versions"; "muxes"; "area"; "TAT" ]
@@ -244,7 +250,15 @@ let cmd_explore opts system objective max_area max_time =
                string_of_int p.Select.pt_time;
              ])
            traj);
-      0
+      let best = Select.best_time_point traj in
+      Printf.printf "best: area %d cells, TAT %d cycles\n" best.Select.pt_area
+        best.Select.pt_time;
+      match budget with
+      | Some b when Socet_util.Budget.exhausted b ->
+          Printf.eprintf
+            "search budget exhausted; reporting best point found so far\n";
+          exit_exhausted
+      | _ -> 0
 
 (* ------------------------------------------------------------------ *)
 (* socet coverage <system>                                             *)
@@ -469,7 +483,29 @@ let explore_t =
   let max_time =
     Arg.(value & opt int 5000 & info [ "max-time" ] ~doc:"TAT bound in cycles.")
   in
-  Term.(const cmd_explore $ obs_opts_t $ system_arg $ objective $ max_area $ max_time)
+  let search_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "search-budget" ] ~docv:"NODES"
+          ~doc:
+            "Bound the optimizer search, in node-expansion units \
+             (comparable to core.tsearch.nodes_expanded).  On exhaustion \
+             the best point found so far is reported and the exit status \
+             is 4.")
+  in
+  let no_memo =
+    Arg.(
+      value & flag
+      & info [ "no-memo" ]
+          ~doc:
+            "Disable the route memo (one full schedule build per candidate \
+             move).  Produces identical points; used to cross-check the \
+             memoized search.")
+  in
+  Term.(
+    const cmd_explore $ obs_opts_t $ system_arg $ objective $ max_area
+    $ max_time $ search_budget $ no_memo)
 
 let coverage_t =
   let cycles =

@@ -126,8 +126,11 @@ let justify_input ?(allow_smux = true) ccg bookings ~input =
     | None ->
         (* No existing access: bolt a system-level test mux onto the first
            PI (paper: "we add a system-level test multiplexer to connect
-           the input of the core directly to a PI"). *)
-        Obs.incr c_smux_fallbacks;
+           the input of the core directly to a PI").  Not counted here:
+           the caller may still discard this route (a rejected optimizer
+           move, a probe), so [access.smux_fallbacks] is incremented only
+           for routes that make it into an assembled schedule — see
+           [record_committed_fallbacks]. *)
         let pi = List.hd sources in
         let width = port_width ccg input in
         let e = Ccg.add_smux ccg ~src:pi ~dst:input ~width in
@@ -153,7 +156,6 @@ let observe_output ?(allow_smux = true) ccg bookings ~output =
     | Some tp -> Some (commit bookings tp output)
     | None when not allow_smux -> None
     | None ->
-        Obs.incr c_smux_fallbacks;
         let po = List.hd goals in
         let width = port_width ccg output in
         let e = Ccg.add_smux ccg ~src:output ~dst:po ~width in
@@ -165,6 +167,11 @@ let observe_output ?(allow_smux = true) ccg bookings ~output =
             r_arrival = 0;
             r_added_smux = Some (output, po, width);
           }
+
+let record_committed_fallbacks routes =
+  List.iter
+    (fun r -> if r.r_added_smux <> None then Obs.incr c_smux_fallbacks)
+    routes
 
 let edge_usage routes =
   let tbl = Hashtbl.create 32 in

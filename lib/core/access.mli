@@ -36,6 +36,14 @@ val observe_output :
   ?allow_smux:bool -> Ccg.t -> bookings -> output:int -> route option
 (** Same, from a core output node to any chip PO. *)
 
+val record_committed_fallbacks : route list -> unit
+(** Bump [access.smux_fallbacks] once per route that carries a forced
+    system-level test mux ([r_added_smux]).  Called by
+    [Schedule.assemble] on the routes that actually enter a schedule:
+    counting at mux-insertion time instead would double-count fallbacks
+    whose route the caller then discards (probes, rejected optimizer
+    moves). *)
+
 val edge_usage : route list -> (string * int * int, int) Hashtbl.t
 (** Counts, per (instance, RCG input node, RCG output node), how many
     routed paths use each transparency edge — the raw material for the

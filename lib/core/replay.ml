@@ -1,0 +1,217 @@
+module Digraph = Socet_graph.Digraph
+module Interval_set = Socet_util.Interval_set
+module Bitvec = Socet_util.Bitvec
+module Obs = Socet_obs.Obs
+module Rcg = Socet_rtl.Rcg
+
+let c_checks = Obs.counter ~scope:"core" "replay.checks"
+
+type issue =
+  | Wrong_core_time of { inst : string; claimed : int; replayed : int }
+  | Wrong_total_time of { claimed : int; replayed : int }
+  | Double_booked of {
+      inst : string;
+      side : [ `Justify | `Observe ];
+      resource : Ccg.resource;
+      cycle : int;
+    }
+  | Wrong_latency of {
+      inst : string;
+      pr_in : int;
+      pr_out : int;
+      claimed : int;
+      ladder : int;
+    }
+  | Gate_check_failed of { inst : string; pr_in : int; pr_out : int }
+
+let pp_issue = function
+  | Wrong_core_time { inst; claimed; replayed } ->
+      Printf.sprintf "%s: claimed test time %d, replay gives %d" inst claimed
+        replayed
+  | Wrong_total_time { claimed; replayed } ->
+      Printf.sprintf "total: claimed TAT %d, replay gives %d" claimed replayed
+  | Double_booked { inst; side; resource; cycle } ->
+      Printf.sprintf "%s (%s): resource %s double-booked at cycle %d" inst
+        (match side with `Justify -> "justify" | `Observe -> "observe")
+        (match resource with
+        | Ccg.R_edge (i, e) -> Printf.sprintf "%s/edge%d" i e
+        | Ccg.R_port (i, p) -> Printf.sprintf "%s/port%d" i p)
+        cycle
+  | Wrong_latency { inst; pr_in; pr_out; claimed; ladder } ->
+      Printf.sprintf
+        "%s: transparency %d->%d rides latency %d, version ladder says %d"
+        inst pr_in pr_out claimed ladder
+  | Gate_check_failed { inst; pr_in; pr_out } ->
+      Printf.sprintf "%s: gate-level simulation lost bits on pair %d->%d" inst
+        pr_in pr_out
+
+let edge_latency (e : Ccg.cedge Digraph.edge) =
+  match e.Digraph.label with
+  | Ccg.Transp { latency; _ } -> latency
+  | Ccg.Wire | Ccg.Smux _ -> 0
+
+let edge_resources (e : Ccg.cedge Digraph.edge) =
+  match e.Digraph.label with
+  | Ccg.Transp { resources; _ } -> resources
+  | Ccg.Wire | Ccg.Smux _ -> []
+
+(* Re-book one side's routes, in route order, into fresh calendars and
+   flag any window that was already taken.  Mirrors [Access.reserve]:
+   only latency-bearing edges occupy their resources, for
+   [departure, departure + latency). *)
+let replay_side ~inst ~side routes add_issue =
+  let cal : (Ccg.resource, Interval_set.t ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Access.route) ->
+      List.iter2
+        (fun e dep ->
+          let lat = edge_latency e in
+          if lat > 0 then
+            List.iter
+              (fun res ->
+                let c =
+                  match Hashtbl.find_opt cal res with
+                  | Some c -> c
+                  | None ->
+                      let c = ref Interval_set.empty in
+                      Hashtbl.replace cal res c;
+                      c
+                in
+                if Interval_set.overlaps !c ~lo:dep ~hi:(dep + lat) then
+                  add_issue (Double_booked { inst; side; resource = res; cycle = dep })
+                else c := Interval_set.add !c ~lo:dep ~hi:(dep + lat))
+              (edge_resources e))
+        r.Access.r_edges r.Access.r_departures)
+    routes
+
+let version_for soc choice inst =
+  let ci = Soc.inst soc inst in
+  let k = Option.value ~default:1 (List.assoc_opt inst choice) in
+  (ci, Soc.version_of ci k)
+
+let pair_of (v : Version.t) ~pr_in ~pr_out =
+  List.find_opt
+    (fun (p : Version.pair) ->
+      p.Version.pr_input = pr_in && p.Version.pr_output = pr_out)
+    v.Version.v_pairs
+
+(* Gate-level check of one transparency pair: drive the elaborated core
+   with a couple of bit patterns and demand every bit lands where the
+   path's slice algebra says.  Only propagation-shaped solutions are
+   simulable this way (terminals are output nodes; justification
+   solutions store their input terminals instead), and paths riding
+   synthesized edges ([e_transfer < 0]) have no gate realization to
+   simulate — both are skipped, as in the transparency test suite. *)
+let gate_check rcg (p : Version.pair) =
+  let sol = p.Version.pr_sol in
+  let prop_shaped =
+    sol.Tsearch.s_terminals <> []
+    && List.for_all
+         (fun t -> (Rcg.node rcg t).Rcg.n_kind = Rcg.Out)
+         sol.Tsearch.s_terminals
+  in
+  let synthesized =
+    List.exists
+      (fun (e : Rcg.edge_label Digraph.edge) -> e.Digraph.label.Rcg.e_transfer < 0)
+      sol.Tsearch.s_edges
+  in
+  if (not prop_shaped) || synthesized then None
+  else
+    let node = Rcg.node rcg p.Version.pr_input in
+    let width = node.Rcg.n_width in
+    let mask = (1 lsl width) - 1 in
+    let ok =
+      List.for_all
+        (fun bits ->
+          Tsim.check_propagation rcg sol ~input:node.Rcg.n_name
+            ~value:(Bitvec.of_int ~width bits))
+        [ 0x55 land mask; 0xAA land mask; mask ]
+    in
+    Some ok
+
+let check ?(gate_level = false) (sched : Schedule.t) =
+  Obs.incr c_checks;
+  let ccg = sched.Schedule.s_ccg in
+  let soc = ccg.Ccg.soc in
+  let choice = ccg.Ccg.choice in
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  let gate_seen = Hashtbl.create 8 in
+  List.iter
+    (fun (t : Schedule.core_test) ->
+      let ci = Soc.inst soc t.Schedule.ct_inst in
+      (* Independent TAT arithmetic from the routes up (paper Sec. 5.1:
+         period = justification makespan, observation overlaps the next
+         vector and only adds a tail). *)
+      let makespan routes =
+        List.fold_left
+          (fun acc (r : Access.route) -> max acc r.Access.r_arrival)
+          0 routes
+      in
+      let period = max 1 (makespan t.Schedule.ct_justify) in
+      let tail =
+        max 0 (ci.Soc.ci_hscan.Socet_scan.Hscan.depth - 1)
+        + makespan t.Schedule.ct_observe
+      in
+      let vectors = Soc.hscan_vectors ci in
+      let replayed = (vectors * period) + tail in
+      if
+        replayed <> t.Schedule.ct_time
+        || period <> t.Schedule.ct_period
+        || tail <> t.Schedule.ct_tail
+        || vectors <> t.Schedule.ct_vectors
+      then
+        add
+          (Wrong_core_time
+             { inst = t.Schedule.ct_inst; claimed = t.Schedule.ct_time; replayed });
+      replay_side ~inst:t.Schedule.ct_inst ~side:`Justify t.Schedule.ct_justify
+        add;
+      replay_side ~inst:t.Schedule.ct_inst ~side:`Observe t.Schedule.ct_observe
+        add;
+      (* Every transparency edge ridden must carry exactly the latency
+         the chosen version's ladder assigns to that pair. *)
+      List.iter
+        (fun (r : Access.route) ->
+          List.iter
+            (fun (e : Ccg.cedge Digraph.edge) ->
+              match e.Digraph.label with
+              | Ccg.Wire | Ccg.Smux _ -> ()
+              | Ccg.Transp { inst; pr_in; pr_out; latency; _ } -> (
+                  let cci, v = version_for soc choice inst in
+                  match pair_of v ~pr_in ~pr_out with
+                  | None ->
+                      add
+                        (Wrong_latency
+                           { inst; pr_in; pr_out; claimed = latency; ladder = -1 })
+                  | Some p ->
+                      if p.Version.pr_latency <> latency then
+                        add
+                          (Wrong_latency
+                             {
+                               inst;
+                               pr_in;
+                               pr_out;
+                               claimed = latency;
+                               ladder = p.Version.pr_latency;
+                             })
+                      else if
+                        gate_level
+                        && not (Hashtbl.mem gate_seen (inst, pr_in, pr_out))
+                      then begin
+                        Hashtbl.replace gate_seen (inst, pr_in, pr_out) ();
+                        match gate_check cci.Soc.ci_rcg p with
+                        | Some false ->
+                            add (Gate_check_failed { inst; pr_in; pr_out })
+                        | Some true | None -> ()
+                      end))
+            r.Access.r_edges)
+        (t.Schedule.ct_justify @ t.Schedule.ct_observe))
+    sched.Schedule.s_tests;
+  let total =
+    List.fold_left
+      (fun acc (t : Schedule.core_test) -> acc + t.Schedule.ct_time)
+      0 sched.Schedule.s_tests
+  in
+  if total <> sched.Schedule.s_total_time then
+    add (Wrong_total_time { claimed = sched.Schedule.s_total_time; replayed = total });
+  List.rev !issues

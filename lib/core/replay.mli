@@ -1,0 +1,56 @@
+(** Golden-model validation of a chip-level schedule.
+
+    [Schedule.build] claims a test application time and a set of access
+    routes for every core; the optimizer ({!Select}) additionally reuses
+    memoized routes across design points.  This module re-derives every
+    claim from the schedule's raw routes and the SOC description, sharing
+    {e no} arithmetic with the scheduler beyond the paper's formulas:
+
+    - each core's period/tail/time is recomputed from the routes' arrival
+      times, the HSCAN depth and the vector count, and compared against
+      the [core_test] fields and the claimed total;
+    - every route's resource reservations are re-booked, per side, into
+      fresh calendars in route order and checked for double-booking
+      (reserved CCG resources must never overlap, mirroring
+      [Access.reserve]);
+    - every transparency edge ridden is cross-checked against the chosen
+      version's pair ladder ([Soc.version_of]): the edge must exist there
+      with exactly the latency the route paid for;
+    - optionally ([gate_level]), each distinct transparency pair used is
+      simulated on the elaborated core netlist ({!Tsim.check_propagation})
+      with alternating and all-ones patterns — the claim that data really
+      rides the path is checked at the gate level.  Pairs whose solution
+      uses synthesized edges, or is not propagation-shaped, have no gate
+      realization and are skipped (as in the transparency test suite).
+
+    Budget-degraded schedules (cores stubbed with no routes by an
+    exhausted [Schedule.build ?budget]) intentionally fail replay — the
+    stub's zero period is not reproducible from its (empty) routes.  The
+    optimizer never produces such points: its search budget bounds the
+    {e number} of evaluations, never the evaluation itself. *)
+
+type issue =
+  | Wrong_core_time of { inst : string; claimed : int; replayed : int }
+  | Wrong_total_time of { claimed : int; replayed : int }
+  | Double_booked of {
+      inst : string;
+      side : [ `Justify | `Observe ];
+      resource : Ccg.resource;
+      cycle : int;
+    }
+  | Wrong_latency of {
+      inst : string;
+      pr_in : int;
+      pr_out : int;
+      claimed : int;
+      ladder : int;  (** [-1] when the pair is absent from the ladder *)
+    }
+  | Gate_check_failed of { inst : string; pr_in : int; pr_out : int }
+
+val pp_issue : issue -> string
+
+val check : ?gate_level:bool -> Schedule.t -> issue list
+(** Replays the schedule; [[]] means every claim was reproduced.
+    [gate_level] (default false) adds the netlist simulation of used
+    transparency pairs — slower, used on the optimizer's final points
+    rather than every trajectory step. *)

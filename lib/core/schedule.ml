@@ -4,6 +4,12 @@ module Obs = Socet_obs.Obs
 
 let c_builds = Obs.counter ~scope:"core" "schedule.builds"
 
+(* [full_builds] counts whole [build] calls (fresh CCG + every core
+   re-routed); [builds] counts assembled schedules however their parts
+   were obtained.  The gap between the two is what the Select route memo
+   saves the optimizer. *)
+let c_full_builds = Obs.counter ~scope:"core" "schedule.full_builds"
+
 type core_test = {
   ct_inst : string;
   ct_vectors : int;
@@ -100,11 +106,33 @@ let build_core_test ?budget ccg ci =
     let observe = observe_routes ccg name in
     core_test_of_routes ci ~justify ~observe
 
+(* Turn explicitly requested system-level test muxes into real CCG edges
+   so routing can use them; returns their total area cost. *)
+let install_smuxes soc ccg smuxes =
+  List.fold_left
+    (fun acc { sm_inst; sm_port; sm_dir } ->
+      let width =
+        (Socet_rtl.Rtl_core.find_port (Soc.inst soc sm_inst).Soc.ci_core sm_port)
+          .Socet_rtl.Rtl_core.p_width
+      in
+      (match sm_dir with
+      | `In ->
+          let pi = Ccg.node_id ccg (Ccg.N_pi (fst (List.hd soc.Soc.soc_pis))) in
+          let dst = Ccg.node_id ccg (Ccg.N_cin (sm_inst, sm_port)) in
+          ignore (Ccg.add_smux ccg ~src:pi ~dst ~width)
+      | `Out ->
+          let po = Ccg.node_id ccg (Ccg.N_po (fst (List.hd soc.Soc.soc_pos))) in
+          let src = Ccg.node_id ccg (Ccg.N_cout (sm_inst, sm_port)) in
+          ignore (Ccg.add_smux ccg ~src ~dst:po ~width));
+      acc + Ccg.smux_cost ~width)
+    0 smuxes
+
 let assemble soc ~choice ?(n_requested = 0) ?(requested_cost = 0) ccg tests =
   Obs.incr c_builds;
   let all_routes =
     List.concat_map (fun t -> t.ct_justify @ t.ct_observe) tests
   in
+  Access.record_committed_fallbacks all_routes;
   let forced_cost =
     List.fold_left
       (fun acc (r : Access.route) ->
@@ -142,34 +170,12 @@ let assemble soc ~choice ?(n_requested = 0) ?(requested_cost = 0) ccg tests =
 
 let build ?budget soc ~choice ?(smuxes = []) () =
   Obs.with_span ~cat:"core" "schedule.build" @@ fun () ->
+  Obs.incr c_full_builds;
   let ccg = Ccg.build soc ~choice in
-  (* Explicitly requested system-level test muxes become real CCG edges up
-     front, so routing can use them. *)
-  let requested_cost = ref 0 in
-  List.iter
-    (fun { sm_inst; sm_port; sm_dir } ->
-      let width =
-        (Socet_rtl.Rtl_core.find_port (Soc.inst soc sm_inst).Soc.ci_core sm_port)
-          .Socet_rtl.Rtl_core.p_width
-      in
-      requested_cost := !requested_cost + Ccg.smux_cost ~width;
-      match sm_dir with
-      | `In ->
-          let pi =
-            Ccg.node_id ccg (Ccg.N_pi (fst (List.hd soc.Soc.soc_pis)))
-          in
-          let dst = Ccg.node_id ccg (Ccg.N_cin (sm_inst, sm_port)) in
-          ignore (Ccg.add_smux ccg ~src:pi ~dst ~width)
-      | `Out ->
-          let po =
-            Ccg.node_id ccg (Ccg.N_po (fst (List.hd soc.Soc.soc_pos)))
-          in
-          let src = Ccg.node_id ccg (Ccg.N_cout (sm_inst, sm_port)) in
-          ignore (Ccg.add_smux ccg ~src ~dst:po ~width))
-    smuxes;
+  let requested_cost = install_smuxes soc ccg smuxes in
   let tests = List.map (build_core_test ?budget ccg) soc.Soc.insts in
-  assemble soc ~choice ~n_requested:(List.length smuxes)
-    ~requested_cost:!requested_cost ccg tests
+  assemble soc ~choice ~n_requested:(List.length smuxes) ~requested_cost ccg
+    tests
 
 let involved_cores t =
   let insts =

@@ -64,6 +64,14 @@ val build :
     computed {e after} such a mutation within the same [ccg] — is specific
     to that build and must not be reused against a fresh CCG. *)
 
+val install_smuxes : Soc.t -> Ccg.t -> smux_request list -> int
+(** Insert the requested system-level test muxes as CCG edges (an [`In]
+    request bridges the first chip PI to the port, [`Out] the port to the
+    first chip PO) and return their total area cost — the
+    [requested_cost] to pass to {!assemble}.  [build] and the Select
+    memo path share this so requested muxes mean exactly the same edges
+    on both. *)
+
 val justify_routes : Ccg.t -> string -> Access.route list
 (** Justification routes for the named core's inputs: slowest first
     (empty-calendar probe), then routed against one shared calendar.
@@ -93,7 +101,11 @@ val assemble :
   core_test list ->
   t
 (** Totals per-core tests into a schedule (costs, usage, controller);
-    increments the [core.schedule.builds] counter. *)
+    increments the [core.schedule.builds] counter and, via
+    [Access.record_committed_fallbacks], counts the forced-mux fallbacks
+    that actually enter the schedule.  [core.schedule.full_builds]
+    counts only whole {!build} calls, so [builds - full_builds] is the
+    number of schedules assembled from (partly) memoized routes. *)
 
 (** {2 Overlapped scheduling (extension beyond the paper)}
 

@@ -5,10 +5,14 @@ module Pool = Socet_util.Pool
 (* Observability: the iterative-improvement optimizer is measured in
    design points evaluated (each one a full schedule build) and in
    improvement steps taken.  [memo_hits] counts per-core tests served
-   from the design-space memo table instead of being re-routed. *)
+   from the route memo instead of being re-routed; [opt_steps] /
+   [opt_memo_hits] are the same signals restricted to the bounded
+   optimizer loops (vs the exhaustive design-space sweep). *)
 let c_evals = Obs.counter ~scope:"core" "select.points_evaluated"
 let c_steps = Obs.counter ~scope:"core" "select.steps"
 let c_memo_hits = Obs.counter ~scope:"core" "select.memo_hits"
+let c_opt_steps = Obs.counter ~scope:"core" "select.opt_steps"
+let c_opt_memo_hits = Obs.counter ~scope:"core" "select.opt_memo_hits"
 
 type point = {
   pt_choice : (string * int) list;
@@ -78,6 +82,136 @@ let dependency_sets soc =
       (name, names_in (reach preds name), names_in (reach succs name)))
     soc.Soc.insts
 
+(* ------------------------------------------------------------------ *)
+(* Route memo with smux-request-aware keys                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A memo key pins down everything a core's per-side routing can see:
+
+   - the versions of the cores on that side's dependency set (their
+     transparency edges are the only latency-bearing edges a route to /
+     from the core can ride);
+
+   - the subset of the requested system-level test muxes whose endpoint
+     touches the core's cone on that side.  An [`In] request only adds a
+     PI -> input edge, so it can shorten a justify route exactly when
+     its target core is in (or is) the core's backward cone; dually an
+     [`Out] request (output -> PO) matters only to observe routes of its
+     forward cone.  Any other requested mux adds edges the route cannot
+     reach, and [Search.dijkstra_timed]'s deterministic tie-breaking
+     guarantees unreachable edges never change the returned path — so
+     two evaluations agreeing on the key get bit-identical routes.
+
+   Forced muxes (router fallbacks) mutate the CCG mid-evaluation; from
+   the first one on, neither lookups nor stores are sound for the rest
+   of that evaluation ([clean] below), exactly as in the design-space
+   sweep. *)
+type memo = {
+  mm_soc : Soc.t;
+  mm_deps : (string * string list * string list) list;
+  mm_tbl :
+    ( string * [ `J | `O ] * (string * int) list * Schedule.smux_request list,
+      Access.route list )
+    Hashtbl.t;
+  mm_mu : Mutex.t;
+}
+
+let memo soc =
+  {
+    mm_soc = soc;
+    mm_deps = dependency_sets soc;
+    mm_tbl = Hashtbl.create 64;
+    mm_mu = Mutex.create ();
+  }
+
+let memo_find m key =
+  Mutex.lock m.mm_mu;
+  let r = Hashtbl.find_opt m.mm_tbl key in
+  Mutex.unlock m.mm_mu;
+  r
+
+let memo_store m key routes =
+  Mutex.lock m.mm_mu;
+  if not (Hashtbl.mem m.mm_tbl key) then Hashtbl.add m.mm_tbl key routes;
+  Mutex.unlock m.mm_mu
+
+let has_forced_smux routes =
+  List.exists (fun (r : Access.route) -> r.Access.r_added_smux <> None) routes
+
+let relevant_smuxes ~side ~name ~cone smuxes =
+  List.sort compare
+    (List.filter
+       (fun (sm : Schedule.smux_request) ->
+         (match (side, sm.Schedule.sm_dir) with
+         | `J, `In | `O, `Out -> true
+         | `J, `Out | `O, `In -> false)
+         && (sm.Schedule.sm_inst = name || List.mem sm.Schedule.sm_inst cone))
+       smuxes)
+
+(* One design-point evaluation through the memo: same pieces as
+   [Schedule.build] ([Ccg.build] + [install_smuxes] + per-core routing +
+   [assemble]), with each core's justify/observe routes served from the
+   memo when their key matches.  Returns the point and the number of
+   route computations that missed (the full-build-equivalent work
+   actually done — the optimizer's budget charge). *)
+let eval_with_memo ?(opt = false) m ~choice ~smuxes () =
+  Obs.incr c_evals;
+  let soc = m.mm_soc in
+  let ccg = Ccg.build soc ~choice in
+  let requested_cost = Schedule.install_smuxes soc ccg smuxes in
+  let clean = ref true in
+  let misses = ref 0 in
+  let routes_for ~side ~compute name cone =
+    let key =
+      ( name,
+        side,
+        List.map
+          (fun d -> (d, Option.value ~default:1 (List.assoc_opt d choice)))
+          cone,
+        relevant_smuxes ~side ~name ~cone smuxes )
+    in
+    match (if !clean then memo_find m key else None) with
+    | Some routes ->
+        Obs.incr c_memo_hits;
+        if opt then Obs.incr c_opt_memo_hits;
+        routes
+    | None ->
+        incr misses;
+        let routes = compute ccg name in
+        if has_forced_smux routes then clean := false
+        else if !clean then memo_store m key routes;
+        routes
+  in
+  let tests =
+    List.map
+      (fun ci ->
+        let name = ci.Soc.ci_name in
+        let _, back, fwd = List.find (fun (n, _, _) -> n = name) m.mm_deps in
+        let justify =
+          routes_for ~side:`J ~compute:Schedule.justify_routes name back
+        in
+        let observe =
+          routes_for ~side:`O ~compute:Schedule.observe_routes name fwd
+        in
+        Schedule.core_test_of_routes ci ~justify ~observe)
+      soc.Soc.insts
+  in
+  let s =
+    Schedule.assemble soc ~choice ~n_requested:(List.length smuxes)
+      ~requested_cost ccg tests
+  in
+  ( {
+      pt_choice = choice;
+      pt_smuxes = smuxes;
+      pt_schedule = s;
+      pt_area = s.Schedule.s_area_overhead;
+      pt_time = s.Schedule.s_total_time;
+    },
+    !misses )
+
+let evaluate_memo m ~choice ?(smuxes = []) () =
+  fst (eval_with_memo m ~choice ~smuxes ())
+
 let design_space soc =
   Obs.with_span ~cat:"core" "select.design_space" @@ fun () ->
   (* [ci_atpg] is a [Lazy.t], which is not safe to force concurrently:
@@ -97,81 +231,8 @@ let design_space soc =
         let tails = expand rest in
         List.concat_map (fun k -> List.map (fun t -> (name, k) :: t) tails) ks
   in
-  let deps = dependency_sets soc in
-  (* Route memo, one entry per (core, versions of the cores that side's
-     routes can traverse).  Justify and observe key on their own
-     dependency sides, so e.g. in a PREP -> CPU -> DISPLAY chain CPU's
-     justify routes are shared across every DISPLAY version. *)
-  let memo : (string * [ `J | `O ] * (string * int) list, Access.route list) Hashtbl.t
-      =
-    Hashtbl.create 64
-  in
-  let memo_mu = Mutex.create () in
-  let memo_find key =
-    Mutex.lock memo_mu;
-    let r = Hashtbl.find_opt memo key in
-    Mutex.unlock memo_mu;
-    r
-  in
-  let memo_store key routes =
-    Mutex.lock memo_mu;
-    if not (Hashtbl.mem memo key) then Hashtbl.add memo key routes;
-    Mutex.unlock memo_mu
-  in
-  let has_forced_smux routes =
-    List.exists (fun (r : Access.route) -> r.Access.r_added_smux <> None) routes
-  in
-  let eval_choice choice =
-    Obs.incr c_evals;
-    let ccg = Ccg.build soc ~choice in
-    (* [clean] turns false at the first forced system-level mux: from
-       then on the CCG is mutated, so neither memo lookups nor stores
-       are sound for the rest of this design point. *)
-    let clean = ref true in
-    let routes_for ~side ~compute name dep_names =
-      let key =
-        ( name,
-          side,
-          List.map
-            (fun d -> (d, Option.value ~default:1 (List.assoc_opt d choice)))
-            dep_names )
-      in
-      match (if !clean then memo_find key else None) with
-      | Some routes ->
-          Obs.incr c_memo_hits;
-          routes
-      | None ->
-          let routes = compute ccg name in
-          if has_forced_smux routes then clean := false
-          else if !clean then memo_store key routes;
-          routes
-    in
-    let tests =
-      List.map
-        (fun ci ->
-          let name = ci.Soc.ci_name in
-          let _, back, fwd =
-            List.find (fun (n, _, _) -> n = name) deps
-          in
-          let justify =
-            routes_for ~side:`J ~compute:Schedule.justify_routes name back
-          in
-          let observe =
-            routes_for ~side:`O ~compute:Schedule.observe_routes name fwd
-          in
-          Schedule.core_test_of_routes ci ~justify ~observe)
-        soc.Soc.insts
-    in
-    let s = Schedule.assemble soc ~choice ccg tests in
-    {
-      pt_choice = choice;
-      pt_smuxes = [];
-      pt_schedule = s;
-      pt_area = s.Schedule.s_area_overhead;
-      pt_time = s.Schedule.s_total_time;
-    }
-  in
-  Pool.parallel_map_list eval_choice (expand axes)
+  let m = memo soc in
+  Pool.parallel_map_list (fun choice -> evaluate_memo m ~choice ()) (expand axes)
 
 (* Estimated test-time gain of stepping [inst] to its next version:
    usage count of each transparency pair times its latency drop
@@ -266,8 +327,9 @@ let bump choice inst k =
   (inst, k) :: List.remove_assoc inst choice
 
 (* One optimizer step; [pick] chooses among (inst, next, dTAT, dA)
-   candidates.  Returns the improved point, or None when out of moves. *)
-let step soc point ~pick =
+   candidates and [eval] evaluates the move (memoized or not).  Returns
+   the improved point, or None when out of moves. *)
+let step soc ~eval point ~pick =
   Obs.incr c_steps;
   let candidates =
     List.filter_map
@@ -283,10 +345,7 @@ let step soc point ~pick =
     match critical_smux point with
     | None -> None
     | Some m ->
-        Some
-          (evaluate soc
-             ~choice:point.pt_choice
-             ~smuxes:(m :: point.pt_smuxes) ())
+        Some (eval ~choice:point.pt_choice ~smuxes:(m :: point.pt_smuxes))
   in
   match version_move with
   | Some (inst, k, _dtat, da) ->
@@ -299,65 +358,132 @@ let step soc point ~pick =
       in
       if (match mux_cost with Some mc -> da > mc | None -> false) then mux_move ()
       else
-        Some
-          (evaluate soc ~choice:(bump point.pt_choice inst k) ~smuxes:point.pt_smuxes ())
+        Some (eval ~choice:(bump point.pt_choice inst k) ~smuxes:point.pt_smuxes)
   | None -> mux_move ()
 
-let minimize_time ?budget soc ~max_area =
-  Obs.with_span ~cat:"core" "select.minimize_time" @@ fun () ->
-  let start =
-    evaluate soc ~choice:(List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts) ()
-  in
-  let rec loop acc point guard =
-    (* Each optimizer step is a full schedule build, so one budget unit per
-       step; exhaustion gracefully returns the trajectory so far (always at
-       least the starting point — still a valid design). *)
-    if
-      guard = 0
-      || (match budget with Some b -> not (Budget.spend b) | None -> false)
-    then List.rev (point :: acc)
-    else
-      let pick candidates =
-        (* w1 = 1, w2 = 0: highest dTAT. *)
-        List.fold_left
-          (fun best (i, k, dtat, da) ->
-            match best with
-            | Some (_, _, bt, _) when bt >= dtat -> best
-            | _ -> Some (i, k, dtat, da))
-          None candidates
-      in
-      (* The paper iterates on the dTAT estimate; the realized global time
-         may stall for a step (another core's access path is the
-         bottleneck), so we keep stepping while the area budget holds. *)
-      match step soc point ~pick with
-      | Some next when next.pt_area <= max_area -> loop (point :: acc) next (guard - 1)
-      | _ -> List.rev (point :: acc)
-  in
-  loop [] start 64
+(* ------------------------------------------------------------------ *)
+(* Bounded, memoized iterative improvement                             *)
+(* ------------------------------------------------------------------ *)
 
-let minimize_area ?budget soc ~max_time =
-  Obs.with_span ~cat:"core" "select.minimize_area" @@ fun () ->
-  let start =
-    evaluate soc ~choice:(List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts) ()
+(* Budget currency: one unit ~ one search-node expansion, the same unit
+   [core.tsearch.nodes_expanded] counts (cf. [Tsearch.default_steps]).
+   Re-routing one core side is one time-expanded Dijkstra over the CCG,
+   which expands at most every CCG node once — so a memo miss is charged
+   [route_unit] (the CCG node count) and a hit is free.  The charge uses
+   this static bound rather than an [Obs] counter because counters are
+   no-ops when observability is off, and budgets must bind always. *)
+let route_unit soc =
+  List.length soc.Soc.soc_pis
+  + List.length soc.Soc.soc_pos
+  + List.fold_left
+      (fun acc ci ->
+        acc + List.length (Socet_rtl.Rtl_core.ports ci.Soc.ci_core))
+      0 soc.Soc.insts
+
+(* The optimizer's move evaluator: memoized (shared [memo] across the
+   whole trajectory) or the plain oracle path, both charging the given
+   budget for the routing work actually performed.  Exhaustion is not
+   checked here — evaluations run to completion so a half-charged point
+   is never corrupt; the loop stops before the *next* step. *)
+let optimizer_eval ?budget ~use_memo soc =
+  let unit = route_unit soc in
+  let charge sides =
+    match budget with
+    | None -> ()
+    | Some b -> ignore (Budget.spend ~cost:(sides * unit) b)
   in
-  let rec loop acc point guard =
+  if use_memo then begin
+    let m = memo soc in
+    fun ~choice ~smuxes ->
+      let p, misses = eval_with_memo ~opt:true m ~choice ~smuxes () in
+      charge misses;
+      p
+  end
+  else
+    fun ~choice ~smuxes ->
+      let p = evaluate soc ~choice ~smuxes () in
+      charge (2 * List.length soc.Soc.insts);
+      p
+
+let all_v1 soc = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts
+
+(* Cycle detection over visited (choice, smuxes) states.  The move set
+   is monotone (versions only step up, the mux set only grows), so a
+   revisit means the walk is stuck replaying itself — stop rather than
+   loop.  Order-insensitive keys: assoc lists are sorted. *)
+let state_key (p : point) =
+  (List.sort compare p.pt_choice, List.sort compare p.pt_smuxes)
+
+(* Stop after this many consecutive steps without a new best time: the
+   dTAT estimate can stall for a step or two (another core's access path
+   is the bottleneck), but a long plateau means the estimate no longer
+   tracks reality. *)
+let plateau_window = 8
+
+let best_time_point = function
+  | [] -> invalid_arg "Select.best_time_point: empty trajectory"
+  | p :: rest ->
+      List.fold_left
+        (fun best q -> if q.pt_time < best.pt_time then q else best)
+        p rest
+
+(* Shared driver: [stop point] checks the objective, [accept next]
+   filters moves, [pick] scores version candidates.  The budget is
+   spent cost-1 per step taken ([opt_steps] <= initial fuel) on top of
+   the per-evaluation routing charges; the seed is always evaluated and
+   returned, so even a 0-fuel budget degrades to the seed point rather
+   than an error — callers detect exhaustion via [Budget.exhausted] and
+   map it to the resilient exit-code-4 convention. *)
+let optimize ?budget ~use_memo soc ~stop ~accept ~pick =
+  let eval = optimizer_eval ?budget ~use_memo soc in
+  let start = eval ~choice:(all_v1 soc) ~smuxes:[] in
+  let visited = Hashtbl.create 32 in
+  Hashtbl.replace visited (state_key start) ();
+  let rec loop acc point ~best ~plateau guard =
     if
-      point.pt_time <= max_time
-      || guard = 0
+      stop point || guard = 0
+      || plateau >= plateau_window
       || (match budget with Some b -> not (Budget.spend b) | None -> false)
     then List.rev (point :: acc)
-    else
-      let pick candidates =
-        (* w1 = 0, w2 = 1: cheapest step that still helps. *)
-        List.fold_left
-          (fun best (i, k, dtat, da) ->
-            match best with
-            | Some (_, _, _, bda) when bda <= da -> best
-            | _ -> Some (i, k, dtat, da))
-          None candidates
-      in
-      match step soc point ~pick with
-      | Some next -> loop (point :: acc) next (guard - 1)
-      | None -> List.rev (point :: acc)
+    else begin
+      Obs.incr c_opt_steps;
+      match step soc ~eval point ~pick with
+      | Some next
+        when accept next && not (Hashtbl.mem visited (state_key next)) ->
+          Hashtbl.replace visited (state_key next) ();
+          let best, plateau =
+            if next.pt_time < best then (next.pt_time, 0) else (best, plateau + 1)
+          in
+          loop (point :: acc) next ~best ~plateau (guard - 1)
+      | _ -> List.rev (point :: acc)
+    end
   in
-  loop [] start 64
+  loop [] start ~best:start.pt_time ~plateau:0 64
+
+let minimize_time ?budget ?(use_memo = true) soc ~max_area =
+  Obs.with_span ~cat:"core" "select.minimize_time" @@ fun () ->
+  optimize ?budget ~use_memo soc
+    ~stop:(fun _ -> false)
+    ~accept:(fun next -> next.pt_area <= max_area)
+    ~pick:(fun candidates ->
+      (* w1 = 1, w2 = 0: highest dTAT. *)
+      List.fold_left
+        (fun best (i, k, dtat, da) ->
+          match best with
+          | Some (_, _, bt, _) when bt >= dtat -> best
+          | _ -> Some (i, k, dtat, da))
+        None candidates)
+
+let minimize_area ?budget ?(use_memo = true) soc ~max_time =
+  Obs.with_span ~cat:"core" "select.minimize_area" @@ fun () ->
+  optimize ?budget ~use_memo soc
+    ~stop:(fun point -> point.pt_time <= max_time)
+    ~accept:(fun _ -> true)
+    ~pick:(fun candidates ->
+      (* w1 = 0, w2 = 1: cheapest step that still helps. *)
+      List.fold_left
+        (fun best (i, k, dtat, da) ->
+          match best with
+          | Some (_, _, _, bda) when bda <= da -> best
+          | _ -> Some (i, k, dtat, da))
+        None candidates)

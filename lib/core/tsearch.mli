@@ -34,6 +34,12 @@ type sol = {
           simulator and the freeze computation *)
 }
 
+val default_steps : int
+(** Default per-call node-expansion budget of {!propagate}/{!justify}
+    (50k).  Exposed so callers denominating their own budgets in
+    [core.tsearch.nodes_expanded] units ([Select]'s [--search-budget])
+    can relate the two currencies. *)
+
 val propagate :
   Rcg.t ->
   ?prefer_hscan:bool ->

@@ -124,7 +124,14 @@ type 'e timed_path = {
 }
 
 module Pq = struct
-  (* Minimal pairing of (key, value) with a leftist-ish skew heap. *)
+  (* Minimal pairing of (key, value) with a leftist-ish skew heap.
+     Ordered lexicographically on (key, value): among equal keys the
+     smallest value pops first, so the pop order — and with it the
+     tie-breaking of equal-cost paths in [dijkstra_timed] — depends only
+     on the set of entries, never on push order or on unrelated entries
+     sharing the heap.  The route memo in [Socet_core.Select] relies on
+     this to reuse cached routes across graphs that differ only in edges
+     the route cannot reach. *)
   type 'a t = Leaf | Node of int * 'a * 'a t * 'a t
 
   let empty = Leaf
@@ -132,7 +139,8 @@ module Pq = struct
   let rec merge a b =
     match (a, b) with
     | Leaf, t | t, Leaf -> t
-    | Node (ka, va, la, ra), (Node (kb, _, _, _) as nb) when ka <= kb ->
+    | Node (ka, va, la, ra), (Node (kb, vb, _, _) as nb)
+      when ka < kb || (ka = kb && compare va vb <= 0) ->
         Node (ka, va, merge ra nb, la)
     | na, Node (kb, vb, lb, rb) -> Node (kb, vb, merge rb na, lb)
 

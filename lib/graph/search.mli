@@ -42,4 +42,10 @@ val dijkstra_timed :
     edge [e] from a node reached at cycle [t] departs at
     [earliest_departure e t] (which must be [>= t]; this is where edge
     reservation calendars plug in) and arrives [latency e] cycles later.
-    Returns a minimum-arrival-time path to any goal node. *)
+    Returns a minimum-arrival-time path to any goal node.
+
+    Deterministic tie-breaking: nodes with equal arrival times are
+    expanded in increasing node-id order, so among equal-cost paths the
+    same one is always returned — independent of edge insertion order and
+    of any edges the returned path cannot reach (the contract
+    [Socet_core.Select]'s route memo depends on). *)

@@ -82,6 +82,12 @@ let spend ?(cost = 1) b =
     not b.dead
   end
 
+let rec affordable ?(cost = 1) b =
+  (not b.dead)
+  && (not (deadline_passed b))
+  && (b.fuel = max_int || b.fuel >= cost)
+  && (match b.parent with Some p -> affordable ~cost p | None -> true)
+
 let exhausted b =
   b.dead
   || (b.deadline_us <> infinity && deadline_passed b)

@@ -46,6 +46,13 @@ val spend : ?cost:int -> t -> bool
     once per search step and unwind when it returns [false].  Once it
     returns [false] it keeps returning [false]. *)
 
+val affordable : ?cost:int -> t -> bool
+(** Non-consuming peek: would [spend ~cost] succeed right now?  Lets a
+    caller decide whether to start a [cost]-unit phase without charging
+    for it (the optimizer uses this to stop cleanly between steps).
+    Reads the clock (so a passed deadline is detected) but drains no
+    fuel. *)
+
 val exhausted : t -> bool
 (** Sticky: has any {!spend} failed, or was the deadline passed? *)
 

@@ -64,3 +64,55 @@ let random_core rng =
   done;
   Rtl_core.validate c;
   c
+
+(* A random SOC: a chain of random cores where core i's input I0 is
+   driven by core i-1's O0 rather than a chip pin, so justifying the
+   deeper cores must route through the earlier cores' transparency (or
+   fall back to a forced test mux) — the situations the Select memo and
+   the schedule replay have to get right.  Remaining inputs get
+   dedicated PIs, remaining outputs dedicated POs. *)
+let random_soc rng =
+  let module Soc = Socet_core.Soc in
+  let n = 2 + Rng.int rng 2 in
+  let insts =
+    List.init n (fun i ->
+        Soc.instantiate (Printf.sprintf "C%d" i) (random_core rng))
+  in
+  let pis = ref [] and pos = ref [] and conns = ref [] in
+  List.iteri
+    (fun i ci ->
+      let name = ci.Soc.ci_name in
+      List.iter
+        (fun (p : Rtl_core.port) ->
+          match p.Rtl_core.p_dir with
+          | `In ->
+              if i > 0 && p.Rtl_core.p_name = "I0" then
+                conns :=
+                  Soc.
+                    {
+                      c_from = Cport (Printf.sprintf "C%d" (i - 1), "O0");
+                      c_to = Cport (name, "I0");
+                    }
+                  :: !conns
+              else begin
+                let pi = Printf.sprintf "%s_%s" name p.Rtl_core.p_name in
+                pis := (pi, p.Rtl_core.p_width) :: !pis;
+                conns :=
+                  Soc.{ c_from = Pi pi; c_to = Cport (name, p.Rtl_core.p_name) }
+                  :: !conns
+              end
+          | `Out ->
+              if i < n - 1 && p.Rtl_core.p_name = "O0" then ()
+              else begin
+                let po = Printf.sprintf "%s_%s" name p.Rtl_core.p_name in
+                pos := (po, p.Rtl_core.p_width) :: !pos;
+                conns :=
+                  Soc.{ c_from = Cport (name, p.Rtl_core.p_name); c_to = Po po }
+                  :: !conns
+              end)
+        (Rtl_core.ports ci.Soc.ci_core))
+    insts;
+  Soc.make
+    ~name:(Printf.sprintf "soc%d" (Rng.int rng 100000))
+    ~pis:(List.rev !pis) ~pos:(List.rev !pos) ~cores:insts
+    ~connections:(List.rev !conns) ()

@@ -1,0 +1,255 @@
+(* The bounded, memoized optimizer against its golden models:
+
+   - memoized minimize_time / minimize_area must be bit-identical to the
+     memo-disabled oracle (one full Schedule.build per move) on every
+     shipped SOC and on random chained SOCs;
+   - every trajectory point must replay cleanly through [Replay.check] —
+     claimed TATs recomputed from the raw routes, reservation calendars
+     re-booked without overlap, transparency latencies cross-checked
+     against the version ladder (and, for the best points, the netlist);
+   - a search budget must degrade to best-so-far, never raise, and
+     [core.select.opt_steps] must never exceed the fuel. *)
+
+open Socet_util
+open Socet_core
+open Socet_cores
+module Obs = Socet_obs.Obs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Full structural signature of a design point — everything the golden
+   comparison should see, including the requested-mux set. *)
+let route_sig (r : Access.route) =
+  (r.Access.r_target, r.Access.r_arrival, r.Access.r_departures,
+   r.Access.r_added_smux)
+
+let test_sig (t : Schedule.core_test) =
+  ( t.Schedule.ct_inst,
+    t.Schedule.ct_vectors,
+    t.Schedule.ct_period,
+    t.Schedule.ct_tail,
+    t.Schedule.ct_time,
+    List.map route_sig t.Schedule.ct_justify,
+    List.map route_sig t.Schedule.ct_observe )
+
+let point_sig (p : Select.point) =
+  let s = p.Select.pt_schedule in
+  ( ( p.Select.pt_choice,
+      List.map
+        (fun (m : Schedule.smux_request) ->
+          (m.Schedule.sm_inst, m.Schedule.sm_port, m.Schedule.sm_dir))
+        p.Select.pt_smuxes ),
+    p.Select.pt_area,
+    p.Select.pt_time,
+    ( s.Schedule.s_total_time,
+      s.Schedule.s_transparency_cost,
+      s.Schedule.s_smux_cost,
+      s.Schedule.s_controller_cost ),
+    List.map test_sig s.Schedule.s_tests,
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.Schedule.s_usage []) )
+
+let traj_sig t = List.map point_sig t
+
+let systems () =
+  [ ("system1", Systems.system1 ()); ("system2", Systems.system2 ());
+    ("system3", Systems.system3 ()) ]
+
+let counter name =
+  Option.value ~default:0 (List.assoc_opt name (Obs.snapshot_counters ()))
+
+(* ------------------------------------------------------------------ *)
+(* Golden: memoized trajectories = oracle trajectories                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_minimize_time_golden () =
+  List.iter
+    (fun (name, soc) ->
+      List.iter
+        (fun max_area ->
+          let memo = Select.minimize_time ~use_memo:true soc ~max_area in
+          let oracle = Select.minimize_time ~use_memo:false soc ~max_area in
+          check
+            (Printf.sprintf "%s max_area=%d" name max_area)
+            true
+            (traj_sig memo = traj_sig oracle))
+        [ 400; 10_000 ])
+    (systems ())
+
+let test_minimize_area_golden () =
+  List.iter
+    (fun (name, soc) ->
+      List.iter
+        (fun max_time ->
+          let memo = Select.minimize_area ~use_memo:true soc ~max_time in
+          let oracle = Select.minimize_area ~use_memo:false soc ~max_time in
+          check
+            (Printf.sprintf "%s max_time=%d" name max_time)
+            true
+            (traj_sig memo = traj_sig oracle))
+        [ 0; 4000 ])
+    (systems ())
+
+let test_memo_actually_memoizes () =
+  (* The memoized path must both hit the memo and never fall back to a
+     full Schedule.build; the oracle path must do only full builds. *)
+  Obs.configure ();
+  Obs.reset ();
+  let soc = Systems.system1 () in
+  ignore (Select.minimize_time ~use_memo:true soc ~max_area:10_000);
+  let memo_hits = counter "core.select.opt_memo_hits" in
+  let memo_full_builds = counter "core.schedule.full_builds" in
+  let memo_steps = counter "core.select.opt_steps" in
+  Obs.reset ();
+  ignore (Select.minimize_time ~use_memo:false soc ~max_area:10_000);
+  let oracle_full_builds = counter "core.schedule.full_builds" in
+  Obs.disable ();
+  check "memo path reuses routes" true (memo_hits > 0);
+  check_int "memo path does no full builds" 0 memo_full_builds;
+  check "optimizer stepped" true (memo_steps > 0);
+  check "oracle path does full builds" true (oracle_full_builds > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Replay: every claimed point survives the golden model               *)
+(* ------------------------------------------------------------------ *)
+
+let replay_clean label p =
+  let issues = Replay.check p.Select.pt_schedule in
+  if issues <> [] then
+    Alcotest.failf "%s: %s" label
+      (String.concat "; " (List.map Replay.pp_issue issues))
+
+let test_replay_trajectories () =
+  List.iter
+    (fun (name, soc) ->
+      List.iteri
+        (fun i p -> replay_clean (Printf.sprintf "%s point %d" name i) p)
+        (Select.minimize_time soc ~max_area:10_000);
+      List.iteri
+        (fun i p -> replay_clean (Printf.sprintf "%s area point %d" name i) p)
+        (Select.minimize_area soc ~max_time:0))
+    (systems ())
+
+let test_replay_gate_level () =
+  List.iter
+    (fun (name, soc) ->
+      let traj = Select.minimize_time soc ~max_area:10_000 in
+      let best = Select.best_time_point traj in
+      check_int
+        (Printf.sprintf "%s best TAT consistent" name)
+        best.Select.pt_time
+        best.Select.pt_schedule.Schedule.s_total_time;
+      let issues = Replay.check ~gate_level:true best.Select.pt_schedule in
+      if issues <> [] then
+        Alcotest.failf "%s gate-level: %s" name
+          (String.concat "; " (List.map Replay.pp_issue issues)))
+    [ ("system1", Systems.system1 ()); ("system2", Systems.system2 ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* Budget: graceful exhaustion, never an exception                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_zero_budget_returns_seed () =
+  let soc = Systems.system2 () in
+  let b = Budget.create ~label:"select.opt" ~steps:0 () in
+  let traj = Select.minimize_time ~budget:b soc ~max_area:10_000 in
+  check_int "trajectory is just the seed" 1 (List.length traj);
+  check "budget reports exhaustion" true (Budget.exhausted b);
+  let seed = List.hd (Select.minimize_time ~use_memo:false soc ~max_area:0) in
+  check "seed point is the unbudgeted seed" true
+    (point_sig (List.hd traj) = point_sig seed)
+
+let test_tiny_budgets_degrade () =
+  let soc = Systems.system1 () in
+  let full = Select.minimize_time soc ~max_area:10_000 in
+  List.iter
+    (fun steps ->
+      let b = Budget.create ~label:"select.opt" ~steps () in
+      let traj = Select.minimize_time ~budget:b soc ~max_area:10_000 in
+      check
+        (Printf.sprintf "steps=%d yields a non-empty prefix" steps)
+        true
+        (traj <> []
+        && List.length traj <= List.length full
+        && traj_sig traj
+           = traj_sig
+               (List.filteri (fun i _ -> i < List.length traj) full)))
+    [ 1; 5; 50 ]
+
+let test_opt_steps_bounded_by_fuel () =
+  Obs.configure ();
+  let soc = Systems.system2 () in
+  List.iter
+    (fun steps ->
+      Obs.reset ();
+      let b = Budget.create ~label:"select.opt" ~steps () in
+      ignore (Select.minimize_time ~budget:b soc ~max_area:10_000);
+      let taken = counter "core.select.opt_steps" in
+      check
+        (Printf.sprintf "opt_steps %d <= fuel %d" taken steps)
+        true (taken <= steps))
+    [ 0; 1; 5; 50; 1000 ];
+  Obs.disable ()
+
+(* ------------------------------------------------------------------ *)
+(* Random SOCs: the fuzz versions of the golden + replay suites        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_random_soc_golden =
+  QCheck.Test.make ~name:"fuzz: memoized optimizer = oracle on random SOCs"
+    ~count:6
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let soc = Gen.random_soc rng in
+      traj_sig (Select.minimize_time ~use_memo:true soc ~max_area:10_000)
+      = traj_sig (Select.minimize_time ~use_memo:false soc ~max_area:10_000)
+      && traj_sig (Select.minimize_area ~use_memo:true soc ~max_time:0)
+         = traj_sig (Select.minimize_area ~use_memo:false soc ~max_time:0))
+
+let prop_random_soc_replay =
+  QCheck.Test.make ~name:"fuzz: random-SOC trajectories replay cleanly"
+    ~count:6
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let soc = Gen.random_soc rng in
+      List.for_all
+        (fun (p : Select.point) -> Replay.check p.Select.pt_schedule = [])
+        (Select.minimize_time soc ~max_area:10_000))
+
+let () =
+  Alcotest.run "socet_select"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "minimize_time memo = oracle" `Quick
+            test_minimize_time_golden;
+          Alcotest.test_case "minimize_area memo = oracle" `Quick
+            test_minimize_area_golden;
+          Alcotest.test_case "memo hits counted, no full builds" `Quick
+            test_memo_actually_memoizes;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "trajectory points replay cleanly" `Quick
+            test_replay_trajectories;
+          Alcotest.test_case "best points survive gate-level replay" `Slow
+            test_replay_gate_level;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "zero budget returns the seed" `Quick
+            test_zero_budget_returns_seed;
+          Alcotest.test_case "tiny budgets yield trajectory prefixes" `Quick
+            test_tiny_budgets_degrade;
+          Alcotest.test_case "opt_steps never exceeds fuel" `Quick
+            test_opt_steps_bounded_by_fuel;
+        ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_random_soc_golden;
+          QCheck_alcotest.to_alcotest prop_random_soc_replay;
+        ] );
+    ]
