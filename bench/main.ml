@@ -742,6 +742,82 @@ let parallel_section () =
     (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
+(* Job server: throughput/latency through the wire protocol            *)
+(* ------------------------------------------------------------------ *)
+
+(* (domains, (jobs/s, p50 ms, p99 ms)) — stashed for BENCH_socet.json. *)
+let serve_results : (int * (float * float * float)) list ref = ref []
+
+let serve_section () =
+  section "Job server: explore jobs through the wire protocol (in-process)";
+  let module Serve = Socet_serve in
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ()) "socet-bench.sock"
+  in
+  let srv = Serve.Server.start ~queue_depth:64 ~socket () in
+  let req =
+    Serve.Proto.make
+      (Serve.Proto.Explore
+         {
+           Serve.Proto.ex_system = "system1";
+           ex_objective = Serve.Proto.Min_time;
+           ex_max_area = 500;
+           ex_max_time = 5000;
+           ex_search_budget = None;
+           ex_no_memo = false;
+         })
+  in
+  let clients = 4 and per_client = 4 in
+  let run_at domains =
+    Pool.set_size domains;
+    let lat = Array.make (clients * per_client) 0.0 in
+    let t0 = Unix.gettimeofday () in
+    let threads =
+      List.init clients (fun ci ->
+          Thread.create
+            (fun () ->
+              match Serve.Client.connect socket with
+              | Error _ -> ()
+              | Ok c ->
+                  for i = 0 to per_client - 1 do
+                    let s = Unix.gettimeofday () in
+                    (match Serve.Client.request c req with
+                    | Ok _ | Error _ -> ());
+                    lat.((ci * per_client) + i) <-
+                      (Unix.gettimeofday () -. s) *. 1000.0
+                  done;
+                  Serve.Client.close c)
+            ())
+    in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    Array.sort compare lat;
+    let n = Array.length lat in
+    let quantile q = lat.(min (n - 1) (int_of_float (q *. float_of_int (n - 1)))) in
+    let jobs_s = float_of_int n /. wall in
+    let p50 = quantile 0.5 and p99 = quantile 0.99 in
+    serve_results := (domains, (jobs_s, p50, p99)) :: !serve_results;
+    [
+      string_of_int domains;
+      string_of_int n;
+      Printf.sprintf "%.1f" jobs_s;
+      Printf.sprintf "%.1f" p50;
+      Printf.sprintf "%.1f" p99;
+    ]
+  in
+  let rows = List.map run_at [ 1; 4 ] in
+  Pool.set_size 1;
+  Serve.Server.shutdown srv;
+  ignore (Serve.Server.wait srv);
+  Ascii_table.print
+    ~header:[ "domains"; "jobs"; "jobs/s"; "p50 ms"; "p99 ms" ]
+    rows;
+  Printf.printf
+    "(%d concurrent clients, FIFO queue, responses byte-identical to the\n\
+     direct CLI; per-job parallelism comes from the domain pool)\n"
+    clients
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -912,6 +988,19 @@ let write_bench_json file =
                   modes) ))
          !optimizer_results)
   in
+  let serve_json =
+    Json.Obj
+      (List.rev_map
+         (fun (domains, (jobs_s, p50, p99)) ->
+           ( Printf.sprintf "%d_domains" domains,
+             Json.Obj
+               [
+                 ("jobs_per_s", Json.Num jobs_s);
+                 ("p50_ms", Json.Num p50);
+                 ("p99_ms", Json.Num p99);
+               ] ))
+         !serve_results)
+  in
   let doc =
     Json.Obj
       [
@@ -920,6 +1009,7 @@ let write_bench_json file =
         ("phases", Json.Obj (List.map phase bench_phases));
         ("optimizer", optimizer_json);
         ("parallel", parallel_json);
+        ("serve", serve_json);
         ( "counters",
           Json.Obj
             (List.map (fun (n, v) -> (n, Json.Num (float_of_int v))) counters)
@@ -955,6 +1045,7 @@ let () =
   resilience_section ();
   optimizer_section ();
   parallel_section ();
+  serve_section ();
   bechamel_suite ();
   write_bench_json "BENCH_socet.json";
   print_newline ()

@@ -9,21 +9,30 @@ open Socet_rtl
 open Socet_core
 module Obs = Socet_obs.Obs
 module Err = Socet_util.Error
+module Proto = Socet_serve.Proto
+module Dispatch = Socet_serve.Dispatch
 
-(* Documented exit codes: engine failures surface as structured errors
-   mapped to distinct codes, never as raw exceptions through main. *)
+(* Documented exit codes (full table in README): engine failures surface
+   as structured errors mapped to distinct codes, never as raw exceptions
+   through main. *)
 let exit_invalid = 3
 let exit_exhausted = 4
+let exit_overloaded = 5
+let exit_internal = 1
 
 let exits =
   Cmd.Exit.info exit_invalid
     ~doc:
-      "on invalid input: a malformed core or system, or a netlist that \
-       fails load-time validation."
+      "on invalid input: an unknown core or system, a malformed request, \
+       or a netlist that fails load-time validation."
   :: Cmd.Exit.info exit_exhausted
        ~doc:
          "on search-budget or deadline exhaustion, or a degraded result \
           under $(b,--strict)."
+  :: Cmd.Exit.info exit_overloaded
+       ~doc:
+         "when the server rejects a request because its job queue is full \
+          or draining; retriable after the suggested backoff."
   :: Cmd.Exit.defaults
 
 (* ------------------------------------------------------------------ *)
@@ -47,9 +56,11 @@ let obs_opts_t =
       & opt (some string) None
       & info [ "trace" ] ~docv:"FILE"
           ~doc:
-            "Record engine spans and write them as Chrome trace-event \
-             JSON to $(docv) (load it in chrome://tracing or \
-             https://ui.perfetto.dev).")
+            "Record engine spans.  A $(docv) ending in .jsonl streams \
+             events to disk as they complete (bounded memory, suitable \
+             for long runs and servers); any other name buffers spans \
+             and writes Chrome trace-event JSON on exit (load it in \
+             chrome://tracing or https://ui.perfetto.dev).")
   in
   let jobs =
     Arg.(
@@ -66,10 +77,17 @@ let obs_opts_t =
     const (fun oo_stats oo_trace oo_jobs -> { oo_stats; oo_trace; oo_jobs })
     $ stats $ trace $ jobs)
 
+let streaming_trace opts =
+  match opts.oo_trace with
+  | Some file when Filename.check_suffix file ".jsonl" -> Some file
+  | _ -> None
+
 let with_obs opts run =
   Option.iter Socet_util.Pool.set_size opts.oo_jobs;
   if opts.oo_stats || opts.oo_trace <> None then
-    Obs.configure ~trace:(opts.oo_trace <> None) ();
+    Obs.configure
+      ~trace:(opts.oo_trace <> None)
+      ?stream:(streaming_trace opts) ();
   let code =
     try run () with
     | Err.Socet_error e ->
@@ -78,11 +96,22 @@ let with_obs opts run =
     | Socet_util.Budget.Exhausted_exn label ->
         Printf.eprintf "socet: budget %s exhausted\n" label;
         exit_exhausted
+    | Stack_overflow | Out_of_memory | Sys.Break as e -> raise e
+    | e ->
+        (* Last line of defence behind Error.guard: an escaping exception
+           is still a documented internal-error exit, not an OCaml
+           backtrace with an unspecified status. *)
+        Printf.eprintf "socet: internal error: %s\n" (Printexc.to_string e);
+        exit_internal
   in
   if opts.oo_stats then print_string (Obs.stats_table ());
-  match opts.oo_trace with
-  | None -> code
-  | Some file -> (
+  match (opts.oo_trace, streaming_trace opts) with
+  | None, _ -> code
+  | Some _, Some _ ->
+      (* Events already on disk; just push out the tail of the buffer. *)
+      Obs.flush ();
+      code
+  | Some file, None -> (
       try
         Obs.write_trace file;
         Printf.eprintf "wrote %d spans to %s\n"
@@ -93,31 +122,25 @@ let with_obs opts run =
         Printf.eprintf "socet: cannot write trace: %s\n" e;
         1)
 
-let builtin_cores () =
-  [
-    ("cpu", Socet_cores.Cpu.core ());
-    ("preprocessor", Socet_cores.Preprocessor.core ());
-    ("display", Socet_cores.Display.core ());
-    ("gcd", Socet_cores.Gcd_core.core ());
-    ("graphics", Socet_cores.Graphics.core ());
-    ("x25", Socet_cores.X25.core ());
-  ]
+(* Shared input resolution lives in Socet_serve.Dispatch so the server
+   resolves names identically; [or_die] funnels the structured error into
+   [with_obs]'s handler (exit code 3). *)
+let or_die = function Ok v -> v | Error e -> raise (Err.Socet_error e)
 
-(* Load-time validation: every elaborated core netlist goes through the
-   structural validator before any engine touches it, so corruption is
-   reported as a clean exit-code-3 failure naming the net, not a crash
-   deep inside ATPG or scheduling. *)
-let validated soc =
-  List.iter
-    (fun ci -> Socet_netlist.Validate.check_exn ci.Soc.ci_netlist)
-    soc.Soc.insts;
-  soc
+let builtin_cores = Dispatch.builtin_cores
+let core_of_name name = or_die (Dispatch.core_of_name name)
+let system_of_name name = or_die (Dispatch.system_of_name name)
 
-let system_of_name = function
-  | "system1" | "1" | "barcode" -> Ok (validated (Socet_cores.Systems.system1 ()))
-  | "system2" | "2" -> Ok (validated (Socet_cores.Systems.system2 ()))
-  | "system3" | "3" -> Ok (validated (Socet_cores.Systems.system3 ()))
-  | s -> Error (Printf.sprintf "unknown system %S (use system1/system2/system3)" s)
+(* explore/chip/atpg run through the same Dispatch entry the server uses,
+   so `socet submit` output is byte-identical to the direct command. *)
+let run_request opts req =
+  with_obs opts @@ fun () ->
+  match Dispatch.run req with
+  | Ok o ->
+      print_string o.Dispatch.o_stdout;
+      prerr_string o.Dispatch.o_stderr;
+      o.Dispatch.o_code
+  | Error e -> raise (Err.Socet_error e)
 
 (* ------------------------------------------------------------------ *)
 (* socet cores                                                         *)
@@ -153,37 +176,32 @@ let cmd_cores opts () =
 
 let cmd_core opts name =
   with_obs opts @@ fun () ->
-  match List.assoc_opt name (builtin_cores ()) with
-  | None ->
-      Printf.eprintf "unknown core %S; try: %s\n" name
-        (String.concat ", " (List.map fst (builtin_cores ())));
-      1
-  | Some core ->
-      Format.printf "%a@." Rtl_core.pp core;
-      let rcg = Rcg.of_core core in
-      let hscan = Socet_scan.Hscan.insert rcg in
-      Printf.printf "HSCAN: depth %d, %d cells, chains:\n"
-        hscan.Socet_scan.Hscan.depth hscan.Socet_scan.Hscan.overhead_cells;
+  let core = core_of_name name in
+  Format.printf "%a@." Rtl_core.pp core;
+  let rcg = Rcg.of_core core in
+  let hscan = Socet_scan.Hscan.insert rcg in
+  Printf.printf "HSCAN: depth %d, %d cells, chains:\n"
+    hscan.Socet_scan.Hscan.depth hscan.Socet_scan.Hscan.overhead_cells;
+  List.iter
+    (fun chain ->
+      print_string "  ";
+      print_endline
+        (String.concat " -> "
+           (List.map (fun v -> (Rcg.node rcg v).Rcg.n_name) chain)))
+    hscan.Socet_scan.Hscan.chains;
+  let versions = Version.generate rcg in
+  List.iter
+    (fun v ->
+      Printf.printf "Version %d (%d cells):\n" v.Version.v_index
+        v.Version.v_overhead;
       List.iter
-        (fun chain ->
-          print_string "  ";
-          print_endline
-            (String.concat " -> "
-               (List.map (fun v -> (Rcg.node rcg v).Rcg.n_name) chain)))
-        hscan.Socet_scan.Hscan.chains;
-      let versions = Version.generate rcg in
-      List.iter
-        (fun v ->
-          Printf.printf "Version %d (%d cells):\n" v.Version.v_index
-            v.Version.v_overhead;
-          List.iter
-            (fun p ->
-              Printf.printf "  %s -> %s : %d cycle(s)\n"
-                (Rcg.node rcg p.Version.pr_input).Rcg.n_name
-                (Rcg.node rcg p.Version.pr_output).Rcg.n_name p.Version.pr_latency)
-            v.Version.v_pairs)
-        versions;
-      0
+        (fun p ->
+          Printf.printf "  %s -> %s : %d cycle(s)\n"
+            (Rcg.node rcg p.Version.pr_input).Rcg.n_name
+            (Rcg.node rcg p.Version.pr_output).Rcg.n_name p.Version.pr_latency)
+        v.Version.v_pairs)
+    versions;
+  0
 
 (* ------------------------------------------------------------------ *)
 (* socet space <system>                                                *)
@@ -191,74 +209,41 @@ let cmd_core opts name =
 
 let cmd_space opts system =
   with_obs opts @@ fun () ->
-  match system_of_name system with
-  | Error e ->
-      prerr_endline e;
-      1
-  | Ok soc ->
-      let points = Select.design_space soc in
-      Socet_util.Ascii_table.print
-        ~header:[ "pt"; "versions"; "area ovhd (cells)"; "TAT (cycles)" ]
-        (List.mapi
-           (fun i p ->
-             [
-               string_of_int (i + 1);
-               String.concat " "
-                 (List.map
-                    (fun (n, k) -> Printf.sprintf "%s=%d" n k)
-                    p.Select.pt_choice);
-               string_of_int p.Select.pt_area;
-               string_of_int p.Select.pt_time;
-             ])
-           points);
-      0
+  let soc = system_of_name system in
+  let points = Select.design_space soc in
+  Socet_util.Ascii_table.print
+    ~header:[ "pt"; "versions"; "area ovhd (cells)"; "TAT (cycles)" ]
+    (List.mapi
+       (fun i p ->
+         [
+           string_of_int (i + 1);
+           String.concat " "
+             (List.map
+                (fun (n, k) -> Printf.sprintf "%s=%d" n k)
+                p.Select.pt_choice);
+           string_of_int p.Select.pt_area;
+           string_of_int p.Select.pt_time;
+         ])
+       points);
+  0
 
 (* ------------------------------------------------------------------ *)
 (* socet explore <system>                                              *)
 (* ------------------------------------------------------------------ *)
 
 let cmd_explore opts system objective max_area max_time search_budget no_memo =
-  with_obs opts @@ fun () ->
-  match system_of_name system with
-  | Error e ->
-      prerr_endline e;
-      1
-  | Ok soc ->
-      let budget =
-        Option.map
-          (fun steps -> Socet_util.Budget.create ~label:"select.opt" ~steps ())
-          search_budget
-      in
-      let use_memo = not no_memo in
-      let traj =
-        match objective with
-        | `Time -> Select.minimize_time ?budget ~use_memo soc ~max_area
-        | `Area -> Select.minimize_area ?budget ~use_memo soc ~max_time
-      in
-      Socet_util.Ascii_table.print
-        ~header:[ "step"; "versions"; "muxes"; "area"; "TAT" ]
-        (List.mapi
-           (fun i p ->
-             [
-               string_of_int i;
-               String.concat " "
-                 (List.map
-                    (fun (n, k) -> Printf.sprintf "%s=%d" n k)
-                    p.Select.pt_choice);
-               string_of_int (List.length p.Select.pt_smuxes);
-               string_of_int p.Select.pt_area;
-               string_of_int p.Select.pt_time;
-             ])
-           traj);
-      let best = Select.best_time_point traj in
-      Printf.printf "best: area %d cells, TAT %d cycles\n" best.Select.pt_area
-        best.Select.pt_time;
-      match budget with
-      | Some b when Socet_util.Budget.exhausted b ->
-          Printf.eprintf
-            "search budget exhausted; reporting best point found so far\n";
-          exit_exhausted
-      | _ -> 0
+  run_request opts
+    (Proto.make
+       (Proto.Explore
+          {
+            Proto.ex_system = system;
+            ex_objective =
+              (match objective with `Time -> Proto.Min_time | `Area -> Proto.Min_area);
+            ex_max_area = max_area;
+            ex_max_time = max_time;
+            ex_search_budget = search_budget;
+            ex_no_memo = no_memo;
+          }))
 
 (* ------------------------------------------------------------------ *)
 (* socet coverage <system>                                             *)
@@ -266,36 +251,32 @@ let cmd_explore opts system objective max_area max_time search_budget no_memo =
 
 let cmd_coverage opts system cycles =
   with_obs opts @@ fun () ->
-  match system_of_name system with
-  | Error e ->
-      prerr_endline e;
-      1
-  | Ok soc ->
-      let orig = Testgen.sequential_coverage soc ~cycles () in
-      let hscan_only =
-        Testgen.sequential_coverage soc ~with_core_scan:true ~cycles ()
-      in
-      let full = Testgen.scan_access_coverage soc in
-      Socet_util.Ascii_table.print
-        ~header:[ "access mechanism"; "FC %"; "TEff %" ]
-        [
-          [
-            "none (functional stimuli)";
-            Printf.sprintf "%.1f" orig.Testgen.fc;
-            Printf.sprintf "%.1f" orig.Testgen.teff;
-          ];
-          [
-            "core HSCAN only";
-            Printf.sprintf "%.1f" hscan_only.Testgen.fc;
-            Printf.sprintf "%.1f" hscan_only.Testgen.teff;
-          ];
-          [
-            "full scan access (SOCET / FSCAN-BSCAN)";
-            Printf.sprintf "%.1f" full.Testgen.fc;
-            Printf.sprintf "%.1f" full.Testgen.teff;
-          ];
-        ];
-      0
+  let soc = system_of_name system in
+  let orig = Testgen.sequential_coverage soc ~cycles () in
+  let hscan_only =
+    Testgen.sequential_coverage soc ~with_core_scan:true ~cycles ()
+  in
+  let full = Testgen.scan_access_coverage soc in
+  Socet_util.Ascii_table.print
+    ~header:[ "access mechanism"; "FC %"; "TEff %" ]
+    [
+      [
+        "none (functional stimuli)";
+        Printf.sprintf "%.1f" orig.Testgen.fc;
+        Printf.sprintf "%.1f" orig.Testgen.teff;
+      ];
+      [
+        "core HSCAN only";
+        Printf.sprintf "%.1f" hscan_only.Testgen.fc;
+        Printf.sprintf "%.1f" hscan_only.Testgen.teff;
+      ];
+      [
+        "full scan access (SOCET / FSCAN-BSCAN)";
+        Printf.sprintf "%.1f" full.Testgen.fc;
+        Printf.sprintf "%.1f" full.Testgen.teff;
+      ];
+    ];
+  0
 
 (* ------------------------------------------------------------------ *)
 (* socet baseline <system>                                             *)
@@ -303,31 +284,27 @@ let cmd_coverage opts system cycles =
 
 let cmd_baseline opts system =
   with_obs opts @@ fun () ->
-  match system_of_name system with
-  | Error e ->
-      prerr_endline e;
-      1
-  | Ok soc ->
-      let b = Baseline.evaluate soc in
-      let all_v1 = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts in
-      let s = Schedule.build soc ~choice:all_v1 () in
-      Socet_util.Ascii_table.print
-        ~header:[ "method"; "core DFT (cells)"; "chip DFT (cells)"; "TAT (cycles)" ]
-        [
-          [
-            "FSCAN-BSCAN";
-            string_of_int b.Baseline.b_core_scan_overhead;
-            string_of_int b.Baseline.b_ring_overhead;
-            string_of_int b.Baseline.b_time;
-          ];
-          [
-            "SOCET (all version 1)";
-            string_of_int (Soc.hscan_area_overhead soc);
-            string_of_int s.Schedule.s_area_overhead;
-            string_of_int s.Schedule.s_total_time;
-          ];
-        ];
-      0
+  let soc = system_of_name system in
+  let b = Baseline.evaluate soc in
+  let all_v1 = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts in
+  let s = Schedule.build soc ~choice:all_v1 () in
+  Socet_util.Ascii_table.print
+    ~header:[ "method"; "core DFT (cells)"; "chip DFT (cells)"; "TAT (cycles)" ]
+    [
+      [
+        "FSCAN-BSCAN";
+        string_of_int b.Baseline.b_core_scan_overhead;
+        string_of_int b.Baseline.b_ring_overhead;
+        string_of_int b.Baseline.b_time;
+      ];
+      [
+        "SOCET (all version 1)";
+        string_of_int (Soc.hscan_area_overhead soc);
+        string_of_int s.Schedule.s_area_overhead;
+        string_of_int s.Schedule.s_total_time;
+      ];
+    ];
+  0
 
 (* ------------------------------------------------------------------ *)
 (* socet dot                                                           *)
@@ -336,25 +313,17 @@ let cmd_baseline opts system =
 let cmd_dot opts kind name =
   with_obs opts @@ fun () ->
   match kind with
-  | `Core -> (
-      match List.assoc_opt name (builtin_cores ()) with
-      | None ->
-          Printf.eprintf "unknown core %S\n" name;
-          1
-      | Some core ->
-          let rcg = Rcg.of_core core in
-          let _ = Socet_scan.Hscan.insert rcg in
-          print_string (Export.rcg_dot rcg);
-          0)
-  | `System -> (
-      match system_of_name name with
-      | Error e ->
-          prerr_endline e;
-          1
-      | Ok soc ->
-          let choice = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts in
-          print_string (Export.ccg_dot (Ccg.build soc ~choice));
-          0)
+  | `Core ->
+      let core = core_of_name name in
+      let rcg = Rcg.of_core core in
+      let _ = Socet_scan.Hscan.insert rcg in
+      print_string (Export.rcg_dot rcg);
+      0
+  | `System ->
+      let soc = system_of_name name in
+      let choice = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts in
+      print_string (Export.ccg_dot (Ccg.build soc ~choice));
+      0
 
 (* ------------------------------------------------------------------ *)
 (* socet schedule                                                      *)
@@ -362,80 +331,45 @@ let cmd_dot opts kind name =
 
 let cmd_schedule opts system overlap =
   with_obs opts @@ fun () ->
-  match system_of_name system with
-  | Error e ->
-      prerr_endline e;
-      1
-  | Ok soc ->
-      let choice = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts in
-      let s = Schedule.build soc ~choice () in
-      Socet_util.Ascii_table.print
-        ~header:[ "core"; "vectors"; "cycles/vec"; "tail"; "test time" ]
-        (List.map
-           (fun t ->
-             [
-               t.Schedule.ct_inst;
-               string_of_int t.Schedule.ct_vectors;
-               string_of_int t.Schedule.ct_period;
-               string_of_int t.Schedule.ct_tail;
-               string_of_int t.Schedule.ct_time;
-             ])
-           s.Schedule.s_tests);
-      Printf.printf "sequential total: %d cycles\n" s.Schedule.s_total_time;
-      if overlap then begin
-        let makespan, starts = Schedule.parallel_makespan s in
-        Printf.printf "overlapped makespan: %d cycles\n" makespan;
-        List.iter (fun (c, st) -> Printf.printf "  %s starts at cycle %d\n" c st) starts
-      end;
-      0
+  let soc = system_of_name system in
+  let choice = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts in
+  let s = Schedule.build soc ~choice () in
+  Socet_util.Ascii_table.print
+    ~header:[ "core"; "vectors"; "cycles/vec"; "tail"; "test time" ]
+    (List.map
+       (fun t ->
+         [
+           t.Schedule.ct_inst;
+           string_of_int t.Schedule.ct_vectors;
+           string_of_int t.Schedule.ct_period;
+           string_of_int t.Schedule.ct_tail;
+           string_of_int t.Schedule.ct_time;
+         ])
+       s.Schedule.s_tests);
+  Printf.printf "sequential total: %d cycles\n" s.Schedule.s_total_time;
+  if overlap then begin
+    let makespan, starts = Schedule.parallel_makespan s in
+    Printf.printf "overlapped makespan: %d cycles\n" makespan;
+    List.iter (fun (c, st) -> Printf.printf "  %s starts at cycle %d\n" c st) starts
+  end;
+  0
 
 (* ------------------------------------------------------------------ *)
 (* socet chip <system>                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let cmd_chip opts system deadline strict =
-  with_obs opts @@ fun () ->
-  match system_of_name system with
-  | Error e ->
-      prerr_endline e;
-      exit_invalid
-  | Ok soc -> (
-      let budget =
-        Option.map
-          (fun s -> Socet_util.Budget.create ~label:"chip" ~deadline_s:s ())
-          deadline
-      in
-      let choice = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts in
-      match Resilient.plan ?budget soc ~choice () with
-      | Error e ->
-          prerr_endline (Err.to_string e);
-          Err.exit_code e
-      | Ok p ->
-          Socet_util.Ascii_table.print
-            ~header:[ "core"; "mechanism"; "test time"; "extra area" ]
-            (List.map
-               (fun (c : Resilient.core_plan) ->
-                 [
-                   c.Resilient.p_inst;
-                   (match c.Resilient.p_rung with
-                   | Resilient.Transparency -> "transparency"
-                   | Resilient.Fallback_fscan_bscan -> "FSCAN-BSCAN fallback");
-                   string_of_int c.Resilient.p_time;
-                   string_of_int c.Resilient.p_area;
-                 ])
-               p.Resilient.p_cores);
-          Printf.printf "total time: %d cycles, area overhead: %d cells\n"
-            p.Resilient.p_total_time p.Resilient.p_area_overhead;
-          if p.Resilient.p_fallbacks > 0 then
-            Printf.printf "degraded: %d core(s) fell back to FSCAN-BSCAN\n"
-              p.Resilient.p_fallbacks;
-          if strict && p.Resilient.p_fallbacks > 0 then begin
-            Printf.eprintf
-              "socet: --strict and %d core(s) degraded to the baseline\n"
-              p.Resilient.p_fallbacks;
-            exit_exhausted
-          end
-          else 0)
+  run_request opts
+    (Proto.make
+       ?deadline_ms:(Option.map (fun s -> int_of_float (s *. 1000.0)) deadline)
+       (Proto.Chip { Proto.ch_system = system; ch_strict = strict }))
+
+(* ------------------------------------------------------------------ *)
+(* socet atpg <core>                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_atpg opts core =
+  run_request opts (Proto.make (Proto.Atpg { Proto.at_core = core }))
 
 (* ------------------------------------------------------------------ *)
 (* socet bist                                                          *)
@@ -454,6 +388,44 @@ let cmd_bist opts words width =
   Printf.printf "BIST controller estimate: %d cells\n"
     (March.bist_area ~words ~width);
   0
+
+(* ------------------------------------------------------------------ *)
+(* socet version                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_version opts () =
+  with_obs opts @@ fun () ->
+  print_string (Proto.version_lines ());
+  0
+
+(* ------------------------------------------------------------------ *)
+(* socet serve / socet submit                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_serve opts socket queue_depth access_log =
+  with_obs opts @@ fun () ->
+  let srv = Socet_serve.Server.start ~queue_depth ?access_log ~socket () in
+  Socet_serve.Server.install_signal_handlers srv;
+  Printf.eprintf "socet: serving on %s (queue depth %d)\n%!" socket queue_depth;
+  let code = Socet_serve.Server.wait srv in
+  Printf.eprintf "socet: drained, exiting\n%!";
+  code
+
+let cmd_submit opts socket deadline_ms request =
+  with_obs opts @@ fun () ->
+  let req =
+    match Proto.of_args ?deadline_ms request with
+    | Ok req -> req
+    | Error msg -> raise (Err.Socet_error (Err.make ~engine:"cli" msg))
+  in
+  let c = or_die (Socet_serve.Client.connect socket) in
+  let reply = Fun.protect ~finally:(fun () -> Socet_serve.Client.close c)
+      (fun () -> Socet_serve.Client.request c req)
+  in
+  let reply = or_die reply in
+  print_string reply.Socet_serve.Client.r_stdout;
+  prerr_string reply.Socet_serve.Client.r_stderr;
+  reply.Socet_serve.Client.r_code
 
 (* ------------------------------------------------------------------ *)
 (* Command wiring                                                      *)
@@ -561,6 +533,62 @@ let chip_t =
   in
   Term.(const cmd_chip $ obs_opts_t $ system_arg $ deadline $ strict)
 
+let atpg_t =
+  Term.(
+    const cmd_atpg $ obs_opts_t
+    $ Arg.(required & pos 0 (some string) None & info [] ~docv:"CORE"))
+
+let version_t = Term.(const cmd_version $ obs_opts_t $ const ())
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_t =
+  let queue_depth =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission bound: at most $(docv) jobs may be queued; beyond \
+             that submissions are rejected with a retriable overload \
+             error (exit code 5 at the client).")
+  in
+  let access_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSON line per completed job (label, wait, run \
+             time, exit code) to $(docv).")
+  in
+  Term.(const cmd_serve $ obs_opts_t $ socket_arg $ queue_depth $ access_log)
+
+let submit_t =
+  let deadline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline in milliseconds, enforced server-side: \
+             expiring in the queue or mid-engine yields exit code 4.")
+  in
+  let request =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "The request, after $(b,--): ping | stats | explore SYSTEM \
+             [--objective time|area] [--max-area N] [--max-time N] \
+             [--search-budget N] [--no-memo] | chip SYSTEM [--strict] | \
+             atpg CORE.")
+  in
+  Term.(const cmd_submit $ obs_opts_t $ socket_arg $ deadline $ request)
+
 let () =
   Socet_util.Chaos.from_env ();
   let info name doc = Cmd.info name ~doc ~exits in
@@ -579,12 +607,27 @@ let () =
            "Plan the chip test with graceful degradation (budget, \
             per-core FSCAN-BSCAN fallback).")
         chip_t;
+      Cmd.v (info "atpg" "Run combinational ATPG (PODEM) on one core.") atpg_t;
       Cmd.v (info "bist" "Evaluate March memory-BIST algorithms.") bist_t;
+      Cmd.v
+        (info "serve"
+           "Run the job server on a Unix-domain socket: framed requests, \
+            bounded FIFO queue over the domain pool, graceful drain on \
+            SIGTERM/SIGINT.")
+        serve_t;
+      Cmd.v
+        (info "submit"
+           "Send one request to a running server and relay its output \
+            (byte-identical to the direct subcommand) and exit code.")
+        submit_t;
+      Cmd.v
+        (info "version" "Print version, protocol, OCaml and feature info.")
+        version_t;
     ]
   in
   let root =
     Cmd.group
-      (Cmd.info "socet" ~version:"1.0.0"
+      (Cmd.info "socet" ~version:Proto.package_version ~exits
          ~doc:"Transparency-based core test planning (DAC'98 SOCET reproduction).")
       cmds
   in

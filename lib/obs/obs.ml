@@ -3,10 +3,15 @@ type state = { mutable on : bool; mutable sink : Sink.t }
 let st = { on = false; sink = Sink.noop }
 let registry = Registry.create ()
 
-let configure ?(trace = false) ?trace_limit () =
-  st.sink <- (if trace then Sink.memory ?limit:trace_limit () else Sink.noop);
+let configure ?(trace = false) ?trace_limit ?stream () =
+  st.sink <-
+    (match stream with
+    | Some path -> Sink.file path
+    | None -> if trace then Sink.memory ?limit:trace_limit () else Sink.noop);
   st.on <- true;
   Clock.reset ()
+
+let flush () = st.sink.Sink.flush ()
 
 let disable () = st.on <- false
 let enabled () = st.on

@@ -24,11 +24,18 @@
 
 (** {1 Lifecycle} *)
 
-val configure : ?trace:bool -> ?trace_limit:int -> unit -> unit
+val configure : ?trace:bool -> ?trace_limit:int -> ?stream:string -> unit -> unit
 (** Turn recording on.  With [trace] (default false) completed spans are
     buffered in memory (bounded by [trace_limit], default 200k events) for
     {!trace_json}/{!write_trace}; without it the no-op sink is kept and
-    only registry metrics (counters, timers, histograms) accumulate. *)
+    only registry metrics (counters, timers, histograms) accumulate.
+    With [stream] (overrides [trace]) completed spans are appended to the
+    named file as JSON lines through {!Sink.file} — unbounded run length,
+    bounded memory; remember to {!flush} at the end of the run. *)
+
+val flush : unit -> unit
+(** Flush the active sink's pending output (a no-op for the in-memory and
+    no-op sinks).  Call before reading a [?stream] file. *)
 
 val disable : unit -> unit
 val enabled : unit -> bool

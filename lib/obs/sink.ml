@@ -11,6 +11,7 @@ type t = {
   events : unit -> span_event list;
   dropped : unit -> int;
   clear : unit -> unit;
+  flush : unit -> unit;
 }
 
 let noop =
@@ -19,6 +20,7 @@ let noop =
     events = (fun () -> []);
     dropped = (fun () -> 0);
     clear = (fun () -> ());
+    flush = (fun () -> ());
   }
 
 let memory ?(limit = 200_000) () =
@@ -50,4 +52,76 @@ let memory ?(limit = 200_000) () =
         stored := [];
         n := 0;
         dropped := 0);
+    flush = (fun () -> ());
   }
+
+let event_json ev =
+  Json.Obj
+    [
+      ("name", Json.Str ev.ev_name);
+      ("cat", Json.Str ev.ev_cat);
+      ("ts_us", Json.Num ev.ev_start_us);
+      ("dur_us", Json.Num ev.ev_dur_us);
+      ("depth", Json.Num (float_of_int ev.ev_depth));
+    ]
+
+let file ?(flush_every = 64) path =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path in
+  let mu = Mutex.create () in
+  let locked f =
+    Mutex.lock mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+  in
+  let pending = Buffer.create 4096 in
+  let pending_events = ref 0 in
+  let dropped = ref 0 in
+  let closed = ref false in
+  (* Write failures (disk full, revoked mount) must not crash the engine
+     mid-run: the event is counted as dropped and streaming stops. *)
+  let flush_pending () =
+    if not !closed then begin
+      try
+        Buffer.output_buffer oc pending;
+        Buffer.clear pending;
+        pending_events := 0;
+        flush oc
+      with Sys_error _ ->
+        closed := true;
+        dropped := !dropped + !pending_events;
+        Buffer.clear pending;
+        pending_events := 0
+    end
+  in
+  let t =
+    {
+      emit =
+        (fun ev ->
+          locked @@ fun () ->
+          if !closed then incr dropped
+          else begin
+            Buffer.add_string pending (Json.to_string (event_json ev));
+            Buffer.add_char pending '\n';
+            incr pending_events;
+            if !pending_events >= flush_every then flush_pending ()
+          end);
+      (* Streamed to disk, not retained: the in-memory view is empty by
+         design (use the file).  [clear] only discards unflushed lines. *)
+      events = (fun () -> []);
+      dropped = (fun () -> locked @@ fun () -> !dropped);
+      clear =
+        (fun () ->
+          locked @@ fun () ->
+          Buffer.clear pending;
+          pending_events := 0;
+          dropped := 0);
+      flush = (fun () -> locked flush_pending);
+    }
+  in
+  at_exit (fun () ->
+      locked (fun () ->
+          flush_pending ();
+          if not !closed then begin
+            closed := true;
+            try close_out oc with Sys_error _ -> ()
+          end));
+  t

@@ -4,7 +4,8 @@
     an indirect call at most — and the facade ([Obs]) never even reaches
     the sink when observability is off.  The default {!noop} sink drops
     everything; the {!memory} sink buffers events (bounded) for the
-    Chrome trace-event exporter. *)
+    Chrome trace-event exporter; the {!file} sink streams events to disk
+    as JSON lines, for runs too long for any in-memory buffer. *)
 
 type span_event = {
   ev_name : string;  (** short span name, e.g. ["podem.run"] *)
@@ -19,6 +20,7 @@ type t = {
   events : unit -> span_event list;  (** completed events, oldest first *)
   dropped : unit -> int;  (** events discarded past the buffer limit *)
   clear : unit -> unit;
+  flush : unit -> unit;  (** push buffered output to its backing store *)
 }
 
 val noop : t
@@ -27,3 +29,16 @@ val noop : t
 val memory : ?limit:int -> unit -> t
 (** In-memory buffer keeping the first [limit] events (default 200_000);
     later events are counted as dropped rather than silently lost. *)
+
+val file : ?flush_every:int -> string -> t
+(** Append-only JSONL stream: each event becomes one line
+    [{"name":..,"cat":..,"ts_us":..,"dur_us":..,"depth":..}] appended to
+    the named file.  Emission is mutex-guarded (pool workers close spans
+    too) and buffered: lines collect in a pending buffer that is written
+    and flushed every [flush_every] events (default 64) and by {!t.flush}
+    — so the file is bounded-stale, the buffer bounded-size, and a crash
+    loses at most [flush_every - 1] events.  A final flush is registered
+    with [at_exit].  [events] returns [] (the file is the record; nothing
+    is retained in memory); [dropped] counts events lost to write errors
+    (e.g. disk full), after which streaming stops rather than raising
+    mid-engine. *)

@@ -1,0 +1,70 @@
+(* Blocking client for the job server: one connection, sequential
+   requests, monotonically increasing request ids.  Used by [socet
+   submit] and the test/bench harnesses. *)
+
+module Err = Socet_util.Error
+
+type t = { c_fd : Unix.file_descr; mutable c_next_id : int; mutable c_closed : bool }
+
+type reply = { r_stdout : string; r_stderr : string; r_code : int }
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok { c_fd = fd; c_next_id = 1; c_closed = false }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Err.error ~engine:"client"
+        ~ctx:[ ("socket", socket) ]
+        (Printf.sprintf "cannot connect: %s" (Unix.error_message e))
+
+let close c =
+  if not c.c_closed then begin
+    c.c_closed <- true;
+    try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+  end
+
+let proto_error c msg =
+  close c;
+  Err.error ~engine:"client" ~kind:Err.Internal msg
+
+let request ?on_chunk c req =
+  if c.c_closed then Err.error ~engine:"client" "connection is closed"
+  else begin
+    let id = c.c_next_id in
+    c.c_next_id <- id + 1;
+    match Wire.write_frame c.c_fd (Wire.request ~id (Proto.encode req)) with
+    | exception Unix.Unix_error (e, _, _) ->
+        proto_error c (Printf.sprintf "send failed: %s" (Unix.error_message e))
+    | () ->
+        let out = Buffer.create 1024 in
+        let rec recv () =
+          match Wire.read_frame c.c_fd with
+          | Error `Eof -> proto_error c "server closed the connection mid-request"
+          | Error (`Corrupt msg) -> proto_error c (Printf.sprintf "corrupt reply: %s" msg)
+          | Ok fr when fr.Wire.f_id <> id ->
+              proto_error c
+                (Printf.sprintf "reply id %d does not match request id %d" fr.Wire.f_id id)
+          | Ok { Wire.f_kind = Wire.Chunk; f_payload = p; _ } ->
+              Buffer.add_string out p;
+              Option.iter (fun f -> f p) on_chunk;
+              recv ()
+          | Ok { Wire.f_kind = Wire.Response; f_payload = p; _ } -> (
+              match Proto.decode_status p with
+              | Ok st ->
+                  Ok
+                    {
+                      r_stdout = Buffer.contents out;
+                      r_stderr = st.Proto.st_stderr;
+                      r_code = st.Proto.st_code;
+                    }
+              | Error msg -> proto_error c (Printf.sprintf "bad status payload: %s" msg))
+          | Ok { Wire.f_kind = Wire.Error_frame; f_payload = p; _ } -> (
+              match Proto.decode_error p with
+              | Ok e -> Error e
+              | Error msg -> proto_error c (Printf.sprintf "bad error payload: %s" msg))
+          | Ok { Wire.f_kind = Wire.Request; _ } ->
+              proto_error c "server sent a request frame"
+        in
+        recv ()
+  end

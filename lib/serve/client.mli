@@ -1,0 +1,29 @@
+(** Blocking client for the job server.
+
+    One connection carries a sequence of requests; each request blocks
+    until its terminal frame.  Server-side failures (bad request,
+    overload, queue deadline) come back as the server's structured
+    [Socet_util.Error.t] — an [Overloaded] reply carries the
+    [retry_after_ms] hint in its context, and [Error.exit_code] maps any
+    of them to the documented CLI exit code. *)
+
+type t
+
+type reply = {
+  r_stdout : string;  (** byte-identical to the direct CLI's stdout *)
+  r_stderr : string;
+  r_code : int;  (** the exit code the direct CLI would have returned *)
+}
+
+val connect : string -> (t, Socet_util.Error.t) result
+(** Connect to a server socket path. *)
+
+val request : ?on_chunk:(string -> unit) -> t -> Proto.t -> (reply, Socet_util.Error.t) result
+(** Send one request and block for the reply.  [on_chunk] observes each
+    stdout chunk as it arrives (the full stdout is still accumulated in
+    [r_stdout]).  Protocol violations (corrupt frame, id mismatch,
+    truncated stream) return an [Internal] error and close the
+    connection; server-reported errors leave it usable. *)
+
+val close : t -> unit
+(** Close the connection.  Idempotent. *)

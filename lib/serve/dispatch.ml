@@ -1,0 +1,188 @@
+open Socet_core
+module Err = Socet_util.Error
+module Budget = Socet_util.Budget
+module Ascii_table = Socet_util.Ascii_table
+module Obs = Socet_obs.Obs
+
+type outcome = { o_stdout : string; o_stderr : string; o_code : int }
+
+let exit_exhausted = 4
+
+let ok ?(stderr = "") ?(code = 0) out = Ok { o_stdout = out; o_stderr = stderr; o_code = code }
+
+(* ------------------------------------------------------------------ *)
+(* Shared input resolution (also used by the CLI subcommands)          *)
+(* ------------------------------------------------------------------ *)
+
+let builtin_cores () =
+  [
+    ("cpu", Socet_cores.Cpu.core ());
+    ("preprocessor", Socet_cores.Preprocessor.core ());
+    ("display", Socet_cores.Display.core ());
+    ("gcd", Socet_cores.Gcd_core.core ());
+    ("graphics", Socet_cores.Graphics.core ());
+    ("x25", Socet_cores.X25.core ());
+  ]
+
+(* Load-time validation: every elaborated core netlist goes through the
+   structural validator before any engine touches it, so corruption is
+   reported as a clean exit-code-3 failure naming the net, not a crash
+   deep inside ATPG or scheduling. *)
+let validated soc =
+  List.iter
+    (fun ci -> Socet_netlist.Validate.check_exn ci.Soc.ci_netlist)
+    soc.Soc.insts;
+  soc
+
+let system_of_name name =
+  match name with
+  | "system1" | "1" | "barcode" -> Ok (validated (Socet_cores.Systems.system1 ()))
+  | "system2" | "2" -> Ok (validated (Socet_cores.Systems.system2 ()))
+  | "system3" | "3" -> Ok (validated (Socet_cores.Systems.system3 ()))
+  | s ->
+      Err.error ~engine:"cli"
+        (Printf.sprintf "unknown system %S (use system1/system2/system3)" s)
+
+let core_of_name name =
+  match List.assoc_opt name (builtin_cores ()) with
+  | Some core -> Ok core
+  | None ->
+      Err.error ~engine:"cli"
+        (Printf.sprintf "unknown core %S (try: %s)" name
+           (String.concat ", " (List.map fst (builtin_cores ()))))
+
+let ( let* ) = Result.bind
+
+let deadline_s = function None -> None | Some ms -> Some (float_of_int ms /. 1000.0)
+
+(* ------------------------------------------------------------------ *)
+(* Request implementations                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_explore ~deadline_ms e =
+  let* soc = system_of_name e.Proto.ex_system in
+  let budget =
+    match (e.Proto.ex_search_budget, deadline_ms) with
+    | None, None -> None
+    | steps, dl ->
+        Some (Budget.create ~label:"select.opt" ?steps ?deadline_s:(deadline_s dl) ())
+  in
+  let use_memo = not e.Proto.ex_no_memo in
+  let traj =
+    match e.Proto.ex_objective with
+    | Proto.Min_time ->
+        Select.minimize_time ?budget ~use_memo soc ~max_area:e.Proto.ex_max_area
+    | Proto.Min_area ->
+        Select.minimize_area ?budget ~use_memo soc ~max_time:e.Proto.ex_max_time
+  in
+  let out = Buffer.create 1024 in
+  Buffer.add_string out
+    (Ascii_table.render
+       ~header:[ "step"; "versions"; "muxes"; "area"; "TAT" ]
+       (List.mapi
+          (fun i p ->
+            [
+              string_of_int i;
+              String.concat " "
+                (List.map
+                   (fun (n, k) -> Printf.sprintf "%s=%d" n k)
+                   p.Select.pt_choice);
+              string_of_int (List.length p.Select.pt_smuxes);
+              string_of_int p.Select.pt_area;
+              string_of_int p.Select.pt_time;
+            ])
+          traj));
+  let best = Select.best_time_point traj in
+  Buffer.add_string out
+    (Printf.sprintf "best: area %d cells, TAT %d cycles\n" best.Select.pt_area
+       best.Select.pt_time);
+  match budget with
+  | Some b when Budget.exhausted b ->
+      ok (Buffer.contents out)
+        ~stderr:"search budget exhausted; reporting best point found so far\n"
+        ~code:exit_exhausted
+  | _ -> ok (Buffer.contents out)
+
+let run_chip ~deadline_ms c =
+  let* soc = system_of_name c.Proto.ch_system in
+  let budget =
+    Option.map
+      (fun s -> Budget.create ~label:"chip" ~deadline_s:s ())
+      (deadline_s deadline_ms)
+  in
+  let choice = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts in
+  let* p = Resilient.plan ?budget soc ~choice () in
+  let out = Buffer.create 1024 in
+  Buffer.add_string out
+    (Ascii_table.render
+       ~header:[ "core"; "mechanism"; "test time"; "extra area" ]
+       (List.map
+          (fun (cp : Resilient.core_plan) ->
+            [
+              cp.Resilient.p_inst;
+              (match cp.Resilient.p_rung with
+              | Resilient.Transparency -> "transparency"
+              | Resilient.Fallback_fscan_bscan -> "FSCAN-BSCAN fallback");
+              string_of_int cp.Resilient.p_time;
+              string_of_int cp.Resilient.p_area;
+            ])
+          p.Resilient.p_cores));
+  Buffer.add_string out
+    (Printf.sprintf "total time: %d cycles, area overhead: %d cells\n"
+       p.Resilient.p_total_time p.Resilient.p_area_overhead);
+  if p.Resilient.p_fallbacks > 0 then
+    Buffer.add_string out
+      (Printf.sprintf "degraded: %d core(s) fell back to FSCAN-BSCAN\n"
+         p.Resilient.p_fallbacks);
+  if c.Proto.ch_strict && p.Resilient.p_fallbacks > 0 then
+    ok (Buffer.contents out)
+      ~stderr:
+        (Printf.sprintf "socet: --strict and %d core(s) degraded to the baseline\n"
+           p.Resilient.p_fallbacks)
+      ~code:exit_exhausted
+  else ok (Buffer.contents out)
+
+let run_atpg a =
+  let* core = core_of_name a.Proto.at_core in
+  let nl = Socet_synth.Elaborate.core_to_netlist core in
+  let faults = Socet_atpg.Fault.collapse nl in
+  let stats = Socet_atpg.Podem.run nl in
+  let out = Buffer.create 256 in
+  Buffer.add_string out
+    (Ascii_table.render
+       ~header:[ "core"; "faults"; "vectors"; "FC %"; "TEff %"; "aborted" ]
+       [
+         [
+           a.Proto.at_core;
+           string_of_int (List.length faults);
+           string_of_int (List.length stats.Socet_atpg.Podem.vectors);
+           Printf.sprintf "%.1f" stats.Socet_atpg.Podem.coverage;
+           Printf.sprintf "%.1f" stats.Socet_atpg.Podem.efficiency;
+           string_of_int (List.length stats.Socet_atpg.Podem.aborted);
+         ];
+       ]);
+  ok (Buffer.contents out)
+
+let run req =
+  let deadline_ms = req.Proto.rq_deadline_ms in
+  let dispatch () =
+    match req.Proto.rq_body with
+    | Proto.Ping -> ok (Proto.version_lines ())
+    | Proto.Stats -> ok (Obs.stats_json () ^ "\n")
+    | Proto.Explore e -> run_explore ~deadline_ms e
+    | Proto.Chip c -> run_chip ~deadline_ms c
+    | Proto.Atpg a -> run_atpg a
+  in
+  (* Boundary adapter: no input, however corrupt, escapes as an uncaught
+     exception — raw exceptions become structured [Internal] errors and a
+     budget blowing through an engine's cooperative check maps to
+     [Exhausted] (exit code 4), same as the direct CLI. *)
+  match Err.guard ~engine:"serve" dispatch with
+  | Ok result -> result
+  | Error e -> Error e
+  | exception Budget.Exhausted_exn label ->
+      Error
+        (Err.make ~kind:Err.Exhausted ~engine:"serve"
+           (Printf.sprintf "budget %s exhausted" label))
+  | exception e ->
+      Error (Err.make ~kind:Err.Internal ~engine:"serve" (Printexc.to_string e))

@@ -1,0 +1,37 @@
+(** The one engine driver behind both the CLI subcommands and the server.
+
+    [socet explore]/[socet chip]/[socet atpg] render through this module
+    and the server runs the same function for the matching request — so a
+    response streamed through the server is byte-identical to the direct
+    CLI's stdout/stderr for the same request, at any domain count, {e by
+    construction} rather than by parallel maintenance of two renderers
+    (asserted end-to-end in [test/test_serve.ml] and the CI serve job).
+
+    The per-request deadline and [Explore]'s [search_budget] thread into
+    [Socet_util.Budget]; exhaustion surfaces as the documented exit code
+    4, either as a degraded-but-rendered outcome (explore's best-so-far
+    trajectory) or as a structured [Exhausted] error. *)
+
+type outcome = {
+  o_stdout : string;  (** exactly what the direct CLI prints to stdout *)
+  o_stderr : string;  (** exactly what the direct CLI prints to stderr *)
+  o_code : int;  (** the documented process exit code (0, 4) *)
+}
+
+val run : Proto.t -> (outcome, Socet_util.Error.t) result
+(** Execute one request to completion.  Never raises: engine errors and
+    escaping exceptions come back as structured [Socet_util.Error.t]
+    (mapped by [Error.exit_code] to the same status the direct CLI
+    exits with). *)
+
+(** {2 Shared input resolution}
+
+    Exposed for the CLI subcommands that predate the server ([space],
+    [coverage], ...), so "unknown system" is one structured
+    [Invalid_input] error (exit code 3) everywhere. *)
+
+val system_of_name : string -> (Socet_core.Soc.t, Socet_util.Error.t) result
+(** Validated SOC ([Socet_netlist.Validate] has run on every core). *)
+
+val core_of_name : string -> (Socet_rtl.Rtl_core.t, Socet_util.Error.t) result
+val builtin_cores : unit -> (string * Socet_rtl.Rtl_core.t) list

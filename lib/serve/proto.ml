@@ -1,0 +1,267 @@
+module Json = Socet_obs.Json
+module Err = Socet_util.Error
+
+type objective = Min_time | Min_area
+
+type explore = {
+  ex_system : string;
+  ex_objective : objective;
+  ex_max_area : int;
+  ex_max_time : int;
+  ex_search_budget : int option;
+  ex_no_memo : bool;
+}
+
+type chip = { ch_system : string; ch_strict : bool }
+type atpg = { at_core : string }
+
+type body = Ping | Stats | Explore of explore | Chip of chip | Atpg of atpg
+
+type t = { rq_deadline_ms : int option; rq_body : body }
+
+type status = { st_code : int; st_stderr : string }
+
+let make ?deadline_ms body = { rq_deadline_ms = deadline_ms; rq_body = body }
+
+let package_version = "1.1.0"
+
+(* Compile-time capabilities, for client/server mismatch diagnosis: every
+   subsystem that changes the observable surface lists itself here. *)
+let features = [ "obs"; "budgets"; "chaos"; "multicore"; "serve" ]
+
+let version_lines () =
+  Printf.sprintf "socet %s (protocol %d)\nocaml %s\nfeatures: %s\n"
+    package_version Wire.protocol_version Sys.ocaml_version
+    (String.concat " " features)
+
+let summary t =
+  match t.rq_body with
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Explore e -> Printf.sprintf "explore %s" e.ex_system
+  | Chip c -> Printf.sprintf "chip %s" c.ch_system
+  | Atpg a -> Printf.sprintf "atpg %s" a.at_core
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let num i = Json.Num (float_of_int i)
+
+let body_to_json = function
+  | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
+  | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
+  | Explore e ->
+      Json.Obj
+        ([
+           ("op", Json.Str "explore");
+           ("system", Json.Str e.ex_system);
+           ( "objective",
+             Json.Str (match e.ex_objective with Min_time -> "time" | Min_area -> "area") );
+           ("max_area", num e.ex_max_area);
+           ("max_time", num e.ex_max_time);
+           ("no_memo", Json.Bool e.ex_no_memo);
+         ]
+        @ match e.ex_search_budget with None -> [] | Some s -> [ ("search_budget", num s) ])
+  | Chip c ->
+      Json.Obj
+        [ ("op", Json.Str "chip"); ("system", Json.Str c.ch_system); ("strict", Json.Bool c.ch_strict) ]
+  | Atpg a -> Json.Obj [ ("op", Json.Str "atpg"); ("core", Json.Str a.at_core) ]
+
+let to_json t =
+  let body = match body_to_json t.rq_body with Json.Obj fields -> fields | _ -> [] in
+  Json.Obj
+    (body @ match t.rq_deadline_ms with None -> [] | Some ms -> [ ("deadline_ms", num ms) ])
+
+let encode t = Json.to_string (to_json t)
+
+let get_str field j = Option.bind (Json.member field j) Json.to_str
+let get_int field j =
+  Option.map int_of_float (Option.bind (Json.member field j) Json.to_float)
+
+let get_bool field j =
+  match Json.member field j with Some (Json.Bool b) -> Some b | _ -> None
+
+let ( let* ) = Result.bind
+
+let require what = function Some v -> Ok v | None -> Error ("missing field " ^ what)
+
+let body_of_json j =
+  let* op = require "op" (get_str "op" j) in
+  match op with
+  | "ping" -> Ok Ping
+  | "stats" -> Ok Stats
+  | "explore" ->
+      let* ex_system = require "system" (get_str "system" j) in
+      let* ex_objective =
+        match Option.value ~default:"time" (get_str "objective" j) with
+        | "time" -> Ok Min_time
+        | "area" -> Ok Min_area
+        | o -> Error (Printf.sprintf "bad objective %S (use time or area)" o)
+      in
+      Ok
+        (Explore
+           {
+             ex_system;
+             ex_objective;
+             ex_max_area = Option.value ~default:500 (get_int "max_area" j);
+             ex_max_time = Option.value ~default:5000 (get_int "max_time" j);
+             ex_search_budget = get_int "search_budget" j;
+             ex_no_memo = Option.value ~default:false (get_bool "no_memo" j);
+           })
+  | "chip" ->
+      let* ch_system = require "system" (get_str "system" j) in
+      Ok (Chip { ch_system; ch_strict = Option.value ~default:false (get_bool "strict" j) })
+  | "atpg" ->
+      let* at_core = require "core" (get_str "core" j) in
+      Ok (Atpg { at_core })
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+let of_json j =
+  let* rq_body = body_of_json j in
+  Ok { rq_body; rq_deadline_ms = get_int "deadline_ms" j }
+
+let decode s =
+  let* j = Json.of_string s in
+  of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Response status and structured errors                               *)
+(* ------------------------------------------------------------------ *)
+
+let encode_status st =
+  Json.to_string
+    (Json.Obj [ ("code", num st.st_code); ("stderr", Json.Str st.st_stderr) ])
+
+let decode_status s =
+  let* j = Json.of_string s in
+  let* code = require "code" (get_int "code" j) in
+  Ok { st_code = code; st_stderr = Option.value ~default:"" (get_str "stderr" j) }
+
+let kind_tag = function
+  | Err.Invalid_input -> "invalid_input"
+  | Err.Validation -> "validation"
+  | Err.Exhausted -> "exhausted"
+  | Err.Overloaded -> "overloaded"
+  | Err.Internal -> "internal"
+
+let kind_of_tag = function
+  | "invalid_input" -> Ok Err.Invalid_input
+  | "validation" -> Ok Err.Validation
+  | "exhausted" -> Ok Err.Exhausted
+  | "overloaded" -> Ok Err.Overloaded
+  | "internal" -> Ok Err.Internal
+  | k -> Error (Printf.sprintf "unknown error kind %S" k)
+
+let encode_error (e : Err.t) =
+  Json.to_string
+    (Json.Obj
+       [
+         ("engine", Json.Str e.Err.err_engine);
+         ("kind", Json.Str (kind_tag e.Err.err_kind));
+         ("msg", Json.Str e.Err.err_msg);
+         ( "ctx",
+           Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) e.Err.err_ctx) );
+       ])
+
+let decode_error s =
+  let* j = Json.of_string s in
+  let* engine = require "engine" (get_str "engine" j) in
+  let* kind = kind_of_tag (Option.value ~default:"internal" (get_str "kind" j)) in
+  let* msg = require "msg" (get_str "msg" j) in
+  let ctx =
+    match Json.member "ctx" j with
+    | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_str v))
+          fields
+    | _ -> []
+  in
+  Ok (Err.make ~kind ~ctx ~engine msg)
+
+(* ------------------------------------------------------------------ *)
+(* Command-line request syntax ([socet submit ... -- <request>])       *)
+(* ------------------------------------------------------------------ *)
+
+(* Tiny flag parser: [--k v], [--k=v] and bare boolean flags, enough to
+   mirror the CLI surface without pulling cmdliner into the library. *)
+let parse_flags spec tokens =
+  let split tok =
+    match String.index_opt tok '=' with
+    | Some i ->
+        (String.sub tok 0 i, Some (String.sub tok (i + 1) (String.length tok - i - 1)))
+    | None -> (tok, None)
+  in
+  let rec go acc = function
+    | [] -> Ok acc
+    | tok :: rest when String.length tok > 2 && String.sub tok 0 2 = "--" -> (
+        let key, inline = split tok in
+        match List.assoc_opt key spec with
+        | None -> Error (Printf.sprintf "unknown flag %s" key)
+        | Some `Flag -> go ((key, "") :: acc) rest
+        | Some `Value -> (
+            match (inline, rest) with
+            | Some v, _ -> go ((key, v) :: acc) rest
+            | None, v :: rest' -> go ((key, v) :: acc) rest'
+            | None, [] -> Error (Printf.sprintf "flag %s needs a value" key)))
+    | tok :: _ -> Error (Printf.sprintf "unexpected argument %S" tok)
+  in
+  go [] tokens
+
+let int_flag flags key ~default =
+  match List.assoc_opt key flags with
+  | None -> Ok default
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "flag %s expects an integer, got %S" key v))
+
+let of_args ?deadline_ms args =
+  let* body =
+    match args with
+    | [] | [ "" ] -> Error "empty request (expected ping|stats|explore|chip|atpg)"
+    | "ping" :: [] -> Ok Ping
+    | "stats" :: [] -> Ok Stats
+    | "explore" :: system :: rest ->
+        let* flags =
+          parse_flags
+            [
+              ("--objective", `Value); ("--max-area", `Value); ("--max-time", `Value);
+              ("--search-budget", `Value); ("--no-memo", `Flag);
+            ]
+            rest
+        in
+        let* ex_objective =
+          match List.assoc_opt "--objective" flags with
+          | None | Some "time" -> Ok Min_time
+          | Some "area" -> Ok Min_area
+          | Some o -> Error (Printf.sprintf "bad objective %S (use time or area)" o)
+        in
+        let* ex_max_area = int_flag flags "--max-area" ~default:500 in
+        let* ex_max_time = int_flag flags "--max-time" ~default:5000 in
+        let* sb = int_flag flags "--search-budget" ~default:(-1) in
+        Ok
+          (Explore
+             {
+               ex_system = system;
+               ex_objective;
+               ex_max_area;
+               ex_max_time;
+               ex_search_budget = (if sb < 0 then None else Some sb);
+               ex_no_memo = List.mem_assoc "--no-memo" flags;
+             })
+    | "chip" :: system :: rest ->
+        let* flags = parse_flags [ ("--strict", `Flag) ] rest in
+        Ok (Chip { ch_system = system; ch_strict = List.mem_assoc "--strict" flags })
+    | "atpg" :: core :: [] -> Ok (Atpg { at_core = core })
+    | [ ("explore" | "chip" | "atpg") as cmd ] ->
+        Error (Printf.sprintf "%s needs a target (e.g. %s system1)" cmd cmd)
+    | cmd :: _ ->
+        Error
+          (Printf.sprintf
+             "bad request %S (expected: ping | stats | explore SYSTEM [--objective \
+              time|area] [--max-area N] [--max-time N] [--search-budget N] [--no-memo] \
+              | chip SYSTEM [--strict] | atpg CORE)"
+             cmd)
+  in
+  Ok (make ?deadline_ms body)

@@ -1,0 +1,205 @@
+(* Admission-controlled FIFO job queue.
+
+   Shape: bounded admission (reject, don't block), one dispatcher thread
+   draining in submission order, each job free to fan out internally
+   across the [Socet_util.Pool] domains.  Running jobs one at a time is
+   what keeps the determinism contract: a job sees the same pool, in the
+   same state, as a direct CLI run — concurrency lives in the admission
+   layer (many connections waiting) and inside the engines (domain
+   parallelism), never between two half-run jobs. *)
+
+module Err = Socet_util.Error
+module Obs = Socet_obs.Obs
+
+let c_accepted = Obs.counter ~scope:"serve" "jobs.accepted"
+let c_rejected = Obs.counter ~scope:"serve" "jobs.rejected"
+let c_completed = Obs.counter ~scope:"serve" "jobs.completed"
+let c_failed = Obs.counter ~scope:"serve" "jobs.failed"
+let g_depth = Obs.gauge ~scope:"serve" "queue.depth"
+let h_wait = Obs.histogram ~scope:"serve" "queue.wait_ms"
+let h_latency = Obs.histogram ~scope:"serve" "queue.latency_ms"
+
+type job_info = {
+  ji_label : string;
+  ji_enqueued_us : float;  (** absolute wall clock, microseconds *)
+  ji_wait_us : float;  (** time spent queued before dispatch *)
+  ji_run_us : float;  (** time spent executing *)
+  ji_code : int;  (** outcome exit code, or [Error.exit_code] on failure *)
+  ji_ok : bool;
+}
+
+type job = {
+  j_label : string;
+  j_deadline_us : float option;  (* absolute; checked again at dispatch *)
+  j_thunk : unit -> (Dispatch.outcome, Err.t) result;
+  j_enq_us : float;
+  j_mu : Mutex.t;
+  j_cv : Condition.t;
+  mutable j_result : (Dispatch.outcome, Err.t) result option;
+}
+
+type ticket = job
+
+type t = {
+  q_mu : Mutex.t;
+  q_cv : Condition.t;  (* dispatcher wakeup: new job or drain *)
+  q_jobs : job Stdlib.Queue.t;
+  q_depth : int;
+  q_on_done : (job_info -> unit) option;
+  mutable q_pending : int;
+  mutable q_accepting : bool;
+  mutable q_avg_run_ms : float;  (* EWMA, feeds the backoff hint *)
+  mutable q_thread : Thread.t option;
+}
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let fulfill job result =
+  locked job.j_mu (fun () ->
+      job.j_result <- Some result;
+      Condition.broadcast job.j_cv)
+
+let run_one q job =
+  let start_us = now_us () in
+  let wait_us = start_us -. job.j_enq_us in
+  let result =
+    match job.j_deadline_us with
+    | Some dl when start_us >= dl ->
+        (* Expired while queued: the engines never start.  Same structured
+           error (and exit code 4) a mid-engine deadline produces. *)
+        Error
+          (Err.make ~kind:Err.Exhausted ~engine:"serve"
+             ~ctx:
+               [
+                 ("job", job.j_label);
+                 ("queued_ms", Printf.sprintf "%.1f" (wait_us /. 1000.0));
+               ]
+             "deadline expired while queued")
+    | _ -> (
+        try job.j_thunk () with
+        | Err.Socet_error e -> Error e
+        | e -> Error (Err.make ~kind:Err.Internal ~engine:"serve" (Printexc.to_string e)))
+  in
+  let end_us = now_us () in
+  let run_us = end_us -. start_us in
+  let code = match result with Ok o -> o.Dispatch.o_code | Error e -> Err.exit_code e in
+  (match result with
+  | Ok _ ->
+      Obs.incr c_completed;
+      q.q_avg_run_ms <- (0.8 *. q.q_avg_run_ms) +. (0.2 *. run_us /. 1000.0)
+  | Error _ -> Obs.incr c_failed);
+  Obs.observe h_wait (wait_us /. 1000.0);
+  Obs.observe h_latency ((end_us -. job.j_enq_us) /. 1000.0);
+  fulfill job result;
+  Option.iter
+    (fun f ->
+      f
+        {
+          ji_label = job.j_label;
+          ji_enqueued_us = job.j_enq_us;
+          ji_wait_us = wait_us;
+          ji_run_us = run_us;
+          ji_code = code;
+          ji_ok = Result.is_ok result;
+        })
+    q.q_on_done
+
+let dispatcher q () =
+  let rec loop () =
+    Mutex.lock q.q_mu;
+    while q.q_accepting && Stdlib.Queue.is_empty q.q_jobs do
+      Condition.wait q.q_cv q.q_mu
+    done;
+    if Stdlib.Queue.is_empty q.q_jobs then Mutex.unlock q.q_mu (* draining, done *)
+    else begin
+      let job = Stdlib.Queue.pop q.q_jobs in
+      q.q_pending <- q.q_pending - 1;
+      Obs.set_gauge g_depth q.q_pending;
+      Mutex.unlock q.q_mu;
+      run_one q job;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(depth = 64) ?on_done () =
+  if depth < 1 then invalid_arg "Serve.Queue.create: depth must be >= 1";
+  let q =
+    {
+      q_mu = Mutex.create ();
+      q_cv = Condition.create ();
+      q_jobs = Stdlib.Queue.create ();
+      q_depth = depth;
+      q_on_done = on_done;
+      q_pending = 0;
+      q_accepting = true;
+      q_avg_run_ms = 0.0;
+      q_thread = None;
+    }
+  in
+  q.q_thread <- Some (Thread.create (dispatcher q) ());
+  q
+
+let retry_after_ms q =
+  (* Suggested backoff: roughly the time the current backlog needs to
+     clear, floored so clients never spin. *)
+  max 25 (int_of_float (q.q_avg_run_ms *. float_of_int (q.q_pending + 1)))
+
+let overloaded q msg =
+  Obs.incr c_rejected;
+  Error
+    (Err.make ~kind:Err.Overloaded ~engine:"serve"
+       ~ctx:
+         [
+           ("retry_after_ms", string_of_int (retry_after_ms q));
+           ("depth", string_of_int q.q_depth);
+           ("pending", string_of_int q.q_pending);
+         ]
+       msg)
+
+let submit q ~label ?deadline_us thunk =
+  locked q.q_mu (fun () ->
+      if not q.q_accepting then overloaded q "server is draining"
+      else if q.q_pending >= q.q_depth then overloaded q "job queue full"
+      else begin
+        let job =
+          {
+            j_label = label;
+            j_deadline_us = deadline_us;
+            j_thunk = thunk;
+            j_enq_us = now_us ();
+            j_mu = Mutex.create ();
+            j_cv = Condition.create ();
+            j_result = None;
+          }
+        in
+        Stdlib.Queue.push job q.q_jobs;
+        q.q_pending <- q.q_pending + 1;
+        Obs.incr c_accepted;
+        Obs.set_gauge g_depth q.q_pending;
+        Condition.signal q.q_cv;
+        Ok job
+      end)
+
+let await job =
+  locked job.j_mu (fun () ->
+      while Option.is_none job.j_result do
+        Condition.wait job.j_cv job.j_mu
+      done;
+      Option.get job.j_result)
+
+let pending q = locked q.q_mu (fun () -> q.q_pending)
+
+let drain q =
+  let join =
+    locked q.q_mu (fun () ->
+        let was_accepting = q.q_accepting in
+        q.q_accepting <- false;
+        Condition.broadcast q.q_cv;
+        if was_accepting then q.q_thread else None)
+  in
+  Option.iter Thread.join join

@@ -1,0 +1,64 @@
+(** Admission-controlled job queue between the server's connection
+    handlers and the engines.
+
+    Policy (DESIGN.md §11):
+    - {b Bounded admission.}  At most [depth] jobs may be queued; an
+      admission attempt beyond that {e rejects immediately} with a
+      structured, retriable [Overloaded] error carrying a
+      [retry_after_ms] backoff hint — the queue never blocks a caller
+      and never grows without bound.
+    - {b FIFO dispatch, one job at a time.}  A single dispatcher thread
+      drains jobs in submission order; each job parallelizes internally
+      across the [Socet_util.Pool] domains.  Serializing jobs is what
+      preserves the deterministic-reduction contract — a job sees the
+      pool exactly as a direct CLI run would.
+    - {b Deadlines are re-checked at dispatch.}  A job whose deadline
+      expired while it sat in the queue fails with the structured
+      [Exhausted] error (exit code 4) without starting the engines.
+
+    Per-job observability: [serve.jobs.{accepted,rejected,completed,
+    failed}] counters, the [serve.queue.depth] gauge, and
+    [serve.queue.{wait_ms,latency_ms}] histograms (dispatch wait and
+    end-to-end latency). *)
+
+type t
+
+type ticket
+(** A submitted job; redeem with {!await}. *)
+
+type job_info = {
+  ji_label : string;
+  ji_enqueued_us : float;  (** absolute wall clock, microseconds *)
+  ji_wait_us : float;  (** time spent queued before dispatch *)
+  ji_run_us : float;  (** time spent executing *)
+  ji_code : int;  (** outcome exit code, or [Error.exit_code] on failure *)
+  ji_ok : bool;
+}
+
+val create : ?depth:int -> ?on_done:(job_info -> unit) -> unit -> t
+(** Start the dispatcher thread.  [depth] (default 64) bounds the number
+    of admitted-but-unfinished jobs; [on_done] runs on the dispatcher
+    thread after each job settles (the server's access log).
+    @raise Invalid_argument when [depth < 1]. *)
+
+val submit :
+  t ->
+  label:string ->
+  ?deadline_us:float ->
+  (unit -> (Dispatch.outcome, Socet_util.Error.t) result) ->
+  (ticket, Socet_util.Error.t) result
+(** Admit a job, or reject with [Overloaded] (queue full, or draining).
+    [deadline_us] is an absolute wall-clock bound ([Unix.gettimeofday]
+    seconds × 1e6).  Never blocks. *)
+
+val await : ticket -> (Dispatch.outcome, Socet_util.Error.t) result
+(** Block until the job settles.  A thunk that raises is reported as a
+    structured [Internal] error, never re-raised into the waiter. *)
+
+val pending : t -> int
+(** Jobs admitted and not yet dispatched. *)
+
+val drain : t -> unit
+(** Stop admitting ({!submit} then rejects with [Overloaded]
+    ["server is draining"]), finish every already-admitted job, and join
+    the dispatcher thread.  Idempotent. *)

@@ -1,0 +1,246 @@
+(* Unix-domain-socket accept loop over the job queue.
+
+   Thread shape: one accept thread (select over the listening socket and
+   a self-pipe), one handler thread per connection, one queue dispatcher
+   (see queue.ml).  Graceful drain: a shutdown request (SIGTERM/SIGINT
+   via [install_signal_handlers], or [shutdown]) writes one byte to the
+   self-pipe; the accept thread stops accepting, drains the queue
+   (in-flight jobs finish and their responses are written), closes every
+   connection, flushes the sinks and signals [wait]. *)
+
+module Err = Socet_util.Error
+module Obs = Socet_obs.Obs
+module Sink = Socet_obs.Sink
+
+let c_conns = Obs.counter ~scope:"serve" "connections.accepted"
+let c_requests = Obs.counter ~scope:"serve" "requests.received"
+let c_bad_frames = Obs.counter ~scope:"serve" "requests.bad_frames"
+
+(* Chunk size for streaming a response body; small enough to interleave
+   on a slow reader, big enough that framing overhead is noise. *)
+let chunk_bytes = 32768
+
+type t = {
+  s_socket : string;
+  s_listen : Unix.file_descr;
+  s_stop_r : Unix.file_descr;
+  s_stop_w : Unix.file_descr;
+  s_queue : Queue.t;
+  s_access : Sink.t option;
+  s_start_us : float;
+  s_mu : Mutex.t;
+  s_cv : Condition.t;
+  mutable s_conns : Unix.file_descr list;
+  mutable s_handlers : Thread.t list;
+  mutable s_stopping : bool;
+  mutable s_stopped : bool;
+  mutable s_accept : Thread.t option;
+}
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let ignoring_unix_errors f = try f () with Unix.Unix_error _ | Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection protocol                                             *)
+(* ------------------------------------------------------------------ *)
+
+let send_error fd ~id e = Wire.write_frame fd (Wire.error ~id (Proto.encode_error e))
+
+let send_outcome fd ~id (o : Dispatch.outcome) =
+  let len = String.length o.Dispatch.o_stdout in
+  let rec chunks seq pos =
+    if pos < len then begin
+      let n = min chunk_bytes (len - pos) in
+      Wire.write_frame fd (Wire.chunk ~id ~seq (String.sub o.Dispatch.o_stdout pos n));
+      chunks (seq + 1) (pos + n)
+    end
+  in
+  chunks 0 0;
+  Wire.write_frame fd
+    (Wire.response ~id
+       (Proto.encode_status
+          { Proto.st_code = o.Dispatch.o_code; st_stderr = o.Dispatch.o_stderr }))
+
+let handle_request srv fd ~id payload =
+  Obs.incr c_requests;
+  match Proto.decode payload with
+  | Error msg ->
+      send_error fd ~id (Err.make ~engine:"serve" (Printf.sprintf "bad request: %s" msg))
+  | Ok req -> (
+      let deadline_us =
+        Option.map
+          (fun ms -> now_us () +. (float_of_int ms *. 1000.0))
+          req.Proto.rq_deadline_ms
+      in
+      let submitted =
+        Queue.submit srv.s_queue ~label:(Proto.summary req) ?deadline_us (fun () ->
+            Dispatch.run req)
+      in
+      match submitted with
+      | Error e -> send_error fd ~id e
+      | Ok ticket -> (
+          match Queue.await ticket with
+          | Error e -> send_error fd ~id e
+          | Ok outcome -> send_outcome fd ~id outcome))
+
+let handler srv fd () =
+  let rec loop () =
+    match Wire.read_frame fd with
+    | Error `Eof -> ()
+    | Error (`Corrupt msg) ->
+        Obs.incr c_bad_frames;
+        ignoring_unix_errors (fun () ->
+            send_error fd ~id:0
+              (Err.make ~engine:"serve" (Printf.sprintf "corrupt frame: %s" msg)))
+    | Ok { Wire.f_kind = Wire.Request; f_id = id; f_payload = payload; _ } ->
+        handle_request srv fd ~id payload;
+        loop ()
+    | Ok fr ->
+        Obs.incr c_bad_frames;
+        ignoring_unix_errors (fun () ->
+            send_error fd ~id:fr.Wire.f_id
+              (Err.make ~engine:"serve" "unexpected frame kind from client"))
+  in
+  (* The fd may be closed under us during drain; any I/O failure ends the
+     connection, never the server. *)
+  ignoring_unix_errors loop;
+  locked srv.s_mu (fun () ->
+      srv.s_conns <- List.filter (fun c -> c != fd) srv.s_conns);
+  ignoring_unix_errors (fun () -> Unix.close fd)
+
+(* ------------------------------------------------------------------ *)
+(* Access log                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One JSONL line per settled job, through the obs file sink: the span
+   event's name is the request summary, its category encodes the outcome,
+   timestamps are relative to server start (like engine spans). *)
+let access_event srv (ji : Queue.job_info) =
+  {
+    Sink.ev_name = Printf.sprintf "%s code=%d" ji.Queue.ji_label ji.Queue.ji_code;
+    ev_cat = (if ji.Queue.ji_ok then "serve.job" else "serve.job.failed");
+    ev_start_us = ji.Queue.ji_enqueued_us -. srv.s_start_us;
+    ev_dur_us = ji.Queue.ji_wait_us +. ji.Queue.ji_run_us;
+    ev_depth = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let accept_loop srv () =
+  let rec loop () =
+    (* Finite timeout, not -1: returning to OCaml periodically is what
+       lets a pending SIGTERM/SIGINT handler actually run when every
+       other thread is parked in a C condition wait. *)
+    match Unix.select [ srv.s_listen; srv.s_stop_r ] [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | [], _, _ -> loop ()
+    | readable, _, _ ->
+        if List.mem srv.s_stop_r readable then () (* drain requested *)
+        else begin
+          (match Unix.accept srv.s_listen with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _ ->
+              Obs.incr c_conns;
+              locked srv.s_mu (fun () ->
+                  srv.s_conns <- fd :: srv.s_conns;
+                  srv.s_handlers <- Thread.create (handler srv fd) () :: srv.s_handlers));
+          loop ()
+        end
+  in
+  loop ();
+  (* Drain: stop accepting, finish in-flight jobs, then unblock any
+     handler still waiting for a next request and join them all. *)
+  ignoring_unix_errors (fun () -> Unix.close srv.s_listen);
+  ignoring_unix_errors (fun () -> Sys.remove srv.s_socket);
+  Queue.drain srv.s_queue;
+  let conns, handlers =
+    locked srv.s_mu (fun () -> (srv.s_conns, srv.s_handlers))
+  in
+  List.iter (fun fd -> ignoring_unix_errors (fun () -> Unix.shutdown fd Unix.SHUTDOWN_RECEIVE)) conns;
+  List.iter Thread.join handlers;
+  Option.iter (fun sink -> sink.Sink.flush ()) srv.s_access;
+  Obs.flush ();
+  locked srv.s_mu (fun () ->
+      srv.s_stopped <- true;
+      Condition.broadcast srv.s_cv)
+
+let start ?(queue_depth = 64) ?access_log ~socket () =
+  (* A dead client mid-write must surface as EPIPE, not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if Sys.file_exists socket then Sys.remove socket;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+     Unix.listen listen_fd 64
+   with e ->
+     ignoring_unix_errors (fun () -> Unix.close listen_fd);
+     raise e);
+  let stop_r, stop_w = Unix.pipe () in
+  let access = Option.map Sink.file access_log in
+  let srv_ref = ref None in
+  let on_done ji =
+    match !srv_ref with
+    | Some srv -> Option.iter (fun s -> s.Sink.emit (access_event srv ji)) srv.s_access
+    | None -> ()
+  in
+  let srv =
+    {
+      s_socket = socket;
+      s_listen = listen_fd;
+      s_stop_r = stop_r;
+      s_stop_w = stop_w;
+      s_queue = Queue.create ~depth:queue_depth ~on_done ();
+      s_access = access;
+      s_start_us = now_us ();
+      s_mu = Mutex.create ();
+      s_cv = Condition.create ();
+      s_conns = [];
+      s_handlers = [];
+      s_stopping = false;
+      s_stopped = false;
+      s_accept = None;
+    }
+  in
+  srv_ref := Some srv;
+  srv.s_accept <- Some (Thread.create (accept_loop srv) ());
+  srv
+
+let shutdown srv =
+  let first =
+    locked srv.s_mu (fun () ->
+        if srv.s_stopping then false
+        else begin
+          srv.s_stopping <- true;
+          true
+        end)
+  in
+  if first then
+    ignoring_unix_errors (fun () ->
+        ignore (Unix.write srv.s_stop_w (Bytes.make 1 '!') 0 1))
+
+let wait srv =
+  (* Poll rather than park in [Condition.wait]: the runtime only executes
+     pending signal handlers on a thread that is running OCaml code, and
+     [wait] is called from the main thread — exactly the one SIGTERM's
+     handler needs.  [Thread.delay] yields between checks. *)
+  while not (locked srv.s_mu (fun () -> srv.s_stopped)) do
+    Thread.delay 0.05
+  done;
+  Option.iter Thread.join srv.s_accept;
+  ignoring_unix_errors (fun () -> Unix.close srv.s_stop_r);
+  ignoring_unix_errors (fun () -> Unix.close srv.s_stop_w);
+  0
+
+let install_signal_handlers srv =
+  let handle _ = shutdown srv in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle handle) with Invalid_argument _ -> ())
+    [ Sys.sigterm; Sys.sigint ]

@@ -1,0 +1,39 @@
+(** Unix-domain-socket job server.
+
+    One accept thread multiplexes the listening socket against a
+    self-pipe; each connection gets a handler thread that reads
+    {!Wire.Request} frames and settles each through the {!Queue} (so the
+    engines run one job at a time and the deterministic-reduction
+    contract holds); responses stream back as {!Wire.Chunk} frames of
+    stdout followed by one {!Wire.Response} frame carrying the status.
+
+    Graceful drain (DESIGN.md §11): on SIGTERM/SIGINT (via
+    {!install_signal_handlers}) or {!shutdown}, the server stops
+    accepting, lets every already-admitted job finish and its response
+    reach the client, flushes the trace/access-log sinks, and {!wait}
+    returns 0. *)
+
+type t
+
+val start : ?queue_depth:int -> ?access_log:string -> socket:string -> unit -> t
+(** Bind [socket] (an existing file at that path is replaced), spawn the
+    accept loop and the queue dispatcher, and return immediately.
+    [queue_depth] bounds admitted-but-unfinished jobs (default 64);
+    [access_log] appends one JSONL record per settled job via
+    [Socet_obs.Sink.file].  SIGPIPE is ignored process-wide so a client
+    hanging up mid-response surfaces as [EPIPE] on that connection only.
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+
+val shutdown : t -> unit
+(** Request a graceful drain.  Returns immediately; async-signal-safe
+    (one byte to a self-pipe) and idempotent. *)
+
+val wait : t -> int
+(** Block until the drain completes — every in-flight job settled, every
+    connection closed, sinks flushed — then return the process exit code
+    (0). *)
+
+val install_signal_handlers : t -> unit
+(** Route SIGTERM and SIGINT to {!shutdown}.  Kept separate from
+    {!start} so in-process tests don't hijack the test runner's
+    signals. *)

@@ -1,0 +1,140 @@
+(* Length-prefixed, versioned binary framing.
+
+   Every frame is a fixed 22-byte header followed by an opaque payload:
+
+     offset  size  field
+     0       4     magic "SCET"
+     4       1     protocol version (PROTOCOL_VERSION)
+     5       1     frame kind (0 request, 1 response, 2 chunk, 3 error)
+     6       8     request id, big-endian (echoed by the server)
+     14      4     chunk sequence number, big-endian (0 outside chunks)
+     18      4     payload length N, big-endian
+     22      N     payload bytes
+
+   The codec is pure (Bytes in, Bytes out); the fd helpers below are the
+   only I/O and loop over partial reads/writes and EINTR. *)
+
+type kind = Request | Response | Chunk | Error_frame
+
+type frame = { f_kind : kind; f_id : int; f_seq : int; f_payload : string }
+
+let protocol_version = 1
+let header_size = 22
+let magic = "SCET"
+
+(* Generous but finite: a corrupt length field must not look like a
+   near-infinite allocation request. *)
+let max_payload = 1 lsl 26
+
+let kind_code = function
+  | Request -> 0
+  | Response -> 1
+  | Chunk -> 2
+  | Error_frame -> 3
+
+let kind_of_code = function
+  | 0 -> Some Request
+  | 1 -> Some Response
+  | 2 -> Some Chunk
+  | 3 -> Some Error_frame
+  | _ -> None
+
+let request ~id payload = { f_kind = Request; f_id = id; f_seq = 0; f_payload = payload }
+let response ~id payload = { f_kind = Response; f_id = id; f_seq = 0; f_payload = payload }
+let chunk ~id ~seq payload = { f_kind = Chunk; f_id = id; f_seq = seq; f_payload = payload }
+let error ~id payload = { f_kind = Error_frame; f_id = id; f_seq = 0; f_payload = payload }
+
+let encode fr =
+  let n = String.length fr.f_payload in
+  if n > max_payload then
+    invalid_arg (Printf.sprintf "Wire.encode: payload %d exceeds max %d" n max_payload);
+  if fr.f_id < 0 then invalid_arg "Wire.encode: negative frame id";
+  if fr.f_seq < 0 then invalid_arg "Wire.encode: negative chunk sequence";
+  let b = Bytes.create (header_size + n) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set_uint8 b 4 protocol_version;
+  Bytes.set_uint8 b 5 (kind_code fr.f_kind);
+  Bytes.set_int64_be b 6 (Int64.of_int fr.f_id);
+  Bytes.set_int32_be b 14 (Int32.of_int fr.f_seq);
+  Bytes.set_int32_be b 18 (Int32.of_int n);
+  Bytes.blit_string fr.f_payload 0 b header_size n;
+  b
+
+(* Header parse shared by [decode] and [read_frame]: the buffer holds at
+   least [header_size] bytes at [pos]. *)
+let decode_header b pos =
+  if Bytes.sub_string b pos 4 <> magic then Error (`Corrupt "bad magic")
+  else
+    let version = Bytes.get_uint8 b (pos + 4) in
+    if version <> protocol_version then
+      Error (`Corrupt (Printf.sprintf "protocol version %d, expected %d" version protocol_version))
+    else
+      match kind_of_code (Bytes.get_uint8 b (pos + 5)) with
+      | None ->
+          Error (`Corrupt (Printf.sprintf "unknown frame kind %d" (Bytes.get_uint8 b (pos + 5))))
+      | Some kind ->
+          let id = Int64.to_int (Bytes.get_int64_be b (pos + 6)) in
+          let seq = Int32.to_int (Bytes.get_int32_be b (pos + 14)) in
+          let len = Int32.to_int (Bytes.get_int32_be b (pos + 18)) in
+          if id < 0 then Error (`Corrupt "negative frame id")
+          else if seq < 0 then Error (`Corrupt "negative chunk sequence")
+          else if len < 0 || len > max_payload then
+            Error (`Corrupt (Printf.sprintf "payload length %d out of range" len))
+          else Ok (kind, id, seq, len)
+
+let decode b ~pos =
+  let avail = Bytes.length b - pos in
+  if pos < 0 || pos > Bytes.length b then invalid_arg "Wire.decode: pos out of range";
+  if avail < header_size then Error `Truncated
+  else
+    match decode_header b pos with
+    | Error _ as e -> e
+    | Ok (kind, id, seq, len) ->
+        if avail < header_size + len then Error `Truncated
+        else
+          let payload = Bytes.sub_string b (pos + header_size) len in
+          Ok ({ f_kind = kind; f_id = id; f_seq = seq; f_payload = payload }, header_size + len)
+
+(* ------------------------------------------------------------------ *)
+(* Framed I/O over file descriptors                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd b pos len with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd b (pos + n) (len - n)
+  end
+
+let write_frame fd fr =
+  let b = encode fr in
+  write_all fd b 0 (Bytes.length b)
+
+(* [Ok false] = clean EOF before the first byte; [Ok true] = filled. *)
+let read_all fd b len =
+  let rec go pos =
+    if pos >= len then Ok true
+    else
+      match Unix.read fd b pos (len - pos) with
+      | 0 -> if pos = 0 then Ok false else Error (`Corrupt "truncated frame (EOF mid-frame)")
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+  in
+  go 0
+
+let read_frame fd =
+  let hdr = Bytes.create header_size in
+  match read_all fd hdr header_size with
+  | Error _ as e -> e
+  | Ok false -> Error `Eof
+  | Ok true -> (
+      match decode_header hdr 0 with
+      | Error _ as e -> e
+      | Ok (kind, id, seq, len) -> (
+          let payload = Bytes.create len in
+          match read_all fd payload len with
+          | Error _ as e -> e
+          | Ok false when len > 0 -> Error (`Corrupt "truncated frame (EOF mid-frame)")
+          | Ok _ ->
+              Ok { f_kind = kind; f_id = id; f_seq = seq; f_payload = Bytes.to_string payload }))

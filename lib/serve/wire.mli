@@ -1,0 +1,65 @@
+(** Length-prefixed, versioned binary framing for the SOCET job server.
+
+    A frame is a fixed 22-byte header — magic ["SCET"], protocol version,
+    frame kind, 64-bit request id, 32-bit chunk sequence number, 32-bit
+    payload length, all big-endian — followed by the opaque payload (the
+    {!Proto} layer gives it meaning).  The codec is pure OCaml over
+    [Bytes] with no external dependencies; {!write_frame}/{!read_frame}
+    are the only I/O, looping over partial transfers and [EINTR].
+
+    Corruption never raises out of {!decode}/{!read_frame}: a frame that
+    cannot be parsed is reported as [`Corrupt] (bad magic, unknown
+    version or kind, out-of-range length) and an incomplete one as
+    [`Truncated] ([decode]) or a mid-frame EOF ([read_frame]) — the
+    qcheck suite in [test/test_serve.ml] pins this down on arbitrary and
+    mutated byte strings. *)
+
+type kind =
+  | Request  (** client → server: a {!Proto.t} payload *)
+  | Response  (** server → client: final status, after any chunks *)
+  | Chunk  (** server → client: one piece of the streamed output *)
+  | Error_frame  (** server → client: a structured [Socet_util.Error.t] *)
+
+type frame = {
+  f_kind : kind;
+  f_id : int;  (** client-assigned request id, echoed by the server *)
+  f_seq : int;  (** chunk sequence number (0, 1, ...); 0 elsewhere *)
+  f_payload : string;
+}
+
+val protocol_version : int
+(** Bumped on any incompatible header or payload change; both sides
+    refuse mismatched frames as [`Corrupt] (diagnose with
+    [socet version]). *)
+
+val header_size : int
+
+val max_payload : int
+(** Upper bound on the payload length accepted by the codec (64 MiB);
+    beyond it a length field is treated as corruption, not an
+    allocation request. *)
+
+val request : id:int -> string -> frame
+val response : id:int -> string -> frame
+val chunk : id:int -> seq:int -> string -> frame
+val error : id:int -> string -> frame
+
+val encode : frame -> Bytes.t
+(** Header + payload as one buffer.
+    @raise Invalid_argument on a negative id/seq or oversized payload. *)
+
+val decode :
+  Bytes.t -> pos:int -> (frame * int, [ `Truncated | `Corrupt of string ]) result
+(** Parse one frame starting at [pos]; on success also returns the number
+    of bytes consumed (so a reader can walk a buffer of concatenated
+    frames).  [`Truncated] means more bytes are needed — feed a longer
+    buffer; [`Corrupt] means the stream is unrecoverable. *)
+
+val write_frame : Unix.file_descr -> frame -> unit
+(** Blocking write of the whole encoded frame (retries partial writes and
+    [EINTR]).  Unix errors (e.g. [EPIPE]) propagate. *)
+
+val read_frame :
+  Unix.file_descr -> (frame, [ `Eof | `Corrupt of string ]) result
+(** Blocking read of exactly one frame.  [`Eof] only on a clean
+    connection close between frames; EOF mid-frame is [`Corrupt]. *)

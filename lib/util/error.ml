@@ -1,4 +1,4 @@
-type kind = Invalid_input | Validation | Exhausted | Internal
+type kind = Invalid_input | Validation | Exhausted | Overloaded | Internal
 
 type t = {
   err_engine : string;
@@ -21,6 +21,7 @@ let kind_name = function
   | Invalid_input -> "invalid input"
   | Validation -> "validation"
   | Exhausted -> "budget exhausted"
+  | Overloaded -> "overloaded"
   | Internal -> "internal"
 
 let to_string e =
@@ -56,4 +57,5 @@ let exit_code e =
   match e.err_kind with
   | Invalid_input | Validation -> 3
   | Exhausted -> 4
+  | Overloaded -> 5
   | Internal -> 1

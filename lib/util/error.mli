@@ -18,6 +18,10 @@ type kind =
   | Invalid_input  (** the input value itself is malformed *)
   | Validation     (** a well-formed input failed a consistency check *)
   | Exhausted      (** a fuel/deadline budget ran out before an answer *)
+  | Overloaded
+      (** a shared resource (the serve job queue) refused admission; the
+          request was not started and a retry after backoff may succeed —
+          the only {e retriable} kind *)
   | Internal       (** an engine invariant broke: a bug, not bad input *)
 
 type t = {
@@ -67,4 +71,5 @@ val guard : engine:string -> (unit -> 'a) -> ('a, t) result
 
 val exit_code : t -> int
 (** Process exit status for the CLI: 3 for [Invalid_input]/[Validation],
-    4 for [Exhausted], 1 for [Internal]. *)
+    4 for [Exhausted], 5 for [Overloaded], 1 for [Internal].  The full
+    table (including the cmdliner-reserved codes) is in the README. *)

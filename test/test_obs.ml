@@ -194,6 +194,50 @@ let test_stats_json_well_formed () =
   let hist = member "test.stats.hist" (member "histograms" doc) in
   check "histogram count exported" true (to_float (member "count" hist) = 3.0)
 
+let test_file_sink_streams_jsonl () =
+  let path = Filename.temp_file "socet-obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Obs.configure ~stream:path ();
+      Obs.reset ();
+      Obs.with_span ~cat:"enginea" "stream.one" (fun () ->
+          Obs.with_span ~cat:"enginea" "stream.two" (fun () -> ()));
+      Obs.with_span ~cat:"engineb" "stream.three" (fun () -> ());
+      check_int "streaming sink retains nothing in memory" 0
+        (List.length (Obs.span_events ()));
+      Obs.flush ();
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      check_int "one JSONL line per span" 3 (List.length lines);
+      List.iter
+        (fun line ->
+          let e = parse line in
+          check "has a name" true (to_str (member "name" e) <> "");
+          check "has a category" true (to_str (member "cat" e) <> "");
+          check "non-negative duration" true (to_float (member "dur_us" e) >= 0.0))
+        lines;
+      (* Appending across a reconfigure keeps the file valid JSONL. *)
+      Obs.configure ~stream:path ();
+      Obs.with_span ~cat:"enginea" "stream.four" (fun () -> ());
+      Obs.flush ();
+      let ic = open_in path in
+      let n = ref 0 in
+      (try
+         while true do
+           ignore (parse (input_line ic));
+           incr n
+         done
+       with End_of_file -> close_in ic);
+      check_int "appended line parses too" 4 !n);
+  fresh ()
+
 let test_stats_table_renders () =
   fresh ();
   let c = Obs.counter ~scope:"test" "table.count" in
@@ -275,6 +319,8 @@ let () =
           Alcotest.test_case "trace json" `Quick test_trace_json_well_formed;
           Alcotest.test_case "stats json" `Quick test_stats_json_well_formed;
           Alcotest.test_case "stats table" `Quick test_stats_table_renders;
+          Alcotest.test_case "file sink streams jsonl" `Quick
+            test_file_sink_streams_jsonl;
         ] );
       ( "histogram",
         [

@@ -1,0 +1,399 @@
+(* Tests for lib/serve: the wire codec (qcheck round-trip and
+   corruption-tolerance properties), the request protocol, the admission
+   queue, and an end-to-end in-process server exercised by concurrent
+   clients — including the headline contract that a response streamed
+   through the server is byte-identical to the direct CLI output at any
+   domain count. *)
+
+open Socet_serve
+module Err = Socet_util.Error
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let frame_gen =
+  QCheck.Gen.(
+    let* kind = oneofl [ Wire.Request; Wire.Response; Wire.Chunk; Wire.Error_frame ] in
+    let* id = int_range 0 0x3FFF_FFFF in
+    let* seq = int_range 0 0xFFFF in
+    let* payload = string_size (int_range 0 2048) in
+    return { Wire.f_kind = kind; f_id = id; f_seq = seq; f_payload = payload })
+
+let frame_print fr =
+  Printf.sprintf "{id=%d seq=%d payload=%d bytes}" fr.Wire.f_id fr.Wire.f_seq
+    (String.length fr.Wire.f_payload)
+
+let frame_arb = QCheck.make ~print:frame_print frame_gen
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"wire encode/decode round-trips" ~count:200 frame_arb
+    (fun fr ->
+      let b = Wire.encode fr in
+      match Wire.decode b ~pos:0 with
+      | Ok (fr', consumed) -> fr' = fr && consumed = Bytes.length b
+      | Error _ -> false)
+
+let prop_wire_truncation =
+  QCheck.Test.make ~name:"every proper prefix is `Truncated" ~count:100
+    QCheck.(pair frame_arb (float_bound_inclusive 1.0))
+    (fun (fr, frac) ->
+      let b = Wire.encode fr in
+      let cut = int_of_float (frac *. float_of_int (Bytes.length b - 1)) in
+      match Wire.decode (Bytes.sub b 0 cut) ~pos:0 with
+      | Error `Truncated -> true
+      | Ok _ | Error (`Corrupt _) -> false)
+
+let prop_wire_corruption_never_raises =
+  (* Arbitrary bytes, and valid frames with one flipped byte: decode must
+     return a result, never raise, and a damaged header never parses as
+     the original frame. *)
+  QCheck.Test.make ~name:"decode survives arbitrary bytes" ~count:200
+    (QCheck.make QCheck.Gen.(string_size ~gen:char (int_range 0 256)))
+    (fun s ->
+      match Wire.decode (Bytes.of_string s) ~pos:0 with
+      | Ok _ | Error `Truncated | Error (`Corrupt _) -> true)
+
+let test_wire_bad_magic () =
+  let b = Wire.encode (Wire.request ~id:7 "hello") in
+  Bytes.set b 0 'X';
+  (match Wire.decode b ~pos:0 with
+  | Error (`Corrupt msg) -> check "names the magic" true (String.length msg > 0)
+  | Ok _ | Error `Truncated -> Alcotest.fail "bad magic must be `Corrupt");
+  let b = Wire.encode (Wire.request ~id:7 "hello") in
+  Bytes.set b 4 '\xFF';
+  (match Wire.decode b ~pos:0 with
+  | Error (`Corrupt _) -> ()
+  | Ok _ | Error `Truncated -> Alcotest.fail "bad version must be `Corrupt")
+
+let test_wire_oversize_rejected () =
+  check "encode refuses oversized payload" true
+    (try
+       ignore (Wire.encode (Wire.request ~id:1 (String.make (Wire.max_payload + 1) 'x')));
+       false
+     with Invalid_argument _ -> true);
+  (* A length field beyond the cap is corruption at decode time too. *)
+  let b = Wire.encode (Wire.request ~id:1 "x") in
+  Bytes.set_int32_be b (Wire.header_size - 4) 0x7FFF_FFFFl;
+  match Wire.decode b ~pos:0 with
+  | Error (`Corrupt _) -> ()
+  | Ok _ | Error `Truncated -> Alcotest.fail "oversize length must be `Corrupt"
+
+(* ------------------------------------------------------------------ *)
+(* Proto                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_proto_roundtrip () =
+  let reqs =
+    [
+      Proto.make Proto.Ping;
+      Proto.make ~deadline_ms:250 Proto.Stats;
+      Proto.make
+        (Proto.Explore
+           {
+             Proto.ex_system = "system2";
+             ex_objective = Proto.Min_area;
+             ex_max_area = 123;
+             ex_max_time = 456;
+             ex_search_budget = Some 7;
+             ex_no_memo = true;
+           });
+      Proto.make ~deadline_ms:1 (Proto.Chip { Proto.ch_system = "system1"; ch_strict = true });
+      Proto.make (Proto.Atpg { Proto.at_core = "gcd" });
+    ]
+  in
+  List.iter
+    (fun req ->
+      match Proto.decode (Proto.encode req) with
+      | Ok req' -> check "request round-trips" true (req' = req)
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    reqs
+
+let test_proto_of_args () =
+  (match
+     Proto.of_args ~deadline_ms:9
+       [ "explore"; "system1"; "--max-area=600"; "--search-budget"; "12"; "--no-memo" ]
+   with
+  | Ok
+      {
+        Proto.rq_deadline_ms = Some 9;
+        rq_body =
+          Proto.Explore
+            { Proto.ex_system = "system1"; ex_max_area = 600; ex_search_budget = Some 12; ex_no_memo = true; _ };
+      } ->
+      ()
+  | Ok _ -> Alcotest.fail "parsed into the wrong request"
+  | Error e -> Alcotest.failf "of_args failed: %s" e);
+  check "unknown command rejected" true
+    (Result.is_error (Proto.of_args [ "frobnicate" ]));
+  check "missing target rejected" true (Result.is_error (Proto.of_args [ "chip" ]));
+  check "unknown flag rejected" true
+    (Result.is_error (Proto.of_args [ "chip"; "system1"; "--bogus" ]))
+
+let test_proto_error_roundtrip () =
+  let e =
+    Err.make ~kind:Err.Overloaded ~engine:"serve"
+      ~ctx:[ ("retry_after_ms", "40"); ("depth", "8") ]
+      "job queue full"
+  in
+  match Proto.decode_error (Proto.encode_error e) with
+  | Error m -> Alcotest.failf "decode_error failed: %s" m
+  | Ok e' ->
+      check "kind survives" true (e'.Err.err_kind = Err.Overloaded);
+      check_int "exit code survives" (Err.exit_code e) (Err.exit_code e');
+      check_str "message survives" e.Err.err_msg e'.Err.err_msg;
+      check_str "ctx survives" "40" (List.assoc "retry_after_ms" e'.Err.err_ctx)
+
+(* ------------------------------------------------------------------ *)
+(* Queue                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ok_outcome out = Ok { Dispatch.o_stdout = out; o_stderr = ""; o_code = 0 }
+
+let test_queue_fifo_and_results () =
+  let q = Queue.create ~depth:16 () in
+  let tickets =
+    List.init 5 (fun i ->
+        Result.get_ok
+          (Queue.submit q ~label:(Printf.sprintf "job%d" i) (fun () ->
+               ok_outcome (string_of_int i))))
+  in
+  List.iteri
+    (fun i t ->
+      match Queue.await t with
+      | Ok o -> check_str "FIFO order preserved" (string_of_int i) o.Dispatch.o_stdout
+      | Error e -> Alcotest.failf "job failed: %s" (Err.to_string e))
+    tickets;
+  Queue.drain q
+
+let test_queue_overload_rejects () =
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let q = Queue.create ~depth:2 () in
+  (* First job blocks the dispatcher on the gate; the queue then holds
+     every further admission until [depth] is hit. *)
+  let blocker =
+    Result.get_ok
+      (Queue.submit q ~label:"blocker" (fun () ->
+           Mutex.lock gate;
+           Mutex.unlock gate;
+           ok_outcome "unblocked"))
+  in
+  (* Give the dispatcher a moment to pick up the blocker. *)
+  Thread.delay 0.05;
+  let q1 = Queue.submit q ~label:"q1" (fun () -> ok_outcome "q1") in
+  let q2 = Queue.submit q ~label:"q2" (fun () -> ok_outcome "q2") in
+  check "queue accepts up to depth" true (Result.is_ok q1 && Result.is_ok q2);
+  (match Queue.submit q ~label:"q3" (fun () -> ok_outcome "q3") with
+  | Ok _ -> Alcotest.fail "beyond depth must reject"
+  | Error e ->
+      check "rejection is Overloaded" true (e.Err.err_kind = Err.Overloaded);
+      check_int "overload exit code is 5" 5 (Err.exit_code e);
+      check "carries a backoff hint" true
+        (int_of_string (List.assoc "retry_after_ms" e.Err.err_ctx) >= 1));
+  Mutex.unlock gate;
+  check "blocker completes" true (Result.is_ok (Queue.await blocker));
+  Queue.drain q;
+  (match Queue.submit q ~label:"late" (fun () -> ok_outcome "late") with
+  | Ok _ -> Alcotest.fail "draining queue must reject"
+  | Error e -> check "drain rejection is Overloaded" true (e.Err.err_kind = Err.Overloaded))
+
+let test_queue_deadline_expired_in_queue () =
+  let q = Queue.create ~depth:4 () in
+  let t =
+    Result.get_ok
+      (Queue.submit q ~label:"expired"
+         ~deadline_us:(Unix.gettimeofday () *. 1e6)
+         (fun () -> Alcotest.fail "expired job must never run"))
+  in
+  (match Queue.await t with
+  | Ok _ -> Alcotest.fail "expired deadline must fail"
+  | Error e ->
+      check "kind is Exhausted" true (e.Err.err_kind = Err.Exhausted);
+      check_int "exit code is 4" 4 (Err.exit_code e));
+  Queue.drain q
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end server                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let socket_path = Filename.concat (Filename.get_temp_dir_name ()) "socet-test.sock"
+
+let with_server ?queue_depth f =
+  let srv = Server.start ?queue_depth ~socket:socket_path () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown srv;
+      ignore (Server.wait srv))
+    (fun () -> f ())
+
+let with_client f =
+  match Client.connect socket_path with
+  | Error e -> Alcotest.failf "connect failed: %s" (Err.to_string e)
+  | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+(* system2 and the gcd core are the cheapest requests that still run the
+   full optimizer / ATPG pipelines — each Dispatch.run re-elaborates its
+   system, so e2e tests pay the engine cost per request. *)
+let explore_req =
+  Proto.make
+    (Proto.Explore
+       {
+         Proto.ex_system = "system2";
+         ex_objective = Proto.Min_time;
+         ex_max_area = 500;
+         ex_max_time = 5000;
+         ex_search_budget = None;
+         ex_no_memo = false;
+       })
+
+let atpg_req = Proto.make (Proto.Atpg { Proto.at_core = "gcd" })
+let chip_req = Proto.make (Proto.Chip { Proto.ch_system = "system2"; ch_strict = false })
+
+let test_server_byte_identity_across_domains () =
+  (* Reference bytes: the direct engine call (what the CLI prints),
+     computed sequentially. *)
+  Socet_util.Pool.set_size 1;
+  let reference req =
+    match Dispatch.run req with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "direct run failed: %s" (Err.to_string e)
+  in
+  let ref_explore = reference explore_req and ref_atpg = reference atpg_req in
+  check "reference output is non-trivial" true
+    (String.length ref_explore.Dispatch.o_stdout > 0
+    && String.length ref_atpg.Dispatch.o_stdout > 0);
+  with_server (fun () ->
+      List.iter
+        (fun domains ->
+          Socet_util.Pool.set_size domains;
+          with_client (fun c ->
+              List.iter
+                (fun (req, reference) ->
+                  match Client.request c req with
+                  | Error e -> Alcotest.failf "request failed: %s" (Err.to_string e)
+                  | Ok r ->
+                      check_str
+                        (Printf.sprintf "stdout identical at %d domain(s)" domains)
+                        reference.Dispatch.o_stdout r.Client.r_stdout;
+                      check_str "stderr identical" reference.Dispatch.o_stderr
+                        r.Client.r_stderr;
+                      check_int "exit code identical" reference.Dispatch.o_code
+                        r.Client.r_code)
+                [ (explore_req, ref_explore); (atpg_req, ref_atpg) ]))
+        [ 1; 2; 4 ]);
+  Socet_util.Pool.set_size 1
+
+let test_server_concurrent_clients () =
+  with_server (fun () ->
+      let failures = Atomic.make 0 in
+      let expected =
+        match Dispatch.run atpg_req with
+        | Ok o -> o.Dispatch.o_stdout
+        | Error e -> Alcotest.failf "direct run failed: %s" (Err.to_string e)
+      in
+      let ping = Proto.version_lines () in
+      let worker _ =
+        Thread.create
+          (fun () ->
+            with_client (fun c ->
+                let expect req want =
+                  match Client.request c req with
+                  | Ok r when r.Client.r_stdout = want -> ()
+                  | Ok _ | Error _ -> Atomic.incr failures
+                in
+                expect (Proto.make Proto.Ping) ping;
+                expect atpg_req expected;
+                expect (Proto.make Proto.Ping) ping))
+          ()
+      in
+      let threads = List.init 6 worker in
+      List.iter Thread.join threads;
+      check_int "all 18 concurrent replies byte-identical" 0 (Atomic.get failures))
+
+let test_server_deadline_expiry () =
+  with_server (fun () ->
+      with_client (fun c ->
+          match Client.request c (Proto.make ~deadline_ms:0 chip_req.Proto.rq_body) with
+          | Ok _ -> Alcotest.fail "deadline 0 must expire in the queue"
+          | Error e ->
+              check "kind is Exhausted" true (e.Err.err_kind = Err.Exhausted);
+              check_int "client-side exit code is 4" 4 (Err.exit_code e)))
+
+let test_server_ping_stats_and_chunking () =
+  with_server (fun () ->
+      with_client (fun c ->
+          (match Client.request c (Proto.make Proto.Ping) with
+          | Ok r -> check_str "ping echoes version_lines" (Proto.version_lines ()) r.Client.r_stdout
+          | Error e -> Alcotest.failf "ping failed: %s" (Err.to_string e));
+          (match Client.request c (Proto.make Proto.Stats) with
+          | Ok r -> check "stats is JSON" true (String.length r.Client.r_stdout > 2)
+          | Error e -> Alcotest.failf "stats failed: %s" (Err.to_string e));
+          (* Chunk reassembly: space system3 is several chunks' worth only
+             for big payloads; assert the on_chunk stream concatenates to
+             the reply either way. *)
+          let seen = Buffer.create 256 in
+          match
+            Client.request c ~on_chunk:(Buffer.add_string seen) (Proto.make Proto.Ping)
+          with
+          | Ok r -> check_str "chunk stream equals stdout" r.Client.r_stdout (Buffer.contents seen)
+          | Error e -> Alcotest.failf "ping failed: %s" (Err.to_string e)))
+
+let test_server_bad_request_is_structured () =
+  with_server (fun () ->
+      (* Speak raw Wire to send a syntactically valid frame holding a
+         semantically broken payload. *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX socket_path);
+          Wire.write_frame fd (Wire.request ~id:3 "this is not json");
+          match Wire.read_frame fd with
+          | Ok { Wire.f_kind = Wire.Error_frame; f_id = 3; f_payload = p; _ } -> (
+              match Proto.decode_error p with
+              | Ok e -> check_int "bad request maps to exit 3" 3 (Err.exit_code e)
+              | Error m -> Alcotest.failf "undecodable error payload: %s" m)
+          | Ok _ -> Alcotest.fail "expected an error frame"
+          | Error _ -> Alcotest.fail "expected a reply, got eof/corrupt"))
+
+let () =
+  Alcotest.run "socet_serve"
+    [
+      ( "wire",
+        [
+          QCheck_alcotest.to_alcotest prop_wire_roundtrip;
+          QCheck_alcotest.to_alcotest prop_wire_truncation;
+          QCheck_alcotest.to_alcotest prop_wire_corruption_never_raises;
+          Alcotest.test_case "bad magic / version" `Quick test_wire_bad_magic;
+          Alcotest.test_case "oversize payloads" `Quick test_wire_oversize_rejected;
+        ] );
+      ( "proto",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_proto_roundtrip;
+          Alcotest.test_case "submit argument syntax" `Quick test_proto_of_args;
+          Alcotest.test_case "error roundtrip" `Quick test_proto_error_roundtrip;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "fifo results" `Quick test_queue_fifo_and_results;
+          Alcotest.test_case "overload rejects" `Quick test_queue_overload_rejects;
+          Alcotest.test_case "queued deadline expiry" `Quick
+            test_queue_deadline_expired_in_queue;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "byte identity at 1/2/4 domains" `Quick
+            test_server_byte_identity_across_domains;
+          Alcotest.test_case "concurrent clients" `Quick test_server_concurrent_clients;
+          Alcotest.test_case "deadline expiry" `Quick test_server_deadline_expiry;
+          Alcotest.test_case "ping, stats, chunk stream" `Quick
+            test_server_ping_stats_and_chunking;
+          Alcotest.test_case "bad request is structured" `Quick
+            test_server_bad_request_is_structured;
+        ] );
+    ]
