@@ -818,6 +818,60 @@ let serve_section () =
     clients
 
 (* ------------------------------------------------------------------ *)
+(* Wrapper/TAM backend vs the paper's CCG flow                         *)
+(* ------------------------------------------------------------------ *)
+
+(* (label, (ccg TAT, ccg area, tam TAT, tam area)) for Systems 1-2, plus
+   the fleet summary — stashed for the BENCH_socet.json "tam" section. *)
+let tam_system_results : (string * (int * int * int * int)) list ref = ref []
+let tam_fleet_summary : Socet_tam.Fleet.summary option ref = ref None
+
+let tam_fleet_count = 120
+let tam_fleet_seed = 2026
+
+let tam_section () =
+  section "Wrapper/TAM backend: TAT vs chip DFT area against the CCG flow";
+  let module B = Socet_tam.Backend in
+  let plan_outcomes soc =
+    let get (module M : B.CHIP_BACKEND) =
+      match M.plan soc with
+      | Ok p -> (p.B.p_total_time, p.B.p_area_overhead)
+      | Error e -> failwith (Error.to_string e)
+    in
+    (get (module B.Ccg_backend), get (module B.Tam_backend))
+  in
+  let rows =
+    List.map
+      (fun (label, soc) ->
+        let (ct, ca), (tt, ta) = plan_outcomes soc in
+        tam_system_results := (label, (ct, ca, tt, ta)) :: !tam_system_results;
+        [
+          label;
+          string_of_int ct;
+          string_of_int ca;
+          string_of_int tt;
+          string_of_int ta;
+          Printf.sprintf "%.2fx" (float_of_int ct /. float_of_int (max 1 tt));
+        ])
+      [ ("system1", soc1); ("system2", soc2) ]
+  in
+  Ascii_table.print
+    ~header:
+      [ "system"; "ccg TAT"; "ccg area"; "tam TAT"; "tam area"; "tam speedup" ]
+    rows;
+  Printf.printf
+    "\nrandom-SOC fleet (%d heterogeneous SOCs, seed %d, both backends):\n"
+    tam_fleet_count tam_fleet_seed;
+  let entries =
+    Socet_tam.Fleet.run ~seed:tam_fleet_seed ~count:tam_fleet_count ()
+  in
+  let s = Socet_tam.Fleet.summarize entries in
+  tam_fleet_summary := Some s;
+  print_string (Socet_tam.Fleet.render entries);
+  if s.Socet_tam.Fleet.s_failures > 0 || s.Socet_tam.Fleet.s_issues > 0 then
+    failwith "tam fleet produced failures or replay violations"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -906,6 +960,9 @@ let bench_phases =
      [ "core.schedule.build"; "core.select.design_space";
        "core.select.minimize_time"; "core.select.minimize_area" ]);
     ("resilient", [ "core.resilient." ], [ "core.resilient.plan" ]);
+    ("tam", [ "tam." ],
+     [ "tam.schedule.build"; "tam.fleet.run"; "tam.backend.ccg.plan";
+       "tam.backend.tam.plan" ]);
   ]
 
 let write_bench_json file =
@@ -1001,6 +1058,45 @@ let write_bench_json file =
                ] ))
          !serve_results)
   in
+  let tam_json =
+    let systems =
+      List.rev_map
+        (fun (label, (ct, ca, tt, ta)) ->
+          ( label,
+            Json.Obj
+              [
+                ("ccg_tat_cycles", Json.Num (float_of_int ct));
+                ("ccg_area_cells", Json.Num (float_of_int ca));
+                ("tam_tat_cycles", Json.Num (float_of_int tt));
+                ("tam_area_cells", Json.Num (float_of_int ta));
+              ] ))
+        !tam_system_results
+    in
+    let fleet =
+      match !tam_fleet_summary with
+      | None -> []
+      | Some s ->
+          [
+            ( "fleet",
+              Json.Obj
+                [
+                  ("socs", Json.Num (float_of_int s.Socet_tam.Fleet.s_count));
+                  ("seed", Json.Num (float_of_int tam_fleet_seed));
+                  ( "failures",
+                    Json.Num (float_of_int s.Socet_tam.Fleet.s_failures) );
+                  ( "replay_issues",
+                    Json.Num (float_of_int s.Socet_tam.Fleet.s_issues) );
+                  ("ccg_mean_tat", Json.Num s.Socet_tam.Fleet.s_ccg_mean_time);
+                  ("ccg_mean_area", Json.Num s.Socet_tam.Fleet.s_ccg_mean_area);
+                  ("tam_mean_tat", Json.Num s.Socet_tam.Fleet.s_tam_mean_time);
+                  ("tam_mean_area", Json.Num s.Socet_tam.Fleet.s_tam_mean_area);
+                  ( "tam_time_wins",
+                    Json.Num (float_of_int s.Socet_tam.Fleet.s_tam_time_wins) );
+                ] );
+          ]
+    in
+    Json.Obj (systems @ fleet)
+  in
   let doc =
     Json.Obj
       [
@@ -1010,6 +1106,7 @@ let write_bench_json file =
         ("optimizer", optimizer_json);
         ("parallel", parallel_json);
         ("serve", serve_json);
+        ("tam", tam_json);
         ( "counters",
           Json.Obj
             (List.map (fun (n, v) -> (n, Json.Num (float_of_int v))) counters)
@@ -1046,6 +1143,7 @@ let () =
   optimizer_section ();
   parallel_section ();
   serve_section ();
+  tam_section ();
   bechamel_suite ();
   write_bench_json "BENCH_socet.json";
   print_newline ()

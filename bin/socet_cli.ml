@@ -329,40 +329,129 @@ let cmd_dot opts kind name =
 (* socet schedule                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_schedule opts system overlap =
+let cmd_schedule opts system overlap backend =
   with_obs opts @@ fun () ->
   let soc = system_of_name system in
-  let choice = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts in
-  let s = Schedule.build soc ~choice () in
-  Socet_util.Ascii_table.print
-    ~header:[ "core"; "vectors"; "cycles/vec"; "tail"; "test time" ]
-    (List.map
-       (fun t ->
-         [
-           t.Schedule.ct_inst;
-           string_of_int t.Schedule.ct_vectors;
-           string_of_int t.Schedule.ct_period;
-           string_of_int t.Schedule.ct_tail;
-           string_of_int t.Schedule.ct_time;
-         ])
-       s.Schedule.s_tests);
-  Printf.printf "sequential total: %d cycles\n" s.Schedule.s_total_time;
-  if overlap then begin
-    let makespan, starts = Schedule.parallel_makespan s in
-    Printf.printf "overlapped makespan: %d cycles\n" makespan;
-    List.iter (fun (c, st) -> Printf.printf "  %s starts at cycle %d\n" c st) starts
-  end;
-  0
+  match backend with
+  | `Tam ->
+      (* The wrapper/TAM schedule is inherently overlapped; --overlap is
+         implied.  An invalid packing never prints: the backend replays
+         every claim and surfaces a structured internal error instead. *)
+      let p = or_die (Socet_tam.Backend.Tam_backend.plan soc) in
+      (match p.Socet_tam.Backend.p_detail with
+      | Socet_tam.Backend.D_tam sched -> print_string (Socet_tam.Schedule.render sched)
+      | Socet_tam.Backend.D_ccg _ -> assert false);
+      0
+  | `Ccg ->
+      let choice = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts in
+      let s = Schedule.build soc ~choice () in
+      Socet_util.Ascii_table.print
+        ~header:[ "core"; "vectors"; "cycles/vec"; "tail"; "test time" ]
+        (List.map
+           (fun t ->
+             [
+               t.Schedule.ct_inst;
+               string_of_int t.Schedule.ct_vectors;
+               string_of_int t.Schedule.ct_period;
+               string_of_int t.Schedule.ct_tail;
+               string_of_int t.Schedule.ct_time;
+             ])
+           s.Schedule.s_tests);
+      Printf.printf "sequential total: %d cycles\n" s.Schedule.s_total_time;
+      if overlap then begin
+        let makespan, starts = Schedule.parallel_makespan s in
+        Printf.printf "overlapped makespan: %d cycles\n" makespan;
+        List.iter (fun (c, st) -> Printf.printf "  %s starts at cycle %d\n" c st) starts
+      end;
+      0
 
 (* ------------------------------------------------------------------ *)
 (* socet chip <system>                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_chip opts system deadline strict =
+let cmd_chip opts system deadline strict backend =
   run_request opts
     (Proto.make
        ?deadline_ms:(Option.map (fun s -> int_of_float (s *. 1000.0)) deadline)
-       (Proto.Chip { Proto.ch_system = system; ch_strict = strict }))
+       (Proto.Chip
+          {
+            Proto.ch_system = system;
+            ch_strict = strict;
+            ch_backend = (match backend with `Ccg -> Proto.Ccg | `Tam -> Proto.Tam);
+          }))
+
+(* ------------------------------------------------------------------ *)
+(* socet tam [SYSTEM] / socet tam --fleet N                            *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_tam opts system fleet seed cores width =
+  with_obs opts @@ fun () ->
+  match fleet with
+  | Some count ->
+      let entries = Socet_tam.Fleet.run ?width ?cores ~seed ~count () in
+      print_string (Socet_tam.Fleet.render entries);
+      let s = Socet_tam.Fleet.summarize entries in
+      if s.Socet_tam.Fleet.s_failures > 0 || s.Socet_tam.Fleet.s_issues > 0 then begin
+        Printf.eprintf "socet: fleet found %d failure(s) and %d replay issue(s)\n"
+          s.Socet_tam.Fleet.s_failures s.Socet_tam.Fleet.s_issues;
+        exit_internal
+      end
+      else 0
+  | None ->
+      let system =
+        match system with
+        | Some s -> s
+        | None ->
+            raise
+              (Err.Socet_error
+                 (Err.make ~engine:"cli" "tam needs a SYSTEM or --fleet N"))
+      in
+      let soc = system_of_name system in
+      let sched = Socet_tam.Schedule.build ?width soc in
+      print_string (Socet_tam.Schedule.render sched);
+      (match Socet_tam.Replay.check soc sched with
+      | [] -> 0
+      | issues ->
+          List.iter
+            (fun i ->
+              Printf.eprintf "socet: invalid TAM schedule: %s\n"
+                (Socet_tam.Replay.pp_issue i))
+            issues;
+          exit_internal)
+
+(* ------------------------------------------------------------------ *)
+(* socet gen --seed N --cores K                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_gen opts seed cores homogeneous =
+  with_obs opts @@ fun () ->
+  let rng = Socet_util.Rng.create seed in
+  let soc =
+    Socet_cores.Gen.random_soc ?cores ~hetero:(not homogeneous) rng
+  in
+  Printf.printf "%s: %d logic core(s), %d memory block(s)\n" soc.Soc.soc_name
+    (List.length soc.Soc.insts)
+    (List.length soc.Soc.memories);
+  Socet_util.Ascii_table.print
+    ~header:[ "core"; "area"; "FFs"; "in bits"; "out bits"; "hscan depth"; "vectors" ]
+    (List.map
+       (fun ci ->
+         [
+           ci.Soc.ci_name;
+           string_of_int (Socet_netlist.Netlist.area ci.Soc.ci_netlist);
+           string_of_int (List.length (Socet_netlist.Netlist.dffs ci.Soc.ci_netlist));
+           string_of_int (Rtl_core.input_bit_count ci.Soc.ci_core);
+           string_of_int (Rtl_core.output_bit_count ci.Soc.ci_core);
+           string_of_int ci.Soc.ci_hscan.Socet_scan.Hscan.depth;
+           string_of_int (Soc.atpg_vectors ci);
+         ])
+       soc.Soc.insts);
+  List.iter
+    (fun m ->
+      Printf.printf "memory %s: %d bits, BIST %d cells\n" m.Soc.m_name
+        m.Soc.m_bits m.Soc.m_bist_area)
+    soc.Soc.memories;
+  0
 
 (* ------------------------------------------------------------------ *)
 (* socet atpg <core>                                                   *)
@@ -506,11 +595,21 @@ let bist_t =
   in
   Term.(const cmd_bist $ obs_opts_t $ words $ width)
 
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("ccg", `Ccg); ("tam", `Tam) ]) `Ccg
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Chip test flow: $(b,ccg) (the paper's transparency access over \
+           the core connectivity graph) or $(b,tam) (IEEE 1500-style \
+           wrappers on a shared test access mechanism).")
+
 let schedule_t =
   let overlap =
     Arg.(value & flag & info [ "overlap" ] ~doc:"Also pack tests concurrently.")
   in
-  Term.(const cmd_schedule $ obs_opts_t $ system_arg $ overlap)
+  Term.(const cmd_schedule $ obs_opts_t $ system_arg $ overlap $ backend_arg)
 
 let chip_t =
   let deadline =
@@ -531,7 +630,58 @@ let chip_t =
             "Treat any degradation (a core falling back to FSCAN-BSCAN) \
              as a failure: exit with code 4 instead of 0.")
   in
-  Term.(const cmd_chip $ obs_opts_t $ system_arg $ deadline $ strict)
+  Term.(const cmd_chip $ obs_opts_t $ system_arg $ deadline $ strict $ backend_arg)
+
+let tam_t =
+  let system =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SYSTEM")
+  in
+  let fleet =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fleet" ] ~docv:"N"
+          ~doc:
+            "Instead of one system, run both backends over $(docv) seeded \
+             random SOCs and print the TAT-vs-area comparison; any backend \
+             failure or replay violation makes the exit status nonzero.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fleet base seed.")
+  in
+  let cores =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cores" ] ~docv:"K" ~doc:"Logic cores per generated SOC.")
+  in
+  let width =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "width" ] ~docv:"W"
+          ~doc:"TAM width in wires (default 16).")
+  in
+  Term.(const cmd_tam $ obs_opts_t $ system $ fleet $ seed $ cores $ width)
+
+let gen_t =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let cores =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cores" ] ~docv:"K"
+          ~doc:"Logic core count (default: seed-dependent, 2-4).")
+  in
+  let homogeneous =
+    Arg.(
+      value & flag
+      & info [ "homogeneous" ]
+          ~doc:
+            "Disable the heterogeneous core mix (profiles, memories) and \
+             reproduce the historical uniform generator stream.")
+  in
+  Term.(const cmd_gen $ obs_opts_t $ seed $ cores $ homogeneous)
 
 let atpg_t =
   Term.(
@@ -584,8 +734,8 @@ let submit_t =
           ~doc:
             "The request, after $(b,--): ping | stats | explore SYSTEM \
              [--objective time|area] [--max-area N] [--max-time N] \
-             [--search-budget N] [--no-memo] | chip SYSTEM [--strict] | \
-             atpg CORE.")
+             [--search-budget N] [--no-memo] | chip SYSTEM [--strict] \
+             [--backend ccg|tam] | atpg CORE.")
   in
   Term.(const cmd_submit $ obs_opts_t $ socket_arg $ deadline $ request)
 
@@ -607,6 +757,17 @@ let () =
            "Plan the chip test with graceful degradation (budget, \
             per-core FSCAN-BSCAN fallback).")
         chip_t;
+      Cmd.v
+        (info "tam"
+           "Wrapper/TAM co-optimization: wrap each core (IEEE 1500 style), \
+            pack the tests onto the TAM, or sweep a random-SOC fleet \
+            against the ccg backend.")
+        tam_t;
+      Cmd.v
+        (info "gen"
+           "Generate and describe a seeded random SOC (the fleet \
+            workload's generator).")
+        gen_t;
       Cmd.v (info "atpg" "Run combinational ATPG (PODEM) on one core.") atpg_t;
       Cmd.v (info "bist" "Evaluate March memory-BIST algorithms.") bist_t;
       Cmd.v

@@ -1,0 +1,42 @@
+(** Seeded random-core / random-SOC generators — the fleet workload.
+
+    Promoted out of [test/gen.ml] so the wrapper/TAM fleet driver
+    ({!Socet_tam.Fleet}), the bench harness and the [socet gen]
+    subcommand share one generator with the fuzz suites.  Everything is
+    driven by an explicit {!Socet_util.Rng.t}: the same seed always
+    yields the same SOC, on any machine, at any domain count.
+
+    The default parameters ([?profile], [?cores], [?hetero] all omitted)
+    consume the RNG stream {e exactly} as the original [test/gen.ml]
+    did, so the fuzz/parallel/select suites reproduce their historical
+    cases unchanged; [test/gen.ml] is now a thin re-export. *)
+
+open Socet_util
+open Socet_rtl
+
+val w : int
+(** Uniform register/port width (keeps slice arithmetic honest). *)
+
+type profile =
+  | Small   (** 2-4 registers — shallow scan, cheap ATPG *)
+  | Medium  (** 2-7 registers — the historical [test/gen.ml] shape *)
+  | Large   (** 5-14 registers, wider IO — deep scan chains *)
+
+val random_core : ?profile:profile -> Rng.t -> Rtl_core.t
+(** A random logic core: registers fed from earlier registers or inputs
+    (guaranteeing forward progress), every register reaching an output,
+    some functional-unit transfers and occasional sliced feeds.
+    [profile] (default [Medium]) sets the register/IO count ranges —
+    the scan-depth spread of a heterogeneous fleet. *)
+
+val random_soc : ?cores:int -> ?hetero:bool -> Rng.t -> Socet_core.Soc.t
+(** A random SOC: a chain of random cores where core [i]'s input [I0] is
+    driven by core [i-1]'s [O0] rather than a chip pin, so justifying
+    the deeper cores must route through the earlier cores' transparency
+    (or fall back to a forced test mux).  Remaining inputs get dedicated
+    PIs, remaining outputs dedicated POs.
+
+    [cores] fixes the chain length (default: 2-3, drawn from the RNG as
+    before).  With [hetero] (default false) each core additionally draws
+    a size {!profile} and the SOC gains 0-2 BIST-tested memory blocks —
+    the logic/memory, small/large mix the fleet workload exercises. *)

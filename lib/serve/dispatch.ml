@@ -1,4 +1,5 @@
 open Socet_core
+module Backend = Socet_tam.Backend
 module Err = Socet_util.Error
 module Budget = Socet_util.Budget
 module Ascii_table = Socet_util.Ascii_table
@@ -103,6 +104,32 @@ let run_explore ~deadline_ms e =
         ~code:exit_exhausted
   | _ -> ok (Buffer.contents out)
 
+(* Both backends produce the same report shape; for ccg this renders the
+   historical bytes exactly (DESIGN.md §11's byte-identity contract spans
+   the backend seam too — CI diffs server output against the direct CLI). *)
+let render_plan (p : Backend.plan) =
+  let out = Buffer.create 1024 in
+  Buffer.add_string out
+    (Ascii_table.render
+       ~header:[ "core"; "mechanism"; "test time"; "extra area" ]
+       (List.map
+          (fun (r : Backend.core_row) ->
+            [
+              r.Backend.r_inst;
+              r.Backend.r_mech;
+              string_of_int r.Backend.r_time;
+              string_of_int r.Backend.r_area;
+            ])
+          p.Backend.p_rows));
+  Buffer.add_string out
+    (Printf.sprintf "total time: %d cycles, area overhead: %d cells\n"
+       p.Backend.p_total_time p.Backend.p_area_overhead);
+  if p.Backend.p_degraded > 0 then
+    Buffer.add_string out
+      (Printf.sprintf "degraded: %d core(s) fell back to FSCAN-BSCAN\n"
+         p.Backend.p_degraded);
+  Buffer.contents out
+
 let run_chip ~deadline_ms c =
   let* soc = system_of_name c.Proto.ch_system in
   let budget =
@@ -110,37 +137,20 @@ let run_chip ~deadline_ms c =
       (fun s -> Budget.create ~label:"chip" ~deadline_s:s ())
       (deadline_s deadline_ms)
   in
-  let choice = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts in
-  let* p = Resilient.plan ?budget soc ~choice () in
-  let out = Buffer.create 1024 in
-  Buffer.add_string out
-    (Ascii_table.render
-       ~header:[ "core"; "mechanism"; "test time"; "extra area" ]
-       (List.map
-          (fun (cp : Resilient.core_plan) ->
-            [
-              cp.Resilient.p_inst;
-              (match cp.Resilient.p_rung with
-              | Resilient.Transparency -> "transparency"
-              | Resilient.Fallback_fscan_bscan -> "FSCAN-BSCAN fallback");
-              string_of_int cp.Resilient.p_time;
-              string_of_int cp.Resilient.p_area;
-            ])
-          p.Resilient.p_cores));
-  Buffer.add_string out
-    (Printf.sprintf "total time: %d cycles, area overhead: %d cells\n"
-       p.Resilient.p_total_time p.Resilient.p_area_overhead);
-  if p.Resilient.p_fallbacks > 0 then
-    Buffer.add_string out
-      (Printf.sprintf "degraded: %d core(s) fell back to FSCAN-BSCAN\n"
-         p.Resilient.p_fallbacks);
-  if c.Proto.ch_strict && p.Resilient.p_fallbacks > 0 then
-    ok (Buffer.contents out)
+  let (module B : Backend.CHIP_BACKEND) =
+    match c.Proto.ch_backend with
+    | Proto.Ccg -> (module Backend.Ccg_backend)
+    | Proto.Tam -> (module Backend.Tam_backend)
+  in
+  let* p = B.plan ?budget soc in
+  let out = render_plan p in
+  if c.Proto.ch_strict && p.Backend.p_degraded > 0 then
+    ok out
       ~stderr:
         (Printf.sprintf "socet: --strict and %d core(s) degraded to the baseline\n"
-           p.Resilient.p_fallbacks)
+           p.Backend.p_degraded)
       ~code:exit_exhausted
-  else ok (Buffer.contents out)
+  else ok out
 
 let run_atpg a =
   let* core = core_of_name a.Proto.at_core in

@@ -12,7 +12,9 @@ type explore = {
   ex_no_memo : bool;
 }
 
-type chip = { ch_system : string; ch_strict : bool }
+type backend = Ccg | Tam
+
+type chip = { ch_system : string; ch_strict : bool; ch_backend : backend }
 type atpg = { at_core : string }
 
 type body = Ping | Stats | Explore of explore | Chip of chip | Atpg of atpg
@@ -27,7 +29,7 @@ let package_version = "1.1.0"
 
 (* Compile-time capabilities, for client/server mismatch diagnosis: every
    subsystem that changes the observable surface lists itself here. *)
-let features = [ "obs"; "budgets"; "chaos"; "multicore"; "serve" ]
+let features = [ "obs"; "budgets"; "chaos"; "multicore"; "serve"; "tam" ]
 
 let version_lines () =
   Printf.sprintf "socet %s (protocol %d)\nocaml %s\nfeatures: %s\n"
@@ -39,6 +41,7 @@ let summary t =
   | Ping -> "ping"
   | Stats -> "stats"
   | Explore e -> Printf.sprintf "explore %s" e.ex_system
+  | Chip { ch_backend = Tam; ch_system; _ } -> Printf.sprintf "chip %s (tam)" ch_system
   | Chip c -> Printf.sprintf "chip %s" c.ch_system
   | Atpg a -> Printf.sprintf "atpg %s" a.at_core
 
@@ -65,7 +68,10 @@ let body_to_json = function
         @ match e.ex_search_budget with None -> [] | Some s -> [ ("search_budget", num s) ])
   | Chip c ->
       Json.Obj
-        [ ("op", Json.Str "chip"); ("system", Json.Str c.ch_system); ("strict", Json.Bool c.ch_strict) ]
+        ([ ("op", Json.Str "chip"); ("system", Json.Str c.ch_system); ("strict", Json.Bool c.ch_strict) ]
+        (* Wire compatibility: the field is absent for the historical ccg
+           backend, so pre-tam encodings are byte-identical. *)
+        @ match c.ch_backend with Ccg -> [] | Tam -> [ ("backend", Json.Str "tam") ])
   | Atpg a -> Json.Obj [ ("op", Json.Str "atpg"); ("core", Json.Str a.at_core) ]
 
 let to_json t =
@@ -111,7 +117,19 @@ let body_of_json j =
            })
   | "chip" ->
       let* ch_system = require "system" (get_str "system" j) in
-      Ok (Chip { ch_system; ch_strict = Option.value ~default:false (get_bool "strict" j) })
+      let* ch_backend =
+        match Option.value ~default:"ccg" (get_str "backend" j) with
+        | "ccg" -> Ok Ccg
+        | "tam" -> Ok Tam
+        | b -> Error (Printf.sprintf "unknown backend %S (use ccg or tam)" b)
+      in
+      Ok
+        (Chip
+           {
+             ch_system;
+             ch_strict = Option.value ~default:false (get_bool "strict" j);
+             ch_backend;
+           })
   | "atpg" ->
       let* at_core = require "core" (get_str "core" j) in
       Ok (Atpg { at_core })
@@ -251,8 +269,22 @@ let of_args ?deadline_ms args =
                ex_no_memo = List.mem_assoc "--no-memo" flags;
              })
     | "chip" :: system :: rest ->
-        let* flags = parse_flags [ ("--strict", `Flag) ] rest in
-        Ok (Chip { ch_system = system; ch_strict = List.mem_assoc "--strict" flags })
+        let* flags =
+          parse_flags [ ("--strict", `Flag); ("--backend", `Value) ] rest
+        in
+        let* ch_backend =
+          match List.assoc_opt "--backend" flags with
+          | None | Some "ccg" -> Ok Ccg
+          | Some "tam" -> Ok Tam
+          | Some b -> Error (Printf.sprintf "unknown backend %S (use ccg or tam)" b)
+        in
+        Ok
+          (Chip
+             {
+               ch_system = system;
+               ch_strict = List.mem_assoc "--strict" flags;
+               ch_backend;
+             })
     | "atpg" :: core :: [] -> Ok (Atpg { at_core = core })
     | [ ("explore" | "chip" | "atpg") as cmd ] ->
         Error (Printf.sprintf "%s needs a target (e.g. %s system1)" cmd cmd)
@@ -261,7 +293,7 @@ let of_args ?deadline_ms args =
           (Printf.sprintf
              "bad request %S (expected: ping | stats | explore SYSTEM [--objective \
               time|area] [--max-area N] [--max-time N] [--search-budget N] [--no-memo] \
-              | chip SYSTEM [--strict] | atpg CORE)"
+              | chip SYSTEM [--strict] [--backend ccg|tam] | atpg CORE)"
              cmd)
   in
   Ok (make ?deadline_ms body)

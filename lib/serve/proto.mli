@@ -24,7 +24,13 @@ type explore = {
   ex_no_memo : bool;
 }
 
-type chip = { ch_system : string; ch_strict : bool }
+type backend = Ccg | Tam
+(** Which chip backend plans the request ([Socet_tam.Backend] names).
+    Wire-compatible: the JSON field is emitted only for [Tam], so [Ccg]
+    requests encode byte-identically to the pre-backend protocol and old
+    peers keep interoperating. *)
+
+type chip = { ch_system : string; ch_strict : bool; ch_backend : backend }
 type atpg = { at_core : string }
 
 type body =

@@ -1,0 +1,31 @@
+(* TAM width allocation: pareto candidate rectangles per core. *)
+
+module Soc = Socet_core.Soc
+module Obs = Socet_obs.Obs
+
+type candidate = { cd_width : int; cd_time : int; cd_wrapper : Wrapper.t }
+
+let c_candidates = Obs.counter ~scope:"tam" "alloc.candidates"
+
+let candidates ci ~max_width =
+  if max_width < 1 then invalid_arg "Alloc.candidates: max_width < 1";
+  let vectors = Soc.atpg_vectors ci in
+  let rec go w best acc =
+    if w > max_width then List.rev acc
+    else
+      let wrapper = Wrapper.design ci ~width:w in
+      let time = Wrapper.cycles wrapper ~vectors in
+      if time < best then begin
+        Obs.incr c_candidates;
+        go (w + 1) time ({ cd_width = w; cd_time = time; cd_wrapper = wrapper } :: acc)
+      end
+      else if wrapper.Wrapper.w_width < w then
+        (* The partition ran out of cells: wider wrappers are identical. *)
+        List.rev acc
+      else go (w + 1) best acc
+  in
+  go 1 max_int []
+
+let fastest = function
+  | [] -> invalid_arg "Alloc.fastest: empty candidate list"
+  | cds -> List.nth cds (List.length cds - 1)

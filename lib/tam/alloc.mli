@@ -1,0 +1,25 @@
+(** TAM width allocation: the candidate rectangles of one core.
+
+    Under a [max_width]-wire TAM, a core tested through a [w]-wire
+    wrapper occupies a rectangle of width [w] and height
+    [Wrapper.test_time ~width:w] cycles.  Widening the wrapper shortens
+    the test until the longest single HSCAN segment (or the IO cells)
+    dominates, after which extra wires are wasted — so only the
+    {e pareto} widths, where the test time strictly drops, are worth
+    offering to the packer (Islam et al.'s rectangle set). *)
+
+type candidate = {
+  cd_width : int;        (** TAM wires consumed *)
+  cd_time : int;         (** test time in cycles at this width *)
+  cd_wrapper : Wrapper.t;
+}
+
+val candidates : Socet_core.Soc.core_inst -> max_width:int -> candidate list
+(** Pareto-pruned candidates in increasing width / strictly decreasing
+    time order; the head is always width 1, the last is the fastest
+    useful width.  Forces the core's (cached) ATPG run for the vector
+    count.  @raise Invalid_argument if [max_width < 1]. *)
+
+val fastest : candidate list -> candidate
+(** The minimum-time candidate (the list's last entry).
+    @raise Invalid_argument on an empty list. *)

@@ -1,0 +1,61 @@
+(** The chip-backend seam: two interchangeable chip-level test flows.
+
+    The paper's CCG/transparency flow ({!Socet_core.Resilient} over
+    {!Socet_core.Schedule}) and the wrapper/TAM flow ({!Schedule} here)
+    answer the same question — how long does testing the whole chip take
+    and what chip-level DFT does it cost — so they share one interface.
+    [socet chip --backend ccg] vs [--backend tam], [socet schedule],
+    the server's chip requests, the fleet driver and the bench all
+    dispatch through it; each implementation keeps its own obs counters
+    and span timers under [tam.backend.*]. *)
+
+type core_row = {
+  r_inst : string;
+  r_mech : string;  (** access mechanism, e.g. ["transparency"] or
+                        ["wrapper 3 lane(s)"] *)
+  r_time : int;     (** per-core test time, cycles *)
+  r_area : int;     (** per-core chip-level DFT addition, cells *)
+}
+
+type detail =
+  | D_ccg of Socet_core.Schedule.t
+  | D_tam of Schedule.t  (** the raw schedule, for replay-style checks *)
+
+type plan = {
+  p_backend : string;
+  p_rows : core_row list;
+  p_total_time : int;
+  p_area_overhead : int;  (** chip-level DFT (excludes the shared
+                              core-level HSCAN investment) *)
+  p_degraded : int;       (** CCG cores on the FSCAN-BSCAN fallback rung;
+                              always 0 for TAM *)
+  p_detail : detail;
+}
+
+module type CHIP_BACKEND = sig
+  val name : string
+
+  val plan :
+    ?budget:Socet_util.Budget.t ->
+    Socet_core.Soc.t ->
+    (plan, Socet_util.Error.t) result
+  (** Never raises; budget exhaustion degrades (CCG) or stops the
+      improvement pass early (TAM). *)
+end
+
+module Ccg_backend : CHIP_BACKEND
+(** The paper's flow: all cores at version 1, graceful degradation via
+    {!Socet_core.Resilient.plan}. *)
+
+module Tam_backend : CHIP_BACKEND
+(** The wrapper/TAM flow at {!Schedule.default_width}; the returned plan
+    has already passed {!Replay.check} (an invalid packing surfaces as a
+    structured [Internal] error, never as a wrong schedule). *)
+
+val tam : ?width:int -> unit -> (module CHIP_BACKEND)
+(** A TAM backend at a chosen width. *)
+
+val names : string list
+(** [["ccg"; "tam"]] — the [--backend] vocabulary. *)
+
+val of_name : string -> ((module CHIP_BACKEND), Socet_util.Error.t) result

@@ -1,0 +1,54 @@
+(** The random-SOC fleet workload: both chip backends over hundreds of
+    seeded {!Socet_cores.Gen.random_soc} instances.
+
+    The paper evaluates 2 systems; the fleet turns that into a diverse
+    workload (heterogeneous core mixes, scan-depth spread, BIST
+    memories) that exercises the optimizer, obs and serve layers and
+    yields a TAT-vs-area comparison between the CCG/transparency and
+    wrapper/TAM backends.
+
+    Entries are generated and evaluated independently per index with a
+    per-index RNG, fanned over the {!Socet_util.Pool} domains with the
+    deterministic submission-order reduction — the fleet result is
+    bit-identical at any [--jobs] setting.  Every TAM schedule passes
+    {!Replay.check} inside the backend; CCG schedules with no degraded
+    core are re-checked with [Socet_core.Replay]. *)
+
+type outcome = {
+  o_time : int;  (** chip TAT, cycles *)
+  o_area : int;  (** chip-level DFT overhead, cells *)
+}
+
+type entry = {
+  e_index : int;
+  e_soc : string;
+  e_cores : int;
+  e_ccg : (outcome, string) result;
+  e_tam : (outcome, string) result;
+  e_issues : int;  (** replay-invariant violations across both backends *)
+}
+
+type summary = {
+  s_count : int;
+  s_failures : int;      (** entries where either backend errored *)
+  s_issues : int;        (** total replay violations (0 on a healthy run) *)
+  s_ccg_mean_time : float;
+  s_ccg_mean_area : float;
+  s_tam_mean_time : float;
+  s_tam_mean_area : float;
+  s_tam_time_wins : int; (** entries where TAM's TAT beats CCG's *)
+}
+
+val run :
+  ?width:int -> ?cores:int -> ?hetero:bool -> seed:int -> count:int -> unit ->
+  entry list
+(** [count] SOCs from [seed] (entry [i] uses a generator derived from
+    [seed] and [i] alone), each planned by both backends.  [hetero]
+    defaults to [true] — this is the fleet's reason to exist. *)
+
+val summarize : entry list -> summary
+(** Means are over entries where both backends succeeded. *)
+
+val render : entry list -> string
+(** Comparison table (first rows plus the aggregate), for [socet tam
+    --fleet] and the bench. *)

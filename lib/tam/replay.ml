@@ -1,0 +1,89 @@
+(* Golden-model validation of a wrapper/TAM schedule (see replay.mli). *)
+
+module Soc = Socet_core.Soc
+
+type issue =
+  | Off_tam of { inst : string; wire : int; width : int }
+  | Overlap of { a : string; b : string; wire : int; cycle : int }
+  | Wrong_core_time of { inst : string; claimed : int; replayed : int }
+  | Unbalanced_wrapper of { inst : string; spread : int }
+  | Wrong_total_time of { claimed : int; replayed : int }
+
+let pp_issue = function
+  | Off_tam { inst; wire; width } ->
+      Printf.sprintf "%s: wire band %d+%d leaves the TAM" inst wire width
+  | Overlap { a; b; wire; cycle } ->
+      Printf.sprintf "%s and %s both book wire %d at cycle %d" a b wire cycle
+  | Wrong_core_time { inst; claimed; replayed } ->
+      Printf.sprintf "%s: claimed %d cycles, wrapper formula gives %d" inst
+        claimed replayed
+  | Unbalanced_wrapper { inst; spread } ->
+      Printf.sprintf "%s: wrapper chains differ by %d cells (max 1)" inst spread
+  | Wrong_total_time { claimed; replayed } ->
+      Printf.sprintf "total: claimed %d cycles, tallest rectangle tops at %d"
+        claimed replayed
+
+let rect_overlap a b =
+  let open Schedule in
+  (* Zero-height rectangles reserve nothing. *)
+  if a.pl_time = 0 || b.pl_time = 0 then None
+  else if
+    a.pl_wire < b.pl_wire + b.pl_width
+    && b.pl_wire < a.pl_wire + a.pl_width
+    && a.pl_start < b.pl_start + b.pl_time
+    && b.pl_start < a.pl_start + a.pl_time
+  then
+    Some
+      ( max a.pl_wire b.pl_wire,
+        max a.pl_start b.pl_start )
+  else None
+
+let check soc sched =
+  let open Schedule in
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  let w = sched.t_tam_width in
+  List.iter
+    (fun p ->
+      if p.pl_wire < 0 || p.pl_width < 1 || p.pl_wire + p.pl_width > w
+         || p.pl_start < 0
+      then add (Off_tam { inst = p.pl_inst; wire = p.pl_wire; width = p.pl_width });
+      (* Re-derive the wrapper and the test time from the SOC alone. *)
+      let ci = Soc.inst soc p.pl_inst in
+      let wrapper = Wrapper.design ci ~width:p.pl_width in
+      let replayed = Wrapper.cycles wrapper ~vectors:(Soc.atpg_vectors ci) in
+      if replayed <> p.pl_time then
+        add (Wrong_core_time { inst = p.pl_inst; claimed = p.pl_time; replayed });
+      let sizes =
+        List.map
+          (fun c -> c.Wrapper.wc_inputs + c.Wrapper.wc_internal + c.Wrapper.wc_outputs)
+          p.pl_wrapper.Wrapper.w_chains
+      in
+      (match sizes with
+      | [] -> ()
+      | s :: rest ->
+          let lo = List.fold_left min s rest and hi = List.fold_left max s rest in
+          if hi - lo > 1 then
+            add (Unbalanced_wrapper { inst = p.pl_inst; spread = hi - lo })))
+    sched.t_placements;
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+        List.iter
+          (fun b ->
+            match rect_overlap a b with
+            | Some (wire, cycle) ->
+                add (Overlap { a = a.pl_inst; b = b.pl_inst; wire; cycle })
+            | None -> ())
+          rest;
+        pairs rest
+  in
+  pairs sched.t_placements;
+  let top =
+    List.fold_left
+      (fun acc p -> max acc (p.pl_start + p.pl_time))
+      0 sched.t_placements
+  in
+  if top <> sched.t_total_time then
+    add (Wrong_total_time { claimed = sched.t_total_time; replayed = top });
+  List.rev !issues

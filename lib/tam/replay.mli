@@ -1,0 +1,28 @@
+(** Golden-model validation of a wrapper/TAM schedule, mirroring
+    [Socet_core.Replay] for the CCG backend.
+
+    {!Schedule.build} claims a wire band, a start cycle and a test time
+    for every core plus a chip TAT.  This module re-derives every claim
+    from the SOC description and the placements alone, sharing no
+    arithmetic with the packer beyond the wrapper formula:
+
+    - every rectangle must lie inside the TAM ([0 <= wire],
+      [wire + width <= tam_width], [width >= 1], [start >= 0]);
+    - no two rectangles may overlap (re-booked pairwise on both axes);
+    - each core's test time is recomputed from a fresh wrapper design at
+      the claimed width and the core's vector count, and its wrapper
+      chains must be balanced within one cell;
+    - the claimed TAT must equal the highest rectangle top. *)
+
+type issue =
+  | Off_tam of { inst : string; wire : int; width : int }
+  | Overlap of { a : string; b : string; wire : int; cycle : int }
+  | Wrong_core_time of { inst : string; claimed : int; replayed : int }
+  | Unbalanced_wrapper of { inst : string; spread : int }
+  | Wrong_total_time of { claimed : int; replayed : int }
+
+val pp_issue : issue -> string
+
+val check : Socet_core.Soc.t -> Schedule.t -> issue list
+(** Replays the schedule against the SOC; [[]] means every claim was
+    reproduced. *)

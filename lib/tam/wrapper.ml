@@ -1,0 +1,121 @@
+(* IEEE 1500-style wrapper model: balanced partitioning of a core's HSCAN
+   chains plus WBR cells into W wrapper scan chains (see wrapper.mli). *)
+
+open Socet_rtl
+module Soc = Socet_core.Soc
+module Obs = Socet_obs.Obs
+
+type chain = { wc_inputs : int; wc_internal : int; wc_outputs : int }
+
+type t = {
+  w_inst : string;
+  w_width : int;
+  w_chains : chain list;
+  w_scan_in : int;
+  w_scan_out : int;
+  w_cells : int;
+  w_area : int;
+}
+
+let c_designs = Obs.counter ~scope:"tam" "wrapper.designs"
+
+(* Cost model (cells), mirroring DESIGN.md §6/§12: one boundary cell per
+   port bit priced like a boundary-scan cell, a fixed WIR + WBY, and one
+   TAM concentrator mux per wrapper chain. *)
+let wir_area = 8
+let wby_area = 2
+let chain_mux_area = 2
+
+let chain_cells c = c.wc_inputs + c.wc_internal + c.wc_outputs
+
+(* Slice the concatenated cell sequence (inputs, internal chains
+   longest-first, outputs) into [width] contiguous chunks whose sizes
+   differ by at most one.  Walking the typed runs in order keeps the
+   construction O(width + chains) — no per-cell list is materialized. *)
+let partition ~inputs ~internal ~outputs ~width =
+  if width < 1 then invalid_arg "Wrapper.partition: width < 1";
+  if inputs < 0 || outputs < 0 || List.exists (fun l -> l < 0) internal then
+    invalid_arg "Wrapper.partition: negative cell count";
+  let internal = List.sort (fun a b -> compare b a) internal in
+  let total = inputs + List.fold_left ( + ) 0 internal + outputs in
+  let width = min width (max 1 total) in
+  (* Runs of typed cells, in stitch order. *)
+  let runs =
+    (`I, inputs) :: List.map (fun l -> (`R, l)) internal @ [ (`O, outputs) ]
+  in
+  let base = total / width and extra = total mod width in
+  let chunk j = base + if j < extra then 1 else 0 in
+  let chains = Array.make width { wc_inputs = 0; wc_internal = 0; wc_outputs = 0 } in
+  let j = ref 0 and room = ref (chunk 0) in
+  let place kind n =
+    let left = ref n in
+    while !left > 0 do
+      if !room = 0 then begin
+        incr j;
+        room := chunk !j
+      end;
+      let take = min !left !room in
+      let c = chains.(!j) in
+      chains.(!j) <-
+        (match kind with
+        | `I -> { c with wc_inputs = c.wc_inputs + take }
+        | `R -> { c with wc_internal = c.wc_internal + take }
+        | `O -> { c with wc_outputs = c.wc_outputs + take });
+      left := !left - take;
+      room := !room - take
+    done
+  in
+  List.iter (fun (kind, n) -> place kind n) runs;
+  Array.to_list chains
+
+(* Flop count of each HSCAN chain, from the RCG: registers only (the
+   chain paths include the port nodes they run between), each register
+   counted once even if several maximal paths traverse it. *)
+let hscan_chain_lengths ci =
+  let rcg = ci.Soc.ci_rcg in
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun chain ->
+      List.fold_left
+        (fun acc id ->
+          let n = Rcg.node rcg id in
+          if n.Rcg.n_kind = Rcg.Reg && not (Hashtbl.mem seen id) then begin
+            Hashtbl.add seen id ();
+            acc + n.Rcg.n_width
+          end
+          else acc)
+        0 chain)
+    ci.Soc.ci_hscan.Socet_scan.Hscan.chains
+
+let design ci ~width =
+  Obs.incr c_designs;
+  let inputs = Rtl_core.input_bit_count ci.Soc.ci_core in
+  let outputs = Rtl_core.output_bit_count ci.Soc.ci_core in
+  let internal = hscan_chain_lengths ci in
+  let chains = partition ~inputs ~internal ~outputs ~width in
+  let scan_in =
+    List.fold_left (fun a c -> max a (c.wc_inputs + c.wc_internal)) 0 chains
+  in
+  let scan_out =
+    List.fold_left (fun a c -> max a (c.wc_internal + c.wc_outputs)) 0 chains
+  in
+  let w_width = List.length chains in
+  {
+    w_inst = ci.Soc.ci_name;
+    w_width;
+    w_chains = chains;
+    w_scan_in = scan_in;
+    w_scan_out = scan_out;
+    w_cells = List.fold_left (fun a c -> a + chain_cells c) 0 chains;
+    w_area =
+      ((inputs + outputs) * Socet_scan.Bscan.cell_area)
+      + wir_area + wby_area
+      + (chain_mux_area * w_width);
+  }
+
+let cycles t ~vectors =
+  ((1 + max t.w_scan_in t.w_scan_out) * vectors)
+  + min t.w_scan_in t.w_scan_out
+
+let test_time ci ~width =
+  cycles (design ci ~width) ~vectors:(Soc.atpg_vectors ci)

@@ -1,0 +1,63 @@
+(** IEEE 1500-style test wrapper model (the industrial alternative to the
+    paper's transparency access; Islam et al. / Bernardi et al. in
+    PAPERS.md).
+
+    A wrapped core is isolated behind a Wrapper Instruction Register
+    (WIR), a 1-bit Wrapper BYpass (WBY) and a Wrapper Boundary Register
+    (WBR) — one boundary cell per core port bit.  For testing, the WBR
+    input cells, the core's internal scan chains (we reuse the HSCAN
+    chains already inserted by [Soc.instantiate]) and the WBR output
+    cells are stitched into [width] {e wrapper scan chains}, each fed by
+    one TAM wire.
+
+    Partitioning treats the core as {e firm}: the concatenated cell
+    sequence (input cells, then the HSCAN chains longest-first, then
+    output cells) is sliced into [width] contiguous chunks whose sizes
+    differ by at most one cell — the balanced-wrapper design that
+    minimizes the scan-in/scan-out maxima for a given width (chains may
+    be re-stitched at chunk boundaries; the paper-flow CCG backend never
+    sees these wrappers, so the two backends share only the core-level
+    HSCAN investment).
+
+    Per-vector shifting overlaps scan-out of the previous response with
+    scan-in of the next vector, giving the standard wrapper test-time
+    formula [cycles = (1 + max(si, so)) * vectors + min(si, so)] where
+    [si]/[so] are the longest scan-in/scan-out wrapper chains. *)
+
+type chain = {
+  wc_inputs : int;    (** WBR input cells on this wrapper chain *)
+  wc_internal : int;  (** core scan flops (HSCAN cells) *)
+  wc_outputs : int;   (** WBR output cells *)
+}
+
+type t = {
+  w_inst : string;
+  w_width : int;          (** wrapper chain count actually used (>= 1) *)
+  w_chains : chain list;  (** [w_width] chains, sizes within 1 cell *)
+  w_scan_in : int;        (** max over chains of [wc_inputs + wc_internal] *)
+  w_scan_out : int;       (** max over chains of [wc_internal + wc_outputs] *)
+  w_cells : int;          (** total wrapper cells (inputs+internal+outputs) *)
+  w_area : int;           (** wrapper DFT cost in cells (WIR, WBY, WBR,
+                              per-chain TAM concentrator) *)
+}
+
+val partition :
+  inputs:int -> internal:int list -> outputs:int -> width:int -> chain list
+(** The pure partitioning step, exposed for the property tests:
+    [internal] is the flop count of each core scan chain.  The result has
+    [min width (max 1 total_cells)] chains whose total cell counts differ
+    by at most one.  @raise Invalid_argument if [width < 1] or a count is
+    negative. *)
+
+val design : Socet_core.Soc.core_inst -> width:int -> t
+(** Wrap one core with [width] TAM wires: partitions its HSCAN chains
+    (flop counts read from the RCG) and port bits, and prices the
+    wrapper.  Effective width is clamped to the core's cell count. *)
+
+val cycles : t -> vectors:int -> int
+(** Test application time of the wrapped core for a [vectors]-vector
+    test set (formula above). *)
+
+val test_time : Socet_core.Soc.core_inst -> width:int -> int
+(** [cycles (design ci ~width) ~vectors:(Soc.atpg_vectors ci)] — forces
+    the core's (cached) ATPG run. *)

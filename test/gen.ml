@@ -1,118 +1,10 @@
-(* Shared random-core generator for the fuzz-style suites (test_fuzz,
-   test_parallel).  Dune links every unnamed module in this directory
-   into each test executable, so this is plain code reuse. *)
+(* Thin re-export: the shared random-core/random-SOC generator moved to
+   lib/cores/gen.ml (Socet_cores.Gen) so the TAM fleet driver, the bench
+   harness and `socet gen` share it with these suites.  Dune links every
+   unnamed module in this directory into each test executable, so the
+   suites keep saying [Gen.random_core]/[Gen.random_soc]; the default
+   parameters reproduce the historical RNG stream exactly. *)
 
-open Socet_util
-open Socet_rtl
-open Rtl_types
-
-let w = 4 (* uniform register/port width keeps slice arithmetic honest *)
-
-(* A random core: a few registers fed from earlier registers or inputs
-   (guaranteeing forward progress), every register reaching an output
-   either directly or via the chain, plus some functional-unit transfers
-   and an occasional sliced feed. *)
-let random_core rng =
-  let n_regs = 2 + Rng.int rng 6 in
-  let n_ins = 1 + Rng.int rng 2 in
-  let n_outs = 1 + Rng.int rng 2 in
-  let c = Rtl_core.create (Printf.sprintf "fuzz%d" (Rng.int rng 100000)) in
-  for i = 0 to n_ins - 1 do
-    Rtl_core.add_input c (Printf.sprintf "I%d" i) w
-  done;
-  for i = 0 to n_outs - 1 do
-    Rtl_core.add_output c (Printf.sprintf "O%d" i) w
-  done;
-  for i = 0 to n_regs - 1 do
-    Rtl_core.add_reg c (Printf.sprintf "R%d" i) w
-  done;
-  let t = Rtl_core.add_transfer c in
-  (* Register feeds: from an input or a strictly earlier register. *)
-  for i = 0 to n_regs - 1 do
-    let src =
-      if i = 0 || Rng.bool rng then Rtl_core.port c (Printf.sprintf "I%d" (Rng.int rng n_ins))
-      else Rtl_core.reg c (Printf.sprintf "R%d" (Rng.int rng i))
-    in
-    let dst = Rtl_core.reg c (Printf.sprintf "R%d" i) in
-    if Rng.int rng 4 = 0 && i > 0 then begin
-      (* Sliced feed: the two halves arrive from different places. *)
-      let src2 =
-        if Rng.bool rng then Rtl_core.port_bits c (Printf.sprintf "I%d" (Rng.int rng n_ins)) 0 1
-        else Rtl_core.reg_bits c (Printf.sprintf "R%d" (Rng.int rng i)) 0 1
-      in
-      let hi =
-        match src with
-        | { base = Eport n; _ } -> Rtl_core.port_bits c n 2 3
-        | { base = Ereg n; _ } -> Rtl_core.reg_bits c n 2 3
-      in
-      t ~src:hi ~dst:(Rtl_core.reg_bits c (Printf.sprintf "R%d" i) 2 3) ();
-      t ~src:src2 ~dst:(Rtl_core.reg_bits c (Printf.sprintf "R%d" i) 0 1) ()
-    end
-    else t ~src ~dst ();
-    (* Occasional functional unit for gate-level variety. *)
-    if Rng.int rng 3 = 0 then
-      t
-        ~kind:(Logic (Fxor (Rtl_core.reg c (Printf.sprintf "R%d" (Rng.int rng (i + 1))))))
-        ~src:dst ~dst ()
-  done;
-  (* Outputs: each from a random register (direct). *)
-  for o = 0 to n_outs - 1 do
-    t ~kind:Direct
-      ~src:(Rtl_core.reg c (Printf.sprintf "R%d" (Rng.int rng n_regs)))
-      ~dst:(Rtl_core.port c (Printf.sprintf "O%d" o))
-      ()
-  done;
-  Rtl_core.validate c;
-  c
-
-(* A random SOC: a chain of random cores where core i's input I0 is
-   driven by core i-1's O0 rather than a chip pin, so justifying the
-   deeper cores must route through the earlier cores' transparency (or
-   fall back to a forced test mux) — the situations the Select memo and
-   the schedule replay have to get right.  Remaining inputs get
-   dedicated PIs, remaining outputs dedicated POs. *)
-let random_soc rng =
-  let module Soc = Socet_core.Soc in
-  let n = 2 + Rng.int rng 2 in
-  let insts =
-    List.init n (fun i ->
-        Soc.instantiate (Printf.sprintf "C%d" i) (random_core rng))
-  in
-  let pis = ref [] and pos = ref [] and conns = ref [] in
-  List.iteri
-    (fun i ci ->
-      let name = ci.Soc.ci_name in
-      List.iter
-        (fun (p : Rtl_core.port) ->
-          match p.Rtl_core.p_dir with
-          | `In ->
-              if i > 0 && p.Rtl_core.p_name = "I0" then
-                conns :=
-                  Soc.
-                    {
-                      c_from = Cport (Printf.sprintf "C%d" (i - 1), "O0");
-                      c_to = Cport (name, "I0");
-                    }
-                  :: !conns
-              else begin
-                let pi = Printf.sprintf "%s_%s" name p.Rtl_core.p_name in
-                pis := (pi, p.Rtl_core.p_width) :: !pis;
-                conns :=
-                  Soc.{ c_from = Pi pi; c_to = Cport (name, p.Rtl_core.p_name) }
-                  :: !conns
-              end
-          | `Out ->
-              if i < n - 1 && p.Rtl_core.p_name = "O0" then ()
-              else begin
-                let po = Printf.sprintf "%s_%s" name p.Rtl_core.p_name in
-                pos := (po, p.Rtl_core.p_width) :: !pos;
-                conns :=
-                  Soc.{ c_from = Cport (name, p.Rtl_core.p_name); c_to = Po po }
-                  :: !conns
-              end)
-        (Rtl_core.ports ci.Soc.ci_core))
-    insts;
-  Soc.make
-    ~name:(Printf.sprintf "soc%d" (Rng.int rng 100000))
-    ~pis:(List.rev !pis) ~pos:(List.rev !pos) ~cores:insts
-    ~connections:(List.rev !conns) ()
+let w = Socet_cores.Gen.w
+let random_core rng = Socet_cores.Gen.random_core rng
+let random_soc rng = Socet_cores.Gen.random_soc rng

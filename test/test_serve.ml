@@ -102,7 +102,12 @@ let test_proto_roundtrip () =
              ex_search_budget = Some 7;
              ex_no_memo = true;
            });
-      Proto.make ~deadline_ms:1 (Proto.Chip { Proto.ch_system = "system1"; ch_strict = true });
+      Proto.make ~deadline_ms:1
+        (Proto.Chip
+           { Proto.ch_system = "system1"; ch_strict = true; ch_backend = Proto.Ccg });
+      Proto.make
+        (Proto.Chip
+           { Proto.ch_system = "system2"; ch_strict = false; ch_backend = Proto.Tam });
       Proto.make (Proto.Atpg { Proto.at_core = "gcd" });
     ]
   in
@@ -132,7 +137,25 @@ let test_proto_of_args () =
     (Result.is_error (Proto.of_args [ "frobnicate" ]));
   check "missing target rejected" true (Result.is_error (Proto.of_args [ "chip" ]));
   check "unknown flag rejected" true
-    (Result.is_error (Proto.of_args [ "chip"; "system1"; "--bogus" ]))
+    (Result.is_error (Proto.of_args [ "chip"; "system1"; "--bogus" ]));
+  (match Proto.of_args [ "chip"; "system2"; "--backend"; "tam" ] with
+  | Ok { Proto.rq_body = Proto.Chip { Proto.ch_backend = Proto.Tam; _ }; _ } -> ()
+  | _ -> Alcotest.fail "--backend tam did not parse");
+  check "unknown backend rejected" true
+    (Result.is_error (Proto.of_args [ "chip"; "system1"; "--backend=mux" ]));
+  (* Wire compatibility: a ccg chip request encodes without any backend
+     field, byte-identical to the pre-backend protocol. *)
+  let ccg =
+    Proto.make
+      (Proto.Chip
+         { Proto.ch_system = "system1"; ch_strict = false; ch_backend = Proto.Ccg })
+  in
+  check "ccg encoding carries no backend field" false
+    (let enc = Proto.encode ccg in
+     let needle = "backend" in
+     let n = String.length needle and l = String.length enc in
+     let rec has i = i + n <= l && (String.sub enc i n = needle || has (i + 1)) in
+     has 0)
 
 let test_proto_error_roundtrip () =
   let e =
@@ -252,7 +275,10 @@ let explore_req =
        })
 
 let atpg_req = Proto.make (Proto.Atpg { Proto.at_core = "gcd" })
-let chip_req = Proto.make (Proto.Chip { Proto.ch_system = "system2"; ch_strict = false })
+let chip_req =
+  Proto.make
+    (Proto.Chip
+       { Proto.ch_system = "system2"; ch_strict = false; ch_backend = Proto.Ccg })
 
 let test_server_byte_identity_across_domains () =
   (* Reference bytes: the direct engine call (what the CLI prints),
