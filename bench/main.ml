@@ -818,6 +818,125 @@ let serve_section () =
     clients
 
 (* ------------------------------------------------------------------ *)
+(* Job server: supervised worker fleet                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* (workers, (jobs/s, p50 ms, p99 ms)) and the availability-under-crash
+   summary (jobs, injected kills, completed, retries) — stashed for the
+   BENCH_socet.json "serve.fleet" section. *)
+let serve_fleet_results : (int * (float * float * float)) list ref = ref []
+let serve_fleet_availability : (int * int * int * int) option ref = ref None
+
+(* Must run before any section that sizes the domain pool above 1:
+   OCaml forbids fork in a process that has ever spawned a domain, and
+   the fleet fork+execs its workers. *)
+let serve_fleet_section () =
+  section "Job server: supervised worker fleet (fork+exec isolation)";
+  let module Serve = Socet_serve in
+  Pool.set_size 1;
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ()) "socet-bench-fleet.sock"
+  in
+  (* System 2: each worker process (and each respawn) pays a cold
+     search, so the cheaper system keeps the section's wall time about
+     the fleet machinery rather than the optimizer. *)
+  let req =
+    Serve.Proto.make
+      (Serve.Proto.Explore
+         {
+           Serve.Proto.ex_system = "system2";
+           ex_objective = Serve.Proto.Min_time;
+           ex_max_area = 500;
+           ex_max_time = 5000;
+           ex_search_budget = None;
+           ex_no_memo = false;
+         })
+  in
+  let clients = 2 and per_client = 4 in
+  let measure () =
+    let lat = Array.make (clients * per_client) 0.0 in
+    let failures = Atomic.make 0 in
+    let t0 = Unix.gettimeofday () in
+    let threads =
+      List.init clients (fun ci ->
+          Thread.create
+            (fun () ->
+              match Serve.Client.connect socket with
+              | Error _ -> ignore (Atomic.fetch_and_add failures per_client)
+              | Ok c ->
+                  for i = 0 to per_client - 1 do
+                    let s = Unix.gettimeofday () in
+                    (match Serve.Client.request c req with
+                    | Ok r when r.Serve.Client.r_code = 0 -> ()
+                    | Ok _ | Error _ -> ignore (Atomic.fetch_and_add failures 1));
+                    lat.((ci * per_client) + i) <-
+                      (Unix.gettimeofday () -. s) *. 1000.0
+                  done;
+                  Serve.Client.close c)
+            ())
+    in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    Array.sort compare lat;
+    let n = Array.length lat in
+    let quantile q = lat.(min (n - 1) (int_of_float (q *. float_of_int (n - 1)))) in
+    (n, float_of_int n /. wall, quantile 0.5, quantile 0.99, Atomic.get failures)
+  in
+  (* max_retries >= the chaos trip budget below, so even every kill
+     landing on one job stays within its retry budget. *)
+  let with_fleet workers f =
+    let srv = Serve.Server.start ~queue_depth:64 ~workers ~max_retries:3 ~socket () in
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.Server.shutdown srv;
+        ignore (Serve.Server.wait srv))
+      f
+  in
+  let rows =
+    List.map
+      (fun workers ->
+        with_fleet workers (fun () ->
+            let n, jobs_s, p50, p99, _ = measure () in
+            serve_fleet_results := (workers, (jobs_s, p50, p99)) :: !serve_fleet_results;
+            [
+              string_of_int workers;
+              string_of_int n;
+              Printf.sprintf "%.1f" jobs_s;
+              Printf.sprintf "%.1f" p50;
+              Printf.sprintf "%.1f" p99;
+            ]))
+      [ 1; 4 ]
+  in
+  Ascii_table.print
+    ~header:[ "workers"; "jobs"; "jobs/s"; "p50 ms"; "p99 ms" ]
+    rows;
+  (* Availability under injected crashes: SIGKILL the dispatched worker
+     for the first [kills] jobs; every job must still settle Ok. *)
+  let kills = 3 in
+  Socet_util.Chaos.configure ~prob:1.0 ~only:[ "serve.worker.kill" ] ~max_trips:kills
+    true;
+  Fun.protect ~finally:(fun () -> Socet_util.Chaos.configure false) (fun () ->
+      with_fleet 2 (fun () ->
+          let n, _, _, _, failures = measure () in
+          let retries =
+            match Serve.Client.connect socket with
+            | Error _ -> 0
+            | Ok c ->
+                Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () ->
+                    match Serve.Client.request c (Serve.Proto.make Serve.Proto.Health) with
+                    | Ok r -> (
+                        match Serve.Proto.decode_health (String.trim r.Serve.Client.r_stdout) with
+                        | Ok h -> h.Serve.Proto.hl_retries
+                        | Error _ -> 0)
+                    | Error _ -> 0)
+          in
+          serve_fleet_availability := Some (n, kills, n - failures, retries);
+          Printf.printf
+            "availability under crash: %d/%d jobs completed with %d injected \
+             worker kills (%d retried)\n"
+            (n - failures) n kills retries))
+
+(* ------------------------------------------------------------------ *)
 (* Wrapper/TAM backend vs the paper's CCG flow                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1046,17 +1165,48 @@ let write_bench_json file =
          !optimizer_results)
   in
   let serve_json =
-    Json.Obj
-      (List.rev_map
-         (fun (domains, (jobs_s, p50, p99)) ->
-           ( Printf.sprintf "%d_domains" domains,
-             Json.Obj
-               [
-                 ("jobs_per_s", Json.Num jobs_s);
-                 ("p50_ms", Json.Num p50);
-                 ("p99_ms", Json.Num p99);
-               ] ))
-         !serve_results)
+    let rates entries =
+      List.rev_map
+        (fun (key, (jobs_s, p50, p99)) ->
+          ( key,
+            Json.Obj
+              [
+                ("jobs_per_s", Json.Num jobs_s);
+                ("p50_ms", Json.Num p50);
+                ("p99_ms", Json.Num p99);
+              ] ))
+        entries
+    in
+    let in_process =
+      rates
+        (List.map
+           (fun (d, r) -> (Printf.sprintf "%d_domains" d, r))
+           !serve_results)
+    in
+    let fleet =
+      rates
+        (List.map
+           (fun (w, r) -> (Printf.sprintf "%d_workers" w, r))
+           !serve_fleet_results)
+      @
+      match !serve_fleet_availability with
+      | None -> []
+      | Some (jobs, kills, completed, retries) ->
+          [
+            ( "availability_under_crash",
+              Json.Obj
+                [
+                  ("jobs", Json.Num (float_of_int jobs));
+                  ("injected_kills", Json.Num (float_of_int kills));
+                  ("completed", Json.Num (float_of_int completed));
+                  ( "availability",
+                    Json.Num (float_of_int completed /. float_of_int (max 1 jobs))
+                  );
+                  ("retries", Json.Num (float_of_int retries));
+                ] );
+          ]
+    in
+    Json.Obj (in_process @ [ ("fleet", Json.Obj fleet) ])
   in
   let tam_json =
     let systems =
@@ -1122,12 +1272,18 @@ let write_bench_json file =
   Printf.printf "wrote %s\n" file
 
 let () =
+  (* A fork+exec'd fleet worker re-enters this binary; route it into the
+     serve loop before any benchmarking starts. *)
+  Socet_serve.Worker.exec_guard ();
   (* No-op sink: counters and span timers accumulate, but no trace
      events are buffered — keeps the harness overhead negligible. *)
   Obs.configure ();
   Printf.printf "SOCET reproduction bench harness (DAC'98 Ghosh/Dey/Jha)\n";
   Printf.printf "Systems: %s (%d cells), %s (%d cells)\n" soc1.Soc.soc_name
     (Soc.original_area soc1) soc2.Soc.soc_name (Soc.original_area soc2);
+  (* First: the fleet forks workers, which OCaml forbids once any other
+     section has spawned a pool domain. *)
+  serve_fleet_section ();
   worked_example ();
   fig6 ();
   fig8 ();

@@ -491,16 +491,24 @@ let cmd_version opts () =
 (* socet serve / socet submit                                          *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_serve opts socket queue_depth access_log =
+let cmd_serve opts socket queue_depth access_log workers max_retries
+    stall_timeout_ms =
   with_obs opts @@ fun () ->
-  let srv = Socet_serve.Server.start ~queue_depth ?access_log ~socket () in
+  let srv =
+    Socet_serve.Server.start ~queue_depth ?access_log ~workers ~max_retries
+      ?stall_timeout_ms ~socket ()
+  in
   Socet_serve.Server.install_signal_handlers srv;
-  Printf.eprintf "socet: serving on %s (queue depth %d)\n%!" socket queue_depth;
+  if workers > 0 then
+    Printf.eprintf "socet: serving on %s (queue depth %d, %d worker(s))\n%!"
+      socket queue_depth workers
+  else
+    Printf.eprintf "socet: serving on %s (queue depth %d)\n%!" socket queue_depth;
   let code = Socet_serve.Server.wait srv in
   Printf.eprintf "socet: drained, exiting\n%!";
   code
 
-let cmd_submit opts socket deadline_ms request =
+let cmd_submit opts socket deadline_ms retries retry_max_ms request =
   with_obs opts @@ fun () ->
   let req =
     match Proto.of_args ?deadline_ms request with
@@ -509,11 +517,35 @@ let cmd_submit opts socket deadline_ms request =
   in
   let c = or_die (Socet_serve.Client.connect socket) in
   let reply = Fun.protect ~finally:(fun () -> Socet_serve.Client.close c)
-      (fun () -> Socet_serve.Client.request c req)
+      (fun () -> Socet_serve.Client.submit ~retries ~retry_max_ms c req)
   in
   let reply = or_die reply in
   print_string reply.Socet_serve.Client.r_stdout;
   prerr_string reply.Socet_serve.Client.r_stderr;
+  reply.Socet_serve.Client.r_code
+
+(* ------------------------------------------------------------------ *)
+(* socet health                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cmd_health opts socket json =
+  with_obs opts @@ fun () ->
+  let c = or_die (Socet_serve.Client.connect socket) in
+  let reply = Fun.protect ~finally:(fun () -> Socet_serve.Client.close c)
+      (fun () -> Socet_serve.Client.request c (Proto.make Proto.Health))
+  in
+  let reply = or_die reply in
+  if json then print_string reply.Socet_serve.Client.r_stdout
+  else begin
+    match Proto.decode_health reply.Socet_serve.Client.r_stdout with
+    | Ok h -> print_string (Proto.render_health h)
+    | Error msg ->
+        raise
+          (Err.Socet_error
+             (Err.make ~engine:"cli" (Printf.sprintf "bad health report: %s" msg)))
+  end;
+  (* The server answers code 5 when the breaker is open, 0 otherwise, so
+     the probe's exit status is itself the health signal. *)
   reply.Socet_serve.Client.r_code
 
 (* ------------------------------------------------------------------ *)
@@ -715,7 +747,39 @@ let serve_t =
             "Append one JSON line per completed job (label, wait, run \
              time, exit code) to $(docv).")
   in
-  Term.(const cmd_serve $ obs_opts_t $ socket_arg $ queue_depth $ access_log)
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Run jobs in $(docv) forked, crash-isolated worker processes \
+             under a supervisor: a crashed or hung worker is respawned \
+             and its job retried (byte-identical — jobs are deterministic \
+             and idempotent); a crash-looping fleet trips a circuit \
+             breaker and the server drains with exit code 5.  $(docv)=0 \
+             (default) runs jobs in-process, one at a time.")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"K"
+          ~doc:
+            "Re-run a job lost to a worker crash or hang at most $(docv) \
+             times before failing it with a structured worker-lost error.")
+  in
+  let stall_timeout =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stall-timeout" ] ~docv:"MS"
+          ~doc:
+            "Watchdog for jobs without their own deadline: a worker \
+             silent for $(docv) milliseconds is presumed hung, killed and \
+             its job retried (default 30000).")
+  in
+  Term.(
+    const cmd_serve $ obs_opts_t $ socket_arg $ queue_depth $ access_log
+    $ workers $ max_retries $ stall_timeout)
 
 let submit_t =
   let deadline =
@@ -727,19 +791,47 @@ let submit_t =
             "Per-request deadline in milliseconds, enforced server-side: \
              expiring in the queue or mid-engine yields exit code 4.")
   in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"K"
+          ~doc:
+            "Resubmit an overload-rejected request up to $(docv) times, \
+             backing off from the server's retry_after_ms hint with \
+             exponential growth and jitter.")
+  in
+  let retry_max_ms =
+    Arg.(
+      value & opt int 2000
+      & info [ "retry-max-ms" ] ~docv:"MS"
+          ~doc:"Cap any single overload backoff wait at $(docv) milliseconds.")
+  in
   let request =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"REQUEST"
           ~doc:
-            "The request, after $(b,--): ping | stats | explore SYSTEM \
-             [--objective time|area] [--max-area N] [--max-time N] \
+            "The request, after $(b,--): ping | stats | health | explore \
+             SYSTEM [--objective time|area] [--max-area N] [--max-time N] \
              [--search-budget N] [--no-memo] | chip SYSTEM [--strict] \
              [--backend ccg|tam] | atpg CORE.")
   in
-  Term.(const cmd_submit $ obs_opts_t $ socket_arg $ deadline $ request)
+  Term.(
+    const cmd_submit $ obs_opts_t $ socket_arg $ deadline $ retries
+    $ retry_max_ms $ request)
+
+let health_t =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the raw JSON report instead of the table.")
+  in
+  Term.(const cmd_health $ obs_opts_t $ socket_arg $ json)
 
 let () =
+  (* A fork+exec'd fleet worker re-enters this binary; the guard routes
+     it straight into the serve loop and never returns. *)
+  Socet_serve.Worker.exec_guard ();
   Socet_util.Chaos.from_env ();
   let info name doc = Cmd.info name ~doc ~exits in
   let cmds =
@@ -781,6 +873,12 @@ let () =
            "Send one request to a running server and relay its output \
             (byte-identical to the direct subcommand) and exit code.")
         submit_t;
+      Cmd.v
+        (info "health"
+           "Probe a running server: uptime, queue depth, per-worker \
+            state.  Exits 0 when healthy, 5 when the worker-fleet \
+            circuit breaker is open.")
+        health_t;
       Cmd.v
         (info "version" "Print version, protocol, OCaml and feature info.")
         version_t;

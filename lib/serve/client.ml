@@ -3,6 +3,7 @@
    submit] and the test/bench harnesses. *)
 
 module Err = Socet_util.Error
+module Rng = Socet_util.Rng
 
 type t = { c_fd : Unix.file_descr; mutable c_next_id : int; mutable c_closed : bool }
 
@@ -68,3 +69,37 @@ let request ?on_chunk c req =
         in
         recv ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* Submission with overload backoff                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Jitter source for the backoff below.  Seeded per-process: submitting
+   clients should NOT back off in lockstep — a thundering herd that
+   rejected together would otherwise retry together, forever. *)
+let jitter_rng = lazy (Rng.create (0xC11E lxor Unix.getpid ()))
+
+let hinted_backoff_ms e =
+  match List.assoc_opt "retry_after_ms" e.Err.err_ctx with
+  | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> 25)
+  | None -> 25
+
+let submit ?(retries = 0) ?(retry_max_ms = 2_000) ?on_chunk c req =
+  let rec go attempt =
+    match request ?on_chunk c req with
+    | Ok r -> Ok r
+    | Error e when e.Err.err_kind = Err.Overloaded && attempt < retries ->
+        (* The server's hint is the floor; exponential growth plus
+           jitter spreads concurrent clients, [retry_max_ms] caps the
+           total per-wait.  The rejected request never started (bounded
+           admission rejects before dispatch), so resubmitting cannot
+           duplicate work. *)
+        let base = hinted_backoff_ms e in
+        let exp = float_of_int base *. (2.0 ** float_of_int attempt) in
+        let jit = Rng.float (Lazy.force jitter_rng) *. float_of_int base in
+        let wait_ms = Float.min (exp +. jit) (float_of_int retry_max_ms) in
+        Thread.delay (wait_ms /. 1000.0);
+        go (attempt + 1)
+    | Error e -> Error e
+  in
+  go 0

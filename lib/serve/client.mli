@@ -25,5 +25,20 @@ val request : ?on_chunk:(string -> unit) -> t -> Proto.t -> (reply, Socet_util.E
     truncated stream) return an [Internal] error and close the
     connection; server-reported errors leave it usable. *)
 
+val submit :
+  ?retries:int ->
+  ?retry_max_ms:int ->
+  ?on_chunk:(string -> unit) ->
+  t ->
+  Proto.t ->
+  (reply, Socet_util.Error.t) result
+(** {!request}, but an [Overloaded] rejection is retried up to [retries]
+    times (default 0 — identical to {!request}): each wait starts from
+    the server's [retry_after_ms] hint, grows exponentially, adds
+    per-process jitter so concurrent clients spread out, and is capped
+    at [retry_max_ms] (default 2000).  A rejected request never started,
+    so resubmission cannot duplicate work.  Other errors are returned
+    immediately; the connection stays usable across retries. *)
+
 val close : t -> unit
 (** Close the connection.  Idempotent. *)

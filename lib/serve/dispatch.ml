@@ -179,6 +179,19 @@ let run req =
     match req.Proto.rq_body with
     | Proto.Ping -> ok (Proto.version_lines ())
     | Proto.Stats -> ok (Obs.stats_json () ^ "\n")
+    | Proto.Health ->
+        (* Only the server can see the fleet; answered in [Server] before
+           the queue.  Reaching here means a direct [Dispatch.run] call. *)
+        ok (Proto.encode_health
+              {
+                Proto.hl_uptime_ms = 0;
+                hl_queue_depth = 0;
+                hl_pending = 0;
+                hl_workers = [];
+                hl_breaker_open = false;
+                hl_retries = 0;
+              }
+            ^ "\n")
     | Proto.Explore e -> run_explore ~deadline_ms e
     | Proto.Chip c -> run_chip ~deadline_ms c
     | Proto.Atpg a -> run_atpg a

@@ -17,7 +17,13 @@ type backend = Ccg | Tam
 type chip = { ch_system : string; ch_strict : bool; ch_backend : backend }
 type atpg = { at_core : string }
 
-type body = Ping | Stats | Explore of explore | Chip of chip | Atpg of atpg
+type body =
+  | Ping
+  | Stats
+  | Health
+  | Explore of explore
+  | Chip of chip
+  | Atpg of atpg
 
 type t = { rq_deadline_ms : int option; rq_body : body }
 
@@ -25,11 +31,11 @@ type status = { st_code : int; st_stderr : string }
 
 let make ?deadline_ms body = { rq_deadline_ms = deadline_ms; rq_body = body }
 
-let package_version = "1.1.0"
+let package_version = "1.2.0"
 
 (* Compile-time capabilities, for client/server mismatch diagnosis: every
    subsystem that changes the observable surface lists itself here. *)
-let features = [ "obs"; "budgets"; "chaos"; "multicore"; "serve"; "tam" ]
+let features = [ "obs"; "budgets"; "chaos"; "multicore"; "serve"; "tam"; "fleet" ]
 
 let version_lines () =
   Printf.sprintf "socet %s (protocol %d)\nocaml %s\nfeatures: %s\n"
@@ -40,6 +46,7 @@ let summary t =
   match t.rq_body with
   | Ping -> "ping"
   | Stats -> "stats"
+  | Health -> "health"
   | Explore e -> Printf.sprintf "explore %s" e.ex_system
   | Chip { ch_backend = Tam; ch_system; _ } -> Printf.sprintf "chip %s (tam)" ch_system
   | Chip c -> Printf.sprintf "chip %s" c.ch_system
@@ -54,6 +61,7 @@ let num i = Json.Num (float_of_int i)
 let body_to_json = function
   | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
   | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
+  | Health -> Json.Obj [ ("op", Json.Str "health") ]
   | Explore e ->
       Json.Obj
         ([
@@ -97,6 +105,7 @@ let body_of_json j =
   match op with
   | "ping" -> Ok Ping
   | "stats" -> Ok Stats
+  | "health" -> Ok Health
   | "explore" ->
       let* ex_system = require "system" (get_str "system" j) in
       let* ex_objective =
@@ -198,6 +207,130 @@ let decode_error s =
   Ok (Err.make ~kind ~ctx ~engine msg)
 
 (* ------------------------------------------------------------------ *)
+(* Health report (the [Health] response payload)                       *)
+(* ------------------------------------------------------------------ *)
+
+type worker_state = W_idle | W_busy | W_respawning | W_stopped
+
+type worker_health = {
+  wh_id : int;
+  wh_pid : int;
+  wh_state : worker_state;
+  wh_uptime_ms : int;
+  wh_jobs : int;
+  wh_crashes : int;
+}
+
+type health = {
+  hl_uptime_ms : int;
+  hl_queue_depth : int;
+  hl_pending : int;
+  hl_workers : worker_health list;
+  hl_breaker_open : bool;
+  hl_retries : int;
+}
+
+let worker_state_tag = function
+  | W_idle -> "idle"
+  | W_busy -> "busy"
+  | W_respawning -> "respawning"
+  | W_stopped -> "stopped"
+
+let worker_state_of_tag = function
+  | "idle" -> Ok W_idle
+  | "busy" -> Ok W_busy
+  | "respawning" -> Ok W_respawning
+  | "stopped" -> Ok W_stopped
+  | s -> Error (Printf.sprintf "unknown worker state %S" s)
+
+let worker_health_to_json w =
+  Json.Obj
+    [
+      ("id", num w.wh_id);
+      ("pid", num w.wh_pid);
+      ("state", Json.Str (worker_state_tag w.wh_state));
+      ("uptime_ms", num w.wh_uptime_ms);
+      ("jobs", num w.wh_jobs);
+      ("crashes", num w.wh_crashes);
+    ]
+
+let encode_health h =
+  Json.to_string
+    (Json.Obj
+       [
+         ("uptime_ms", num h.hl_uptime_ms);
+         ("queue_depth", num h.hl_queue_depth);
+         ("pending", num h.hl_pending);
+         ("workers", Json.Arr (List.map worker_health_to_json h.hl_workers));
+         ("breaker_open", Json.Bool h.hl_breaker_open);
+         ("retries", num h.hl_retries);
+       ])
+
+let worker_health_of_json j =
+  let* wh_id = require "id" (get_int "id" j) in
+  let* wh_pid = require "pid" (get_int "pid" j) in
+  let* wh_state =
+    worker_state_of_tag (Option.value ~default:"idle" (get_str "state" j))
+  in
+  Ok
+    {
+      wh_id;
+      wh_pid;
+      wh_state;
+      wh_uptime_ms = Option.value ~default:0 (get_int "uptime_ms" j);
+      wh_jobs = Option.value ~default:0 (get_int "jobs" j);
+      wh_crashes = Option.value ~default:0 (get_int "crashes" j);
+    }
+
+let decode_health s =
+  let* j = Json.of_string s in
+  let* uptime = require "uptime_ms" (get_int "uptime_ms" j) in
+  let* depth = require "queue_depth" (get_int "queue_depth" j) in
+  let* pending = require "pending" (get_int "pending" j) in
+  let* workers =
+    match Json.member "workers" j with
+    | Some (Json.Arr items) ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* w = worker_health_of_json item in
+            Ok (w :: acc))
+          (Ok []) items
+        |> Result.map List.rev
+    | Some _ -> Error "workers must be an array"
+    | None -> Ok []
+  in
+  Ok
+    {
+      hl_uptime_ms = uptime;
+      hl_queue_depth = depth;
+      hl_pending = pending;
+      hl_workers = workers;
+      hl_breaker_open =
+        Option.value ~default:false (get_bool "breaker_open" j);
+      hl_retries = Option.value ~default:0 (get_int "retries" j);
+    }
+
+(* Human-readable rendering: [socet health]'s stdout. *)
+let render_health h =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "server: up %dms, queue %d/%d, breaker %s, job retries %d\n"
+       h.hl_uptime_ms h.hl_pending h.hl_queue_depth
+       (if h.hl_breaker_open then "OPEN" else "closed")
+       h.hl_retries);
+  List.iter
+    (fun w ->
+      Buffer.add_string b
+        (Printf.sprintf "worker %d: pid %d %s, up %dms, %d job(s), %d crash(es)\n"
+           w.wh_id w.wh_pid (worker_state_tag w.wh_state) w.wh_uptime_ms
+           w.wh_jobs w.wh_crashes))
+    h.hl_workers;
+  if h.hl_workers = [] then
+    Buffer.add_string b "workers: none (in-process execution)\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
 (* Command-line request syntax ([socet submit ... -- <request>])       *)
 (* ------------------------------------------------------------------ *)
 
@@ -237,9 +370,10 @@ let int_flag flags key ~default =
 let of_args ?deadline_ms args =
   let* body =
     match args with
-    | [] | [ "" ] -> Error "empty request (expected ping|stats|explore|chip|atpg)"
+    | [] | [ "" ] -> Error "empty request (expected ping|stats|health|explore|chip|atpg)"
     | "ping" :: [] -> Ok Ping
     | "stats" :: [] -> Ok Stats
+    | "health" :: [] -> Ok Health
     | "explore" :: system :: rest ->
         let* flags =
           parse_flags
@@ -291,7 +425,7 @@ let of_args ?deadline_ms args =
     | cmd :: _ ->
         Error
           (Printf.sprintf
-             "bad request %S (expected: ping | stats | explore SYSTEM [--objective \
+             "bad request %S (expected: ping | stats | health | explore SYSTEM [--objective \
               time|area] [--max-area N] [--max-time N] [--search-budget N] [--no-memo] \
               | chip SYSTEM [--strict] [--backend ccg|tam] | atpg CORE)"
              cmd)

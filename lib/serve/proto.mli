@@ -36,6 +36,13 @@ type atpg = { at_core : string }
 type body =
   | Ping  (** liveness + version/feature echo ([socet version] format) *)
   | Stats  (** the server's observability report, as [Obs.stats_json] *)
+  | Health
+      (** readiness probe: per-worker state/uptime/jobs/crashes, queue
+          depth, circuit-breaker state ({!health} JSON).  Answered by the
+          server directly — never queued — so it stays responsive while
+          the queue is full.  Back-compatible: a new op inside protocol
+          version 1; pre-fleet peers reject it as an unknown op without
+          affecting any other request. *)
   | Explore of explore
   | Chip of chip
   | Atpg of atpg
@@ -85,3 +92,33 @@ val decode_error : string -> (Socet_util.Error.t, string) result
     [Overloaded] with its [retry_after_ms] context), context pairs and
     message survive the round trip, so [Error.exit_code] at the client
     equals what the direct CLI would have exited with. *)
+
+(** {2 Health report} *)
+
+type worker_state = W_idle | W_busy | W_respawning | W_stopped
+
+type worker_health = {
+  wh_id : int;  (** stable worker slot index (survives respawns) *)
+  wh_pid : int;  (** current process id; 0 when no process is live *)
+  wh_state : worker_state;
+  wh_uptime_ms : int;  (** of the current incarnation *)
+  wh_jobs : int;  (** jobs completed across all incarnations *)
+  wh_crashes : int;  (** deaths/hang-kills across all incarnations *)
+}
+
+type health = {
+  hl_uptime_ms : int;  (** server uptime *)
+  hl_queue_depth : int;  (** admission bound *)
+  hl_pending : int;  (** jobs admitted and not yet dispatched *)
+  hl_workers : worker_health list;  (** empty = in-process execution *)
+  hl_breaker_open : bool;
+      (** the respawn circuit breaker tripped: the server is draining and
+          will exit 5 — a readiness probe should report not-ready *)
+  hl_retries : int;  (** jobs re-run after a worker loss, lifetime total *)
+}
+
+val encode_health : health -> string
+val decode_health : string -> (health, string) result
+
+val render_health : health -> string
+(** The [socet health] human-readable rendering of the report. *)

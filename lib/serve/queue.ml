@@ -1,12 +1,15 @@
 (* Admission-controlled FIFO job queue.
 
-   Shape: bounded admission (reject, don't block), one dispatcher thread
-   draining in submission order, each job free to fan out internally
-   across the [Socet_util.Pool] domains.  Running jobs one at a time is
-   what keeps the determinism contract: a job sees the same pool, in the
-   same state, as a direct CLI run — concurrency lives in the admission
-   layer (many connections waiting) and inside the engines (domain
-   parallelism), never between two half-run jobs. *)
+   Shape: bounded admission (reject, don't block), [executors] dispatcher
+   threads draining in submission order, each job free to fan out
+   internally across the [Socet_util.Pool] domains.
+
+   Determinism: with one executor (the default) a job sees the same
+   pool, in the same state, as a direct CLI run.  With several, the
+   thunk must itself be an isolated execution — the supervised worker
+   fleet qualifies: each concurrent job runs in its own forked process
+   with a private heap, obs registry and domain sub-pool, so jobs still
+   cannot interleave state, only wall clock. *)
 
 module Err = Socet_util.Error
 module Obs = Socet_obs.Obs
@@ -49,7 +52,7 @@ type t = {
   mutable q_pending : int;
   mutable q_accepting : bool;
   mutable q_avg_run_ms : float;  (* EWMA, feeds the backoff hint *)
-  mutable q_thread : Thread.t option;
+  mutable q_threads : Thread.t list;
 }
 
 let now_us () = Unix.gettimeofday () *. 1e6
@@ -126,8 +129,9 @@ let dispatcher q () =
   in
   loop ()
 
-let create ?(depth = 64) ?on_done () =
+let create ?(depth = 64) ?(executors = 1) ?on_done () =
   if depth < 1 then invalid_arg "Serve.Queue.create: depth must be >= 1";
+  if executors < 1 then invalid_arg "Serve.Queue.create: executors must be >= 1";
   let q =
     {
       q_mu = Mutex.create ();
@@ -138,16 +142,22 @@ let create ?(depth = 64) ?on_done () =
       q_pending = 0;
       q_accepting = true;
       q_avg_run_ms = 0.0;
-      q_thread = None;
+      q_threads = [];
     }
   in
-  q.q_thread <- Some (Thread.create (dispatcher q) ());
+  q.q_threads <- List.init executors (fun _ -> Thread.create (dispatcher q) ());
   q
+
+(* Until the EWMA has seen a completion, assume a job costs this much:
+   a cold server hinting 0ms-per-job would send early clients into a
+   hot retry loop against a queue that cannot possibly have drained. *)
+let cold_run_ms = 50.0
 
 let retry_after_ms q =
   (* Suggested backoff: roughly the time the current backlog needs to
      clear, floored so clients never spin. *)
-  max 25 (int_of_float (q.q_avg_run_ms *. float_of_int (q.q_pending + 1)))
+  let per_job = if q.q_avg_run_ms > 0.0 then q.q_avg_run_ms else cold_run_ms in
+  max 25 (int_of_float (per_job *. float_of_int (q.q_pending + 1)))
 
 let overloaded q msg =
   Obs.incr c_rejected;
@@ -193,6 +203,7 @@ let await job =
       Option.get job.j_result)
 
 let pending q = locked q.q_mu (fun () -> q.q_pending)
+let depth q = q.q_depth
 
 let drain q =
   let join =
@@ -200,6 +211,6 @@ let drain q =
         let was_accepting = q.q_accepting in
         q.q_accepting <- false;
         Condition.broadcast q.q_cv;
-        if was_accepting then q.q_thread else None)
+        if was_accepting then q.q_threads else [])
   in
-  Option.iter Thread.join join
+  List.iter Thread.join join

@@ -7,11 +7,13 @@
       structured, retriable [Overloaded] error carrying a
       [retry_after_ms] backoff hint — the queue never blocks a caller
       and never grows without bound.
-    - {b FIFO dispatch, one job at a time.}  A single dispatcher thread
-      drains jobs in submission order; each job parallelizes internally
-      across the [Socet_util.Pool] domains.  Serializing jobs is what
-      preserves the deterministic-reduction contract — a job sees the
-      pool exactly as a direct CLI run would.
+    - {b FIFO dispatch over [executors] threads.}  With the default
+      single executor jobs run one at a time, which preserves the
+      deterministic-reduction contract — a job sees the pool exactly as
+      a direct CLI run would.  With [executors = N] (the worker fleet),
+      N jobs run concurrently; the contract then rests on the thunk
+      being an isolated execution (a forked worker process with its own
+      heap, obs registry and domain sub-pool — see [Supervisor]).
     - {b Deadlines are re-checked at dispatch.}  A job whose deadline
       expired while it sat in the queue fails with the structured
       [Exhausted] error (exit code 4) without starting the engines.
@@ -35,11 +37,14 @@ type job_info = {
   ji_ok : bool;
 }
 
-val create : ?depth:int -> ?on_done:(job_info -> unit) -> unit -> t
-(** Start the dispatcher thread.  [depth] (default 64) bounds the number
-    of admitted-but-unfinished jobs; [on_done] runs on the dispatcher
-    thread after each job settles (the server's access log).
-    @raise Invalid_argument when [depth < 1]. *)
+val create :
+  ?depth:int -> ?executors:int -> ?on_done:(job_info -> unit) -> unit -> t
+(** Start the executor thread(s).  [depth] (default 64) bounds the
+    number of admitted-but-unfinished jobs; [executors] (default 1) is
+    the number of dispatcher threads pulling jobs — match it to the
+    worker-fleet size; [on_done] runs on the settling executor's thread
+    after each job (the server's access log).
+    @raise Invalid_argument when [depth < 1] or [executors < 1]. *)
 
 val submit :
   t ->
@@ -58,7 +63,16 @@ val await : ticket -> (Dispatch.outcome, Socet_util.Error.t) result
 val pending : t -> int
 (** Jobs admitted and not yet dispatched. *)
 
+val depth : t -> int
+(** The admission bound (for the [Health] report). *)
+
+val retry_after_ms : t -> int
+(** The backoff hint attached to [Overloaded] rejections: roughly the
+    time the current backlog needs to clear at the observed per-job run
+    time, with a cold-server floor — a server that has completed nothing
+    yet still hints a sane positive backoff, never 0ms. *)
+
 val drain : t -> unit
 (** Stop admitting ({!submit} then rejects with [Overloaded]
     ["server is draining"]), finish every already-admitted job, and join
-    the dispatcher thread.  Idempotent. *)
+    every executor thread.  Idempotent. *)

@@ -1,12 +1,19 @@
 (* Unix-domain-socket accept loop over the job queue.
 
    Thread shape: one accept thread (select over the listening socket and
-   a self-pipe), one handler thread per connection, one queue dispatcher
-   (see queue.ml).  Graceful drain: a shutdown request (SIGTERM/SIGINT
-   via [install_signal_handlers], or [shutdown]) writes one byte to the
-   self-pipe; the accept thread stops accepting, drains the queue
-   (in-flight jobs finish and their responses are written), closes every
-   connection, flushes the sinks and signals [wait]. *)
+   a self-pipe), one handler thread per connection, one queue executor
+   per worker (see queue.ml).  Graceful drain: a shutdown request
+   (SIGTERM/SIGINT via [install_signal_handlers], or [shutdown]) writes
+   one byte to the self-pipe; the accept thread stops accepting, drains
+   the queue (in-flight jobs finish and their responses are written),
+   retires the worker fleet, closes every connection, flushes the sinks
+   and signals [wait].
+
+   With [workers = 0] (the default) jobs run in-process through
+   [Dispatch.run], exactly the pre-fleet behaviour.  With [workers > 0]
+   each job is shipped to a forked worker via the [Supervisor]; a
+   breaker trip (crash-looping fleet) flips the exit code to 5 and
+   triggers the same graceful drain. *)
 
 module Err = Socet_util.Error
 module Obs = Socet_obs.Obs
@@ -30,10 +37,12 @@ type t = {
   s_start_us : float;
   s_mu : Mutex.t;
   s_cv : Condition.t;
+  mutable s_sup : Supervisor.t option;
   mutable s_conns : Unix.file_descr list;
   mutable s_handlers : Thread.t list;
   mutable s_stopping : bool;
   mutable s_stopped : bool;
+  mutable s_exit_code : int;
   mutable s_accept : Thread.t option;
 }
 
@@ -66,20 +75,54 @@ let send_outcome fd ~id (o : Dispatch.outcome) =
        (Proto.encode_status
           { Proto.st_code = o.Dispatch.o_code; st_stderr = o.Dispatch.o_stderr }))
 
+(* The [Health] probe never touches the queue: a health check must
+   answer even when the queue is full or draining — that is the whole
+   point of a readiness probe.  The report's stdout is the JSON encoding
+   (machine-readable; [socet health] pretty-prints client-side). *)
+let health_outcome srv =
+  let workers, breaker, retries =
+    match srv.s_sup with
+    | Some sup ->
+        let w, b = Supervisor.health sup in
+        (w, b, Supervisor.retries_total sup)
+    | None -> ([], false, 0)
+  in
+  let report =
+    {
+      Proto.hl_uptime_ms = int_of_float ((now_us () -. srv.s_start_us) /. 1000.0);
+      hl_queue_depth = Queue.depth srv.s_queue;
+      hl_pending = Queue.pending srv.s_queue;
+      hl_workers = workers;
+      hl_breaker_open = breaker;
+      hl_retries = retries;
+    }
+  in
+  {
+    Dispatch.o_stdout = Proto.encode_health report ^ "\n";
+    o_stderr = "";
+    o_code = (if breaker then 5 else 0);
+  }
+
 let handle_request srv fd ~id payload =
   Obs.incr c_requests;
   match Proto.decode payload with
   | Error msg ->
       send_error fd ~id (Err.make ~engine:"serve" (Printf.sprintf "bad request: %s" msg))
+  | Ok { Proto.rq_body = Proto.Health; _ } ->
+      send_outcome fd ~id (health_outcome srv)
   | Ok req -> (
       let deadline_us =
         Option.map
           (fun ms -> now_us () +. (float_of_int ms *. 1000.0))
           req.Proto.rq_deadline_ms
       in
+      let run =
+        match srv.s_sup with
+        | Some sup -> fun () -> Supervisor.exec sup req
+        | None -> fun () -> Dispatch.run req
+      in
       let submitted =
-        Queue.submit srv.s_queue ~label:(Proto.summary req) ?deadline_us (fun () ->
-            Dispatch.run req)
+        Queue.submit srv.s_queue ~label:(Proto.summary req) ?deadline_us run
       in
       match submitted with
       | Error e -> send_error fd ~id e
@@ -148,6 +191,9 @@ let accept_loop srv () =
           | exception Unix.Unix_error _ -> ()
           | fd, _ ->
               Obs.incr c_conns;
+              (* A spawned worker must not hold this connection open past
+                 the client's EOF. *)
+              ignoring_unix_errors (fun () -> Unix.set_close_on_exec fd);
               locked srv.s_mu (fun () ->
                   srv.s_conns <- fd :: srv.s_conns;
                   srv.s_handlers <- Thread.create (handler srv fd) () :: srv.s_handlers));
@@ -160,6 +206,8 @@ let accept_loop srv () =
   ignoring_unix_errors (fun () -> Unix.close srv.s_listen);
   ignoring_unix_errors (fun () -> Sys.remove srv.s_socket);
   Queue.drain srv.s_queue;
+  (* After the queue: no exec can be in flight once the executors join. *)
+  Option.iter Supervisor.stop srv.s_sup;
   let conns, handlers =
     locked srv.s_mu (fun () -> (srv.s_conns, srv.s_handlers))
   in
@@ -170,47 +218,6 @@ let accept_loop srv () =
   locked srv.s_mu (fun () ->
       srv.s_stopped <- true;
       Condition.broadcast srv.s_cv)
-
-let start ?(queue_depth = 64) ?access_log ~socket () =
-  (* A dead client mid-write must surface as EPIPE, not kill the process. *)
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  if Sys.file_exists socket then Sys.remove socket;
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try
-     Unix.bind listen_fd (Unix.ADDR_UNIX socket);
-     Unix.listen listen_fd 64
-   with e ->
-     ignoring_unix_errors (fun () -> Unix.close listen_fd);
-     raise e);
-  let stop_r, stop_w = Unix.pipe () in
-  let access = Option.map Sink.file access_log in
-  let srv_ref = ref None in
-  let on_done ji =
-    match !srv_ref with
-    | Some srv -> Option.iter (fun s -> s.Sink.emit (access_event srv ji)) srv.s_access
-    | None -> ()
-  in
-  let srv =
-    {
-      s_socket = socket;
-      s_listen = listen_fd;
-      s_stop_r = stop_r;
-      s_stop_w = stop_w;
-      s_queue = Queue.create ~depth:queue_depth ~on_done ();
-      s_access = access;
-      s_start_us = now_us ();
-      s_mu = Mutex.create ();
-      s_cv = Condition.create ();
-      s_conns = [];
-      s_handlers = [];
-      s_stopping = false;
-      s_stopped = false;
-      s_accept = None;
-    }
-  in
-  srv_ref := Some srv;
-  srv.s_accept <- Some (Thread.create (accept_loop srv) ());
-  srv
 
 let shutdown srv =
   let first =
@@ -225,6 +232,77 @@ let shutdown srv =
     ignoring_unix_errors (fun () ->
         ignore (Unix.write srv.s_stop_w (Bytes.make 1 '!') 0 1))
 
+let start ?(queue_depth = 64) ?access_log ?(workers = 0) ?max_retries
+    ?stall_timeout_ms ~socket () =
+  if workers < 0 then invalid_arg "Serve.Server.start: workers must be >= 0";
+  (* A dead client mid-write must surface as EPIPE, not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if Sys.file_exists socket then Sys.remove socket;
+  (* Workers are fork+exec'd: close-on-exec everywhere keeps a fresh
+     worker image from holding the listening socket (which would keep
+     the path accepting after the parent drains) or the self-pipe. *)
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+     Unix.listen listen_fd 64
+   with e ->
+     ignoring_unix_errors (fun () -> Unix.close listen_fd);
+     raise e);
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  let access = Option.map Sink.file access_log in
+  let srv_ref = ref None in
+  let on_done ji =
+    match !srv_ref with
+    | Some srv -> Option.iter (fun s -> s.Sink.emit (access_event srv ji)) srv.s_access
+    | None -> ()
+  in
+  let srv =
+    {
+      s_socket = socket;
+      s_listen = listen_fd;
+      s_stop_r = stop_r;
+      s_stop_w = stop_w;
+      s_queue = Queue.create ~depth:queue_depth ~executors:(max 1 workers) ~on_done ();
+      s_access = access;
+      s_start_us = now_us ();
+      s_mu = Mutex.create ();
+      s_cv = Condition.create ();
+      s_sup = None;
+      s_conns = [];
+      s_handlers = [];
+      s_stopping = false;
+      s_stopped = false;
+      s_exit_code = 0;
+      s_accept = None;
+    }
+  in
+  srv_ref := Some srv;
+  if workers > 0 then begin
+    (* Breaker trip: crash-looping fleet.  Fail loud — drain gracefully
+       (in-flight jobs settle with the breaker-open error) and exit 5,
+       the documented Overloaded code. *)
+    let on_trip () =
+      locked srv.s_mu (fun () -> srv.s_exit_code <- 5);
+      shutdown srv
+    in
+    let config =
+      {
+        Supervisor.default_config with
+        Supervisor.workers;
+        max_retries =
+          Option.value ~default:Supervisor.default_config.Supervisor.max_retries
+            max_retries;
+        stall_timeout_ms =
+          Option.value
+            ~default:Supervisor.default_config.Supervisor.stall_timeout_ms
+            stall_timeout_ms;
+      }
+    in
+    srv.s_sup <- Some (Supervisor.create ~config ~on_trip ())
+  end;
+  srv.s_accept <- Some (Thread.create (accept_loop srv) ());
+  srv
+
 let wait srv =
   (* Poll rather than park in [Condition.wait]: the runtime only executes
      pending signal handlers on a thread that is running OCaml code, and
@@ -236,7 +314,7 @@ let wait srv =
   Option.iter Thread.join srv.s_accept;
   ignoring_unix_errors (fun () -> Unix.close srv.s_stop_r);
   ignoring_unix_errors (fun () -> Unix.close srv.s_stop_w);
-  0
+  locked srv.s_mu (fun () -> srv.s_exit_code)
 
 let install_signal_handlers srv =
   let handle _ = shutdown srv in

@@ -2,36 +2,62 @@
 
     One accept thread multiplexes the listening socket against a
     self-pipe; each connection gets a handler thread that reads
-    {!Wire.Request} frames and settles each through the {!Queue} (so the
-    engines run one job at a time and the deterministic-reduction
-    contract holds); responses stream back as {!Wire.Chunk} frames of
-    stdout followed by one {!Wire.Response} frame carrying the status.
+    {!Wire.Request} frames and settles each through the {!Queue};
+    responses stream back as {!Wire.Chunk} frames of stdout followed by
+    one {!Wire.Response} frame carrying the status.
 
-    Graceful drain (DESIGN.md §11): on SIGTERM/SIGINT (via
+    Execution modes:
+    - [workers = 0] (default): jobs run in-process through
+      {!Dispatch.run}, one at a time — the pre-fleet behaviour and the
+      deterministic-reduction contract in its simplest form.
+    - [workers = N > 0]: jobs are shipped to a fleet of [N] forked,
+      crash-isolated worker processes under the {!Supervisor}; up to [N]
+      jobs run concurrently, a crashed or hung worker is respawned and
+      its job retried (byte-identical — jobs are deterministic and
+      idempotent), and a crash-looping fleet trips the circuit breaker:
+      the server drains and {!wait} returns 5.
+
+    The [Health] request is answered directly by the server — never
+    queued — so readiness probes work even when the queue is full.
+
+    Graceful drain (DESIGN.md §11, §13): on SIGTERM/SIGINT (via
     {!install_signal_handlers}) or {!shutdown}, the server stops
     accepting, lets every already-admitted job finish and its response
-    reach the client, flushes the trace/access-log sinks, and {!wait}
-    returns 0. *)
+    reach the client, retires the worker fleet, flushes the trace and
+    access-log sinks, and {!wait} returns. *)
 
 type t
 
-val start : ?queue_depth:int -> ?access_log:string -> socket:string -> unit -> t
+val start :
+  ?queue_depth:int ->
+  ?access_log:string ->
+  ?workers:int ->
+  ?max_retries:int ->
+  ?stall_timeout_ms:int ->
+  socket:string ->
+  unit ->
+  t
 (** Bind [socket] (an existing file at that path is replaced), spawn the
-    accept loop and the queue dispatcher, and return immediately.
-    [queue_depth] bounds admitted-but-unfinished jobs (default 64);
-    [access_log] appends one JSONL record per settled job via
-    [Socet_obs.Sink.file].  SIGPIPE is ignored process-wide so a client
-    hanging up mid-response surfaces as [EPIPE] on that connection only.
-    @raise Unix.Unix_error when the socket cannot be bound. *)
+    accept loop, the queue executors and (when [workers > 0]) the worker
+    fleet, and return immediately.  [queue_depth] bounds
+    admitted-but-unfinished jobs (default 64); [max_retries] and
+    [stall_timeout_ms] tune the {!Supervisor} (ignored when
+    [workers = 0]); [access_log] appends one JSONL record per settled
+    job via [Socet_obs.Sink.file].  SIGPIPE is ignored process-wide so a
+    client hanging up mid-response surfaces as [EPIPE] on that
+    connection only.
+    @raise Unix.Unix_error when the socket cannot be bound.
+    @raise Invalid_argument when [workers < 0]. *)
 
 val shutdown : t -> unit
 (** Request a graceful drain.  Returns immediately; async-signal-safe
     (one byte to a self-pipe) and idempotent. *)
 
 val wait : t -> int
-(** Block until the drain completes — every in-flight job settled, every
-    connection closed, sinks flushed — then return the process exit code
-    (0). *)
+(** Block until the drain completes — every in-flight job settled, the
+    fleet retired, every connection closed, sinks flushed — then return
+    the process exit code: 0 for a requested drain, 5 when the drain was
+    forced by the worker-fleet circuit breaker. *)
 
 val install_signal_handlers : t -> unit
 (** Route SIGTERM and SIGINT to {!shutdown}.  Kept separate from

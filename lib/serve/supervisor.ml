@@ -1,0 +1,433 @@
+(* Supervision layer over the worker fleet.
+
+   Invariant the whole PR hangs on: an admitted job either returns its
+   byte-exact outcome or a structured error — a worker segfaulting,
+   hanging past the watchdog, or being chaos-killed mid-job never loses
+   the job and never takes the server down.  The argument:
+
+   - jobs are deterministic and idempotent (Dispatch.run is a pure
+     function of the request, per DESIGN.md §11), so re-running a lost
+     job on a fresh worker returns byte-identical bytes;
+   - each executor thread holds its job until it settles, so a loss is
+     retried in place (bounded by [max_retries], then a structured
+     WorkerLost error);
+   - worker death is detected by EOF on the job pipe plus a waitpid
+     reap, worker hang by a per-job deadline watchdog (job deadline +
+     grace, or [stall_timeout_ms] for undeadlined jobs) that SIGKILLs;
+   - respawns back off exponentially with deterministic jitter, and a
+     circuit breaker (>= [breaker_crashes] crashes in
+     [breaker_window_ms]) stops respawning and asks the server to drain
+     and exit 5 — a crash-looping fleet fails fast and loud instead of
+     burning CPU forever.
+
+   Chaos injection is parent-side on purpose: the supervisor itself
+   SIGKILLs ("serve.worker.kill") or SIGSTOPs ("serve.worker.stall") the
+   worker it just dispatched to, so injected faults are deterministic
+   (one chaos RNG stream, one trips table) and exactly as visible to the
+   recovery machinery as real ones. *)
+
+module Err = Socet_util.Error
+module Chaos = Socet_util.Chaos
+module Rng = Socet_util.Rng
+module Obs = Socet_obs.Obs
+
+let c_crashes = Obs.counter ~scope:"serve" "worker.crashes"
+let c_respawns = Obs.counter ~scope:"serve" "worker.respawns"
+let c_retries = Obs.counter ~scope:"serve" "job.retries"
+
+type config = {
+  workers : int;
+  max_retries : int;
+  stall_timeout_ms : int;
+  grace_ms : int;
+  backoff_base_ms : int;
+  backoff_max_ms : int;
+  breaker_window_ms : int;
+  breaker_crashes : int;
+}
+
+let default_config =
+  {
+    workers = 4;
+    max_retries = 2;
+    stall_timeout_ms = 30_000;
+    grace_ms = 2_000;
+    backoff_base_ms = 50;
+    backoff_max_ms = 2_000;
+    breaker_window_ms = 10_000;
+    breaker_crashes = 8;
+  }
+
+type slot_state =
+  | Idle of Worker.t
+  | Busy of Worker.t
+  | Respawning of float  (* absolute due time, us *)
+  | Stopped
+
+type slot = {
+  sl_id : int;
+  mutable sl_state : slot_state;
+  mutable sl_jobs : int;  (* completed, across incarnations *)
+  mutable sl_crashes : int;  (* total, across incarnations *)
+  mutable sl_streak : int;  (* consecutive crashes, for backoff *)
+}
+
+type t = {
+  sp_mu : Mutex.t;
+  sp_cv : Condition.t;  (* an idle worker appeared, or hope is gone *)
+  sp_slots : slot array;
+  sp_cfg : config;
+  sp_rng : Rng.t;  (* backoff jitter; guarded by sp_mu *)
+  sp_pool_share : int;
+  sp_on_trip : unit -> unit;
+  (* Intrinsic retry count for [health] — the obs counter only moves
+     when observability is armed, a health probe must not depend on it. *)
+  sp_retries : int Atomic.t;
+  mutable sp_crash_us : float list;  (* recent, pruned to the window *)
+  mutable sp_breaker_open : bool;
+  mutable sp_stopping : bool;
+  mutable sp_monitor : Thread.t option;
+}
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* ------------------------------------------------------------------ *)
+(* Spawning and crash bookkeeping                                      *)
+(* ------------------------------------------------------------------ *)
+
+let spawn_worker sup = Worker.spawn ~pool_share:sup.sp_pool_share ()
+
+(* Jittered exponential backoff for the [streak]-th consecutive crash:
+   base * 2^(streak-1) + uniform(0, base), capped. *)
+let backoff_us sup streak =
+  let base = float_of_int sup.sp_cfg.backoff_base_ms in
+  let exp = base *. (2.0 ** float_of_int (max 0 (streak - 1))) in
+  let jitter = Rng.float sup.sp_rng *. base in
+  1000.0 *. Float.min (exp +. jitter) (float_of_int sup.sp_cfg.backoff_max_ms)
+
+(* Under [sp_mu].  Records one crash, schedules the respawn, trips the
+   breaker when the window fills.  Returns the [on_trip] callback to run
+   outside the lock (it re-enters the server). *)
+let note_crash sup slot =
+  Obs.incr c_crashes;
+  slot.sl_crashes <- slot.sl_crashes + 1;
+  slot.sl_streak <- slot.sl_streak + 1;
+  let now = now_us () in
+  let horizon = now -. (float_of_int sup.sp_cfg.breaker_window_ms *. 1000.0) in
+  sup.sp_crash_us <- now :: List.filter (fun t -> t >= horizon) sup.sp_crash_us;
+  if
+    (not sup.sp_breaker_open)
+    && List.length sup.sp_crash_us >= sup.sp_cfg.breaker_crashes
+  then begin
+    sup.sp_breaker_open <- true;
+    (* No more respawns, ever: pending respawns die with the breaker. *)
+    Array.iter
+      (fun s ->
+        match s.sl_state with Respawning _ -> s.sl_state <- Stopped | _ -> ())
+      sup.sp_slots;
+    slot.sl_state <- Stopped;
+    Condition.broadcast sup.sp_cv;
+    Some sup.sp_on_trip
+  end
+  else begin
+    slot.sl_state <- Respawning (now +. backoff_us sup slot.sl_streak);
+    None
+  end
+
+(* The job pipe said the worker is gone (EOF / corrupt frame / EPIPE):
+   reap it and schedule the respawn. *)
+let worker_lost sup slot w =
+  Worker.forget w;
+  let trip = locked sup.sp_mu (fun () -> note_crash sup slot) in
+  Option.iter (fun f -> f ()) trip
+
+(* The watchdog fired: the worker is wedged (or chaos-frozen).  SIGKILL
+   first so the reap cannot hang on a live process. *)
+let worker_hung sup slot w =
+  Worker.kill w;
+  let trip = locked sup.sp_mu (fun () -> note_crash sup slot) in
+  Option.iter (fun f -> f ()) trip
+
+(* ------------------------------------------------------------------ *)
+(* The monitor thread: respawns due slots                              *)
+(* ------------------------------------------------------------------ *)
+
+(* OCaml's [Condition] has no timed wait, so the monitor polls.  20ms
+   granularity is far below the backoff base and invisible next to an
+   engine job; the thread parks on [delay], not a spin. *)
+let monitor sup () =
+  let rec loop () =
+    let stop = locked sup.sp_mu (fun () -> sup.sp_stopping) in
+    if not stop then begin
+      (* Idle deaths: a worker killed *between* jobs still shows up in
+         waitpid.  Detect it here — transitioning the slot under the
+         same lock as the probe, so no executor can acquire the corpse
+         and double-count the crash — and the slot respawns without
+         waiting for the next job to trip over it (and without a stale
+         "idle" line in the health report).  No retry budget involved:
+         no job was aboard. *)
+      let lost =
+        locked sup.sp_mu (fun () ->
+            Array.to_list sup.sp_slots
+            |> List.filter_map (fun s ->
+                   match s.sl_state with
+                   | Idle w when Worker.dead w -> Some (w, note_crash sup s)
+                   | _ -> None))
+      in
+      List.iter
+        (fun (w, trip) ->
+          Worker.forget w;
+          Option.iter (fun f -> f ()) trip)
+        lost;
+      let due =
+        locked sup.sp_mu (fun () ->
+            if sup.sp_breaker_open then []
+            else
+              Array.to_list sup.sp_slots
+              |> List.filter (fun s ->
+                     match s.sl_state with
+                     | Respawning t -> t <= now_us ()
+                     | _ -> false))
+      in
+      List.iter
+        (fun slot ->
+          (* Fork outside the lock: spawn touches only this thread plus
+             the slot snapshot, and a slow fork must not block health
+             probes or idle-worker handoff. *)
+          let w = spawn_worker sup in
+          Obs.incr c_respawns;
+          let adopted =
+            locked sup.sp_mu (fun () ->
+                match slot.sl_state with
+                | Respawning _ ->
+                    slot.sl_state <- Idle w;
+                    Condition.broadcast sup.sp_cv;
+                    true
+                | _ -> false)
+          in
+          (* Lost the race with stop/breaker: retire the fresh worker
+             again (reap outside the lock — it can take a beat). *)
+          if not adopted then Worker.stop w)
+        due;
+      Thread.delay 0.02;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(config = default_config) ?(on_trip = fun () -> ()) () =
+  if config.workers < 1 then invalid_arg "Supervisor.create: workers must be >= 1";
+  let share = max 1 (Socet_util.Pool.size () / config.workers) in
+  let sup =
+    {
+      sp_mu = Mutex.create ();
+      sp_cv = Condition.create ();
+      sp_slots =
+        Array.init config.workers (fun i ->
+            { sl_id = i; sl_state = Stopped; sl_jobs = 0; sl_crashes = 0; sl_streak = 0 });
+      sp_cfg = config;
+      sp_rng = Rng.create 0x50C3;
+      sp_pool_share = share;
+      sp_on_trip = on_trip;
+      sp_retries = Atomic.make 0;
+      sp_crash_us = [];
+      sp_breaker_open = false;
+      sp_stopping = false;
+      sp_monitor = None;
+    }
+  in
+  Array.iter (fun slot -> slot.sl_state <- Idle (spawn_worker sup)) sup.sp_slots;
+  sup.sp_monitor <- Some (Thread.create (monitor sup) ());
+  sup
+
+let stop sup =
+  let monitor =
+    locked sup.sp_mu (fun () ->
+        sup.sp_stopping <- true;
+        Condition.broadcast sup.sp_cv;
+        let m = sup.sp_monitor in
+        sup.sp_monitor <- None;
+        m)
+  in
+  Option.iter Thread.join monitor;
+  Array.iter
+    (fun slot ->
+      let w =
+        locked sup.sp_mu (fun () ->
+            match slot.sl_state with
+            | Idle w | Busy w ->
+                slot.sl_state <- Stopped;
+                Some w
+            | Respawning _ | Stopped ->
+                slot.sl_state <- Stopped;
+                None)
+      in
+      Option.iter Worker.stop w)
+    sup.sp_slots
+
+let breaker_open sup = locked sup.sp_mu (fun () -> sup.sp_breaker_open)
+
+(* ------------------------------------------------------------------ *)
+(* Job execution with retry                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Claim an idle worker, blocking while every slot is mid-respawn.
+   [None] once no worker can ever come: stopping, or breaker open with
+   no survivors. *)
+let acquire sup =
+  locked sup.sp_mu (fun () ->
+      let rec go () =
+        if sup.sp_stopping then None
+        else
+          let idle = ref None and hope = ref false in
+          Array.iter
+            (fun s ->
+              match s.sl_state with
+              | Idle w -> if !idle = None then idle := Some (s, w)
+              | Busy _ -> hope := true
+              | Respawning _ -> if not sup.sp_breaker_open then hope := true
+              | Stopped -> ())
+            sup.sp_slots;
+          match !idle with
+          | Some (slot, w) ->
+              slot.sl_state <- Busy w;
+              Some (slot, w)
+          | None ->
+              if !hope then begin
+                Condition.wait sup.sp_cv sup.sp_mu;
+                go ()
+              end
+              else None
+      in
+      go ())
+
+let release sup slot w =
+  locked sup.sp_mu (fun () ->
+      slot.sl_jobs <- slot.sl_jobs + 1;
+      slot.sl_streak <- 0;
+      (match slot.sl_state with
+      | Busy _ -> slot.sl_state <- Idle w
+      | _ -> ());
+      Condition.signal sup.sp_cv)
+
+let no_worker_error sup ~label =
+  if locked sup.sp_mu (fun () -> sup.sp_breaker_open) then
+    Err.make ~kind:Err.Overloaded ~engine:"serve.supervisor"
+      ~ctx:[ ("job", label); ("breaker", "open") ]
+      "worker fleet circuit breaker is open; server is draining"
+  else
+    Err.make ~kind:Err.Overloaded ~engine:"serve.supervisor"
+      ~ctx:[ ("job", label) ] "supervisor is stopping"
+
+let worker_lost_error ~label ~retries ~reason =
+  Err.make ~kind:Err.Internal ~engine:"serve.supervisor"
+    ~ctx:
+      [ ("error", "worker_lost"); ("job", label); ("retries", string_of_int retries) ]
+    (Printf.sprintf "WorkerLost: %s; retry budget exhausted" reason)
+
+(* Wait for the worker's reply fd with the watchdog deadline. *)
+let await_reply w ~watchdog_us =
+  let rec sel () =
+    let timeout = Float.max 0.0 ((watchdog_us -. now_us ()) /. 1e6) in
+    match Unix.select [ Worker.fd w ] [] [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> sel ()
+    | [], _, _ -> if now_us () >= watchdog_us then `Timeout else sel ()
+    | _ :: _, _, _ -> `Readable
+  in
+  sel ()
+
+let exec sup req =
+  let label = Proto.summary req in
+  let watchdog_from_now () =
+    let allowance_ms =
+      match req.Proto.rq_deadline_ms with
+      | Some ms -> ms + sup.sp_cfg.grace_ms
+      | None -> sup.sp_cfg.stall_timeout_ms
+    in
+    now_us () +. (float_of_int allowance_ms *. 1000.0)
+  in
+  let rec attempt retries =
+    match acquire sup with
+    | None -> Error (no_worker_error sup ~label)
+    | Some (slot, w) -> (
+        (* Parent-side chaos: fault the worker we just picked, exactly
+           where a real crash/hang would land — between dispatch and
+           reply.  Under [sp_mu]: the chaos state (RNG, trips table) is
+           shared and executor threads run concurrently. *)
+        let chaos_kill, chaos_stall =
+          locked sup.sp_mu (fun () ->
+              let kill = Chaos.trip "serve.worker.kill" in
+              (kill, (not kill) && Chaos.trip "serve.worker.stall"))
+        in
+        match Worker.send w req with
+        | exception (Unix.Unix_error _ | Sys_error _) ->
+            (* Died while idle: the job never reached it, so this is a
+               respawn, not a retry — the client's budget is untouched. *)
+            worker_lost sup slot w;
+            attempt retries
+        | () -> (
+            if chaos_kill then Worker.sigkill w
+            else if chaos_stall then Worker.sigstop w;
+            let watchdog_us = watchdog_from_now () in
+            match await_reply w ~watchdog_us with
+            | `Timeout ->
+                worker_hung sup slot w;
+                if retries < sup.sp_cfg.max_retries then begin
+                  Obs.incr c_retries;
+                  Atomic.incr sup.sp_retries;
+                  attempt (retries + 1)
+                end
+                else
+                  Error
+                    (worker_lost_error ~label ~retries
+                       ~reason:"worker hung past the watchdog")
+            | `Readable -> (
+                match Worker.recv w with
+                | Ok reply ->
+                    release sup slot w;
+                    reply
+                | Error (`Lost reason) ->
+                    worker_lost sup slot w;
+                    if retries < sup.sp_cfg.max_retries then begin
+                      Obs.incr c_retries;
+                      Atomic.incr sup.sp_retries;
+                      attempt (retries + 1)
+                    end
+                    else Error (worker_lost_error ~label ~retries ~reason))))
+  in
+  attempt 0
+
+(* ------------------------------------------------------------------ *)
+(* Health                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let health sup =
+  locked sup.sp_mu (fun () ->
+      ( Array.to_list sup.sp_slots
+        |> List.map (fun s ->
+               let state, pid, up =
+                 match s.sl_state with
+                 | Idle w -> (Proto.W_idle, Worker.pid w, Worker.uptime_ms w)
+                 | Busy w -> (Proto.W_busy, Worker.pid w, Worker.uptime_ms w)
+                 | Respawning _ -> (Proto.W_respawning, 0, 0)
+                 | Stopped -> (Proto.W_stopped, 0, 0)
+               in
+               {
+                 Proto.wh_id = s.sl_id;
+                 wh_pid = pid;
+                 wh_state = state;
+                 wh_uptime_ms = up;
+                 wh_jobs = s.sl_jobs;
+                 wh_crashes = s.sl_crashes;
+               }),
+        sup.sp_breaker_open ))
+
+let retries_total sup = Atomic.get sup.sp_retries

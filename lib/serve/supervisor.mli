@@ -1,0 +1,80 @@
+(** Supervision layer for the worker fleet (DESIGN.md §13).
+
+    Owns [workers] crash-isolated {!Worker} processes and guarantees
+    that an admitted job either returns its byte-exact outcome or a
+    structured error — never silently disappears, never takes the server
+    down:
+
+    - {b Crash isolation.}  Jobs run in fork+exec'd processes (fresh
+      images of the host executable — see {!Worker.exec_guard}) with
+      private heaps and domain sub-pools; a segfault, OOM kill or chaos
+      SIGKILL is EOF on one pipe, observed only by the supervisor.  A
+      worker that dies {e between} jobs is caught by the monitor's
+      non-blocking waitpid poll ({!Worker.dead}) rather than waiting
+      for the next job to trip over the corpse.
+    - {b Retry.}  Jobs are deterministic and idempotent
+      ({!Dispatch.run} is a pure function of the request), so a job
+      lost to a worker death or hang is re-run on a fresh worker and
+      returns byte-identical bytes.  Bounded by [max_retries]; beyond
+      it the client gets a structured [Internal] error with
+      [ctx error=worker_lost] ("WorkerLost").  A worker that dies
+      {e idle} (before the job reached it) costs no retry budget.
+    - {b Watchdog.}  A dispatched job must answer within its deadline
+      plus [grace_ms] (or [stall_timeout_ms] when undeadlined); past
+      that the worker is SIGKILLed and the job retried.
+    - {b Respawn with backoff.}  Dead slots respawn after
+      [backoff_base_ms * 2^(streak-1)] plus deterministic jitter,
+      capped at [backoff_max_ms].
+    - {b Circuit breaker.}  [breaker_crashes] crashes within
+      [breaker_window_ms] stop all respawning and invoke [on_trip] —
+      the server drains and exits 5.  {!exec} then fails fast with a
+      retriable [Overloaded] error.
+
+    Observability: [serve.worker.crashes], [serve.worker.respawns],
+    [serve.job.retries] counters, and the per-slot state snapshot
+    {!health} behind the wire [Health] request. *)
+
+type config = {
+  workers : int;
+  max_retries : int;  (** re-runs per job after a worker loss *)
+  stall_timeout_ms : int;  (** watchdog for jobs without a deadline *)
+  grace_ms : int;  (** watchdog slack past a job's own deadline *)
+  backoff_base_ms : int;
+  backoff_max_ms : int;
+  breaker_window_ms : int;
+  breaker_crashes : int;  (** crashes in the window that trip the breaker *)
+}
+
+val default_config : config
+(** 4 workers, 2 retries, 30s stall watchdog, 2s deadline grace, 50ms
+    base / 2s cap backoff, breaker at 8 crashes in 10s. *)
+
+type t
+
+val create : ?config:config -> ?on_trip:(unit -> unit) -> unit -> t
+(** Spawn the fleet (each worker's domain sub-pool is
+    [Pool.size () / workers], at least 1) and start the respawn monitor
+    thread.  [on_trip] runs once when the circuit breaker opens.
+    @raise Invalid_argument when [config.workers < 1]. *)
+
+val exec : t -> Proto.t -> (Dispatch.outcome, Socet_util.Error.t) result
+(** Run one job on an idle worker (blocking for one if all are busy or
+    respawning), retrying per the config on worker loss.  Called
+    concurrently by the queue's executor threads.  Chaos sites
+    ["serve.worker.kill"] / ["serve.worker.stall"] fire here,
+    parent-side, faulting the chosen worker between dispatch and
+    reply. *)
+
+val health : t -> Proto.worker_health list * bool
+(** Per-slot snapshot plus whether the breaker is open. *)
+
+val breaker_open : t -> bool
+
+val retries_total : t -> int
+(** Lifetime job retries (the intrinsic count behind the
+    [serve.job.retries] obs counter — live even when obs is off). *)
+
+val stop : t -> unit
+(** Join the monitor, retire every worker (close its pipe — the child
+    sees EOF and exits 0 — then reap).  Call only after the queue has
+    drained: no {!exec} may be in flight. *)

@@ -1,0 +1,231 @@
+(* One forked worker process: the crash-isolation unit of the fleet.
+
+   Parent and child share a socketpair speaking {!Wire} frames: the
+   parent writes one Request frame (a {!Proto} payload) per job, the
+   child answers with one Response frame (an encoded {!Dispatch.outcome})
+   or one Error_frame (an encoded [Error.t]) and waits for the next.
+
+   The child is a fresh execution context by construction: the parent
+   forks and immediately re-execs its own binary (the [exec_guard] env
+   marker routes the new image into [child_loop]), so the worker owns a
+   brand-new runtime, heap, obs registry and domain sub-pool, and an
+   engine crash — segfault, OOM kill, uncaught signal, [_exit] — takes
+   down only this process.  The supervisor sees EOF on the socketpair
+   and recovers; the server never shares an address space with a job. *)
+
+module Err = Socet_util.Error
+module Json = Socet_obs.Json
+
+type t = {
+  w_pid : int;
+  w_fd : Unix.file_descr;  (* parent's end of the socketpair *)
+  w_spawned_us : float;
+  mutable w_next_id : int;
+}
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(* ------------------------------------------------------------------ *)
+(* Outcome codec (supervisor <-> worker only; never client-facing)     *)
+(* ------------------------------------------------------------------ *)
+
+let encode_outcome (o : Dispatch.outcome) =
+  Json.to_string
+    (Json.Obj
+       [
+         ("stdout", Json.Str o.Dispatch.o_stdout);
+         ("stderr", Json.Str o.Dispatch.o_stderr);
+         ("code", Json.Num (float_of_int o.Dispatch.o_code));
+       ])
+
+let decode_outcome s =
+  let ( let* ) = Result.bind in
+  let* j = Json.of_string s in
+  let get_str k = Option.bind (Json.member k j) Json.to_str in
+  let* code =
+    match Option.bind (Json.member "code" j) Json.to_float with
+    | Some f -> Ok (int_of_float f)
+    | None -> Error "outcome missing code"
+  in
+  Ok
+    {
+      Dispatch.o_stdout = Option.value ~default:"" (get_str "stdout");
+      o_stderr = Option.value ~default:"" (get_str "stderr");
+      o_code = code;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Child side                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let child_loop fd =
+  let rec loop () =
+    match Wire.read_frame fd with
+    | Error (`Eof | `Corrupt _) -> ()  (* supervisor gone or stream dead *)
+    | Ok { Wire.f_kind = Wire.Request; f_id = id; f_payload = payload; _ } -> (
+        let reply =
+          match Proto.decode payload with
+          | Error msg ->
+              Wire.error ~id
+                (Proto.encode_error
+                   (Err.make ~engine:"serve.worker"
+                      (Printf.sprintf "bad job payload: %s" msg)))
+          | Ok req -> (
+              match Dispatch.run req with
+              | Ok o -> Wire.response ~id (encode_outcome o)
+              | Error e -> Wire.error ~id (Proto.encode_error e))
+        in
+        match Wire.write_frame fd reply with
+        | () -> loop ()
+        | exception Unix.Unix_error _ -> ())
+    | Ok _ -> ()  (* protocol violation from our own parent: give up *)
+  in
+  (try loop () with _ -> ());
+  (* [_exit], not [exit]: at_exit handlers (pool teardown, test runner
+     finalizers) belong to the supervising server, not to a worker. *)
+  Unix._exit 0
+
+let worker_env_var = "SOCET_WORKER_SLOT"
+
+let exec_guard () =
+  match Sys.getenv_opt worker_env_var with
+  | None -> ()
+  | Some share ->
+      (* Ignored dispositions survive exec, so a server-spawned worker
+         already ignores SIGPIPE — but a worker exec'd by hand (or by a
+         test binary) must not die writing to a closed supervisor. *)
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ -> ());
+      (match int_of_string_opt share with
+      | Some n when n >= 1 -> Socet_util.Pool.set_size n
+      | _ -> ());
+      child_loop Unix.stdin
+
+(* ------------------------------------------------------------------ *)
+(* Parent side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Fork AND exec, never fork alone.  A child forked from a thread of a
+   running multi-threaded OCaml 5 program inherits runtime state (domain
+   lock, backup-thread handshake) that other threads may have held at
+   fork time; its first blocking section can then deadlock forever —
+   observed in practice on respawns from the monitor thread, where the
+   fresh worker parked on a futex before its first [read].  Exec resets
+   the runtime wholesale, so between fork and exec the child runs only
+   raw syscall wrappers (dup2, execve) — no allocation-heavy OCaml, no
+   blocking sections.
+
+   The job pipe travels as the child's stdin (the one fd every exec'd
+   image is guaranteed to have); everything else server-side is marked
+   close-on-exec at creation, so the new image starts clean without any
+   cleanup code running in the forked limbo. *)
+let spawn ?(pool_share = 1) () =
+  let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec parent_fd;
+  let exe = Sys.executable_name in
+  let marker = worker_env_var ^ "=" ^ string_of_int pool_share in
+  let env =
+    Array.append
+      (Array.of_list
+         (List.filter
+            (fun s -> not (String.starts_with ~prefix:(worker_env_var ^ "=") s))
+            (Array.to_list (Unix.environment ()))))
+      [| marker |]
+  in
+  let argv = [| exe; "__worker" |] in
+  match Unix.fork () with
+  | 0 ->
+      (try
+         Unix.dup2 child_fd Unix.stdin;
+         Unix.execve exe argv env
+       with _ -> ());
+      Unix._exit 127
+  | pid ->
+      (try Unix.close child_fd with Unix.Unix_error _ -> ());
+      { w_pid = pid; w_fd = parent_fd; w_spawned_us = now_us (); w_next_id = 1 }
+
+let pid w = w.w_pid
+let fd w = w.w_fd
+let uptime_ms w = int_of_float ((now_us () -. w.w_spawned_us) /. 1000.0)
+
+let send w req =
+  let id = w.w_next_id in
+  w.w_next_id <- id + 1;
+  Wire.write_frame w.w_fd (Wire.request ~id (Proto.encode req))
+
+type reply = (Dispatch.outcome, Err.t) result
+
+let recv w : (reply, [ `Lost of string ]) result =
+  match Wire.read_frame w.w_fd with
+  (* A SIGKILLed peer on a socketpair can surface as ECONNRESET rather
+     than a clean EOF; either way the channel is dead, not the job. *)
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (`Lost (Printf.sprintf "read from worker failed: %s" (Unix.error_message e)))
+  | Error `Eof -> Error (`Lost "worker closed the pipe")
+  | Error (`Corrupt msg) -> Error (`Lost msg)
+  | Ok { Wire.f_kind = Wire.Response; f_payload = p; _ } -> (
+      match decode_outcome p with
+      | Ok o -> Ok (Ok o)
+      | Error msg -> Error (`Lost (Printf.sprintf "bad outcome payload: %s" msg)))
+  | Ok { Wire.f_kind = Wire.Error_frame; f_payload = p; _ } -> (
+      match Proto.decode_error p with
+      | Ok e -> Ok (Error e)
+      | Error msg -> Error (`Lost (Printf.sprintf "bad error payload: %s" msg)))
+  | Ok _ -> Error (`Lost "unexpected frame kind from worker")
+
+let ignoring_unix f = try f () with Unix.Unix_error _ -> ()
+
+(* Reap without blocking forever: after SIGKILL the exit is prompt, but
+   a pid that was never signalled (or was already reaped) must not hang
+   the supervisor. *)
+let reap pid =
+  let rec go tries =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ when tries > 0 ->
+        Thread.delay 0.005;
+        go (tries - 1)
+    | 0, _ -> ignoring_unix (fun () -> ignore (Unix.waitpid [] pid))
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go tries
+  in
+  go 400
+
+let kill w =
+  ignoring_unix (fun () -> Unix.kill w.w_pid Sys.sigkill);
+  ignoring_unix (fun () -> Unix.close w.w_fd);
+  reap w.w_pid
+
+(* The worker died on its own (EOF): close our end and reap. *)
+let forget w =
+  ignoring_unix (fun () -> Unix.close w.w_fd);
+  (* SIGKILL is a no-op on an already-dead pid but guarantees [reap]
+     terminates if the EOF came from a still-running child that merely
+     closed its socket. *)
+  ignoring_unix (fun () -> Unix.kill w.w_pid Sys.sigkill);
+  reap w.w_pid
+
+(* Graceful retirement at drain time: closing the socketpair is the
+   shutdown signal ([child_loop] sees EOF and [_exit]s 0). *)
+let stop w =
+  ignoring_unix (fun () -> Unix.close w.w_fd);
+  reap w.w_pid
+
+(* Non-blocking liveness probe for an {e idle} worker: true once the
+   child has exited (reaping the zombie as a side effect — pair with
+   [forget] to close the pipe).  Never blocks, so the supervisor's
+   monitor can poll it under its lock. *)
+let dead w =
+  match Unix.waitpid [ Unix.WNOHANG ] w.w_pid with
+  | 0, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> true
+  | exception Unix.Unix_error (_, _, _) -> false
+
+let sigstop w = ignoring_unix (fun () -> Unix.kill w.w_pid Sys.sigstop)
+
+(* Signal only — the pipe stays open so the death surfaces to the
+   supervisor as EOF, exactly like an organic crash.  Chaos injection
+   must use this, not [kill]: closing our fd here would make the
+   watchdog's select fail with EBADF instead of observing the loss. *)
+let sigkill w = ignoring_unix (fun () -> Unix.kill w.w_pid Sys.sigkill)

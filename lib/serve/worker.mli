@@ -1,0 +1,97 @@
+(** One forked worker process — the crash-isolation unit of the fleet.
+
+    A worker is a child process serving jobs over a private socketpair:
+    the supervisor writes one {!Wire} Request frame (a {!Proto} payload)
+    per job; the worker runs {!Dispatch.run} and answers with one
+    Response frame (an encoded {!Dispatch.outcome}) or one Error_frame
+    (an encoded structured error).  The child is fork+exec'd — a fresh
+    image of the host executable, routed into the serve loop by
+    {!exec_guard} — so it owns a brand-new runtime, heap, obs registry
+    and domain sub-pool: jobs in different workers share {e nothing},
+    which is both the crash-isolation and the determinism argument (each
+    job runs exactly as a fresh direct CLI invocation would), and is
+    also why respawning is safe from any supervisor thread (a bare fork
+    of a multi-threaded OCaml 5 process can deadlock in the child's
+    first blocking section; exec resets the runtime wholesale).
+
+    A worker that dies (segfault, OOM kill, chaos SIGKILL) surfaces as
+    EOF on the socketpair; one that hangs is detected by the
+    supervisor's watchdog and SIGKILLed.  Either way only the supervisor
+    ever observes it — the codecs here never raise on a corpse. *)
+
+type t
+(** Parent-side handle: pid, socketpair fd, spawn time. *)
+
+val spawn : ?pool_share:int -> unit -> t
+(** Fork one worker and immediately re-exec [Sys.executable_name] with
+    the job pipe as its stdin and the {!exec_guard} marker
+    ([SOCET_WORKER_SLOT=pool_share]) in its environment.  Between fork
+    and exec the child runs only raw syscalls (dup2, execve) — no
+    OCaml runtime work, which is what makes spawning safe from a
+    thread of a live multi-threaded server.  Server-side fds must be
+    close-on-exec (the server marks its listening socket, self-pipe and
+    connection fds; [spawn] marks each job pipe), so the fresh image
+    starts with stdin/stdout/stderr only. *)
+
+val exec_guard : unit -> unit
+(** Call first thing in [main] of {e any} executable that hosts a
+    supervised server (the CLI, test binaries).  When the
+    [SOCET_WORKER_SLOT] environment marker is present, the process is a
+    freshly exec'd worker: serve jobs from stdin until EOF, then
+    [Unix._exit] — this never returns.  Without the marker it is a
+    no-op. *)
+
+val pid : t -> int
+val fd : t -> Unix.file_descr
+(** For the supervisor's [select]-based watchdog. *)
+
+val uptime_ms : t -> int
+
+val send : t -> Proto.t -> unit
+(** Write one job request.  Unix errors (EPIPE on a corpse) propagate —
+    the supervisor treats any of them as a worker loss. *)
+
+type reply = (Dispatch.outcome, Socet_util.Error.t) result
+(** What the job itself produced: outcome bytes, or the structured error
+    the engines reported.  Both are terminal, neither is a worker loss. *)
+
+val recv : t -> (reply, [ `Lost of string ]) result
+(** Blocking read of one reply frame.  [`Lost] covers every way the
+    channel (not the job) can fail: EOF, a truncated frame from a death
+    mid-write, an undecodable payload. *)
+
+val kill : t -> unit
+(** SIGKILL, close the pipe, reap.  Used by the watchdog on a hung
+    worker and by chaos injection. *)
+
+val forget : t -> unit
+(** The worker already died (EOF observed): close our end and reap the
+    zombie. *)
+
+val dead : t -> bool
+(** Non-blocking liveness probe for an {e idle} worker (waitpid with
+    WNOHANG): true once the child has exited, reaping the zombie as a
+    side effect.  The monitor polls this so a worker killed {e between}
+    jobs is detected and respawned promptly instead of lying in the
+    slot until the next job trips over the corpse; pair with {!forget}
+    to close the pipe. *)
+
+val stop : t -> unit
+(** Graceful retirement at drain: close the pipe (the child sees EOF and
+    [_exit]s 0) and reap. *)
+
+val sigstop : t -> unit
+(** Freeze the worker with SIGSTOP — the chaos worker-stall injection
+    (the watchdog must detect and recover). *)
+
+val sigkill : t -> unit
+(** SIGKILL {e without} closing the pipe or reaping — the chaos
+    worker-kill injection.  The death then reaches the supervisor as EOF
+    on the pipe, exactly like an organic crash; recovery closes and
+    reaps through {!forget}. *)
+
+(**/**)
+
+val encode_outcome : Dispatch.outcome -> string
+val decode_outcome : string -> (Dispatch.outcome, string) result
+(** Exposed for the round-trip property tests. *)

@@ -2,17 +2,26 @@ type state = {
   mutable on : bool;
   mutable prob : float;
   mutable only : string list; (* empty = every site *)
+  mutable max_trips : int; (* per-site cap; <= 0 = unlimited *)
   mutable rng : Rng.t;
   trips : (string, int) Hashtbl.t;
 }
 
 let st =
-  { on = false; prob = 0.1; only = []; rng = Rng.create 0; trips = Hashtbl.create 8 }
+  {
+    on = false;
+    prob = 0.1;
+    only = [];
+    max_trips = 0;
+    rng = Rng.create 0;
+    trips = Hashtbl.create 8;
+  }
 
-let configure ?(seed = 0) ?(prob = 0.1) ?(only = []) enabled =
+let configure ?(seed = 0) ?(prob = 0.1) ?(only = []) ?(max_trips = 0) enabled =
   st.on <- enabled;
   st.prob <- prob;
   st.only <- only;
+  st.max_trips <- max_trips;
   st.rng <- Rng.create seed;
   Hashtbl.reset st.trips
 
@@ -37,20 +46,27 @@ let from_env () =
         if spec = "1" || String.lowercase_ascii spec = "true" then []
         else String.split_on_char ',' spec |> List.filter (fun s -> s <> "")
       in
-      configure ~seed ~prob ~only true
+      let max_trips =
+        match Sys.getenv_opt "SOCET_CHAOS_MAX_TRIPS" with
+        | Some s -> ( match int_of_string_opt s with Some i when i > 0 -> i | _ -> 0)
+        | None -> 0
+      in
+      configure ~seed ~prob ~only ~max_trips true
 
 let enabled () = st.on
 
 let matches site =
   st.only = [] || List.exists (fun p -> String.starts_with ~prefix:p site) st.only
 
+let tripped site = Option.value ~default:0 (Hashtbl.find_opt st.trips site)
+
 let trip site =
   st.on
   && matches site
+  && (st.max_trips <= 0 || tripped site < st.max_trips)
   && Rng.float st.rng < st.prob
   && begin
-       Hashtbl.replace st.trips site
-         (1 + Option.value ~default:0 (Hashtbl.find_opt st.trips site));
+       Hashtbl.replace st.trips site (1 + tripped site);
        true
      end
 

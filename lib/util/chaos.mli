@@ -22,14 +22,20 @@
     - [SOCET_CHAOS]: unset/"0" = off; "1" = all sites; otherwise a
       comma-separated list of site-name prefixes;
     - [SOCET_CHAOS_SEED]: deterministic stream seed (default 0);
-    - [SOCET_CHAOS_P]: per-hit failure probability (default 0.1). *)
+    - [SOCET_CHAOS_P]: per-hit failure probability (default 0.1);
+    - [SOCET_CHAOS_MAX_TRIPS]: per-site injection cap (default
+      unlimited) — lets a supervision test kill a worker {e exactly
+      once} and assert recovery, or bound total injected crashes below
+      a retry budget. *)
 
 val configure :
-  ?seed:int -> ?prob:float -> ?only:string list -> bool -> unit
+  ?seed:int -> ?prob:float -> ?only:string list -> ?max_trips:int -> bool -> unit
 (** [configure enabled] (re)arms the harness.  [only] restricts injection
     to sites whose name starts with one of the given prefixes (default:
     all sites).  [prob] is the per-hit failure probability (default 0.1);
-    [1.0] makes every matching site fail deterministically. *)
+    [1.0] makes every matching site fail deterministically.  [max_trips]
+    caps how many times each site may trip ([<= 0], the default, is
+    unlimited); a capped site stops consuming the random stream. *)
 
 val from_env : unit -> unit
 (** Arm from [SOCET_CHAOS]/[SOCET_CHAOS_SEED]/[SOCET_CHAOS_P]; off when

@@ -157,6 +157,94 @@ let test_proto_of_args () =
      let rec has i = i + n <= l && (String.sub enc i n = needle || has (i + 1)) in
      has 0)
 
+let test_proto_legacy_frames_decode () =
+  (* Payloads frozen from the pre-fleet protocol (package 1.1.x): a new
+     server must keep decoding them bit-for-bit so old clients keep
+     working, and the fleet additions must not leak into pre-existing
+     encodings (an old server must keep decoding a new client's
+     non-Health requests). *)
+  let cases =
+    [
+      ({|{"op":"ping"}|}, Proto.make Proto.Ping);
+      ({|{"op":"stats","deadline_ms":250}|}, Proto.make ~deadline_ms:250 Proto.Stats);
+      ( {|{"op":"chip","system":"system1","strict":true}|},
+        Proto.make
+          (Proto.Chip
+             { Proto.ch_system = "system1"; ch_strict = true; ch_backend = Proto.Ccg })
+      );
+      ({|{"op":"atpg","core":"gcd"}|}, Proto.make (Proto.Atpg { Proto.at_core = "gcd" }));
+    ]
+  in
+  List.iter
+    (fun (s, want) ->
+      match Proto.decode s with
+      | Ok got -> check "legacy payload decodes unchanged" true (got = want)
+      | Error e -> Alcotest.failf "legacy payload rejected: %s" e)
+    cases;
+  let contains needle hay =
+    let n = String.length needle and l = String.length hay in
+    let rec go i = i + n <= l && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun (_, req) ->
+      check "pre-fleet encoding is free of fleet fields" false
+        (contains "health" (Proto.encode req)))
+    cases;
+  (* Health itself round-trips on the same wire version. *)
+  match Proto.decode (Proto.encode (Proto.make Proto.Health)) with
+  | Ok { Proto.rq_body = Proto.Health; _ } -> ()
+  | Ok _ | Error _ -> Alcotest.fail "Health must round-trip"
+
+let health_gen =
+  QCheck.Gen.(
+    let worker =
+      let* wh_id = int_range 0 64 in
+      let* wh_pid = int_range 0 1_000_000 in
+      let* wh_state =
+        oneofl [ Proto.W_idle; Proto.W_busy; Proto.W_respawning; Proto.W_stopped ]
+      in
+      let* wh_uptime_ms = int_range 0 1_000_000 in
+      let* wh_jobs = int_range 0 10_000 in
+      let* wh_crashes = int_range 0 100 in
+      return { Proto.wh_id; wh_pid; wh_state; wh_uptime_ms; wh_jobs; wh_crashes }
+    in
+    let* hl_uptime_ms = int_range 0 10_000_000 in
+    let* hl_queue_depth = int_range 0 1024 in
+    let* hl_pending = int_range 0 1024 in
+    let* hl_workers = list_size (int_range 0 8) worker in
+    let* hl_breaker_open = bool in
+    let* hl_retries = int_range 0 10_000 in
+    return
+      {
+        Proto.hl_uptime_ms;
+        hl_queue_depth;
+        hl_pending;
+        hl_workers;
+        hl_breaker_open;
+        hl_retries;
+      })
+
+let prop_health_roundtrip =
+  QCheck.Test.make ~name:"health report encode/decode round-trips" ~count:200
+    (QCheck.make health_gen) (fun h ->
+      match Proto.decode_health (Proto.encode_health h) with
+      | Ok h' -> h' = h
+      | Error _ -> false)
+
+let prop_outcome_roundtrip =
+  QCheck.Test.make ~name:"worker outcome codec round-trips" ~count:200
+    QCheck.(
+      triple
+        (make Gen.(string_size ~gen:printable (int_range 0 512)))
+        (make Gen.(string_size ~gen:printable (int_range 0 128)))
+        (int_range (-255) 255))
+    (fun (out, err, code) ->
+      let o = { Dispatch.o_stdout = out; o_stderr = err; o_code = code } in
+      match Worker.decode_outcome (Worker.encode_outcome o) with
+      | Ok o' -> o' = o
+      | Error _ -> false)
+
 let test_proto_error_roundtrip () =
   let e =
     Err.make ~kind:Err.Overloaded ~engine:"serve"
@@ -224,6 +312,13 @@ let test_queue_overload_rejects () =
   (match Queue.submit q ~label:"late" (fun () -> ok_outcome "late") with
   | Ok _ -> Alcotest.fail "draining queue must reject"
   | Error e -> check "drain rejection is Overloaded" true (e.Err.err_kind = Err.Overloaded))
+
+let test_queue_cold_backoff_hint () =
+  (* Before any job has completed there is no average runtime to scale
+     by; the hint must still be a sane wait, not 0. *)
+  let q = Queue.create ~depth:8 () in
+  check "cold hint has a floor" true (Queue.retry_after_ms q >= 25);
+  Queue.drain q
 
 let test_queue_deadline_expired_in_queue () =
   let q = Queue.create ~depth:4 () in
@@ -387,7 +482,270 @@ let test_server_bad_request_is_structured () =
           | Ok _ -> Alcotest.fail "expected an error frame"
           | Error _ -> Alcotest.fail "expected a reply, got eof/corrupt"))
 
+(* ------------------------------------------------------------------ *)
+(* Supervised fleet                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_socket =
+  Filename.concat (Filename.get_temp_dir_name ()) "socet-test-fleet.sock"
+
+let with_chaos_kill ~max_trips f =
+  Socet_util.Chaos.configure ~prob:1.0 ~only:[ "serve.worker.kill" ] ~max_trips true;
+  Fun.protect ~finally:(fun () -> Socet_util.Chaos.configure false) f
+
+let decode_health_exn stdout =
+  match Proto.decode_health (String.trim stdout) with
+  | Ok h -> h
+  | Error m -> Alcotest.failf "undecodable health report: %s" m
+
+let test_fleet_chaos_kill_recovers () =
+  (* The headline robustness contract end-to-end: with one worker and a
+     chaos SIGKILL armed for exactly one trip, the first job loses its
+     worker mid-run, the supervisor respawns and retries, and the client
+     still receives bytes identical to the direct engine call.
+
+     Pool size 1 keeps this process single-domain: OCaml forbids fork
+     once any domain has ever been spawned, which is also why the fleet
+     group runs before the multi-domain byte-identity tests. *)
+  Socet_util.Pool.set_size 1;
+  let reference =
+    match Dispatch.run atpg_req with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "direct run failed: %s" (Err.to_string e)
+  in
+  let srv = Server.start ~workers:1 ~socket:fleet_socket () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown srv;
+      check_int "fleet server drains to exit 0" 0 (Server.wait srv))
+  @@ fun () ->
+  match Client.connect fleet_socket with
+  | Error e -> Alcotest.failf "connect failed: %s" (Err.to_string e)
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      with_chaos_kill ~max_trips:1 (fun () ->
+          match Client.request c atpg_req with
+          | Error e -> Alcotest.failf "request failed: %s" (Err.to_string e)
+          | Ok r ->
+              check_str "stdout identical through a worker loss"
+                reference.Dispatch.o_stdout r.Client.r_stdout;
+              check_int "exit code identical" reference.Dispatch.o_code r.Client.r_code);
+      (match Client.request c (Proto.make Proto.Health) with
+      | Error e -> Alcotest.failf "health failed: %s" (Err.to_string e)
+      | Ok r ->
+          check_int "healthy fleet probes 0" 0 r.Client.r_code;
+          let h = decode_health_exn r.Client.r_stdout in
+          check_int "one worker slot" 1 (List.length h.Proto.hl_workers);
+          check_int "the chaos kill is on the books" 1
+            (List.fold_left
+               (fun acc w -> acc + w.Proto.wh_crashes)
+               0 h.Proto.hl_workers);
+          check_int "the lost job was retried once" 1 h.Proto.hl_retries;
+          check "breaker stayed closed" false h.Proto.hl_breaker_open);
+      (* A second request on the respawned worker — the recovered fleet
+         must serve steady state, not just the retry path. *)
+      match Client.request c (Proto.make Proto.Ping) with
+      | Ok r -> check_str "respawned worker serves" (Proto.version_lines ()) r.Client.r_stdout
+      | Error e -> Alcotest.failf "post-recovery ping failed: %s" (Err.to_string e)
+
+let test_fleet_health_in_process_mode () =
+  with_server (fun () ->
+      with_client (fun c ->
+          match Client.request c (Proto.make Proto.Health) with
+          | Error e -> Alcotest.failf "health failed: %s" (Err.to_string e)
+          | Ok r ->
+              let h = decode_health_exn r.Client.r_stdout in
+              check_int "no workers in in-process mode" 0 (List.length h.Proto.hl_workers);
+              check "breaker closed" false h.Proto.hl_breaker_open;
+              check_int "probe exit 0" 0 r.Client.r_code))
+
+let test_breaker_trips_and_fails_fast () =
+  (* Supervisor-level, with a tight config so the whole crash loop runs
+     in milliseconds: every dispatch is chaos-killed, so the third crash
+     trips the breaker, fires [on_trip] once, and every later exec fails
+     fast with a retriable Overloaded error. *)
+  Socet_util.Pool.set_size 1;
+  let tripped = Atomic.make 0 in
+  let config =
+    {
+      Supervisor.default_config with
+      Supervisor.workers = 1;
+      max_retries = 1;
+      backoff_base_ms = 5;
+      backoff_max_ms = 20;
+      breaker_window_ms = 60_000;
+      breaker_crashes = 3;
+    }
+  in
+  with_chaos_kill ~max_trips:0 (fun () ->
+      let sup =
+        Supervisor.create ~config ~on_trip:(fun () -> Atomic.incr tripped) ()
+      in
+      Fun.protect ~finally:(fun () -> Supervisor.stop sup) @@ fun () ->
+      let ping = Proto.make Proto.Ping in
+      (match Supervisor.exec sup ping with
+      | Ok _ -> Alcotest.fail "every dispatch is killed; exec cannot succeed"
+      | Error e ->
+          check "budget exhaustion is WorkerLost" true (e.Err.err_kind = Err.Internal);
+          check_str "ctx names the loss" "worker_lost" (List.assoc "error" e.Err.err_ctx);
+          check_int "two crashes so far" 2 (Supervisor.retries_total sup + 1));
+      (match Supervisor.exec sup ping with
+      | Ok _ -> Alcotest.fail "third crash must trip the breaker"
+      | Error e ->
+          check "breaker rejection is Overloaded" true (e.Err.err_kind = Err.Overloaded));
+      check "breaker reports open" true (Supervisor.breaker_open sup);
+      check_int "on_trip fired exactly once" 1 (Atomic.get tripped);
+      match Supervisor.exec sup ping with
+      | Ok _ -> Alcotest.fail "an open breaker must fail fast"
+      | Error e ->
+          check "still Overloaded" true (e.Err.err_kind = Err.Overloaded);
+          check_str "ctx says breaker" "open" (List.assoc "breaker" e.Err.err_ctx))
+
+let test_idle_worker_death_detected () =
+  (* A worker SIGKILLed *between* jobs (no dispatch in flight) must be
+     reaped by the monitor's waitpid poll and its slot respawned — not
+     left as a zombie behind a stale "idle" health line until the next
+     job trips over it.  No retry budget is involved. *)
+  Socet_util.Pool.set_size 1;
+  let config =
+    {
+      Supervisor.default_config with
+      Supervisor.workers = 1;
+      backoff_base_ms = 5;
+      backoff_max_ms = 20;
+    }
+  in
+  let sup = Supervisor.create ~config () in
+  Fun.protect ~finally:(fun () -> Supervisor.stop sup) @@ fun () ->
+  let slot () =
+    match Supervisor.health sup with
+    | [ w ], breaker -> (w, breaker)
+    | ws, _ -> Alcotest.failf "expected 1 slot, got %d" (List.length ws)
+  in
+  let w0, _ = slot () in
+  check "starts idle" true (w0.Proto.wh_state = Proto.W_idle);
+  Unix.kill w0.Proto.wh_pid Sys.sigkill;
+  (* 5-20ms backoff + 20ms monitor tick: a second is generous. *)
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  let rec await () =
+    let w, _ = slot () in
+    if w.Proto.wh_state = Proto.W_idle && w.Proto.wh_pid <> w0.Proto.wh_pid
+    then w
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "idle death never detected/respawned"
+    else begin
+      Thread.delay 0.01;
+      await ()
+    end
+  in
+  let w1 = await () in
+  check_int "crash on the books" 1 w1.Proto.wh_crashes;
+  check_int "no retry charged (no job was aboard)" 0
+    (Supervisor.retries_total sup);
+  check "breaker closed" false (Supervisor.breaker_open sup);
+  match Supervisor.exec sup (Proto.make Proto.Ping) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "respawned worker must serve: %s" (Err.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Client submit retry                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A scripted Wire peer: replies to request [n] with [script n], so the
+   client's backoff loop is tested against exact server behaviour with
+   no engine cost or timing dependence. *)
+let with_stub_server script f =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "socet-test-stub.sock" in
+  if Sys.file_exists path then Sys.remove path;
+  let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen (Unix.ADDR_UNIX path);
+  Unix.listen listen 4;
+  let seen = Atomic.make 0 in
+  let server =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept listen in
+        let rec serve () =
+          match Wire.read_frame fd with
+          | Ok { Wire.f_kind = Wire.Request; f_id = id; _ } -> (
+              let n = Atomic.fetch_and_add seen 1 in
+              match script n with
+              | Some frame -> Wire.write_frame fd (frame ~id); serve ()
+              | None -> ())
+          | _ -> ()
+        in
+        (try serve () with _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ()))
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join server;
+      (try Unix.close listen with Unix.Unix_error _ -> ());
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path (fun () -> Atomic.get seen))
+
+let overloaded_frame ~id =
+  Wire.error ~id
+    (Proto.encode_error
+       (Err.make ~kind:Err.Overloaded ~engine:"serve"
+          ~ctx:[ ("retry_after_ms", "10") ]
+          "job queue full"))
+
+let ok_frame ~id =
+  Wire.response ~id (Proto.encode_status { Proto.st_code = 0; st_stderr = "" })
+
+let test_client_submit_retries_overload () =
+  with_stub_server
+    (fun n -> if n < 2 then Some overloaded_frame else Some ok_frame)
+    (fun path seen ->
+      match Client.connect path with
+      | Error e -> Alcotest.failf "connect failed: %s" (Err.to_string e)
+      | Ok c ->
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          let t0 = Unix.gettimeofday () in
+          (match Client.submit ~retries:3 c (Proto.make Proto.Ping) with
+          | Ok r -> check_int "third attempt succeeds" 0 r.Client.r_code
+          | Error e -> Alcotest.failf "submit failed: %s" (Err.to_string e));
+          check_int "exactly three requests hit the server" 3 (seen ());
+          (* Two waits seeded by the 10ms hint, the second doubled. *)
+          check "the hinted backoff was honoured" true
+            (Unix.gettimeofday () -. t0 >= 0.025))
+
+let test_client_submit_budget_and_other_errors () =
+  with_stub_server
+    (fun _ -> Some overloaded_frame)
+    (fun path seen ->
+      match Client.connect path with
+      | Error e -> Alcotest.failf "connect failed: %s" (Err.to_string e)
+      | Ok c ->
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          (match Client.submit ~retries:2 c (Proto.make Proto.Ping) with
+          | Ok _ -> Alcotest.fail "a still-full queue must exhaust the budget"
+          | Error e ->
+              check "budget exhaustion surfaces the rejection" true
+                (e.Err.err_kind = Err.Overloaded));
+          check_int "initial try plus two retries" 3 (seen ()));
+  with_stub_server
+    (fun _ ->
+      Some
+        (fun ~id ->
+          Wire.error ~id
+            (Proto.encode_error (Err.make ~kind:Err.Internal ~engine:"serve" "boom"))))
+    (fun path seen ->
+      match Client.connect path with
+      | Error e -> Alcotest.failf "connect failed: %s" (Err.to_string e)
+      | Ok c ->
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          (match Client.submit ~retries:5 c (Proto.make Proto.Ping) with
+          | Ok _ -> Alcotest.fail "an Internal error must not be retried"
+          | Error e -> check "error passes through" true (e.Err.err_kind = Err.Internal));
+          check_int "no retry on non-overload errors" 1 (seen ()))
+
 let () =
+  (* A fork+exec'd fleet worker re-enters this test binary; route it
+     into the serve loop before alcotest sees the process. *)
+  Worker.exec_guard ();
   Alcotest.run "socet_serve"
     [
       ( "wire",
@@ -403,13 +761,39 @@ let () =
           Alcotest.test_case "request roundtrip" `Quick test_proto_roundtrip;
           Alcotest.test_case "submit argument syntax" `Quick test_proto_of_args;
           Alcotest.test_case "error roundtrip" `Quick test_proto_error_roundtrip;
+          Alcotest.test_case "pre-fleet payloads still decode" `Quick
+            test_proto_legacy_frames_decode;
+          QCheck_alcotest.to_alcotest prop_health_roundtrip;
+          QCheck_alcotest.to_alcotest prop_outcome_roundtrip;
         ] );
       ( "queue",
         [
           Alcotest.test_case "fifo results" `Quick test_queue_fifo_and_results;
           Alcotest.test_case "overload rejects" `Quick test_queue_overload_rejects;
+          Alcotest.test_case "cold backoff hint" `Quick test_queue_cold_backoff_hint;
           Alcotest.test_case "queued deadline expiry" `Quick
             test_queue_deadline_expired_in_queue;
+        ] );
+      (* Before "server": fleet tests fork workers, and OCaml forbids
+         fork in any process that has ever spawned a domain — which the
+         multi-domain byte-identity test does. *)
+      ( "fleet",
+        [
+          Alcotest.test_case "chaos kill: retry, byte identity, health" `Quick
+            test_fleet_chaos_kill_recovers;
+          Alcotest.test_case "health in in-process mode" `Quick
+            test_fleet_health_in_process_mode;
+          Alcotest.test_case "circuit breaker trips and fails fast" `Quick
+            test_breaker_trips_and_fails_fast;
+          Alcotest.test_case "idle worker death detected by waitpid" `Quick
+            test_idle_worker_death_detected;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "submit retries overload with backoff" `Quick
+            test_client_submit_retries_overload;
+          Alcotest.test_case "submit budget and error passthrough" `Quick
+            test_client_submit_budget_and_other_errors;
         ] );
       ( "server",
         [
