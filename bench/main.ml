@@ -742,6 +742,88 @@ let parallel_section () =
     (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
+(* Fault-simulation kernel: flat vs legacy engine                      *)
+(* ------------------------------------------------------------------ *)
+
+(* [(engine, (wall_ms, evals_per_s))] plus the measured speedup and the
+   byte-identity check — stashed for the BENCH_socet.json "fsim_kernel"
+   section. *)
+let fsim_kernel_results : (string * (float * float)) list ref = ref []
+let fsim_kernel_speedup = ref 0.0
+let fsim_kernel_identical = ref false
+
+let fsim_kernel_section () =
+  section "Fault-simulation kernel: flat struct-of-arrays vs legacy engine";
+  Pool.set_size 1;
+  let counter name =
+    Option.value ~default:0 (List.assoc_opt name (Obs.snapshot_counters ()))
+  in
+  let time_best f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let cpu = Soc.inst soc1 "CPU" in
+  let nl = cpu.Soc.ci_netlist in
+  let faults = Socet_atpg.Fault.collapse nl in
+  let rng = Rng.create 31337 in
+  let vecs =
+    List.init 64 (fun _ -> Rng.bitvec rng (Socet_atpg.Fsim.vector_length nl))
+  in
+  (* Work unit: one fault x word-batch cone evaluation.  Both engines
+     drop detected faults identically, so one counted run gives the eval
+     count for either. *)
+  let e0 = counter "atpg.fsim.fault_evals" in
+  let flat_det = Socet_atpg.Fsim.run_comb nl ~vectors:vecs ~faults in
+  let evals = counter "atpg.fsim.fault_evals" - e0 in
+  let legacy_det = Socet_atpg.Fsim.run_comb_ref nl ~vectors:vecs ~faults in
+  fsim_kernel_identical := flat_det = legacy_det;
+  let t_flat =
+    time_best (fun () ->
+        ignore (Socet_atpg.Fsim.run_comb nl ~vectors:vecs ~faults))
+  in
+  let t_legacy =
+    time_best (fun () ->
+        ignore (Socet_atpg.Fsim.run_comb_ref nl ~vectors:vecs ~faults))
+  in
+  let per_s t = float_of_int evals /. t in
+  fsim_kernel_results :=
+    [
+      ("flat", (t_flat *. 1000.0, per_s t_flat));
+      ("legacy", (t_legacy *. 1000.0, per_s t_legacy));
+    ];
+  fsim_kernel_speedup := t_legacy /. t_flat;
+  Ascii_table.print
+    ~header:[ "engine"; "fault evals"; "wall (ms)"; "evals/s" ]
+    (List.map
+       (fun (name, (ms, eps)) ->
+         [
+           name;
+           string_of_int evals;
+           Printf.sprintf "%.2f" ms;
+           Printf.sprintf "%.0f" eps;
+         ])
+       !fsim_kernel_results);
+  Printf.printf "kernel speedup (single domain): %.1fx; detected lists %s\n"
+    !fsim_kernel_speedup
+    (if !fsim_kernel_identical then "byte-identical" else "DIFFER (BUG)");
+  (match List.assoc_opt "atpg.fsim.cone_gates" (Obs.snapshot_histograms ()) with
+  | Some s ->
+      Printf.printf
+        "cone sizes (gates per fault site, %d sites built): min %.0f p50 %.0f \
+         p90 %.0f p99 %.0f max %.0f\n"
+        s.Socet_obs.Histogram.s_count s.Socet_obs.Histogram.s_min
+        s.Socet_obs.Histogram.s_p50 s.Socet_obs.Histogram.s_p90
+        s.Socet_obs.Histogram.s_p99 s.Socet_obs.Histogram.s_max
+  | None -> ());
+  if not !fsim_kernel_identical then
+    failwith "flat kernel diverged from the legacy engine"
+
+(* ------------------------------------------------------------------ *)
 (* Job server: throughput/latency through the wire protocol            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1208,6 +1290,24 @@ let write_bench_json file =
     in
     Json.Obj (in_process @ [ ("fleet", Json.Obj fleet) ])
   in
+  let fsim_kernel_json =
+    Json.Obj
+      (List.map
+         (fun (name, (ms, eps)) ->
+           ( name,
+             Json.Obj
+               [ ("wall_ms", Json.Num ms); ("evals_per_s", Json.Num eps) ] ))
+         !fsim_kernel_results
+      @ [
+          ("speedup", Json.Num !fsim_kernel_speedup);
+          ( "byte_identical",
+            Json.Num (if !fsim_kernel_identical then 1.0 else 0.0) );
+        ]
+      @
+      match List.assoc_opt "atpg.fsim.cone_gates" histograms with
+      | Some s -> [ ("cone_gates", snd (histogram_json ("cone_gates", s))) ]
+      | None -> [])
+  in
   let tam_json =
     let systems =
       List.rev_map
@@ -1255,6 +1355,7 @@ let write_bench_json file =
         ("phases", Json.Obj (List.map phase bench_phases));
         ("optimizer", optimizer_json);
         ("parallel", parallel_json);
+        ("fsim_kernel", fsim_kernel_json);
         ("serve", serve_json);
         ("tam", tam_json);
         ( "counters",
@@ -1298,6 +1399,7 @@ let () =
   resilience_section ();
   optimizer_section ();
   parallel_section ();
+  fsim_kernel_section ();
   serve_section ();
   tam_section ();
   bechamel_suite ();

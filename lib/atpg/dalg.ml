@@ -46,7 +46,8 @@ let generate ?(decision_limit = 20_000) ?budget nl (fault : Fault.t) =
   Obs.incr c_faults;
   let n = Netlist.gate_count nl in
   let v = Array.make n X in
-  let order = Netlist.comb_order nl in
+  let flat = Flat.of_netlist nl in
+  let order = flat.Flat.order in
   let is_input g =
     match Netlist.kind nl g with
     | Cell.Pi | Cell.Dff | Cell.Dffe | Cell.Sdff | Cell.Sdffe | Cell.Const0
@@ -134,11 +135,11 @@ let generate ?(decision_limit = 20_000) ?budget nl (fault : Fault.t) =
     compose (plane good) (plane faulty)
   in
   let observed () =
-    List.exists (fun (_, net) -> v.(net) = D || v.(net) = Db) (Netlist.pos nl)
-    || List.exists
+    Array.exists (fun net -> v.(net) = D || v.(net) = Db) flat.Flat.pos_net
+    || Array.exists
          (fun ff ->
            match capture ff with D | Db -> true | _ -> false)
-         (Netlist.dffs nl)
+         flat.Flat.dffs
   in
   (* J-frontier: assigned gate outputs not yet implied by their inputs.
      The fault site is justified when the good plane of its driver's
@@ -319,13 +320,15 @@ let generate ?(decision_limit = 20_000) ?budget nl (fault : Fault.t) =
   | `Abort -> Aborted
   | `No_test -> Untestable
   | `Test ->
-      let inputs = List.map (fun x -> (x, `Pi)) (Netlist.pis nl)
-                   @ List.map (fun x -> (x, `Ff)) (Netlist.dffs nl) in
-      let vec = Bitvec.create (List.length inputs) in
-      List.iteri
-        (fun i (net, _) -> if good v.(net) = T1 then Bitvec.set vec i true)
-        inputs;
-      vec |> fun vec -> Test vec
+      let npi = Array.length flat.Flat.pis in
+      let vec = Bitvec.create (npi + Array.length flat.Flat.dffs) in
+      Array.iteri
+        (fun i net -> if good v.(net) = T1 then Bitvec.set vec i true)
+        flat.Flat.pis;
+      Array.iteri
+        (fun i net -> if good v.(net) = T1 then Bitvec.set vec (npi + i) true)
+        flat.Flat.dffs;
+      Test vec
 
 type stats = {
   detected : int;

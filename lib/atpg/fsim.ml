@@ -4,14 +4,18 @@ module Obs = Socet_obs.Obs
 
 (* Observability: one word batch simulates up to [Sim.word_width] vectors
    in parallel, and each remaining fault costs one cone re-evaluation per
-   batch — [fault_evals] is the engine's true unit of work.
-   [cone_cache_hits] counts fault evaluations served from the per-site
-   fanout-cone cache instead of re-walking the netlist. *)
+   batch — [fault_evals] is the engine's true unit of work.  Fault cones
+   are cached on the compiled flat form for the life of the netlist:
+   [cone_cache_misses] counts real constructions (one per fault site),
+   [cone_cache_hits] counts lookups served from the cache — across the
+   423k [run_comb] calls of the bench nearly every lookup is a hit. *)
 let c_batches = Obs.counter ~scope:"atpg" "fsim.word_batches"
 let c_fault_evals = Obs.counter ~scope:"atpg" "fsim.fault_evals"
 let c_dropped = Obs.counter ~scope:"atpg" "fsim.faults_dropped"
 let c_seq_cycles = Obs.counter ~scope:"atpg" "fsim.seq_cycles"
 let c_cone_hits = Obs.counter ~scope:"atpg" "fsim.cone_cache_hits"
+let c_cone_misses = Obs.counter ~scope:"atpg" "fsim.cone_cache_misses"
+let h_cone_gates = Obs.histogram ~scope:"atpg" "fsim.cone_gates"
 
 type vector = Bitvec.t
 
@@ -25,17 +29,296 @@ let split_vector nl v =
 
 let all_ones = (1 lsl Sim.word_width) - 1
 
-(* Combinational fanout cone of a net, as a bitset over gates (gates only
-   reachable through combinational paths; flip-flops absorb effects at
-   their D inputs).  One byte-array bitset per fault site, computed once
-   per [run_comb] call and shared read-only by every domain. *)
+(* ------------------------------------------------------------------ *)
+(* Event-driven single-fault evaluation on the flat kernel             *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-domain sparse overlay: instead of blitting the whole good-circuit
+   value array per fault, faulty values are written only for cone gates
+   and validated by a stamp — [read] falls through to the shared good
+   words everywhere else.  One overlay per pool domain, reused across
+   every fault it simulates. *)
+type overlay = {
+  mutable vals : int array;
+  mutable stamps : int array;
+  mutable stamp : int;
+}
+
+let overlay_key : overlay Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { vals = [||]; stamps = [||]; stamp = 0 })
+
+let overlay n =
+  let s = Domain.DLS.get overlay_key in
+  if Array.length s.vals < n then begin
+    s.vals <- Array.make n 0;
+    s.stamps <- Array.make n 0;
+    s.stamp <- 0
+  end;
+  s
+
+(* Evaluate one fault against the shared good-circuit words: walk only the
+   cone (topo-ordered, site first), then diff only the POs and D-captures
+   the site reaches.  Detection is identical to diffing the full PO and
+   next-state vectors because everything outside the cone is untouched. *)
+let fault_eval flat ~good ~good_po ~good_ns ~stuck_word (cone : Flat.cone) =
+  let s = overlay flat.Flat.n in
+  s.stamp <- s.stamp + 1;
+  let cur = s.stamp in
+  let vals = s.vals and stamps = s.stamps in
+  let read h =
+    if Array.unsafe_get stamps h = cur then Array.unsafe_get vals h
+    else Array.unsafe_get good h
+  in
+  let site = cone.Flat.c_site in
+  let kinds = flat.Flat.kinds
+  and off = flat.Flat.fanin_off
+  and fi = flat.Flat.fanin in
+  Array.iter
+    (fun g ->
+      let value =
+        if g = site then stuck_word
+        else begin
+          let b = Array.unsafe_get off g in
+          match Array.unsafe_get kinds g with
+          | 1 -> 0
+          | 2 -> all_ones
+          | 3 -> read fi.(b)
+          | 4 -> lnot (read fi.(b)) land all_ones
+          | 5 -> read fi.(b) land read fi.(b + 1)
+          | 6 -> read fi.(b) lor read fi.(b + 1)
+          | 7 -> lnot (read fi.(b) land read fi.(b + 1)) land all_ones
+          | 8 -> lnot (read fi.(b) lor read fi.(b + 1)) land all_ones
+          | 9 -> read fi.(b) lxor read fi.(b + 1)
+          | 10 -> lnot (read fi.(b) lxor read fi.(b + 1)) land all_ones
+          | 11 ->
+              let sv = read fi.(b) in
+              ((lnot sv land read fi.(b + 1)) lor (sv land read fi.(b + 2)))
+              land all_ones
+          | _ -> read g
+        end
+      in
+      Array.unsafe_set vals g value;
+      Array.unsafe_set stamps g cur)
+    cone.Flat.c_gates;
+  let diff = ref 0 in
+  Array.iter
+    (fun pidx ->
+      diff := !diff lor (read flat.Flat.pos_net.(pidx) lxor good_po.(pidx)))
+    cone.Flat.c_pos;
+  Array.iter
+    (fun k -> diff := !diff lor (Flat.capture flat ~read k lxor good_ns.(k)))
+    cone.Flat.c_dffs;
+  !diff
+
+let cone_of flat (f : Fault.t) =
+  let c, hit = Flat.cone flat f.Fault.f_net in
+  if hit then Obs.incr c_cone_hits
+  else begin
+    Obs.incr c_cone_misses;
+    Obs.observe h_cone_gates (float_of_int (Array.length c.Flat.c_gates))
+  end;
+  c
+
+let chunk_list size items =
+  let rec chunk acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | v :: rest ->
+        if n = size then chunk (List.rev cur :: acc) [ v ] 1 rest
+        else chunk acc (v :: cur) (n + 1) rest
+  in
+  chunk [] [] 0 items
+
+let run_comb nl ~vectors ~faults =
+  Obs.with_span ~cat:"atpg" "fsim.run_comb" @@ fun () ->
+  let flat = Flat.of_netlist nl in
+  let npi = Array.length flat.Flat.pis in
+  let nff = Array.length flat.Flat.dffs in
+  (* Resolve every fault's cone up front on the submitting domain (the
+     parallel loop below only reads); the cache lives on the compiled
+     form, so across calls on the same netlist these are almost all
+     hits. *)
+  let remaining = ref (List.map (fun f -> (f, cone_of flat f)) faults) in
+  let detected = ref [] in
+  let batches = chunk_list Sim.word_width vectors in
+  let pi = Array.make npi 0
+  and st = Array.make nff 0
+  and good = Array.make flat.Flat.n 0 in
+  List.iter
+    (fun batch ->
+      if !remaining <> [] then begin
+        Obs.incr c_batches;
+        Obs.add c_fault_evals (List.length !remaining);
+        let nbatch = List.length batch in
+        Array.fill pi 0 npi 0;
+        Array.fill st 0 nff 0;
+        List.iteri
+          (fun k vec ->
+            for i = 0 to npi - 1 do
+              if Bitvec.get vec i then pi.(i) <- pi.(i) lor (1 lsl k)
+            done;
+            for i = 0 to nff - 1 do
+              if Bitvec.get vec (npi + i) then st.(i) <- st.(i) lor (1 lsl k)
+            done)
+          batch;
+        Flat.eval_good flat ~pi ~state:st good;
+        let good_po = Flat.po_words flat good in
+        let good_ns = Flat.next_state_words flat good in
+        let used = (1 lsl nbatch) - 1 in
+        (* Fault-parallel: the remaining fault list is partitioned across
+           the domain pool; the good-circuit words are shared read-only
+           and each domain writes its own sparse overlay per fault.
+           Results come back in submission order, so dropping and the
+           detected list are bit-identical to the sequential engine. *)
+        let rem = Array.of_list !remaining in
+        let hit =
+          Pool.parallel_map
+            (fun ((f : Fault.t), cone) ->
+              let stuck_word = if f.f_stuck then all_ones else 0 in
+              fault_eval flat ~good ~good_po ~good_ns ~stuck_word cone
+              land used
+              <> 0)
+            rem
+        in
+        let still = ref [] in
+        Array.iteri
+          (fun i ((f, _) as fc) ->
+            if hit.(i) then detected := f :: !detected else still := fc :: !still)
+          rem;
+        remaining := List.rev !still
+      end)
+    batches;
+  let detected = List.rev !detected in
+  Obs.add c_dropped (List.length detected);
+  detected
+
+let detects_comb nl vec f = run_comb nl ~vectors:[ vec ] ~faults:[ f ] <> []
+
+let run_seq nl ~inputs ~faults =
+  Obs.with_span ~cat:"atpg" "fsim.run_seq" @@ fun () ->
+  let flat = Flat.of_netlist nl in
+  let n = flat.Flat.n in
+  let npi = Array.length flat.Flat.pis in
+  let nff = Array.length flat.Flat.dffs in
+  let good_slot = Sim.word_width - 1 in
+  let detected = ref [] in
+  let batches = chunk_list good_slot faults in
+  let pi = Array.make npi 0 in
+  let v = Array.make n 0 in
+  List.iter
+    (fun batch ->
+      let or_mask = Array.make n 0 and and_mask = Array.make n all_ones in
+      let nbatch = List.length batch in
+      List.iteri
+        (fun k (f : Fault.t) ->
+          if f.f_stuck then or_mask.(f.f_net) <- or_mask.(f.f_net) lor (1 lsl k)
+          else and_mask.(f.f_net) <- and_mask.(f.f_net) land lnot (1 lsl k))
+        batch;
+      let used = (1 lsl nbatch) - 1 in
+      let state = ref (Array.make nff 0) in
+      let caught = Array.make nbatch false in
+      List.iter
+        (fun pi_bits ->
+          Obs.incr c_seq_cycles;
+          for i = 0 to npi - 1 do
+            pi.(i) <- (if Bitvec.get pi_bits i then all_ones else 0)
+          done;
+          Flat.eval_masked flat ~pi ~state:!state ~and_mask ~or_mask v;
+          (* Detection scan: one xor against the sign-extended good bit
+             per PO word, then a walk over the set bits — zero work per
+             word when no fault slot differs (the common case), instead
+             of the old O(batch) list traversal per PO word. *)
+          Array.iter
+            (fun net ->
+              let w = v.(net) in
+              let good_ext = - ((w lsr good_slot) land 1) land all_ones in
+              let d = ref ((w lxor good_ext) land used) in
+              let k = ref 0 in
+              while !d <> 0 do
+                if !d land 1 = 1 then caught.(!k) <- true;
+                d := !d lsr 1;
+                incr k
+              done)
+            flat.Flat.pos_net;
+          state := Flat.next_state_words flat v)
+        inputs;
+      List.iteri (fun k f -> if caught.(k) then detected := f :: !detected) batch)
+    batches;
+  List.rev !detected
+
+(* ------------------------------------------------------------------ *)
+(* Legacy reference engine                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-flat list/Hashtbl engine, retained verbatim (modulo the domain
+   pool) as an independent oracle: the equivalence suite proves the flat
+   kernel byte-identical to it, and the bench's [fsim_kernel] section
+   measures the speedup against it.  Single-threaded, no shared caches,
+   no counters. *)
+
+let ref_eval_words nl ~pi ~state ~inject =
+  let n = Netlist.gate_count nl in
+  let v = Array.make n 0 in
+  let pi_pos = Hashtbl.create 16 in
+  List.iteri (fun i x -> Hashtbl.replace pi_pos x i) (Netlist.pis nl);
+  let dff_pos = Hashtbl.create 16 in
+  List.iteri (fun i x -> Hashtbl.replace dff_pos x i) (Netlist.dffs nl);
+  let order = Netlist.comb_order nl in
+  Array.iter
+    (fun g ->
+      let f = Netlist.fanin nl g in
+      let value =
+        match Netlist.kind nl g with
+        | Cell.Pi -> pi.(Hashtbl.find pi_pos g)
+        | Cell.Const0 -> 0
+        | Cell.Const1 -> all_ones
+        | Cell.Buf -> v.(f.(0))
+        | Cell.Inv -> lnot v.(f.(0)) land all_ones
+        | Cell.And2 -> v.(f.(0)) land v.(f.(1))
+        | Cell.Or2 -> v.(f.(0)) lor v.(f.(1))
+        | Cell.Nand2 -> lnot (v.(f.(0)) land v.(f.(1))) land all_ones
+        | Cell.Nor2 -> lnot (v.(f.(0)) lor v.(f.(1))) land all_ones
+        | Cell.Xor2 -> v.(f.(0)) lxor v.(f.(1))
+        | Cell.Xnor2 -> lnot (v.(f.(0)) lxor v.(f.(1))) land all_ones
+        | Cell.Mux2 ->
+            let s = v.(f.(0)) in
+            (lnot s land v.(f.(1))) lor (s land v.(f.(2))) land all_ones
+        | Cell.Dff | Cell.Dffe | Cell.Sdff | Cell.Sdffe ->
+            state.(Hashtbl.find dff_pos g)
+      in
+      v.(g) <- inject g (value land all_ones))
+    order;
+  v
+
+let ref_po_words nl v =
+  Array.of_list (List.map (fun (_, n) -> v.(n)) (Netlist.pos nl))
+
+let ref_next_state_words nl v =
+  let capture g =
+    let f = Netlist.fanin nl g in
+    match Netlist.kind nl g with
+    | Cell.Dff -> v.(f.(0))
+    | Cell.Dffe ->
+        let d = v.(f.(0)) and en = v.(f.(1)) and q = v.(g) in
+        (en land d) lor (lnot en land q) land all_ones
+    | Cell.Sdff ->
+        let d = v.(f.(0)) and si = v.(f.(1)) and se = v.(f.(2)) in
+        (se land si) lor (lnot se land d) land all_ones
+    | Cell.Sdffe ->
+        let d = v.(f.(0)) and en = v.(f.(1)) and si = v.(f.(2)) and se = v.(f.(3)) in
+        let q = v.(g) in
+        let func = (en land d) lor (lnot en land q) land all_ones in
+        (se land si) lor (lnot se land func) land all_ones
+    | _ -> assert false
+  in
+  Array.of_list (List.map capture (Netlist.dffs nl))
+
 let bit_get b i = Char.code (Bytes.unsafe_get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
 
 let bit_set b i =
   Bytes.unsafe_set b (i lsr 3)
     (Char.unsafe_chr (Char.code (Bytes.unsafe_get b (i lsr 3)) lor (1 lsl (i land 7))))
 
-let comb_cone nl site =
+let ref_comb_cone nl site =
   let n = Netlist.gate_count nl in
   let in_cone = Bytes.make ((n + 7) / 8) '\000' in
   let queue = Queue.create () in
@@ -53,7 +336,7 @@ let comb_cone nl site =
   done;
   in_cone
 
-let eval_gate nl v g =
+let ref_eval_gate nl v g =
   let f = Netlist.fanin nl g in
   match Netlist.kind nl g with
   | Cell.Pi | Cell.Dff | Cell.Dffe | Cell.Sdff | Cell.Sdffe -> v.(g)
@@ -71,53 +354,22 @@ let eval_gate nl v g =
       let s = v.(f.(0)) in
       ((lnot s land v.(f.(1))) lor (s land v.(f.(2)))) land all_ones
 
-(* Per-domain scratch for the faulty value array: each pool worker reuses
-   one buffer across every fault it simulates instead of allocating a
-   gate-count array per fault evaluation. *)
-let scratch_key : int array Domain.DLS.key = Domain.DLS.new_key (fun () -> [||])
-
-let scratch n =
-  let a = Domain.DLS.get scratch_key in
-  if Array.length a >= n then a
-  else begin
-    let a = Array.make n 0 in
-    Domain.DLS.set scratch_key a;
-    a
-  end
-
-let run_comb nl ~vectors ~faults =
-  Obs.with_span ~cat:"atpg" "fsim.run_comb" @@ fun () ->
+let run_comb_ref nl ~vectors ~faults =
   let npi = List.length (Netlist.pis nl) in
   let nff = List.length (Netlist.dffs nl) in
   let order = Netlist.comb_order nl in
   let remaining = ref faults in
   let detected = ref [] in
-  (* Pre-warm the cone cache for every fault site on the submitting
-     domain, so the parallel fault loop only ever reads the table. *)
   let cones = Hashtbl.create (List.length faults) in
   List.iter
     (fun (f : Fault.t) ->
       if not (Hashtbl.mem cones f.f_net) then
-        Hashtbl.replace cones f.f_net (comb_cone nl f.f_net))
+        Hashtbl.replace cones f.f_net (ref_comb_cone nl f.f_net))
     faults;
-  let cone_of site =
-    Obs.incr c_cone_hits;
-    Hashtbl.find cones site
-  in
-  let batches =
-    let rec chunk acc cur n = function
-      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
-      | v :: rest ->
-          if n = Sim.word_width then chunk (List.rev cur :: acc) [ v ] 1 rest
-          else chunk acc (v :: cur) (n + 1) rest
-    in
-    chunk [] [] 0 vectors
-  in
+  let batches = chunk_list Sim.word_width vectors in
   List.iter
     (fun batch ->
       if !remaining <> [] then begin
-        Obs.incr c_batches;
-        Obs.add c_fault_evals (List.length !remaining);
         let nbatch = List.length batch in
         let pi = Array.make npi 0 and st = Array.make nff 0 in
         List.iteri
@@ -129,35 +381,30 @@ let run_comb nl ~vectors ~faults =
               if Bitvec.get vec (npi + i) then st.(i) <- st.(i) lor (1 lsl k)
             done)
           batch;
-        let good = Sim.eval_words nl ~pi ~state:st ~inject:(fun _ x -> x) in
-        let good_po = Sim.po_words nl good in
-        let good_ns = Sim.next_state_words nl good in
+        let good = ref_eval_words nl ~pi ~state:st ~inject:(fun _ x -> x) in
+        let good_po = ref_po_words nl good in
+        let good_ns = ref_next_state_words nl good in
         let used = (1 lsl nbatch) - 1 in
         let ngates = Array.length good in
-        (* Fault-parallel: the remaining fault list is partitioned across
-           the domain pool; the good-circuit words are shared read-only
-           and each domain overwrites its own scratch copy per fault.
-           Results come back in submission order, so dropping and the
-           detected list are bit-identical to the sequential engine. *)
         let rem = Array.of_list !remaining in
+        let faulty = Array.make ngates 0 in
         let hit =
-          Pool.parallel_map
+          Array.map
             (fun (f : Fault.t) ->
-              let cone = cone_of f.f_net in
-              let faulty = scratch ngates in
+              let cone = Hashtbl.find cones f.f_net in
               Array.blit good 0 faulty 0 ngates;
               Array.iter
                 (fun g ->
                   if bit_get cone g then begin
                     let v =
                       if g = f.f_net then (if f.f_stuck then all_ones else 0)
-                      else eval_gate nl faulty g
+                      else ref_eval_gate nl faulty g
                     in
                     faulty.(g) <- v
                   end)
                 order;
-              let fpo = Sim.po_words nl faulty in
-              let fns = Sim.next_state_words nl faulty in
+              let fpo = ref_po_words nl faulty in
+              let fns = ref_next_state_words nl faulty in
               let diff = ref 0 in
               Array.iteri (fun i w -> diff := !diff lor (w lxor good_po.(i))) fpo;
               Array.iteri (fun i w -> diff := !diff lor (w lxor good_ns.(i))) fns;
@@ -171,27 +418,18 @@ let run_comb nl ~vectors ~faults =
         remaining := List.rev !still
       end)
     batches;
-  let detected = List.rev !detected in
-  Obs.add c_dropped (List.length detected);
-  detected
+  List.rev !detected
 
-let detects_comb nl vec f = run_comb nl ~vectors:[ vec ] ~faults:[ f ] <> []
+let eval_words_ref = ref_eval_words
+let po_words_ref = ref_po_words
+let next_state_words_ref = ref_next_state_words
 
-let run_seq nl ~inputs ~faults =
-  Obs.with_span ~cat:"atpg" "fsim.run_seq" @@ fun () ->
+let run_seq_ref nl ~inputs ~faults =
   let npi = List.length (Netlist.pis nl) in
   let nff = List.length (Netlist.dffs nl) in
   let good_slot = Sim.word_width - 1 in
   let detected = ref [] in
-  let batches =
-    let rec chunk acc cur n = function
-      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
-      | f :: rest ->
-          if n = good_slot then chunk (List.rev cur :: acc) [ f ] 1 rest
-          else chunk acc (f :: cur) (n + 1) rest
-    in
-    chunk [] [] 0 faults
-  in
+  let batches = chunk_list good_slot faults in
   List.iter
     (fun batch ->
       let n = Netlist.gate_count nl in
@@ -206,12 +444,11 @@ let run_seq nl ~inputs ~faults =
       let caught = Array.make (List.length batch) false in
       List.iter
         (fun pi_bits ->
-          Obs.incr c_seq_cycles;
           let pi =
             Array.init npi (fun i -> if Bitvec.get pi_bits i then all_ones else 0)
           in
-          let v = Sim.eval_words nl ~pi ~state:!state ~inject in
-          let po = Sim.po_words nl v in
+          let v = ref_eval_words nl ~pi ~state:!state ~inject in
+          let po = ref_po_words nl v in
           Array.iter
             (fun w ->
               let goodbit = (w lsr good_slot) land 1 in
@@ -220,7 +457,7 @@ let run_seq nl ~inputs ~faults =
                   if (w lsr k) land 1 <> goodbit then caught.(k) <- true)
                 batch)
             po;
-          state := Sim.next_state_words nl v)
+          state := ref_next_state_words nl v)
         inputs;
       List.iteri (fun k f -> if caught.(k) then detected := f :: !detected) batch)
     batches;

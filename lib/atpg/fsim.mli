@@ -7,7 +7,12 @@
       outputs — the model under which scan vectors are applied;
     - {!run_seq}: fault-parallel simulation of the unscanned sequential
       machine over an input sequence from the all-zero reset state — used
-      for the paper's "Orig." and "HSCAN-only" coverage rows. *)
+      for the paper's "Orig." and "HSCAN-only" coverage rows.
+
+    Both run on the flat struct-of-arrays kernel ({!Socet_netlist.Flat})
+    compiled once per netlist.  The pre-flat list/Hashtbl engine survives
+    as {!run_comb_ref}/{!run_seq_ref}, the oracle the equivalence suite
+    checks the kernel against byte for byte. *)
 
 open Socet_util
 open Socet_netlist
@@ -27,10 +32,14 @@ val run_comb :
     each fault is simulated only until first detection).
 
     Per word batch the remaining faults are evaluated in parallel across
-    the {!Socet_util.Pool} domains (shared read-only good-circuit words,
-    one reusable scratch array per domain, fanout cones precomputed per
-    fault site — [atpg.fsim.cone_cache_hits]); detections are merged in
-    fault order, so the result is identical at any domain count. *)
+    the {!Socet_util.Pool} domains.  A fault evaluation is event-driven:
+    only the fault site's combinational fanout cone is recomputed (into a
+    stamp-validated per-domain overlay over the shared good-circuit
+    words), and only the POs and D-captures the cone reaches are diffed.
+    Cones are cached on the compiled form for the life of the netlist —
+    [atpg.fsim.cone_cache_misses] counts constructions,
+    [atpg.fsim.cone_cache_hits] reuses.  Detections are merged in fault
+    order, so the result is identical at any domain count. *)
 
 val detects_comb : Netlist.t -> vector -> Fault.t -> bool
 (** Does this single vector detect this single fault? *)
@@ -41,3 +50,29 @@ val run_seq :
     returns the faults whose machine differs from the good machine at a
     primary output in some cycle.  Faults are simulated in word-sized
     groups, all sharing the good machine evaluation. *)
+
+(** {1 Legacy reference engine}
+
+    The original list/Hashtbl implementation, retained verbatim as an
+    independent single-threaded oracle.  [test/test_fsim_flat.ml] proves
+    {!run_comb}/{!run_seq} byte-identical to these on random SOCs, and
+    the bench's [fsim_kernel] section measures the kernel speedup against
+    them.  Not used by the pipeline. *)
+
+val run_comb_ref :
+  Netlist.t -> vectors:vector list -> faults:Fault.t list -> Fault.t list
+
+val run_seq_ref :
+  Netlist.t -> inputs:Bitvec.t list -> faults:Fault.t list -> Fault.t list
+
+val eval_words_ref :
+  Netlist.t ->
+  pi:int array ->
+  state:int array ->
+  inject:(int -> int -> int) ->
+  int array
+(** The pre-flat {!Socet_netlist.Sim.eval_words} (per-call Hashtbls and
+    all), for checking the flat evaluator word for word. *)
+
+val po_words_ref : Netlist.t -> int array -> int array
+val next_state_words_ref : Netlist.t -> int array -> int array

@@ -50,11 +50,6 @@ let tv_of_bool b = if b then T1 else T0
 (* The five-valued machine state: good and faulty ternary value per net. *)
 type machine = { g : tv array; f : tv array }
 
-let inputs_of nl =
-  Array.of_list
-    (List.map (fun x -> (x, `Pi)) (Netlist.pis nl)
-    @ List.map (fun x -> (x, `Ff)) (Netlist.dffs nl))
-
 let eval_tv nl v g =
   let f = Netlist.fanin nl g in
   match Netlist.kind nl g with
@@ -86,20 +81,21 @@ let capture_tv nl v ff =
 let generate ?(backtrack_limit = 1000) ?scoap ?budget nl (fault : Fault.t) =
   Obs.incr c_faults;
   let n = Netlist.gate_count nl in
-  let order = Netlist.comb_order nl in
-  let inputs = inputs_of nl in
-  let ninputs = Array.length inputs in
+  (* All structural queries below run on the flat form: input index maps
+     (pi_of/dff_of), observability bits and the fanout CSR replace the
+     per-call Hashtbl and list scans of the original. *)
+  let flat = Flat.of_netlist nl in
+  let order = flat.Flat.order in
+  let npi = Array.length flat.Flat.pis in
+  let ninputs = npi + Array.length flat.Flat.dffs in
   let assign = Array.make ninputs TX in
   let m = { g = Array.make n TX; f = Array.make n TX } in
   let stuck = tv_of_bool fault.f_stuck in
   let imply () =
-    (* Load input assignments. *)
-    let idx = ref 0 in
-    Array.iter
-      (fun (net, _) ->
-        m.g.(net) <- assign.(!idx);
-        incr idx)
-      inputs;
+    (* Load input assignments: slot i is PI i for i < npi, flip-flop
+       (i - npi) above. *)
+    Array.iteri (fun i net -> m.g.(net) <- assign.(i)) flat.Flat.pis;
+    Array.iteri (fun i net -> m.g.(net) <- assign.(npi + i)) flat.Flat.dffs;
     Array.iter
       (fun g ->
         let gv = eval_tv nl m.g g in
@@ -118,12 +114,12 @@ let generate ?(backtrack_limit = 1000) ?scoap ?budget nl (fault : Fault.t) =
   in
   let is_d net = m.g.(net) <> TX && m.f.(net) <> TX && m.g.(net) <> m.f.(net) in
   let observable_d () =
-    List.exists (fun (_, net) -> is_d net) (Netlist.pos nl)
-    || List.exists
+    Array.exists is_d flat.Flat.pos_net
+    || Array.exists
          (fun ff ->
            let gd = capture_tv nl m.g ff and fd = capture_tv nl m.f ff in
            gd <> TX && fd <> TX && gd <> fd)
-         (Netlist.dffs nl)
+         flat.Flat.dffs
   in
   let d_frontier () =
     let res = ref [] in
@@ -151,26 +147,21 @@ let generate ?(backtrack_limit = 1000) ?scoap ?budget nl (fault : Fault.t) =
         Queue.add g queue)
       frontier;
     let found = ref false in
-    let observable net =
-      List.exists (fun (_, p) -> p = net) (Netlist.pos nl)
-      || List.exists
-           (fun ff -> Array.exists (fun pin -> pin = net) (Netlist.fanin nl ff))
-           (Netlist.dffs nl)
-    in
+    let fo_off = flat.Flat.fanout_off and fo = flat.Flat.fanout in
     while (not !found) && not (Queue.is_empty queue) do
       let g = Queue.pop queue in
-      if observable g then found := true
+      if flat.Flat.is_obs.(g) then found := true
       else
-        List.iter
-          (fun h ->
-            if (not seen.(h))
-               && (not (Cell.is_dff (Netlist.kind nl h)))
-               && (m.g.(h) = TX || m.f.(h) = TX)
-            then begin
-              seen.(h) <- true;
-              Queue.add h queue
-            end)
-          (Netlist.fanout nl g)
+        for j = fo_off.(g) to fo_off.(g + 1) - 1 do
+          let h = fo.(j) in
+          if (not seen.(h))
+             && flat.Flat.kinds.(h) < Flat.k_dff
+             && (m.g.(h) = TX || m.f.(h) = TX)
+          then begin
+            seen.(h) <- true;
+            Queue.add h queue
+          end
+        done
     done;
     !found
   in
@@ -220,10 +211,13 @@ let generate ?(backtrack_limit = 1000) ?scoap ?budget nl (fault : Fault.t) =
               in
               Some (pin, v))
   in
-  let input_index = Hashtbl.create 16 in
-  Array.iteri (fun i (net, _) -> Hashtbl.replace input_index net i) inputs;
+  let input_index net =
+    if flat.Flat.pi_of.(net) >= 0 then Some flat.Flat.pi_of.(net)
+    else if flat.Flat.dff_of.(net) >= 0 then Some (npi + flat.Flat.dff_of.(net))
+    else None
+  in
   let rec backtrace net v =
-    match Hashtbl.find_opt input_index net with
+    match input_index net with
     | Some i -> if assign.(i) = TX then Some (i, v) else None
     | None -> (
         let fanin = Netlist.fanin nl net in

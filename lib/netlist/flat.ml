@@ -1,0 +1,376 @@
+(* Flat, levelized, struct-of-arrays form of a netlist.
+
+   [of_netlist] compiles the pointer-and-list netlist once into plain int
+   arrays — gate kinds as int codes, fanins and fanouts in CSR form,
+   topological order and levels, PI/DFF/PO index maps — and caches the
+   result on the netlist itself (invalidated by any mutation).  Every
+   engine that simulates gates word-parallel runs on this form; nothing
+   here allocates per evaluation beyond the caller-supplied value array.
+
+   The evaluation semantics (operator masking, capture equations,
+   iteration in [Netlist.comb_order]) are bit-for-bit those of the
+   original list/Hashtbl engine; the fault simulator's byte-identity
+   contract rests on that. *)
+
+let word_width = Sys.int_size - 1
+let all_ones = (1 lsl word_width) - 1
+
+(* Kind codes.  Fixed small ints so the evaluator's match compiles to a
+   jump table over an int array instead of chasing a variant array. *)
+let k_pi = 0
+let k_const0 = 1
+let k_const1 = 2
+let k_buf = 3
+let k_inv = 4
+let k_and2 = 5
+let k_or2 = 6
+let k_nand2 = 7
+let k_nor2 = 8
+let k_xor2 = 9
+let k_xnor2 = 10
+let k_mux2 = 11
+let k_dff = 12
+let k_dffe = 13
+let k_sdff = 14
+let k_sdffe = 15
+
+let code_of_kind = function
+  | Cell.Pi -> k_pi
+  | Cell.Const0 -> k_const0
+  | Cell.Const1 -> k_const1
+  | Cell.Buf -> k_buf
+  | Cell.Inv -> k_inv
+  | Cell.And2 -> k_and2
+  | Cell.Or2 -> k_or2
+  | Cell.Nand2 -> k_nand2
+  | Cell.Nor2 -> k_nor2
+  | Cell.Xor2 -> k_xor2
+  | Cell.Xnor2 -> k_xnor2
+  | Cell.Mux2 -> k_mux2
+  | Cell.Dff -> k_dff
+  | Cell.Dffe -> k_dffe
+  | Cell.Sdff -> k_sdff
+  | Cell.Sdffe -> k_sdffe
+
+type cone = {
+  c_site : int;
+  c_gates : int array;
+  c_pos : int array;
+  c_dffs : int array;
+}
+
+type t = {
+  n : int;
+  kinds : int array;
+  fanin_off : int array;
+  fanin : int array;
+  order : int array;
+  topo_pos : int array;
+  level : int array;
+  pis : int array;
+  dffs : int array;
+  pos_net : int array;
+  pi_of : int array;
+  dff_of : int array;
+  fanout_off : int array;
+  fanout : int array;
+  is_obs : bool array;
+  cones : (int, cone) Hashtbl.t;
+  cones_mu : Mutex.t;
+}
+
+let build nl =
+  let n = Netlist.gate_count nl in
+  let kinds = Array.make n 0 in
+  let arity_total = ref 0 in
+  for g = 0 to n - 1 do
+    kinds.(g) <- code_of_kind (Netlist.kind nl g);
+    arity_total := !arity_total + Array.length (Netlist.fanin nl g)
+  done;
+  let fanin_off = Array.make (n + 1) 0 in
+  let fanin = Array.make (max 1 !arity_total) 0 in
+  let pos = ref 0 in
+  for g = 0 to n - 1 do
+    fanin_off.(g) <- !pos;
+    Array.iter
+      (fun src ->
+        fanin.(!pos) <- src;
+        incr pos)
+      (Netlist.fanin nl g)
+  done;
+  fanin_off.(n) <- !pos;
+  (* Fanout CSR over the same (all-reader) edge set, by counting sort. *)
+  let fanout_off = Array.make (n + 1) 0 in
+  for e = 0 to !pos - 1 do
+    fanout_off.(fanin.(e) + 1) <- fanout_off.(fanin.(e) + 1) + 1
+  done;
+  for g = 1 to n do
+    fanout_off.(g) <- fanout_off.(g) + fanout_off.(g - 1)
+  done;
+  let fanout = Array.make (max 1 !pos) 0 in
+  let cursor = Array.copy fanout_off in
+  for g = 0 to n - 1 do
+    for e = fanin_off.(g) to fanin_off.(g + 1) - 1 do
+      let src = fanin.(e) in
+      fanout.(cursor.(src)) <- g;
+      cursor.(src) <- cursor.(src) + 1
+    done
+  done;
+  (* The shared topological order (identical to [Netlist.comb_order] so
+     every engine, flat or not, walks gates in the same sequence). *)
+  let order = Netlist.comb_order nl in
+  let topo_pos = Array.make n 0 in
+  Array.iteri (fun i g -> topo_pos.(g) <- i) order;
+  (* Combinational depth: sources at level 0, every combinational gate one
+     past its deepest fanin.  Flip-flop outputs are sources. *)
+  let level = Array.make n 0 in
+  Array.iter
+    (fun g ->
+      let k = kinds.(g) in
+      if k < k_dff && k > k_const1 then begin
+        let deepest = ref (-1) in
+        for e = fanin_off.(g) to fanin_off.(g + 1) - 1 do
+          deepest := max !deepest level.(fanin.(e))
+        done;
+        level.(g) <- !deepest + 1
+      end)
+    order;
+  let pis = Array.of_list (Netlist.pis nl) in
+  let dffs = Array.of_list (Netlist.dffs nl) in
+  let pos_net = Array.of_list (List.map snd (Netlist.pos nl)) in
+  let pi_of = Array.make n (-1) in
+  Array.iteri (fun i g -> pi_of.(g) <- i) pis;
+  let dff_of = Array.make n (-1) in
+  Array.iteri (fun i g -> dff_of.(g) <- i) dffs;
+  let is_obs = Array.make n false in
+  Array.iter (fun net -> is_obs.(net) <- true) pos_net;
+  Array.iter
+    (fun ff ->
+      for e = fanin_off.(ff) to fanin_off.(ff + 1) - 1 do
+        is_obs.(fanin.(e)) <- true
+      done)
+    dffs;
+  {
+    n;
+    kinds;
+    fanin_off;
+    fanin;
+    order;
+    topo_pos;
+    level;
+    pis;
+    dffs;
+    pos_net;
+    pi_of;
+    dff_of;
+    fanout_off;
+    fanout;
+    is_obs;
+    cones = Hashtbl.create 64;
+    cones_mu = Mutex.create ();
+  }
+
+type Netlist.flat_slot += Slot of t
+
+let of_netlist nl =
+  match Netlist.flat_cache nl with
+  | Some (Slot f) -> f
+  | _ ->
+      let f = build nl in
+      Netlist.set_flat_cache nl (Slot f);
+      f
+
+(* ------------------------------------------------------------------ *)
+(* Word-parallel evaluation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The three loops below are the same evaluator specialised per inject
+   mode: generic closure (the public [Sim.eval_words] contract), identity
+   (good-machine simulation), and stuck-at masks (sequential fault
+   batches).  Specialising removes a closure call per gate from the two
+   hot paths. *)
+
+let eval_inject f ~pi ~state ~inject v =
+  let kinds = f.kinds and off = f.fanin_off and fi = f.fanin in
+  let ord = f.order in
+  for i = 0 to f.n - 1 do
+    let g = Array.unsafe_get ord i in
+    let b = Array.unsafe_get off g in
+    let value =
+      match Array.unsafe_get kinds g with
+      | 0 -> pi.(f.pi_of.(g))
+      | 1 -> 0
+      | 2 -> all_ones
+      | 3 -> v.(fi.(b))
+      | 4 -> lnot v.(fi.(b))
+      | 5 -> v.(fi.(b)) land v.(fi.(b + 1))
+      | 6 -> v.(fi.(b)) lor v.(fi.(b + 1))
+      | 7 -> lnot (v.(fi.(b)) land v.(fi.(b + 1)))
+      | 8 -> lnot (v.(fi.(b)) lor v.(fi.(b + 1)))
+      | 9 -> v.(fi.(b)) lxor v.(fi.(b + 1))
+      | 10 -> lnot (v.(fi.(b)) lxor v.(fi.(b + 1)))
+      | 11 ->
+          let s = v.(fi.(b)) in
+          (lnot s land v.(fi.(b + 1))) lor (s land v.(fi.(b + 2)))
+      | _ -> state.(f.dff_of.(g))
+    in
+    Array.unsafe_set v g (inject g (value land all_ones))
+  done
+
+let eval_good f ~pi ~state v =
+  let kinds = f.kinds and off = f.fanin_off and fi = f.fanin in
+  let ord = f.order in
+  for i = 0 to f.n - 1 do
+    let g = Array.unsafe_get ord i in
+    let b = Array.unsafe_get off g in
+    let value =
+      match Array.unsafe_get kinds g with
+      | 0 -> pi.(f.pi_of.(g)) land all_ones
+      | 1 -> 0
+      | 2 -> all_ones
+      | 3 -> v.(fi.(b))
+      | 4 -> lnot v.(fi.(b)) land all_ones
+      | 5 -> v.(fi.(b)) land v.(fi.(b + 1))
+      | 6 -> v.(fi.(b)) lor v.(fi.(b + 1))
+      | 7 -> lnot (v.(fi.(b)) land v.(fi.(b + 1))) land all_ones
+      | 8 -> lnot (v.(fi.(b)) lor v.(fi.(b + 1))) land all_ones
+      | 9 -> v.(fi.(b)) lxor v.(fi.(b + 1))
+      | 10 -> lnot (v.(fi.(b)) lxor v.(fi.(b + 1))) land all_ones
+      | 11 ->
+          let s = v.(fi.(b)) in
+          ((lnot s land v.(fi.(b + 1))) lor (s land v.(fi.(b + 2)))) land all_ones
+      | _ -> state.(f.dff_of.(g)) land all_ones
+    in
+    Array.unsafe_set v g value
+  done
+
+let eval_masked f ~pi ~state ~and_mask ~or_mask v =
+  let kinds = f.kinds and off = f.fanin_off and fi = f.fanin in
+  let ord = f.order in
+  for i = 0 to f.n - 1 do
+    let g = Array.unsafe_get ord i in
+    let b = Array.unsafe_get off g in
+    let value =
+      match Array.unsafe_get kinds g with
+      | 0 -> pi.(f.pi_of.(g)) land all_ones
+      | 1 -> 0
+      | 2 -> all_ones
+      | 3 -> v.(fi.(b))
+      | 4 -> lnot v.(fi.(b)) land all_ones
+      | 5 -> v.(fi.(b)) land v.(fi.(b + 1))
+      | 6 -> v.(fi.(b)) lor v.(fi.(b + 1))
+      | 7 -> lnot (v.(fi.(b)) land v.(fi.(b + 1))) land all_ones
+      | 8 -> lnot (v.(fi.(b)) lor v.(fi.(b + 1))) land all_ones
+      | 9 -> v.(fi.(b)) lxor v.(fi.(b + 1))
+      | 10 -> lnot (v.(fi.(b)) lxor v.(fi.(b + 1))) land all_ones
+      | 11 ->
+          let s = v.(fi.(b)) in
+          ((lnot s land v.(fi.(b + 1))) lor (s land v.(fi.(b + 2)))) land all_ones
+      | _ -> state.(f.dff_of.(g)) land all_ones
+    in
+    Array.unsafe_set v g ((value land and_mask.(g)) lor or_mask.(g))
+  done
+
+let po_words f v = Array.map (fun net -> v.(net)) f.pos_net
+
+(* Flip-flop D capture, reading net values through [read] so the fault
+   simulator can substitute its sparse faulty overlay for the plain value
+   array.  Equations (enable hold, scan override) are the originals from
+   [Sim.next_state_words]. *)
+let capture f ~read k =
+  let ff = f.dffs.(k) in
+  let b = f.fanin_off.(ff) in
+  let fi = f.fanin in
+  match f.kinds.(ff) with
+  | 12 -> read fi.(b)
+  | 13 ->
+      let d = read fi.(b) and en = read fi.(b + 1) and q = read ff in
+      ((en land d) lor (lnot en land q)) land all_ones
+  | 14 ->
+      let d = read fi.(b) and si = read fi.(b + 1) and se = read fi.(b + 2) in
+      ((se land si) lor (lnot se land d)) land all_ones
+  | 15 ->
+      let d = read fi.(b)
+      and en = read fi.(b + 1)
+      and si = read fi.(b + 2)
+      and se = read fi.(b + 3) in
+      let q = read ff in
+      let func = ((en land d) lor (lnot en land q)) land all_ones in
+      ((se land si) lor (lnot se land func)) land all_ones
+  | _ -> assert false
+
+let next_state_words f v = Array.init (Array.length f.dffs) (capture f ~read:(Array.get v))
+
+(* ------------------------------------------------------------------ *)
+(* Fault cones                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let build_cone f site =
+  let n = f.n in
+  let in_cone = Bytes.make n '\000' in
+  let stack = ref [ site ] in
+  Bytes.set in_cone site '\001';
+  let members = ref 1 in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | g :: rest ->
+        stack := rest;
+        for e = f.fanout_off.(g) to f.fanout_off.(g + 1) - 1 do
+          let h = f.fanout.(e) in
+          if f.kinds.(h) < k_dff && Bytes.get in_cone h = '\000' then begin
+            Bytes.set in_cone h '\001';
+            incr members;
+            stack := h :: !stack
+          end
+        done
+  done;
+  (* Cone gates in global topological order: everything reachable from the
+     site sits after it in [order], so a stable sort by topo position puts
+     the site first and keeps fanins-before-fanouts within the cone. *)
+  let gates = Array.make !members 0 in
+  let w = ref 0 in
+  Array.iter
+    (fun g ->
+      if Bytes.get in_cone g = '\001' then begin
+        gates.(!w) <- g;
+        incr w
+      end)
+    f.order;
+  let mem g = Bytes.get in_cone g = '\001' in
+  let pos_hit = ref [] in
+  Array.iteri (fun i net -> if mem net then pos_hit := i :: !pos_hit) f.pos_net;
+  (* A capture can change iff the D/enable/scan pins read a cone net, or —
+     for the q-holding kinds — the flip-flop's own output is the site. *)
+  let dff_hit = ref [] in
+  Array.iteri
+    (fun k ff ->
+      let reads_cone = ref false in
+      for e = f.fanin_off.(ff) to f.fanin_off.(ff + 1) - 1 do
+        if mem f.fanin.(e) then reads_cone := true
+      done;
+      if (f.kinds.(ff) = k_dffe || f.kinds.(ff) = k_sdffe) && mem ff then
+        reads_cone := true;
+      if !reads_cone then dff_hit := k :: !dff_hit)
+    f.dffs;
+  {
+    c_site = site;
+    c_gates = gates;
+    c_pos = Array.of_list (List.rev !pos_hit);
+    c_dffs = Array.of_list (List.rev !dff_hit);
+  }
+
+let cone f site =
+  Mutex.lock f.cones_mu;
+  match Hashtbl.find_opt f.cones site with
+  | Some c ->
+      Mutex.unlock f.cones_mu;
+      (c, true)
+  | None ->
+      (* Build outside the lock?  No: a concurrent builder of the same
+         site would duplicate work but stay correct; holding the lock is
+         simpler and construction is rare (once per site per netlist). *)
+      let c = build_cone f site in
+      Hashtbl.replace f.cones site c;
+      Mutex.unlock f.cones_mu;
+      (c, false)

@@ -2,6 +2,11 @@ module Error = Socet_util.Error
 
 type net = int
 
+(* Slot for the compiled flat form ({!Flat.t}).  The payload type lives in
+   a module that depends on this one, so the slot is an extensible variant
+   the owner extends — type-safe without a dependency cycle. *)
+type flat_slot = ..
+
 type t = {
   nl_name : string;
   mutable kinds : Cell.kind array;
@@ -14,6 +19,7 @@ type t = {
   (* Caches, invalidated on mutation. *)
   mutable fanout_cache : net list array option;
   mutable order_cache : net array option;
+  mutable flat_cache : flat_slot option;
 }
 
 let create nl_name =
@@ -28,13 +34,18 @@ let create nl_name =
     dffs_rev = [];
     fanout_cache = None;
     order_cache = None;
+    flat_cache = None;
   }
 
 let name t = t.nl_name
 
 let invalidate t =
   t.fanout_cache <- None;
-  t.order_cache <- None
+  t.order_cache <- None;
+  t.flat_cache <- None
+
+let flat_cache t = t.flat_cache
+let set_flat_cache t slot = t.flat_cache <- Some slot
 
 let grow t =
   if t.n >= Array.length t.kinds then begin

@@ -68,6 +68,16 @@ val comb_order_result : t -> (net array, Socet_util.Error.t) result
     or dangling fanin instead of raising.  Pipeline entry points (the CLI,
     [Validate.check]) use this form. *)
 
+type flat_slot = ..
+(** Cache slot for the compiled flat form.  {!Flat} extends this variant
+    with its own constructor; the indirection avoids a dependency cycle
+    while keeping the cache invalidated together with the other derived
+    structures on every mutation.  Only {!Flat.of_netlist} should touch
+    it. *)
+
+val flat_cache : t -> flat_slot option
+val set_flat_cache : t -> flat_slot -> unit
+
 val corrupt_fanin : t -> net -> pin:int -> net -> unit
 (** Fault-injection backdoor for the chaos harness ([Socet_util.Chaos],
     [test/test_chaos.ml]): overwrite one fanin pin {e without} validating

@@ -1,6 +1,6 @@
 module Bitvec = Socet_util.Bitvec
 
-let word_width = Sys.int_size - 1
+let word_width = Flat.word_width
 
 type state = Bitvec.t
 
@@ -8,65 +8,19 @@ let initial_state t = Bitvec.create (List.length (Netlist.dffs t))
 
 type wvec = int array
 
-let all_ones = (1 lsl word_width) - 1
+let all_ones = Flat.all_ones
 
-(* Shared combinational evaluation over machine words.  The scalar engine
-   reuses it with 1-bit-meaningful words. *)
+(* Shared combinational evaluation over machine words, on the flat form
+   cached on the netlist — no per-call Hashtbl construction or list
+   traversal.  The scalar engine reuses it with 1-bit-meaningful words. *)
 let eval_words t ~pi ~state ~inject =
-  let n = Netlist.gate_count t in
-  let v = Array.make n 0 in
-  let pi_pos = Hashtbl.create 16 in
-  List.iteri (fun i x -> Hashtbl.replace pi_pos x i) (Netlist.pis t);
-  let dff_pos = Hashtbl.create 16 in
-  List.iteri (fun i x -> Hashtbl.replace dff_pos x i) (Netlist.dffs t);
-  let order = Netlist.comb_order t in
-  Array.iter
-    (fun g ->
-      let f = Netlist.fanin t g in
-      let value =
-        match Netlist.kind t g with
-        | Cell.Pi -> pi.(Hashtbl.find pi_pos g)
-        | Cell.Const0 -> 0
-        | Cell.Const1 -> all_ones
-        | Cell.Buf -> v.(f.(0))
-        | Cell.Inv -> lnot v.(f.(0)) land all_ones
-        | Cell.And2 -> v.(f.(0)) land v.(f.(1))
-        | Cell.Or2 -> v.(f.(0)) lor v.(f.(1))
-        | Cell.Nand2 -> lnot (v.(f.(0)) land v.(f.(1))) land all_ones
-        | Cell.Nor2 -> lnot (v.(f.(0)) lor v.(f.(1))) land all_ones
-        | Cell.Xor2 -> v.(f.(0)) lxor v.(f.(1))
-        | Cell.Xnor2 -> lnot (v.(f.(0)) lxor v.(f.(1))) land all_ones
-        | Cell.Mux2 ->
-            let s = v.(f.(0)) in
-            (lnot s land v.(f.(1))) lor (s land v.(f.(2))) land all_ones
-        | Cell.Dff | Cell.Dffe | Cell.Sdff | Cell.Sdffe ->
-            state.(Hashtbl.find dff_pos g)
-      in
-      v.(g) <- inject g (value land all_ones))
-    order;
+  let f = Flat.of_netlist t in
+  let v = Array.make f.Flat.n 0 in
+  Flat.eval_inject f ~pi ~state ~inject v;
   v
 
-let po_words t v = Array.of_list (List.map (fun (_, n) -> v.(n)) (Netlist.pos t))
-
-let next_state_words t v =
-  let capture g =
-    let f = Netlist.fanin t g in
-    match Netlist.kind t g with
-    | Cell.Dff -> v.(f.(0))
-    | Cell.Dffe ->
-        let d = v.(f.(0)) and en = v.(f.(1)) and q = v.(g) in
-        (en land d) lor (lnot en land q) land all_ones
-    | Cell.Sdff ->
-        let d = v.(f.(0)) and si = v.(f.(1)) and se = v.(f.(2)) in
-        (se land si) lor (lnot se land d) land all_ones
-    | Cell.Sdffe ->
-        let d = v.(f.(0)) and en = v.(f.(1)) and si = v.(f.(2)) and se = v.(f.(3)) in
-        let q = v.(g) in
-        let func = (en land d) lor (lnot en land q) land all_ones in
-        (se land si) lor (lnot se land func) land all_ones
-    | _ -> assert false
-  in
-  Array.of_list (List.map capture (Netlist.dffs t))
+let po_words t v = Flat.po_words (Flat.of_netlist t) v
+let next_state_words t v = Flat.next_state_words (Flat.of_netlist t) v
 
 let words_of_bitvec bv = Array.init (Bitvec.length bv) (fun i -> if Bitvec.get bv i then all_ones else 0)
 
@@ -76,15 +30,13 @@ let bitvec_of_words w =
   bv
 
 let eval_comb t ~pi ~state =
-  let v =
-    eval_words t ~pi:(words_of_bitvec pi) ~state:(words_of_bitvec state)
-      ~inject:(fun _ x -> x)
-  in
+  let f = Flat.of_netlist t in
+  let v = Array.make f.Flat.n 0 in
+  Flat.eval_good f ~pi:(words_of_bitvec pi) ~state:(words_of_bitvec state) v;
   Array.map (fun x -> x land 1) v
 
 let eval t ~pi ~state =
-  let v =
-    eval_words t ~pi:(words_of_bitvec pi) ~state:(words_of_bitvec state)
-      ~inject:(fun _ x -> x)
-  in
-  (bitvec_of_words (po_words t v), bitvec_of_words (next_state_words t v))
+  let f = Flat.of_netlist t in
+  let v = Array.make f.Flat.n 0 in
+  Flat.eval_good f ~pi:(words_of_bitvec pi) ~state:(words_of_bitvec state) v;
+  (bitvec_of_words (Flat.po_words f v), bitvec_of_words (Flat.next_state_words f v))

@@ -1,0 +1,106 @@
+(* Byte-identity of the flat struct-of-arrays fault-simulation kernel
+   against the retained legacy list/Hashtbl engine
+   (Fsim.run_comb_ref/run_seq_ref/eval_words_ref), on the core netlists of
+   random SOCs, at 1/2/4 pool domains.  "Byte-identical" means the full
+   detected-fault lists (order included), PO words and next-state words —
+   not just coverage numbers. *)
+
+open Socet_util
+open Socet_netlist
+module Fsim = Socet_atpg.Fsim
+module Fault = Socet_atpg.Fault
+
+let with_domains n f =
+  Pool.set_size n;
+  Fun.protect ~finally:(fun () -> Pool.set_size 1) f
+
+let soc_netlists seed =
+  let soc = Socet_cores.Gen.random_soc ~hetero:(seed mod 2 = 0) (Rng.create seed) in
+  List.map (fun ci -> ci.Socet_core.Soc.ci_netlist) soc.Socet_core.Soc.insts
+
+(* Enough vectors/faults to exercise multiple word batches (vectors > 62
+   for run_comb) and multiple fault groups (faults are usually > 61 for
+   run_seq on these cores). *)
+let random_vectors rng nl count =
+  List.init count (fun _ -> Rng.bitvec rng (Fsim.vector_length nl))
+
+let random_inputs rng nl count =
+  let npi = List.length (Netlist.pis nl) in
+  List.init count (fun _ -> Rng.bitvec rng npi)
+
+let fault_sig fs = List.map (fun (f : Fault.t) -> (f.f_net, f.f_stuck)) fs
+
+let prop_run_comb_equiv =
+  QCheck.Test.make ~name:"flat run_comb = legacy, 1/2/4 domains" ~count:6
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (seed + 11) in
+      List.for_all
+        (fun nl ->
+          let faults = Fault.collapse nl in
+          let vectors = random_vectors rng nl 70 in
+          let expect = fault_sig (Fsim.run_comb_ref nl ~vectors ~faults) in
+          List.for_all
+            (fun d ->
+              with_domains d (fun () ->
+                  fault_sig (Fsim.run_comb nl ~vectors ~faults) = expect))
+            [ 1; 2; 4 ])
+        (soc_netlists seed))
+
+let prop_run_seq_equiv =
+  QCheck.Test.make ~name:"flat run_seq = legacy, 1/2/4 domains" ~count:6
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (seed + 23) in
+      List.for_all
+        (fun nl ->
+          let faults = Fault.collapse nl in
+          let inputs = random_inputs rng nl 12 in
+          let expect = fault_sig (Fsim.run_seq_ref nl ~inputs ~faults) in
+          List.for_all
+            (fun d ->
+              with_domains d (fun () ->
+                  fault_sig (Fsim.run_seq nl ~inputs ~faults) = expect))
+            [ 1; 2; 4 ])
+        (soc_netlists seed))
+
+let prop_eval_words_equiv =
+  QCheck.Test.make ~name:"flat eval_words/po/next_state = legacy" ~count:10
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (seed + 37) in
+      let all_ones = (1 lsl Sim.word_width) - 1 in
+      let word rng = Int64.to_int (Rng.int64 rng) land all_ones in
+      List.for_all
+        (fun nl ->
+          let npi = List.length (Netlist.pis nl) in
+          let nff = List.length (Netlist.dffs nl) in
+          let pi = Array.init npi (fun _ -> word rng) in
+          let state = Array.init nff (fun _ -> word rng) in
+          (* Identity injection and a per-net stuck-at mask injection,
+             matching the two ways Fsim drives the evaluator. *)
+          let n = Netlist.gate_count nl in
+          let or_mask = Array.init n (fun _ -> if Rng.int rng 50 = 0 then 1 else 0) in
+          let injections =
+            [ (fun _ x -> x); (fun g x -> x lor or_mask.(g)) ]
+          in
+          List.for_all
+            (fun inject ->
+              let flat = Sim.eval_words nl ~pi ~state ~inject in
+              let leg = Fsim.eval_words_ref nl ~pi ~state ~inject in
+              flat = leg
+              && Sim.po_words nl flat = Fsim.po_words_ref nl leg
+              && Sim.next_state_words nl flat = Fsim.next_state_words_ref nl leg)
+            injections)
+        (soc_netlists seed))
+
+let () =
+  Alcotest.run "socet_fsim_flat"
+    [
+      ( "equivalence",
+        [
+          QCheck_alcotest.to_alcotest prop_run_comb_equiv;
+          QCheck_alcotest.to_alcotest prop_run_seq_equiv;
+          QCheck_alcotest.to_alcotest prop_eval_words_equiv;
+        ] );
+    ]
