@@ -685,31 +685,53 @@ let optimizer_section () =
 (* Parallel scaling: domain-pool sweep                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* (engine, [(domains, best seconds)]) — stashed for BENCH_socet.json. *)
-let parallel_results : (string * (int * float) list) list ref = ref []
+(* (engine, ([(domains, best seconds)], byte-identical across domain
+   counts)) — stashed for the BENCH_socet.json "parallel" section the CI
+   scaling gate reads. *)
+let parallel_results : (string * ((int * float) list * bool)) list ref = ref []
+
+(* Cheapest domain count actually measured for this workload — the
+   per-engine recommendation the JSON carries (on a 1-core runner this
+   is honestly 1; speedup gates key on hw_domains instead). *)
+let argmin_domains times =
+  fst
+    (List.fold_left
+       (fun (bd, bt) (d, t) -> if t < bt then (d, t) else (bd, bt))
+       (1, infinity) times)
 
 let parallel_section () =
-  section "Parallel scaling: fault simulation and design-space search";
+  section "Parallel scaling: fault simulation, PODEM and design-space search";
+  (* Each engine thunk returns a digest of its full result, so the sweep
+     checks the determinism contract (byte-identical at any domain
+     count) on the exact workloads it times. *)
   let time_best f =
     let best = ref infinity in
+    let digest = ref "" in
     for _ = 1 to 3 do
       let t0 = Unix.gettimeofday () in
-      f ();
+      digest := f ();
       best := min !best (Unix.gettimeofday () -. t0)
     done;
-    !best
+    (!best, !digest)
   in
   let sweep name f =
-    let times =
+    let runs =
       List.map
         (fun d ->
           Pool.set_size d;
-          (d, time_best f))
+          let t, dg = time_best f in
+          ((d, t), dg))
         [ 1; 2; 4 ]
     in
     Pool.set_size 1;
-    parallel_results := (name, times) :: !parallel_results;
-    times
+    let times = List.map fst runs in
+    let identical =
+      match runs with
+      | (_, first) :: rest -> List.for_all (fun (_, dg) -> dg = first) rest
+      | [] -> true
+    in
+    parallel_results := (name, (times, identical)) :: !parallel_results;
+    (times, identical)
   in
   let cpu = Soc.inst soc1 "CPU" in
   let nl = cpu.Soc.ci_netlist in
@@ -718,27 +740,68 @@ let parallel_section () =
   let vecs =
     List.init 64 (fun _ -> Rng.bitvec rng (Socet_atpg.Fsim.vector_length nl))
   in
+  let digest_of v = Digest.to_hex (Digest.string (Marshal.to_string v [])) in
+  let fault_sig fs =
+    List.map
+      (fun (f : Socet_atpg.Fault.t) ->
+        (f.Socet_atpg.Fault.f_net, f.Socet_atpg.Fault.f_stuck))
+      fs
+  in
   let rows =
     List.map
       (fun (name, f) ->
-        let times = sweep name f in
+        let times, identical = sweep name f in
         let t1 = List.assoc 1 times in
         (name
         :: List.map (fun (_, t) -> Printf.sprintf "%.1f" (t *. 1000.0)) times)
-        @ [ Printf.sprintf "%.2fx" (t1 /. List.assoc 4 times) ])
+        @ [
+            Printf.sprintf "%.2fx" (t1 /. List.assoc 4 times);
+            (if identical then "yes" else "NO");
+          ])
       [
         ( "fsim CPU (64 vec, full fault list)",
-          fun () -> ignore (Socet_atpg.Fsim.run_comb nl ~vectors:vecs ~faults) );
-        ("design space System 1", fun () -> ignore (Select.design_space soc1));
-        ("design space System 2", fun () -> ignore (Select.design_space soc2));
+          fun () ->
+            digest_of (fault_sig (Socet_atpg.Fsim.run_comb nl ~vectors:vecs ~faults)) );
+        ( "podem CPU (16 random + determ)",
+          fun () ->
+            let s = Socet_atpg.Podem.run ~random_patterns:16 nl in
+            digest_of
+              ( List.map Bitvec.to_string s.Socet_atpg.Podem.vectors,
+                fault_sig s.Socet_atpg.Podem.detected,
+                fault_sig s.Socet_atpg.Podem.redundant,
+                fault_sig s.Socet_atpg.Podem.aborted ) );
+        ( "design space System 1",
+          fun () ->
+            digest_of
+              (List.map
+                 (fun (p : Select.point) ->
+                   ( p.Select.pt_choice,
+                     p.Select.pt_area,
+                     p.Select.pt_time,
+                     p.Select.pt_schedule.Schedule.s_total_time ))
+                 (Select.design_space soc1)) );
+        ( "design space System 2",
+          fun () ->
+            digest_of
+              (List.map
+                 (fun (p : Select.point) ->
+                   ( p.Select.pt_choice,
+                     p.Select.pt_area,
+                     p.Select.pt_time,
+                     p.Select.pt_schedule.Schedule.s_total_time ))
+                 (Select.design_space soc2)) );
       ]
   in
   Ascii_table.print
-    ~header:[ "engine"; "1 dom (ms)"; "2 dom (ms)"; "4 dom (ms)"; "speedup@4" ]
+    ~header:
+      [
+        "engine"; "1 dom (ms)"; "2 dom (ms)"; "4 dom (ms)"; "speedup@4";
+        "identical";
+      ]
     rows;
   Printf.printf
-    "(results are bit-identical at every domain count; this machine's\n\
-     recommended domain count is %d)\n"
+    "(identical = result digests match across 1/2/4 domains; this machine\n\
+     has %d hardware domains)\n"
     (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
@@ -1211,11 +1274,25 @@ let write_bench_json file =
         ] )
   in
   let parallel_json =
+    (* Overall recommendation: the domain count with the lowest summed
+       wall time across the swept engines, recomputed from this run's
+       measurements — not a pinned hardware guess.  hw_domains is what
+       the machine offers; the CI speedup gates only apply when it is
+       high enough to scale. *)
+    let summed =
+      List.fold_left
+        (fun acc (_, (times, _)) ->
+          List.map (fun (d, t) -> (d, t +. List.assoc d times)) acc)
+        [ (1, 0.0); (2, 0.0); (4, 0.0) ]
+        !parallel_results
+    in
     Json.Obj
-      (("recommended_domains",
+      (("hw_domains",
         Json.Num (float_of_int (Domain.recommended_domain_count ())))
+      :: ("recommended_domains",
+          Json.Num (float_of_int (argmin_domains summed)))
       :: List.rev_map
-           (fun (name, times) ->
+           (fun (name, (times, identical)) ->
              let t1 = List.assoc 1 times in
              ( name,
                Json.Obj
@@ -1223,7 +1300,12 @@ let write_bench_json file =
                     (fun (d, t) ->
                       (Printf.sprintf "ms_%d_domains" d, Json.Num (t *. 1000.0)))
                     times
-                 @ [ ("speedup_4", Json.Num (t1 /. List.assoc 4 times)) ]) ))
+                 @ [
+                     ("speedup_4", Json.Num (t1 /. List.assoc 4 times));
+                     ( "recommended_domains",
+                       Json.Num (float_of_int (argmin_domains times)) );
+                     ("byte_identical", Json.Num (if identical then 1.0 else 0.0));
+                   ]) ))
            !parallel_results)
   in
   let optimizer_json =

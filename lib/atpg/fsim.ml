@@ -137,20 +137,23 @@ let run_comb nl ~vectors ~faults =
      parallel loop below only reads); the cache lives on the compiled
      form, so across calls on the same netlist these are almost all
      hits. *)
-  let remaining = ref (List.map (fun f -> (f, cone_of flat f)) faults) in
-  let detected = ref [] in
-  let batches = chunk_list Sim.word_width vectors in
-  let pi = Array.make npi 0
-  and st = Array.make nff 0
-  and good = Array.make flat.Flat.n 0 in
-  List.iter
-    (fun batch ->
-      if !remaining <> [] then begin
-        Obs.incr c_batches;
-        Obs.add c_fault_evals (List.length !remaining);
-        let nbatch = List.length batch in
-        Array.fill pi 0 npi 0;
-        Array.fill st 0 nff 0;
+  let fc = Array.of_list (List.map (fun f -> (f, cone_of flat f)) faults) in
+  let nfaults = Array.length fc in
+  let batches = Array.of_list (chunk_list Sim.word_width vectors) in
+  let nbatches = Array.length batches in
+  if nfaults = 0 || nbatches = 0 then []
+  else begin
+    (* Phase 1 (submitting domain): the good circuit for every word
+       batch.  The old engine interleaved one good evaluation with one
+       parallel fan-out per batch; precomputing all batches leaves a
+       single parallel region per call. *)
+    let goods = Array.make nbatches [||] in
+    let good_pos = Array.make nbatches [||] in
+    let good_nss = Array.make nbatches [||] in
+    let useds = Array.make nbatches 0 in
+    Array.iteri
+      (fun b batch ->
+        let pi = Array.make npi 0 and st = Array.make nff 0 in
         List.iteri
           (fun k vec ->
             for i = 0 to npi - 1 do
@@ -160,36 +163,66 @@ let run_comb nl ~vectors ~faults =
               if Bitvec.get vec (npi + i) then st.(i) <- st.(i) lor (1 lsl k)
             done)
           batch;
+        let good = Array.make flat.Flat.n 0 in
         Flat.eval_good flat ~pi ~state:st good;
-        let good_po = Flat.po_words flat good in
-        let good_ns = Flat.next_state_words flat good in
-        let used = (1 lsl nbatch) - 1 in
-        (* Fault-parallel: the remaining fault list is partitioned across
-           the domain pool; the good-circuit words are shared read-only
-           and each domain writes its own sparse overlay per fault.
-           Results come back in submission order, so dropping and the
-           detected list are bit-identical to the sequential engine. *)
-        let rem = Array.of_list !remaining in
-        let hit =
-          Pool.parallel_map
-            (fun ((f : Fault.t), cone) ->
-              let stuck_word = if f.f_stuck then all_ones else 0 in
-              fault_eval flat ~good ~good_po ~good_ns ~stuck_word cone
-              land used
-              <> 0)
-            rem
-        in
-        let still = ref [] in
-        Array.iteri
-          (fun i ((f, _) as fc) ->
-            if hit.(i) then detected := f :: !detected else still := fc :: !still)
-          rem;
-        remaining := List.rev !still
-      end)
-    batches;
-  let detected = List.rev !detected in
-  Obs.add c_dropped (List.length detected);
-  detected
+        goods.(b) <- good;
+        good_pos.(b) <- Flat.po_words flat good;
+        good_nss.(b) <- Flat.next_state_words flat good;
+        useds.(b) <- (1 lsl List.length batch) - 1)
+      batches;
+    (* Phase 2: one coarse parallel region over the fault list.  Each
+       domain owns a contiguous fault shard for the whole call — its
+       sparse overlay and cone walks persist across every word batch of
+       every fault it owns, instead of being re-fanned-out per batch.
+       A fault is simulated until its first detecting batch (fault
+       dropping), recorded in [det]; distinct indices, so the writes
+       are race-free. *)
+    let det = Array.make nfaults nbatches in
+    let cone_cost =
+      let sum =
+        Array.fold_left
+          (fun acc (_, c) -> acc + Array.length c.Flat.c_gates)
+          0 fc
+      in
+      Float.max 1.0 (float_of_int sum /. float_of_int nfaults)
+    in
+    Pool.parallel_iter_ranges ~cost:cone_cost nfaults (fun lo hi ->
+        for i = lo to hi - 1 do
+          let (f : Fault.t), cone = fc.(i) in
+          let stuck_word = if f.f_stuck then all_ones else 0 in
+          let b = ref 0 in
+          while !b < nbatches && det.(i) = nbatches do
+            if
+              fault_eval flat ~good:goods.(!b) ~good_po:good_pos.(!b)
+                ~good_ns:good_nss.(!b) ~stuck_word cone
+              land useds.(!b)
+              <> 0
+            then det.(i) <- !b;
+            incr b
+          done
+        done);
+    (* Merge in (first detecting batch, fault order) — exactly the
+       fault-dropping engine's detected order, at any domain count. *)
+    let by_batch = Array.make nbatches [] in
+    for i = nfaults - 1 downto 0 do
+      if det.(i) < nbatches then
+        by_batch.(det.(i)) <- fst fc.(i) :: by_batch.(det.(i))
+    done;
+    let detected = List.concat (Array.to_list by_batch) in
+    (* Counter totals match the per-batch engine: a fault costs one cone
+       evaluation per batch until it drops, and a batch counts while any
+       fault is still live when it starts. *)
+    let evals = ref 0 and live_batches = ref 0 in
+    Array.iter
+      (fun d ->
+        evals := !evals + min (d + 1) nbatches;
+        if d + 1 > !live_batches then live_batches := min (d + 1) nbatches)
+      det;
+    Obs.add c_batches !live_batches;
+    Obs.add c_fault_evals !evals;
+    Obs.add c_dropped (List.length detected);
+    detected
+  end
 
 let detects_comb nl vec f = run_comb nl ~vectors:[ vec ] ~faults:[ f ] <> []
 
@@ -200,48 +233,67 @@ let run_seq nl ~inputs ~faults =
   let npi = Array.length flat.Flat.pis in
   let nff = Array.length flat.Flat.dffs in
   let good_slot = Sim.word_width - 1 in
+  let batches = Array.of_list (chunk_list good_slot faults) in
+  let nbatches = Array.length batches in
+  let ncycles = List.length inputs in
+  (* Pattern-level coarse grain: fault batches are independent (each
+     carries its own good circuit in the top word slot), so each domain
+     simulates whole batches end to end with private masks, value array
+     and state — scratch allocated once per batch, touched by one domain
+     only.  The primary-input words are shared read-only. *)
+  let pis =
+    Array.of_list
+      (List.map
+         (fun pi_bits ->
+           Array.init npi (fun i -> if Bitvec.get pi_bits i then all_ones else 0))
+         inputs)
+  in
+  let caught =
+    Pool.parallel_map ~chunk:1
+      (fun batch ->
+        let or_mask = Array.make n 0 and and_mask = Array.make n all_ones in
+        let nbatch = List.length batch in
+        List.iteri
+          (fun k (f : Fault.t) ->
+            if f.f_stuck then or_mask.(f.f_net) <- or_mask.(f.f_net) lor (1 lsl k)
+            else and_mask.(f.f_net) <- and_mask.(f.f_net) land lnot (1 lsl k))
+          batch;
+        let used = (1 lsl nbatch) - 1 in
+        let v = Array.make n 0 in
+        let state = ref (Array.make nff 0) in
+        let hit = Array.make nbatch false in
+        Array.iter
+          (fun pi ->
+            Flat.eval_masked flat ~pi ~state:!state ~and_mask ~or_mask v;
+            (* Detection scan: one xor against the sign-extended good bit
+               per PO word, then a walk over the set bits — zero work per
+               word when no fault slot differs (the common case), instead
+               of the old O(batch) list traversal per PO word. *)
+            Array.iter
+              (fun net ->
+                let w = v.(net) in
+                let good_ext = - ((w lsr good_slot) land 1) land all_ones in
+                let d = ref ((w lxor good_ext) land used) in
+                let k = ref 0 in
+                while !d <> 0 do
+                  if !d land 1 = 1 then hit.(!k) <- true;
+                  d := !d lsr 1;
+                  incr k
+                done)
+              flat.Flat.pos_net;
+            state := Flat.next_state_words flat v)
+          pis;
+        hit)
+      batches
+  in
+  Obs.add c_seq_cycles (nbatches * ncycles);
+  (* Submission-order merge: batch order then fault order within the
+     batch — the sequential engine's detected order at any domain count. *)
   let detected = ref [] in
-  let batches = chunk_list good_slot faults in
-  let pi = Array.make npi 0 in
-  let v = Array.make n 0 in
-  List.iter
-    (fun batch ->
-      let or_mask = Array.make n 0 and and_mask = Array.make n all_ones in
-      let nbatch = List.length batch in
-      List.iteri
-        (fun k (f : Fault.t) ->
-          if f.f_stuck then or_mask.(f.f_net) <- or_mask.(f.f_net) lor (1 lsl k)
-          else and_mask.(f.f_net) <- and_mask.(f.f_net) land lnot (1 lsl k))
-        batch;
-      let used = (1 lsl nbatch) - 1 in
-      let state = ref (Array.make nff 0) in
-      let caught = Array.make nbatch false in
-      List.iter
-        (fun pi_bits ->
-          Obs.incr c_seq_cycles;
-          for i = 0 to npi - 1 do
-            pi.(i) <- (if Bitvec.get pi_bits i then all_ones else 0)
-          done;
-          Flat.eval_masked flat ~pi ~state:!state ~and_mask ~or_mask v;
-          (* Detection scan: one xor against the sign-extended good bit
-             per PO word, then a walk over the set bits — zero work per
-             word when no fault slot differs (the common case), instead
-             of the old O(batch) list traversal per PO word. *)
-          Array.iter
-            (fun net ->
-              let w = v.(net) in
-              let good_ext = - ((w lsr good_slot) land 1) land all_ones in
-              let d = ref ((w lxor good_ext) land used) in
-              let k = ref 0 in
-              while !d <> 0 do
-                if !d land 1 = 1 then caught.(!k) <- true;
-                d := !d lsr 1;
-                incr k
-              done)
-            flat.Flat.pos_net;
-          state := Flat.next_state_words flat v)
-        inputs;
-      List.iteri (fun k f -> if caught.(k) then detected := f :: !detected) batch)
+  Array.iteri
+    (fun b batch ->
+      let hit = caught.(b) in
+      List.iteri (fun k f -> if hit.(k) then detected := f :: !detected) batch)
     batches;
   List.rev !detected
 

@@ -31,15 +31,20 @@ val run_comb :
 (** Faults from [faults] detected by at least one vector (fault dropping:
     each fault is simulated only until first detection).
 
-    Per word batch the remaining faults are evaluated in parallel across
-    the {!Socet_util.Pool} domains.  A fault evaluation is event-driven:
-    only the fault site's combinational fanout cone is recomputed (into a
-    stamp-validated per-domain overlay over the shared good-circuit
-    words), and only the POs and D-captures the cone reaches are diffed.
+    Coarse-grained parallel: the good circuit of every word batch is
+    evaluated first on the submitting domain, then the fault list is
+    partitioned once across the {!Socet_util.Pool} domains and each
+    domain simulates its whole fault shard against all batches — its
+    stamp-validated sparse overlay and cone walks stay domain-private
+    for the entire call instead of being re-fanned-out per batch.  A
+    fault evaluation is event-driven: only the fault site's
+    combinational fanout cone is recomputed over the shared good-circuit
+    words, and only the POs and D-captures the cone reaches are diffed.
     Cones are cached on the compiled form for the life of the netlist —
     [atpg.fsim.cone_cache_misses] counts constructions,
-    [atpg.fsim.cone_cache_hits] reuses.  Detections are merged in fault
-    order, so the result is identical at any domain count. *)
+    [atpg.fsim.cone_cache_hits] reuses.  Detections are merged in
+    (first-detecting batch, fault) order — the fault-dropping engine's
+    order — so the result is byte-identical at any domain count. *)
 
 val detects_comb : Netlist.t -> vector -> Fault.t -> bool
 (** Does this single vector detect this single fault? *)
@@ -49,7 +54,11 @@ val run_seq :
 (** Applies the PI sequence cycle by cycle from the all-zero state and
     returns the faults whose machine differs from the good machine at a
     primary output in some cycle.  Faults are simulated in word-sized
-    groups, all sharing the good machine evaluation. *)
+    groups, each carrying its own good machine in the top word slot;
+    the groups are independent, so each {!Socet_util.Pool} domain runs
+    whole groups end to end with private masks, value array and state.
+    Caught lists are merged in group submission order — byte-identical
+    at any domain count. *)
 
 (** {1 Legacy reference engine}
 

@@ -5,8 +5,12 @@ module Obs = Socet_obs.Obs
 (* Observability: PODEM's effort is dominated by its decision/backtrack
    loop, so those are the counters every perf PR will watch. *)
 let c_faults = Obs.counter ~scope:"atpg" "podem.faults_targeted"
-let c_decisions = Obs.counter ~scope:"atpg" "podem.decisions"
-let c_backtracks = Obs.counter ~scope:"atpg" "podem.backtracks"
+
+(* The decision/backtrack cells are hammered from inside speculative
+   windows, so they are sharded per pool domain slot — increments stay on
+   the worker's own cache line, reads sum to the exact total. *)
+let c_decisions = Obs.sharded_counter ~scope:"atpg" "podem.decisions"
+let c_backtracks = Obs.sharded_counter ~scope:"atpg" "podem.backtracks"
 let h_backtracks = Obs.histogram ~scope:"atpg" "podem.backtracks_per_fault"
 
 (* Adaptive-budget telemetry: one escalation per fault per pass that had
@@ -281,14 +285,14 @@ let generate ?(backtrack_limit = 1000) ?scoap ?budget nl (fault : Fault.t) =
       in
       match next_decision with
       | Some (i, v) ->
-          Obs.incr c_decisions;
+          Obs.sincr c_decisions;
           assign.(i) <- v;
           stack := (i, v, false) :: !stack;
           imply ()
       | None ->
           (* Backtrack. *)
           incr backtracks;
-          Obs.incr c_backtracks;
+          Obs.sincr c_backtracks;
           if !backtracks > backtrack_limit then result := Some Aborted
           else begin
             let rec pop () =
@@ -363,6 +367,32 @@ let run ?(backtrack_limit = 1000) ?(random_patterns = 64) ?(seed = 42)
     match budget with None -> true | Some b -> not (Budget.exhausted b)
   in
   let determ () =
+    (* Speculative windows: [generate] is a pure function of
+       (netlist, fault, limit, scoap), so a prefix of the queue can be
+       searched in parallel and the outcomes consumed in queue order.
+       Consuming replays the sequential engine exactly — a window fault
+       collaterally dropped by an earlier Test vector is no longer at
+       the queue head when its slot comes up, and its speculative
+       outcome is simply discarded.  Since the pass limit is constant
+       within a window, surviving outcomes are the ones the serial
+       engine would have computed, so vectors/detected/redundant/
+       aborted are bit-identical at any domain count; only the wasted
+       speculation (and its decision/backtrack counters) varies. *)
+    if Netlist.gate_count nl > 0 then begin
+      (* Warm the netlist's lazily-built shared caches on the submitting
+         domain; window workers then only read them. *)
+      ignore (Netlist.comb_order nl);
+      ignore (Netlist.fanout nl 0)
+    end;
+    let window_size =
+      (* Budgeted runs stay serial: the fuse is checked inside [generate],
+         so parallel speculation would make the abort point timing-
+         dependent. *)
+      if budget <> None || Pool.size () = 1 then 1 else 4 * Pool.size ()
+    in
+    let rec take k xs =
+      if k = 0 then [] else match xs with [] -> [] | x :: tl -> x :: take (k - 1) tl
+    in
     let limit = ref (min 32 backtrack_limit) in
     let queue = ref !remaining in
     let stop = ref false in
@@ -372,31 +402,51 @@ let run ?(backtrack_limit = 1000) ?(random_patterns = 64) ?(seed = 42)
       while !pass_on do
         match !queue with
         | [] -> pass_on := false
-        | f :: rest ->
-            queue := rest;
-            if not (budget_alive ()) then begin
-              (* Out of fuel/deadline: everything still queued is aborted;
-                 vectors found so far remain valid. *)
-              aborted := (f :: rest) @ !retry @ !aborted;
-              retry := [];
-              queue := [];
-              pass_on := false;
-              stop := true
-            end
-            else begin
-              match generate ~backtrack_limit:!limit ?scoap ?budget nl f with
-              | Untestable -> redundant := f :: !redundant
-              | Aborted -> retry := f :: !retry
-              | Test vec ->
-                  detected := f :: !detected;
-                  let extra = Fsim.run_comb nl ~vectors:[ vec ] ~faults:!queue in
-                  detected := extra @ !detected;
-                  queue :=
-                    List.filter
-                      (fun f' -> not (List.exists (Fault.equal f') extra))
-                      !queue;
-                  vectors := vec :: !vectors
-            end
+        | _ when not (budget_alive ()) ->
+            (* Out of fuel/deadline: everything still queued is aborted;
+               vectors found so far remain valid. *)
+            aborted := !queue @ !retry @ !aborted;
+            retry := [];
+            queue := [];
+            pass_on := false;
+            stop := true
+        | _ ->
+            let win = Array.of_list (take window_size !queue) in
+            let outcomes =
+              if Array.length win <= 1 then
+                Array.map
+                  (fun f -> generate ~backtrack_limit:!limit ?scoap ?budget nl f)
+                  win
+              else
+                Pool.parallel_map ~chunk:1
+                  (fun f -> generate ~backtrack_limit:!limit ?scoap nl f)
+                  win
+            in
+            Array.iteri
+              (fun i f ->
+                match !queue with
+                | g :: rest when Fault.equal g f -> (
+                    queue := rest;
+                    match outcomes.(i) with
+                    | Untestable -> redundant := f :: !redundant
+                    | Aborted -> retry := f :: !retry
+                    | Test vec ->
+                        detected := f :: !detected;
+                        let extra =
+                          Fsim.run_comb nl ~vectors:[ vec ] ~faults:!queue
+                        in
+                        detected := extra @ !detected;
+                        queue :=
+                          List.filter
+                            (fun f' ->
+                              not (List.exists (Fault.equal f') extra))
+                            !queue;
+                        vectors := vec :: !vectors)
+                | _ ->
+                    (* Collaterally dropped earlier in this window; the
+                       speculative outcome is discarded. *)
+                    ())
+              win
       done;
       if not !stop then begin
         match !retry with

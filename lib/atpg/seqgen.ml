@@ -9,25 +9,26 @@ type stats = {
   efficiency : float;
 }
 
+(* Each random vector is held for [hold] cycles, as a functional
+   stimulus would hold an instruction while the control FSM sequences —
+   pure per-cycle noise exercises opcode-gated datapaths almost never. *)
+let sequence ?(cycles = 512) ?(hold = 8) ?(seed = 7) nl =
+  let rng = Rng.create seed in
+  let npi = List.length (Netlist.pis nl) in
+  List.init cycles (fun i -> if i mod hold = 0 then Some (Rng.bitvec rng npi) else None)
+  |> List.fold_left
+       (fun acc v ->
+         match (v, acc) with
+         | Some v, _ -> v :: acc
+         | None, last :: _ -> last :: acc
+         | None, [] -> assert false)
+       []
+  |> List.rev
+
 let random ?(cycles = 512) ?(hold = 8) ?(seed = 7) nl =
   let faults = Fault.collapse nl in
   let total = List.length faults in
-  let rng = Rng.create seed in
-  let npi = List.length (Netlist.pis nl) in
-  (* Each random vector is held for [hold] cycles, as a functional
-     stimulus would hold an instruction while the control FSM sequences —
-     pure per-cycle noise exercises opcode-gated datapaths almost never. *)
-  let inputs =
-    List.init cycles (fun i -> if i mod hold = 0 then Some (Rng.bitvec rng npi) else None)
-    |> List.fold_left
-         (fun acc v ->
-           match (v, acc) with
-           | Some v, _ -> v :: acc
-           | None, last :: _ -> last :: acc
-           | None, [] -> assert false)
-         []
-    |> List.rev
-  in
+  let inputs = sequence ~cycles ~hold ~seed nl in
   let detected = List.length (Fsim.run_seq nl ~inputs ~faults) in
   let pct x = if total = 0 then 0.0 else 100.0 *. float_of_int x /. float_of_int total in
   {

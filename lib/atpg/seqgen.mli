@@ -5,6 +5,7 @@
     an SOC without chip-level DFT has very poor fault coverage.  Random
     sequences from the reset state reproduce exactly that behaviour. *)
 
+open Socet_util
 open Socet_netlist
 
 type stats = {
@@ -15,6 +16,13 @@ type stats = {
   efficiency : float;  (** percent; equals coverage here, as random search
                            proves no fault untestable *)
 }
+
+val sequence :
+  ?cycles:int -> ?hold:int -> ?seed:int -> Netlist.t -> Bitvec.t list
+(** The raw stimulus [random] simulates: [cycles] primary-input vectors,
+    a fresh random one drawn every [hold] cycles and held in between.
+    Deterministic in [seed]; exposed so tests can replay the exact
+    sequence through {!Fsim.run_seq} and its reference engine. *)
 
 val random : ?cycles:int -> ?hold:int -> ?seed:int -> Netlist.t -> stats
 (** [cycles] (default 512) clock cycles of stimulus from the all-zero

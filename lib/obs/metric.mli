@@ -20,6 +20,23 @@ val set : gauge -> int -> unit
 val set_max : gauge -> int -> unit
 (** Lock-free monotonic maximum (peak tracking, e.g. D-frontier size). *)
 
+type sharded
+(** A counter split into one cell per pool domain slot
+    ({!Socet_util.Pool.domain_slot}): increments from inside parallel
+    regions stay on the caller's own cache line; the value is the exact
+    sum over the cells. *)
+
+val make_sharded : unit -> sharded
+val sharded_incr : sharded -> unit
+val sharded_add : sharded -> int -> unit
+val sharded_value : sharded -> int
+
+val sharded_shards : sharded -> int array
+(** Per-slot snapshot (index = {!Socet_util.Pool.domain_slot}); slot 0 is
+    the submitting domain. *)
+
+val sharded_reset : sharded -> unit
+
 type timer
 
 val make_timer : unit -> timer

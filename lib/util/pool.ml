@@ -31,6 +31,20 @@ let size () =
       | None -> max 1 (Domain.recommended_domain_count ()))
 
 (* ------------------------------------------------------------------ *)
+(* Per-domain slots                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A stable small index per participating domain: 0 for the submitter,
+   1.. for the workers (assigned at spawn).  Sharded metric cells and
+   other per-domain scratch are indexed by it, so it is bounded by
+   [max_slots]; a pool larger than that aliases worker slots, which only
+   costs contention, never correctness. *)
+let max_slots = 64
+
+let slot_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let domain_slot () = Domain.DLS.get slot_key
+
+(* ------------------------------------------------------------------ *)
 (* Jobs and the pool                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -82,8 +96,9 @@ let signal_if_done pool j =
     Mutex.unlock pool.mu
   end
 
-let worker pool start_gen () =
+let worker pool slot start_gen () =
   Domain.DLS.set in_pool true;
+  Domain.DLS.set slot_key slot;
   let rec loop last_gen =
     Mutex.lock pool.mu;
     while (not pool.stop) && pool.gen = last_gen do
@@ -140,7 +155,10 @@ let ensure_pool () =
           workers = [];
         }
       in
-      p.workers <- List.init want (fun _ -> Domain.spawn (worker p p.gen));
+      p.workers <-
+        List.init want (fun i ->
+            let slot = 1 + (i mod (max_slots - 1)) in
+            Domain.spawn (worker p slot p.gen));
       current := Some p;
       p
 
@@ -193,16 +211,52 @@ let run_chunks ~chunks run =
 (* Combinators                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let chunk_size ?chunk n =
-  match chunk with
-  | Some c -> max 1 c
-  | None -> max 1 (n / (4 * size ()))
+(* [SOCET_CHUNK] pins the work-stealing granularity for experiments;
+   read once, like [SOCET_DOMAINS]. *)
+let env_chunk =
+  lazy
+    (match Sys.getenv_opt "SOCET_CHUNK" with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> Some n
+        | _ -> None))
 
-let parallel_map ?chunk f xs =
+(* Minimum work units a chunk should carry before fan-out pays for the
+   cursor traffic and wake-ups.  With [cost] (estimated units per item,
+   e.g. gates per fault cone) the caller turns a sea of tiny items into
+   coarse shards: chunk = max(items for 4 chunks/domain, items to reach
+   [grain] units).  Without [cost] the old 4-chunks-per-domain split is
+   kept, so existing callers are unchanged. *)
+let grain = 2048.0
+
+let chunk_size ?chunk ?cost n =
+  match Lazy.force env_chunk with
+  | Some c -> max 1 c
+  | None -> (
+      match chunk with
+      | Some c -> max 1 c
+      | None ->
+          let by_balance = max 1 (n / (4 * size ())) in
+          let by_grain =
+            match cost with
+            | None -> 1
+            | Some c -> int_of_float (ceil (grain /. Float.max 1.0 c))
+          in
+          max by_balance by_grain)
+
+let parallel_iter_ranges ?chunk ?cost n f =
+  if n > 0 then begin
+    let c = chunk_size ?chunk ?cost n in
+    let chunks = (n + c - 1) / c in
+    run_chunks ~chunks (fun k -> f (k * c) (min n ((k + 1) * c)))
+  end
+
+let parallel_map ?chunk ?cost f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
-    let c = chunk_size ?chunk n in
+    let c = chunk_size ?chunk ?cost n in
     let chunks = (n + c - 1) / c in
     let out = Array.make n None in
     run_chunks ~chunks (fun k ->
@@ -214,8 +268,8 @@ let parallel_map ?chunk f xs =
     Array.map (function Some v -> v | None -> assert false) out
   end
 
-let parallel_map_list ?chunk f xs =
-  Array.to_list (parallel_map ?chunk f (Array.of_list xs))
+let parallel_map_list ?chunk ?cost f xs =
+  Array.to_list (parallel_map ?chunk ?cost f (Array.of_list xs))
 
-let parallel_reduce ?chunk ~map ~merge ~init xs =
-  Array.fold_left merge init (parallel_map ?chunk map xs)
+let parallel_reduce ?chunk ?cost ~map ~merge ~init xs =
+  Array.fold_left merge init (parallel_map ?chunk ?cost map xs)

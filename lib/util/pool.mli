@@ -30,17 +30,48 @@ val set_size : int -> unit
 (** Override the pool size (clamped to >= 1).  An existing pool of a
     different size is torn down and respawned on the next parallel call. *)
 
-val parallel_map : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
-(** [parallel_map f xs] is [Array.map f xs] computed on the pool.
-    [chunk] is the work-stealing granularity (default [len / (4 * size)],
-    at least 1).  Output order is input order.  The first exception raised
-    by [f] is re-raised on the calling domain after all chunks settle. *)
+val max_slots : int
+(** Upper bound on {!domain_slot} values (a power of two; currently 64).
+    Per-domain state indexed by slot needs exactly this many cells. *)
 
-val parallel_map_list : ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+val domain_slot : unit -> int
+(** A stable small index for the calling domain: 0 on the submitting
+    domain, [1 .. max_slots - 1] on pool workers (assigned at spawn; a
+    pool larger than [max_slots - 1] workers aliases slots, which only
+    adds contention on shared cells, never incorrect totals).  Sharded
+    metric cells ({!Socet_obs.Obs.sharded_counter}) and per-domain
+    scratch index by it. *)
+
+val chunk_size : ?chunk:int -> ?cost:float -> int -> int
+(** The work-stealing granularity the combinators below use for [n]
+    items, exposed for tests and tuning.  Priority: the [SOCET_CHUNK]
+    environment variable (pins the size for experiments), then [chunk],
+    then the heuristic: at least [n / (4 * size ())] (4 chunks per
+    domain), raised until a chunk carries ~2048 estimated work units
+    when [cost] (units per item, e.g. p50 gates per fault cone) says
+    items are tiny — coarse shards instead of per-item fan-out. *)
+
+val parallel_iter_ranges :
+  ?chunk:int -> ?cost:float -> int -> (int -> int -> unit) -> unit
+(** [parallel_iter_ranges n f] partitions [0 .. n-1] into chunks (see
+    {!chunk_size}) and calls [f lo hi] (hi exclusive) for each, stolen
+    across the pool.  The coarse-shard primitive: one parallel region
+    per engine call, with each domain looping over a whole index range
+    so per-domain scratch persists across the items it owns. *)
+
+val parallel_map : ?chunk:int -> ?cost:float -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map f xs] is [Array.map f xs] computed on the pool.
+    [chunk]/[cost] control the work-stealing granularity (see
+    {!chunk_size}).  Output order is input order.  The first exception
+    raised by [f] is re-raised on the calling domain after all chunks
+    settle. *)
+
+val parallel_map_list : ?chunk:int -> ?cost:float -> ('a -> 'b) -> 'a list -> 'b list
 (** [List.map f xs] on the pool; order preserved. *)
 
 val parallel_reduce :
   ?chunk:int ->
+  ?cost:float ->
   map:('a -> 'b) ->
   merge:('acc -> 'b -> 'acc) ->
   init:'acc ->

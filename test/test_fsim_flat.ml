@@ -94,6 +94,46 @@ let prop_eval_words_equiv =
             injections)
         (soc_netlists seed))
 
+(* Sequential equivalence focused on state elements: faults on flip-flop
+   outputs and in their D-fanin only surface through next-state capture
+   and a later cycle's propagation, not the same cycle's PO diff.
+   Inputs are held across cycles so the machines actually sequence
+   through distinct states. *)
+let prop_run_seq_dff_equiv =
+  QCheck.Test.make ~name:"flat run_seq, DFF-cone faults = legacy, 1/2/4 domains"
+    ~count:6
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (seed + 53) in
+      List.for_all
+        (fun nl ->
+          let dff_cone =
+            List.concat_map
+              (fun ff -> ff :: Array.to_list (Netlist.fanin nl ff))
+              (Netlist.dffs nl)
+          in
+          let faults =
+            List.filter
+              (fun (f : Fault.t) -> List.mem f.f_net dff_cone)
+              (Fault.collapse nl)
+          in
+          faults = []
+          || begin
+               let npi = List.length (Netlist.pis nl) in
+               let inputs =
+                 List.concat_map
+                   (fun v -> [ v; v; v ])
+                   (List.init 6 (fun _ -> Rng.bitvec rng npi))
+               in
+               let expect = fault_sig (Fsim.run_seq_ref nl ~inputs ~faults) in
+               List.for_all
+                 (fun d ->
+                   with_domains d (fun () ->
+                       fault_sig (Fsim.run_seq nl ~inputs ~faults) = expect))
+                 [ 1; 2; 4 ]
+             end)
+        (soc_netlists seed))
+
 let () =
   Alcotest.run "socet_fsim_flat"
     [
@@ -101,6 +141,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_run_comb_equiv;
           QCheck_alcotest.to_alcotest prop_run_seq_equiv;
+          QCheck_alcotest.to_alcotest prop_run_seq_dff_equiv;
           QCheck_alcotest.to_alcotest prop_eval_words_equiv;
         ] );
     ]

@@ -72,6 +72,32 @@ let test_exception_propagates () =
   let out = Pool.parallel_map (fun i -> i * 2) (Array.init 50 (fun i -> i)) in
   check "pool reusable after failure" true (out = Array.init 50 (fun i -> i * 2))
 
+let test_chunk_heuristic () =
+  with_domains 4 @@ fun () ->
+  (* No cost hint: pure load-balance split, ~4 chunks per domain. *)
+  check_int "balance split" (1000 / (4 * Pool.size ())) (Pool.chunk_size 1000);
+  check_int "floor of one" 1 (Pool.chunk_size 2);
+  (* An explicit chunk always wins over the heuristic. *)
+  check_int "explicit chunk wins" 7 (Pool.chunk_size ~chunk:7 1000);
+  (* A cost hint coarsens tiny work items toward the ~2048-unit grain ... *)
+  check "cheap items coarsen" true
+    (Pool.chunk_size ~cost:10.0 1000 >= 2048 / 10);
+  (* ... and leaves expensive items on the balance split. *)
+  check_int "expensive items balance" (1000 / (4 * Pool.size ()))
+    (Pool.chunk_size ~cost:4096.0 1000)
+
+let test_iter_ranges_covers () =
+  with_domains 4 @@ fun () ->
+  List.iter
+    (fun n ->
+      let seen = Array.make (max n 1) 0 in
+      Pool.parallel_iter_ranges ~chunk:3 n (fun lo hi ->
+          for i = lo to hi - 1 do
+            seen.(i) <- seen.(i) + 1
+          done);
+      check "each index exactly once" true (Array.for_all (( = ) 1) seen || n = 0))
+    [ 0; 1; 2; 3; 64; 1000 ]
+
 let test_nested_no_deadlock () =
   with_domains 4 @@ fun () ->
   let out =
@@ -215,6 +241,9 @@ let () =
             test_exception_propagates;
           Alcotest.test_case "nested calls degrade, no deadlock" `Quick
             test_nested_no_deadlock;
+          Alcotest.test_case "chunk-size heuristic" `Quick test_chunk_heuristic;
+          Alcotest.test_case "iter_ranges covers exactly" `Quick
+            test_iter_ranges_covers;
         ] );
       ( "fsim",
         [

@@ -1,0 +1,120 @@
+(* Sequential test generation (Seqgen): the held-vector stimulus is
+   deterministic in its seed, replays byte-identically through the flat
+   run_seq and the legacy reference engine at any domain count, and the
+   reported stats are exactly a replay of that stimulus — on the fixed
+   Systems 1-2 cores and on random cores. *)
+
+open Socet_util
+open Socet_netlist
+open Socet_cores
+module Fsim = Socet_atpg.Fsim
+module Fault = Socet_atpg.Fault
+module Seqgen = Socet_atpg.Seqgen
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_domains n f =
+  Pool.set_size n;
+  Fun.protect ~finally:(fun () -> Pool.set_size 1) f
+
+let system_netlists () =
+  List.concat_map
+    (fun soc ->
+      List.map (fun ci -> ci.Socet_core.Soc.ci_netlist) soc.Socet_core.Soc.insts)
+    [ Systems.system1 (); Systems.system2 () ]
+
+(* ------------------------------------------------------------------ *)
+(* Fixed systems                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_sequence_shape () =
+  List.iter
+    (fun nl ->
+      let npi = List.length (Netlist.pis nl) in
+      let inputs = Seqgen.sequence ~cycles:48 ~hold:8 nl in
+      check_int "one vector per cycle" 48 (List.length inputs);
+      let arr = Array.of_list inputs in
+      Array.iteri
+        (fun i v ->
+          check_int "vector width is the PI count" npi (Bitvec.length v);
+          (* Held stimulus: within a hold window every cycle repeats the
+             vector drawn at the window start. *)
+          if i mod 8 <> 0 then
+            check "held within window" true (Bitvec.equal v arr.(i - 1)))
+        arr)
+    (system_netlists ())
+
+let test_stats_are_replay () =
+  List.iter
+    (fun nl ->
+      let stats = Seqgen.random ~cycles:64 ~hold:8 ~seed:7 nl in
+      let faults = Fault.collapse nl in
+      check_int "total is the collapsed fault count" (List.length faults)
+        stats.Seqgen.total_faults;
+      let inputs = Seqgen.sequence ~cycles:64 ~hold:8 ~seed:7 nl in
+      let detected = List.length (Fsim.run_seq nl ~inputs ~faults) in
+      check_int "detected = replaying the same sequence" detected
+        stats.Seqgen.detected;
+      check "coverage consistent" true
+        (stats.Seqgen.total_faults = 0
+        || Float.abs
+             (stats.Seqgen.coverage
+             -. 100.0
+                *. float_of_int detected
+                /. float_of_int stats.Seqgen.total_faults)
+           < 1e-9);
+      check "efficiency equals coverage" true
+        (stats.Seqgen.efficiency = stats.Seqgen.coverage))
+    (system_netlists ())
+
+(* ------------------------------------------------------------------ *)
+(* Random cores                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_sequence_deterministic =
+  QCheck.Test.make ~name:"sequence deterministic in seed" ~count:10
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let nl =
+        Socet_synth.Elaborate.core_to_netlist (Gen.random_core (Rng.create seed))
+      in
+      let a = Seqgen.sequence ~cycles:32 ~hold:4 ~seed nl in
+      let b = Seqgen.sequence ~cycles:32 ~hold:4 ~seed nl in
+      List.for_all2 Bitvec.equal a b)
+
+let prop_replay_clean =
+  QCheck.Test.make
+    ~name:"sequence replays identically: flat 1/2/4 domains = legacy"
+    ~count:6
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let nl =
+        Socet_synth.Elaborate.core_to_netlist (Gen.random_core (Rng.create seed))
+      in
+      let faults = Fault.collapse nl in
+      let inputs = Seqgen.sequence ~cycles:40 ~hold:8 ~seed nl in
+      let fault_sig fs =
+        List.map (fun (f : Fault.t) -> (f.f_net, f.f_stuck)) fs
+      in
+      let expect = fault_sig (Fsim.run_seq_ref nl ~inputs ~faults) in
+      List.for_all
+        (fun d ->
+          with_domains d (fun () ->
+              fault_sig (Fsim.run_seq nl ~inputs ~faults) = expect))
+        [ 1; 2; 4 ])
+
+let () =
+  Alcotest.run "socet_seqgen"
+    [
+      ( "systems",
+        [
+          Alcotest.test_case "stimulus shape" `Quick test_sequence_shape;
+          Alcotest.test_case "stats are a replay" `Quick test_stats_are_replay;
+        ] );
+      ( "random",
+        [
+          QCheck_alcotest.to_alcotest prop_sequence_deterministic;
+          QCheck_alcotest.to_alcotest prop_replay_clean;
+        ] );
+    ]
