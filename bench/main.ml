@@ -1136,6 +1136,167 @@ let tam_section () =
     failwith "tam fleet produced failures or replay violations"
 
 (* ------------------------------------------------------------------ *)
+(* Persistent result cache: warm vs cold                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Fleet pass: (cold ms, warm ms, hits, misses, identical, store bytes);
+   serve pass: (cold jobs/s, warm jobs/s, warm hit rate); the optional
+   ≥4-domain warm pass — all stashed for the BENCH_socet.json "cache"
+   section. *)
+let cache_fleet_results :
+    (float * float * int * int * bool * int) option ref =
+  ref None
+
+let cache_serve_results : (float * float * float) option ref = ref None
+let cache_domain_scaling : (int, float) Either.t option ref = ref None
+
+let cache_section () =
+  section "Persistent result cache: warm vs cold";
+  let module Cache = Socet_cache.Cache in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  let scoreboard_totals () =
+    List.fold_left
+      (fun (h, m) (_, h', m') -> (h + h', m + m'))
+      (0, 0) (Cache.scoreboard ())
+  in
+  let tmp_dir tag =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "socet-bench-cache-%s-%d" tag (Unix.getpid ()))
+  in
+  (* Fleet: the tam section's 120-SOC workload, cold then warm against
+     the same store.  Fleet.run keeps both replay oracles engaged, so a
+     cache bug that changes any planned result fails here, not just the
+     byte-diff. *)
+  let fleet_dir = tmp_dir "fleet" in
+  let store =
+    match Cache.open_dir fleet_dir with
+    | Ok s -> s
+    | Error e -> failwith (Error.to_string e)
+  in
+  let run_fleet () =
+    Cache.with_store (Some store) (fun () ->
+        Socet_tam.Fleet.run ~seed:tam_fleet_seed ~count:tam_fleet_count ())
+  in
+  Cache.reset_scoreboard ();
+  let cold_entries, cold_ms = time run_fleet in
+  Cache.reset_scoreboard ();
+  let warm_entries, warm_ms = time run_fleet in
+  let hits, misses = scoreboard_totals () in
+  let identical =
+    String.equal
+      (Socet_tam.Fleet.render cold_entries)
+      (Socet_tam.Fleet.render warm_entries)
+  in
+  let check label entries =
+    let s = Socet_tam.Fleet.summarize entries in
+    if s.Socet_tam.Fleet.s_failures > 0 || s.Socet_tam.Fleet.s_issues > 0 then
+      failwith (label ^ " cached fleet pass failed the replay oracle")
+  in
+  check "cold" cold_entries;
+  check "warm" warm_entries;
+  if not identical then failwith "warm fleet output differs from cold";
+  let store_bytes = Socet_cache.Store.bytes_used store in
+  cache_fleet_results :=
+    Some (cold_ms, warm_ms, hits, misses, identical, store_bytes);
+  Ascii_table.print
+    ~header:[ "pass"; "wall ms"; "hits"; "misses"; "hit rate" ]
+    [
+      [ "cold"; Printf.sprintf "%.0f" cold_ms; "0"; "-"; "0.00" ];
+      [
+        "warm";
+        Printf.sprintf "%.0f" warm_ms;
+        string_of_int hits;
+        string_of_int misses;
+        Printf.sprintf "%.2f" (float_of_int hits /. float_of_int (max 1 (hits + misses)));
+      ];
+    ];
+  Printf.printf
+    "warm/cold = %.2f (acceptance: <= 0.50); outputs byte-identical; store %d KiB\n"
+    (warm_ms /. cold_ms)
+    (store_bytes / 1024);
+  (* Serve path: the same explore job through the wire protocol with the
+     request-level cache field, one sequential client, two passes. *)
+  let serve_dir = tmp_dir "serve" in
+  let module Serve = Socet_serve in
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ()) "socet-bench-cache.sock"
+  in
+  let srv = Serve.Server.start ~queue_depth:16 ~socket () in
+  let chip system backend =
+    Serve.Proto.Chip
+      { Serve.Proto.ch_system = system; ch_strict = false; ch_backend = backend }
+  in
+  let reqs =
+    List.map
+      (fun body -> Serve.Proto.make ~cache:serve_dir body)
+      [
+        chip "system1" Serve.Proto.Ccg;
+        chip "system1" Serve.Proto.Tam;
+        chip "system2" Serve.Proto.Ccg;
+        chip "system2" Serve.Proto.Tam;
+        Serve.Proto.Atpg { Serve.Proto.at_core = "cpu" };
+        Serve.Proto.Atpg { Serve.Proto.at_core = "gcd" };
+        Serve.Proto.Atpg { Serve.Proto.at_core = "display" };
+        Serve.Proto.Atpg { Serve.Proto.at_core = "preprocessor" };
+      ]
+  in
+  let jobs = List.length reqs in
+  let run_pass () =
+    match Serve.Client.connect socket with
+    | Error e -> failwith (Error.to_string e)
+    | Ok c ->
+        let _, wall_ms =
+          time (fun () ->
+              List.iter
+                (fun req ->
+                  match Serve.Client.request c req with
+                  | Ok _ -> ()
+                  | Error e -> failwith (Error.to_string e))
+                reqs)
+        in
+        Serve.Client.close c;
+        float_of_int jobs /. (wall_ms /. 1000.0)
+  in
+  let cold_jobs_s = run_pass () in
+  Cache.reset_scoreboard ();
+  let warm_jobs_s = run_pass () in
+  let sh, sm = scoreboard_totals () in
+  let serve_hit_rate = float_of_int sh /. float_of_int (max 1 (sh + sm)) in
+  Serve.Server.shutdown srv;
+  ignore (Serve.Server.wait srv);
+  cache_serve_results := Some (cold_jobs_s, warm_jobs_s, serve_hit_rate);
+  Printf.printf
+    "serve (%d chip jobs, request-level cache field): cold %.1f jobs/s, \
+     warm %.1f jobs/s, warm hit rate %.2f\n"
+    jobs cold_jobs_s warm_jobs_s serve_hit_rate;
+  (* Warm fleet under >= 4 pool domains: only meaningful with >= 4
+     hardware threads, so gate on the runner. *)
+  let hw = Stdlib.Domain.recommended_domain_count () in
+  if hw >= 4 then begin
+    Pool.set_size 4;
+    let entries, ms = time run_fleet in
+    Pool.set_size 1;
+    if
+      not
+        (String.equal
+           (Socet_tam.Fleet.render cold_entries)
+           (Socet_tam.Fleet.render entries))
+    then failwith "4-domain warm fleet output differs from cold";
+    cache_domain_scaling := Some (Either.Right ms);
+    Printf.printf "warm fleet at 4 domains: %.0f ms (byte-identical)\n" ms
+  end
+  else begin
+    cache_domain_scaling := Some (Either.Left hw);
+    Printf.printf
+      "(>=4-domain warm pass skipped: runner reports %d hardware thread(s))\n"
+      hw
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1429,6 +1590,66 @@ let write_bench_json file =
     in
     Json.Obj (systems @ fleet)
   in
+  let cache_json =
+    let fleet =
+      match !cache_fleet_results with
+      | None -> []
+      | Some (cold_ms, warm_ms, hits, misses, identical, store_bytes) ->
+          [
+            ( "fleet",
+              Json.Obj
+                [
+                  ("socs", Json.Num (float_of_int tam_fleet_count));
+                  ("cold_ms", Json.Num cold_ms);
+                  ("warm_ms", Json.Num warm_ms);
+                  ("warm_over_cold", Json.Num (warm_ms /. cold_ms));
+                  ("hits", Json.Num (float_of_int hits));
+                  ("misses", Json.Num (float_of_int misses));
+                  ( "hit_rate",
+                    Json.Num
+                      (float_of_int hits /. float_of_int (max 1 (hits + misses)))
+                  );
+                  ("byte_identical", Json.Num (if identical then 1.0 else 0.0));
+                  ("store_bytes", Json.Num (float_of_int store_bytes));
+                ] );
+          ]
+    in
+    let serve =
+      match !cache_serve_results with
+      | None -> []
+      | Some (cold_jobs_s, warm_jobs_s, hit_rate) ->
+          [
+            ( "serve",
+              Json.Obj
+                [
+                  ("cold_jobs_per_s", Json.Num cold_jobs_s);
+                  ("warm_jobs_per_s", Json.Num warm_jobs_s);
+                  ("warm_hit_rate", Json.Num hit_rate);
+                ] );
+          ]
+    in
+    let scaling =
+      match !cache_domain_scaling with
+      | None -> []
+      | Some (Either.Left hw) ->
+          [
+            ( "domain_scaling",
+              Json.Obj
+                [
+                  ("skipped", Json.Num 1.0);
+                  ("hardware_threads", Json.Num (float_of_int hw));
+                ] );
+          ]
+      | Some (Either.Right ms) ->
+          [
+            ( "domain_scaling",
+              Json.Obj
+                [ ("skipped", Json.Num 0.0); ("warm_ms_4_domains", Json.Num ms) ]
+            );
+          ]
+    in
+    Json.Obj (fleet @ serve @ scaling)
+  in
   let doc =
     Json.Obj
       [
@@ -1440,6 +1661,7 @@ let write_bench_json file =
         ("fsim_kernel", fsim_kernel_json);
         ("serve", serve_json);
         ("tam", tam_json);
+        ("cache", cache_json);
         ( "counters",
           Json.Obj
             (List.map (fun (n, v) -> (n, Json.Num (float_of_int v))) counters)
@@ -1484,6 +1706,7 @@ let () =
   fsim_kernel_section ();
   serve_section ();
   tam_section ();
+  cache_section ();
   bechamel_suite ();
   write_bench_json "BENCH_socet.json";
   print_newline ()

@@ -131,6 +131,27 @@ let builtin_cores = Dispatch.builtin_cores
 let core_of_name name = or_die (Dispatch.core_of_name name)
 let system_of_name name = or_die (Dispatch.system_of_name name)
 
+(* --cache DIR: the persistent result store (DESIGN.md §16).  Validated
+   up front — create-if-missing, not-a-directory and unwritable paths
+   are structured Validation errors, exit code 3 through [with_obs]. *)
+module Cache = Socet_cache.Cache
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Persist expensive results (ATPG vector sets, access routes, \
+           TAM schedules) in a content-addressed store under $(docv), \
+           created if missing.  Cached results are byte-identical to \
+           recomputation; the store is bounded \
+           ($(b,SOCET_CACHE_LIMIT_MB), default 256) and LRU-evicted, \
+           and a corrupt entry reads as a miss, never a failure.")
+
+let activate_cache cache =
+  Option.iter (fun dir -> or_die (Cache.activate_dir dir)) cache
+
 (* explore/chip/atpg run through the same Dispatch entry the server uses,
    so `socet submit` output is byte-identical to the direct command. *)
 let run_request opts req =
@@ -231,9 +252,10 @@ let cmd_space opts system =
 (* socet explore <system>                                              *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_explore opts system objective max_area max_time search_budget no_memo =
+let cmd_explore opts cache system objective max_area max_time search_budget
+    no_memo =
   run_request opts
-    (Proto.make
+    (Proto.make ?cache
        (Proto.Explore
           {
             Proto.ex_system = system;
@@ -329,8 +351,9 @@ let cmd_dot opts kind name =
 (* socet schedule                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_schedule opts system overlap backend =
+let cmd_schedule opts cache system overlap backend =
   with_obs opts @@ fun () ->
+  activate_cache cache;
   let soc = system_of_name system in
   match backend with
   | `Tam ->
@@ -369,9 +392,9 @@ let cmd_schedule opts system overlap backend =
 (* socet chip <system>                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_chip opts system deadline strict backend =
+let cmd_chip opts cache system deadline strict backend =
   run_request opts
-    (Proto.make
+    (Proto.make ?cache
        ?deadline_ms:(Option.map (fun s -> int_of_float (s *. 1000.0)) deadline)
        (Proto.Chip
           {
@@ -384,8 +407,9 @@ let cmd_chip opts system deadline strict backend =
 (* socet tam [SYSTEM] / socet tam --fleet N                            *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_tam opts system fleet seed cores width =
+let cmd_tam opts cache system fleet seed cores width =
   with_obs opts @@ fun () ->
+  activate_cache cache;
   match fleet with
   | Some count ->
       let entries = Socet_tam.Fleet.run ?width ?cores ~seed ~count () in
@@ -457,8 +481,109 @@ let cmd_gen opts seed cores homogeneous =
 (* socet atpg <core>                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_atpg opts core =
-  run_request opts (Proto.make (Proto.Atpg { Proto.at_core = core }))
+let cmd_atpg opts cache core =
+  run_request opts (Proto.make ?cache (Proto.Atpg { Proto.at_core = core }))
+
+(* ------------------------------------------------------------------ *)
+(* socet diff-test                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Both backends' reports for one SOC as a single string — the unit of
+   byte-identity checking across diff-test passes. *)
+let plan_both soc width =
+  let buf = Buffer.create 1024 in
+  let choice = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts in
+  let s = Schedule.build soc ~choice () in
+  Buffer.add_string buf
+    (Socet_util.Ascii_table.render
+       ~header:[ "core"; "vectors"; "cycles/vec"; "tail"; "test time" ]
+       (List.map
+          (fun t ->
+            [
+              t.Schedule.ct_inst;
+              string_of_int t.Schedule.ct_vectors;
+              string_of_int t.Schedule.ct_period;
+              string_of_int t.Schedule.ct_tail;
+              string_of_int t.Schedule.ct_time;
+            ])
+          s.Schedule.s_tests));
+  Buffer.add_string buf
+    (Printf.sprintf "sequential total: %d cycles\n" s.Schedule.s_total_time);
+  Buffer.add_string buf (Socet_tam.Schedule.render (Socet_tam.Schedule.build ?width soc));
+  Buffer.contents buf
+
+(* A functional-but-equivalent netlist edit to the first core: an
+   inverter pair spliced into its first primary output.  The logic
+   function is unchanged, the structure is not — exactly the edit whose
+   blast radius the incremental story bounds (its own ATPG and the
+   chip-level schedules recompute; every other core's artifacts and all
+   access routes are reused). *)
+let edit_first_core soc =
+  match soc.Soc.insts with
+  | [] -> ()
+  | ci :: _ -> (
+      let nl = ci.Soc.ci_netlist in
+      match Socet_netlist.Netlist.pos nl with
+      | [] -> ()
+      | (po, net) :: _ ->
+          let a = Socet_netlist.Netlist.add_gate nl Socet_netlist.Cell.Inv [| net |] in
+          let b = Socet_netlist.Netlist.add_gate nl Socet_netlist.Cell.Inv [| a |] in
+          Socet_netlist.Netlist.replace_po nl po b)
+
+let cmd_diff_test opts cache seed cores width =
+  with_obs opts @@ fun () ->
+  or_die (Cache.activate_dir cache);
+  let gen () =
+    Socet_cores.Gen.random_soc ?cores ~hetero:true (Socet_util.Rng.create seed)
+  in
+  (* Each pass regenerates the SOC from the seed with the scoreboard
+     reset first, so per-core artifacts created during instantiation
+     (version ladders) are tallied with the pass that triggered them. *)
+  let run_pass label ~edit =
+    Cache.reset_scoreboard ();
+    let soc = gen () in
+    if edit then edit_first_core soc;
+    let out = plan_both soc width in
+    (label, out, Cache.scoreboard ())
+  in
+  (* Sequential lets: a list literal's elements may evaluate in any
+     order, and the passes share the store. *)
+  let cold = run_pass "cold" ~edit:false in
+  let warm = run_pass "warm" ~edit:false in
+  let edited = run_pass "edited" ~edit:true in
+  let warm_again = run_pass "warm-again" ~edit:false in
+  let passes = [ cold; warm; edited; warm_again ] in
+  Socet_util.Ascii_table.print
+    ~header:[ "pass"; "namespace"; "reused"; "recomputed" ]
+    (List.concat_map
+       (fun (label, _, rows) ->
+         List.map
+           (fun (ns, hits, misses) ->
+             [ label; ns; string_of_int hits; string_of_int misses ])
+           rows)
+       passes);
+  let out_of l = match List.find (fun (p, _, _) -> p = l) passes with _, o, _ -> o in
+  let totals l =
+    match List.find (fun (p, _, _) -> p = l) passes with
+    | _, _, rows ->
+        List.fold_left (fun (h, m) (_, hits, misses) -> (h + hits, m + misses)) (0, 0) rows
+  in
+  let wh, wm = totals "warm" and eh, em = totals "edited" in
+  Printf.printf "warm: reused %d, recomputed %d\n" wh wm;
+  Printf.printf "edited core: reused %d, recomputed %d\n" eh em;
+  let check what a b =
+    if out_of a <> out_of b then
+      raise
+        (Err.Socet_error
+           (Err.make ~kind:Err.Internal ~engine:"cache"
+              (Printf.sprintf "%s: %s output differs from %s" what a b)))
+  in
+  (* The warm replay must be byte-identical to the cold one, and the
+     edited pass must not have poisoned the unedited design's entries. *)
+  check "cached replay" "warm" "cold";
+  check "post-edit replay" "warm-again" "cold";
+  print_endline "replay: warm and post-edit outputs byte-identical to cold";
+  0
 
 (* ------------------------------------------------------------------ *)
 (* socet bist                                                          *)
@@ -491,12 +616,16 @@ let cmd_version opts () =
 (* socet serve / socet submit                                          *)
 (* ------------------------------------------------------------------ *)
 
-let cmd_serve opts socket queue_depth access_log workers max_retries
+let cmd_serve opts cache socket queue_depth access_log workers max_retries
     stall_timeout_ms =
   with_obs opts @@ fun () ->
+  (* Fail at startup, not on the first cached request: the directory is
+     validated here and only its (known-good) path is handed to the
+     server as the per-request default. *)
+  Option.iter (fun dir -> ignore (or_die (Cache.open_dir dir))) cache;
   let srv =
     Socet_serve.Server.start ~queue_depth ?access_log ~workers ~max_retries
-      ?stall_timeout_ms ~socket ()
+      ?stall_timeout_ms ?cache ~socket ()
   in
   Socet_serve.Server.install_signal_handlers srv;
   if workers > 0 then
@@ -508,10 +637,10 @@ let cmd_serve opts socket queue_depth access_log workers max_retries
   Printf.eprintf "socet: drained, exiting\n%!";
   code
 
-let cmd_submit opts socket deadline_ms retries retry_max_ms request =
+let cmd_submit opts cache socket deadline_ms retries retry_max_ms request =
   with_obs opts @@ fun () ->
   let req =
-    match Proto.of_args ?deadline_ms request with
+    match Proto.of_args ?deadline_ms ?cache request with
     | Ok req -> req
     | Error msg -> raise (Err.Socet_error (Err.make ~engine:"cli" msg))
   in
@@ -597,8 +726,8 @@ let explore_t =
              memoized search.")
   in
   Term.(
-    const cmd_explore $ obs_opts_t $ system_arg $ objective $ max_area
-    $ max_time $ search_budget $ no_memo)
+    const cmd_explore $ obs_opts_t $ cache_arg $ system_arg $ objective
+    $ max_area $ max_time $ search_budget $ no_memo)
 
 let coverage_t =
   let cycles =
@@ -641,7 +770,9 @@ let schedule_t =
   let overlap =
     Arg.(value & flag & info [ "overlap" ] ~doc:"Also pack tests concurrently.")
   in
-  Term.(const cmd_schedule $ obs_opts_t $ system_arg $ overlap $ backend_arg)
+  Term.(
+    const cmd_schedule $ obs_opts_t $ cache_arg $ system_arg $ overlap
+    $ backend_arg)
 
 let chip_t =
   let deadline =
@@ -662,7 +793,9 @@ let chip_t =
             "Treat any degradation (a core falling back to FSCAN-BSCAN) \
              as a failure: exit with code 4 instead of 0.")
   in
-  Term.(const cmd_chip $ obs_opts_t $ system_arg $ deadline $ strict $ backend_arg)
+  Term.(
+    const cmd_chip $ obs_opts_t $ cache_arg $ system_arg $ deadline $ strict
+    $ backend_arg)
 
 let tam_t =
   let system =
@@ -694,7 +827,9 @@ let tam_t =
       & info [ "width" ] ~docv:"W"
           ~doc:"TAM width in wires (default 16).")
   in
-  Term.(const cmd_tam $ obs_opts_t $ system $ fleet $ seed $ cores $ width)
+  Term.(
+    const cmd_tam $ obs_opts_t $ cache_arg $ system $ fleet $ seed $ cores
+    $ width)
 
 let gen_t =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
@@ -717,8 +852,34 @@ let gen_t =
 
 let atpg_t =
   Term.(
-    const cmd_atpg $ obs_opts_t
+    const cmd_atpg $ obs_opts_t $ cache_arg
     $ Arg.(required & pos 0 (some string) None & info [] ~docv:"CORE"))
+
+let diff_test_t =
+  let cache =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Result store to measure reuse against (created if \
+             missing).  Run twice against the same $(docv) to see a \
+             fully warm second pass.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let cores =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cores" ] ~docv:"K" ~doc:"Logic cores in the generated SOC.")
+  in
+  let width =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "width" ] ~docv:"W" ~doc:"TAM width in wires (default 16).")
+  in
+  Term.(const cmd_diff_test $ obs_opts_t $ cache $ seed $ cores $ width)
 
 let version_t = Term.(const cmd_version $ obs_opts_t $ const ())
 
@@ -778,8 +939,8 @@ let serve_t =
              its job retried (default 30000).")
   in
   Term.(
-    const cmd_serve $ obs_opts_t $ socket_arg $ queue_depth $ access_log
-    $ workers $ max_retries $ stall_timeout)
+    const cmd_serve $ obs_opts_t $ cache_arg $ socket_arg $ queue_depth
+    $ access_log $ workers $ max_retries $ stall_timeout)
 
 let submit_t =
   let deadline =
@@ -817,8 +978,8 @@ let submit_t =
              [--backend ccg|tam] | atpg CORE.")
   in
   Term.(
-    const cmd_submit $ obs_opts_t $ socket_arg $ deadline $ retries
-    $ retry_max_ms $ request)
+    const cmd_submit $ obs_opts_t $ cache_arg $ socket_arg $ deadline
+    $ retries $ retry_max_ms $ request)
 
 let health_t =
   let json =
@@ -861,6 +1022,13 @@ let () =
             workload's generator).")
         gen_t;
       Cmd.v (info "atpg" "Run combinational ATPG (PODEM) on one core.") atpg_t;
+      Cmd.v
+        (info "diff-test"
+           "Incremental re-test report: plan a seeded SOC cold, warm, \
+            and after editing one core, tallying reused vs recomputed \
+            work per cache namespace and checking cached replays are \
+            byte-identical.")
+        diff_test_t;
       Cmd.v (info "bist" "Evaluate March memory-BIST algorithms.") bist_t;
       Cmd.v
         (info "serve"

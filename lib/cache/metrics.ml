@@ -1,0 +1,54 @@
+(* Cache observability: the global counters DESIGN.md §16 documents,
+   plus per-namespace tallies for `socet diff-test`'s reused-vs-
+   recomputed report.  The per-namespace table is mutex-guarded — fleet
+   entries hit the cache from pool domains. *)
+
+module Obs = Socet_obs.Obs
+
+let c_hits = Obs.counter ~scope:"cache" "hits"
+let c_misses = Obs.counter ~scope:"cache" "misses"
+let c_stores = Obs.counter ~scope:"cache" "stores"
+let c_evictions = Obs.counter ~scope:"cache" "evictions"
+let g_bytes = Obs.gauge ~scope:"cache" "bytes"
+
+type tally = { mutable t_hits : int; mutable t_misses : int }
+
+let tallies : (string, tally) Hashtbl.t = Hashtbl.create 8
+let mu = Mutex.create ()
+
+let tally_of ns =
+  match Hashtbl.find_opt tallies ns with
+  | Some t -> t
+  | None ->
+      let t = { t_hits = 0; t_misses = 0 } in
+      Hashtbl.replace tallies ns t;
+      t
+
+let hit ns =
+  Obs.incr c_hits;
+  Mutex.lock mu;
+  (tally_of ns).t_hits <- (tally_of ns).t_hits + 1;
+  Mutex.unlock mu
+
+let miss ns =
+  Obs.incr c_misses;
+  Mutex.lock mu;
+  (tally_of ns).t_misses <- (tally_of ns).t_misses + 1;
+  Mutex.unlock mu
+
+let stored () = Obs.incr c_stores
+let evicted () = Obs.incr c_evictions
+let set_bytes n = Obs.set_gauge g_bytes n
+
+let scoreboard () =
+  Mutex.lock mu;
+  let rows =
+    Hashtbl.fold (fun ns t acc -> (ns, t.t_hits, t.t_misses) :: acc) tallies []
+  in
+  Mutex.unlock mu;
+  List.sort compare rows
+
+let reset_scoreboard () =
+  Mutex.lock mu;
+  Hashtbl.reset tallies;
+  Mutex.unlock mu

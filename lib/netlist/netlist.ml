@@ -93,6 +93,13 @@ let add_po t po_name net =
   check_net t net;
   t.pos_rev <- (po_name, net) :: t.pos_rev
 
+let replace_po t po_name net =
+  check_net t net;
+  if not (List.mem_assoc po_name t.pos_rev) then raise Not_found;
+  t.pos_rev <-
+    List.map (fun (n, x) -> if n = po_name then (n, net) else (n, x)) t.pos_rev;
+  invalidate t
+
 let gate_count t = t.n
 let kind t x = check_net t x; t.kinds.(x)
 let fanin t x = check_net t x; t.fanins.(x)

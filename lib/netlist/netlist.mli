@@ -28,6 +28,12 @@ val add_pi : t -> string -> net
 val add_po : t -> string -> net -> unit
 (** Declares a named primary output driven by [net]. *)
 
+val replace_po : t -> string -> net -> unit
+(** Redirects an existing named primary output to a different driver net
+    (a functional edit: the building block of [socet diff-test]'s
+    one-core mutation).  Invalidates derived caches.
+    @raise Not_found when no PO with that name exists. *)
+
 val gate_count : t -> int
 
 val kind : t -> net -> Cell.kind

@@ -1,0 +1,70 @@
+(* Canonical structural hashing of netlists (structhash.mli). *)
+
+(* Built on the Flat CSR form: the compile is cached on the netlist and
+   invalidated by any mutation, so hashing N times costs one compile plus
+   N cheap array walks.  Digest is the stdlib MD5 — no external deps, and
+   collision resistance is not a security property here (the cache only
+   ever trades correctness for a stale *byte-identical* result, and the
+   stored entry records the full key for verification). *)
+
+module D = Digest
+
+let hex = D.to_hex
+
+(* A gate's canonical label is the Merkle digest of its function cone:
+   interface sources get positional seeds (PI i, FF j, constants), and
+   every combinational gate hashes its kind code together with its fanin
+   labels *in pin order* (MUX selects and other asymmetric pins must not
+   commute).  Two netlists built with different internal gate names or a
+   different (valid) declaration order assign identical labels; any
+   functional difference — a kind change, a swapped pin, a repointed
+   fanin — changes the label of every gate downstream. *)
+let labels flat =
+  let n = flat.Flat.n in
+  let lab = Array.make n "" in
+  (* Interface seeds: positional, never name-based.  PI/FF positions are
+     part of the canonical form because they fix the test-vector layout
+     (Fsim/Podem vectors are positional) — reordering the interface is a
+     functional edit for every cached artifact keyed by this hash. *)
+  Array.iteri (fun i net -> lab.(net) <- D.string (Printf.sprintf "pi:%d" i)) flat.Flat.pis;
+  Array.iteri (fun j net -> lab.(net) <- D.string (Printf.sprintf "ff:%d" j)) flat.Flat.dffs;
+  let buf = Buffer.create 128 in
+  Array.iter
+    (fun g ->
+      if lab.(g) = "" then begin
+        Buffer.clear buf;
+        Buffer.add_string buf (string_of_int flat.Flat.kinds.(g));
+        for p = flat.Flat.fanin_off.(g) to flat.Flat.fanin_off.(g + 1) - 1 do
+          Buffer.add_char buf '.';
+          Buffer.add_string buf lab.(flat.Flat.fanin.(p))
+        done;
+        lab.(g) <- D.string (Buffer.contents buf)
+      end)
+    flat.Flat.order;
+  lab
+
+let netlist nl =
+  let flat = Flat.of_netlist nl in
+  let lab = labels flat in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "socet-structhash-v1:%d:%d:%d:%d\n"
+    flat.Flat.n (Array.length flat.Flat.pis) (Array.length flat.Flat.dffs)
+    (Array.length flat.Flat.pos_net));
+  (* Anchors, in interface order: what the circuit computes at each PO,
+     and each flip-flop's next-state function. *)
+  Array.iter (fun net -> Buffer.add_string buf (lab.(net) ^ "o")) flat.Flat.pos_net;
+  Array.iter
+    (fun net ->
+      (* A flip-flop's own fanin pins (D, enable, scan-in...) in order. *)
+      for p = flat.Flat.fanin_off.(net) to flat.Flat.fanin_off.(net + 1) - 1 do
+        Buffer.add_string buf lab.(flat.Flat.fanin.(p))
+      done;
+      Buffer.add_char buf 'f')
+    flat.Flat.dffs;
+  (* The sorted label multiset covers logic that drives no PO or
+     flip-flop: such gates still carry faults, so a netlist that differs
+     only in dangling logic must hash differently. *)
+  let all = Array.copy lab in
+  Array.sort compare all;
+  Array.iter (fun l -> Buffer.add_string buf l) all;
+  hex (D.string (Buffer.contents buf))

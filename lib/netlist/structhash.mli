@@ -1,0 +1,28 @@
+(** Canonical structural hash of a netlist — the content address the
+    persistent result cache ({!Socet_cache}) keys ATPG artifacts by.
+
+    The hash is computed over the {!Flat} CSR form as a Merkle labelling:
+    primary inputs, flip-flops and constants get positional seeds, every
+    combinational gate hashes its kind with its fanin labels in pin
+    order, and the final digest combines the PO anchors (in PO order),
+    the flip-flop next-state anchors (in flip-flop order) and the sorted
+    multiset of all gate labels.
+
+    Invariances (enforced by test/test_cache.ml qcheck properties):
+    - gate and net {e names} never enter the hash — renaming anything is
+      hash-neutral;
+    - the {e declaration order} of internal combinational gates is
+      hash-neutral (labels depend only on each gate's function cone);
+    - any functional edit — a kind change, a swapped fanin pin on an
+      asymmetric gate, a repointed PO — changes the hash.
+
+    The PI / PO / flip-flop {e interface order} is deliberately part of
+    the hash: cached test vectors are positional ({!Socet_atpg.Fsim}
+    layout), so netlists with permuted interfaces are different content
+    even when logically equivalent. *)
+
+val netlist : Netlist.t -> string
+(** Hex MD5 content address (stable across processes and runs).  Cost:
+    one {!Flat.of_netlist} compile (cached on the netlist) plus a linear
+    digest walk.  @raise Socet_util.Error.Socet_error on a combinational
+    cycle or dangling fanin, as {!Flat.of_netlist} does. *)

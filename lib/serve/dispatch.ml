@@ -175,7 +175,7 @@ let run_atpg a =
 
 let run req =
   let deadline_ms = req.Proto.rq_deadline_ms in
-  let dispatch () =
+  let dispatch_body () =
     match req.Proto.rq_body with
     | Proto.Ping -> ok (Proto.version_lines ())
     | Proto.Stats -> ok (Obs.stats_json () ^ "\n")
@@ -195,6 +195,18 @@ let run req =
     | Proto.Explore e -> run_explore ~deadline_ms e
     | Proto.Chip c -> run_chip ~deadline_ms c
     | Proto.Atpg a -> run_atpg a
+  in
+  (* The request's cache directory is scoped to this execution: opened
+     first (a bad directory is a structured Validation error — exit code
+     3 at the client, like any other input error) and restored after, so
+     one cached request never leaks a store into the next. *)
+  let dispatch () =
+    let* store =
+      match req.Proto.rq_cache with
+      | None -> Ok None
+      | Some dir -> Result.map Option.some (Socet_cache.Cache.open_dir dir)
+    in
+    Socet_cache.Cache.with_store store dispatch_body
   in
   (* Boundary adapter: no input, however corrupt, escapes as an uncaught
      exception — raw exceptions become structured [Internal] errors and a

@@ -25,17 +25,19 @@ type body =
   | Chip of chip
   | Atpg of atpg
 
-type t = { rq_deadline_ms : int option; rq_body : body }
+type t = { rq_deadline_ms : int option; rq_cache : string option; rq_body : body }
 
 type status = { st_code : int; st_stderr : string }
 
-let make ?deadline_ms body = { rq_deadline_ms = deadline_ms; rq_body = body }
+let make ?deadline_ms ?cache body =
+  { rq_deadline_ms = deadline_ms; rq_cache = cache; rq_body = body }
 
 let package_version = "1.2.0"
 
 (* Compile-time capabilities, for client/server mismatch diagnosis: every
    subsystem that changes the observable surface lists itself here. *)
-let features = [ "obs"; "budgets"; "chaos"; "multicore"; "serve"; "tam"; "fleet" ]
+let features =
+  [ "obs"; "budgets"; "chaos"; "multicore"; "serve"; "tam"; "fleet"; "cache" ]
 
 let version_lines () =
   Printf.sprintf "socet %s (protocol %d)\nocaml %s\nfeatures: %s\n"
@@ -85,7 +87,11 @@ let body_to_json = function
 let to_json t =
   let body = match body_to_json t.rq_body with Json.Obj fields -> fields | _ -> [] in
   Json.Obj
-    (body @ match t.rq_deadline_ms with None -> [] | Some ms -> [ ("deadline_ms", num ms) ])
+    (body
+    @ (match t.rq_deadline_ms with None -> [] | Some ms -> [ ("deadline_ms", num ms) ])
+    (* Wire compatibility: absent when no cache directory rides along, so
+       pre-cache encodings are byte-identical. *)
+    @ match t.rq_cache with None -> [] | Some d -> [ ("cache", Json.Str d) ])
 
 let encode t = Json.to_string (to_json t)
 
@@ -146,7 +152,7 @@ let body_of_json j =
 
 let of_json j =
   let* rq_body = body_of_json j in
-  Ok { rq_body; rq_deadline_ms = get_int "deadline_ms" j }
+  Ok { rq_body; rq_deadline_ms = get_int "deadline_ms" j; rq_cache = get_str "cache" j }
 
 let decode s =
   let* j = Json.of_string s in
@@ -367,7 +373,7 @@ let int_flag flags key ~default =
       | Some n -> Ok n
       | None -> Error (Printf.sprintf "flag %s expects an integer, got %S" key v))
 
-let of_args ?deadline_ms args =
+let of_args ?deadline_ms ?cache args =
   let* body =
     match args with
     | [] | [ "" ] -> Error "empty request (expected ping|stats|health|explore|chip|atpg)"
@@ -430,4 +436,4 @@ let of_args ?deadline_ms args =
               | chip SYSTEM [--strict] [--backend ccg|tam] | atpg CORE)"
              cmd)
   in
-  Ok (make ?deadline_ms body)
+  Ok (make ?deadline_ms ?cache body)

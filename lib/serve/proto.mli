@@ -52,6 +52,10 @@ type t = {
       (** wall-clock allowance, anchored when the server admits the job:
           expiring in the queue or mid-engine yields a structured
           [Exhausted] error (exit code 4 at the client) *)
+  rq_cache : string option;
+      (** result-cache directory to activate around this request's
+          execution ([--cache DIR]); absent on the wire when [None], so
+          pre-cache request frames are byte-identical *)
   rq_body : body;
 }
 
@@ -60,7 +64,7 @@ type status = { st_code : int; st_stderr : string }
     direct CLI would have returned, plus its stderr bytes (stdout arrived
     as chunk frames). *)
 
-val make : ?deadline_ms:int -> body -> t
+val make : ?deadline_ms:int -> ?cache:string -> body -> t
 
 val summary : t -> string
 (** One-line label for queue spans and the access log, e.g.
@@ -78,7 +82,7 @@ val version_lines : unit -> string
 val encode : t -> string
 val decode : string -> (t, string) result
 
-val of_args : ?deadline_ms:int -> string list -> (t, string) result
+val of_args : ?deadline_ms:int -> ?cache:string -> string list -> (t, string) result
 (** Parse the [socet submit] request syntax, e.g.
     [["explore"; "system1"; "--max-area"; "600"]].  Accepts [--k v] and
     [--k=v]. *)

@@ -34,6 +34,7 @@ type t = {
   s_stop_w : Unix.file_descr;
   s_queue : Queue.t;
   s_access : Sink.t option;
+  s_cache : string option;
   s_start_us : float;
   s_mu : Mutex.t;
   s_cv : Condition.t;
@@ -111,6 +112,15 @@ let handle_request srv fd ~id payload =
   | Ok { Proto.rq_body = Proto.Health; _ } ->
       send_outcome fd ~id (health_outcome srv)
   | Ok req -> (
+      (* Server-side default: a request that names no cache directory
+         inherits the server's ([socet serve --cache DIR]).  Injected
+         into the request itself, so it rides the existing wire format
+         to forked workers; a request's own cache field wins. *)
+      let req =
+        match (req.Proto.rq_cache, srv.s_cache) with
+        | None, Some dir -> { req with Proto.rq_cache = Some dir }
+        | _ -> req
+      in
       let deadline_us =
         Option.map
           (fun ms -> now_us () +. (float_of_int ms *. 1000.0))
@@ -233,7 +243,7 @@ let shutdown srv =
         ignore (Unix.write srv.s_stop_w (Bytes.make 1 '!') 0 1))
 
 let start ?(queue_depth = 64) ?access_log ?(workers = 0) ?max_retries
-    ?stall_timeout_ms ~socket () =
+    ?stall_timeout_ms ?cache ~socket () =
   if workers < 0 then invalid_arg "Serve.Server.start: workers must be >= 0";
   (* A dead client mid-write must surface as EPIPE, not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -264,6 +274,7 @@ let start ?(queue_depth = 64) ?access_log ?(workers = 0) ?max_retries
       s_stop_w = stop_w;
       s_queue = Queue.create ~depth:queue_depth ~executors:(max 1 workers) ~on_done ();
       s_access = access;
+      s_cache = cache;
       s_start_us = now_us ();
       s_mu = Mutex.create ();
       s_cv = Condition.create ();

@@ -34,6 +34,7 @@ val start :
   ?workers:int ->
   ?max_retries:int ->
   ?stall_timeout_ms:int ->
+  ?cache:string ->
   socket:string ->
   unit ->
   t

@@ -1,0 +1,345 @@
+(* The persistent result cache (lib/cache) and its content addresses:
+   structural-hash invariances, the on-disk store's integrity/eviction
+   behaviour, and the end-to-end contract — cached results byte-identical
+   to cold computes, incremental invalidation bounded to the edit. *)
+
+open Socet_util
+open Socet_netlist
+module Cache = Socet_cache.Cache
+module Store = Socet_cache.Store
+module Soc = Socet_core.Soc
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* Fresh scratch directories; cleaned best-effort (the suite's tmp root
+   is disposable anyway). *)
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "socet-cache-test-%d-%d" (Unix.getpid ()) !dir_counter)
+
+let with_fresh_store ?limit_bytes f =
+  let dir = fresh_dir () in
+  match Store.open_store ?limit_bytes dir with
+  | Error e -> Alcotest.failf "open_store: %s" (Error.to_string e)
+  | Ok s -> f dir s
+
+(* ------------------------------------------------------------------ *)
+(* Structural hash: unit cases                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Two AND/OR netlists that differ only in gate names and in the
+   declaration order of the two independent internal gates. *)
+let build_pair ~swap ~names nl =
+  let a = Netlist.add_pi nl "a" in
+  let b = Netlist.add_pi nl "b" in
+  let mk i kind =
+    Netlist.add_gate nl ?name:(if names then Some (Printf.sprintf "g%d" i) else None)
+      kind [| a; b |]
+  in
+  let x, y =
+    if swap then
+      let y = mk 0 Cell.Or2 in
+      let x = mk 1 Cell.And2 in
+      (x, y)
+    else
+      let x = mk 2 Cell.And2 in
+      let y = mk 3 Cell.Or2 in
+      (x, y)
+  in
+  Netlist.add_po nl "o1" x;
+  Netlist.add_po nl "o2" y
+
+let test_hash_rename_and_reorder_neutral () =
+  let nl1 = Netlist.create "n1" in
+  build_pair ~swap:false ~names:true nl1;
+  let nl2 = Netlist.create "completely-different-name" in
+  build_pair ~swap:true ~names:false nl2;
+  check_str "names and internal declaration order are hash-neutral"
+    (Structhash.netlist nl1) (Structhash.netlist nl2)
+
+let test_hash_functional_edit_sensitive () =
+  let nl1 = Netlist.create "n" in
+  build_pair ~swap:false ~names:false nl1;
+  let h = Structhash.netlist nl1 in
+  (* Kind change. *)
+  let nl2 = Netlist.create "n" in
+  let a = Netlist.add_pi nl2 "a" in
+  let b = Netlist.add_pi nl2 "b" in
+  let x = Netlist.add_gate nl2 Cell.Nand2 [| a; b |] in
+  let y = Netlist.add_gate nl2 Cell.Or2 [| a; b |] in
+  Netlist.add_po nl2 "o1" x;
+  Netlist.add_po nl2 "o2" y;
+  check "kind change changes the hash" true (h <> Structhash.netlist nl2);
+  (* PO swap: positional interface identity. *)
+  let nl3 = Netlist.create "n" in
+  let a = Netlist.add_pi nl3 "a" in
+  let b = Netlist.add_pi nl3 "b" in
+  let x = Netlist.add_gate nl3 Cell.And2 [| a; b |] in
+  let y = Netlist.add_gate nl3 Cell.Or2 [| a; b |] in
+  Netlist.add_po nl3 "o1" y;
+  Netlist.add_po nl3 "o2" x;
+  check "swapping PO drivers changes the hash" true (h <> Structhash.netlist nl3)
+
+let test_hash_asymmetric_pins () =
+  (* Mux2(sel, a, b) vs Mux2(sel, b, a): same multiset of fanins, pins
+     swapped — the pin order must be part of each gate's label. *)
+  let build flip =
+    let nl = Netlist.create "m" in
+    let s = Netlist.add_pi nl "s" in
+    let a = Netlist.add_pi nl "a" in
+    let b = Netlist.add_pi nl "b" in
+    let m =
+      Netlist.add_gate nl Cell.Mux2 (if flip then [| s; b; a |] else [| s; a; b |])
+    in
+    Netlist.add_po nl "y" m;
+    Structhash.netlist nl
+  in
+  check "swapped mux data pins change the hash" true (build false <> build true)
+
+(* ------------------------------------------------------------------ *)
+(* Structural hash: qcheck properties over the random-core generator   *)
+(* ------------------------------------------------------------------ *)
+
+let elaborated seed =
+  let rng = Rng.create seed in
+  Socet_synth.Elaborate.core_to_netlist (Gen.random_core rng)
+
+let prop_hash_deterministic =
+  QCheck.Test.make ~name:"cache: structural hash deterministic across builds"
+    ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      Structhash.netlist (elaborated seed) = Structhash.netlist (elaborated seed))
+
+let prop_hash_edit_sensitive =
+  QCheck.Test.make
+    ~name:"cache: inverter-pair splice (functional edit) changes the hash"
+    ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let nl = elaborated seed in
+      let h = Structhash.netlist nl in
+      match Netlist.pos nl with
+      | [] -> QCheck.assume_fail ()
+      | (po, net) :: _ ->
+          let a = Netlist.add_gate nl Cell.Inv [| net |] in
+          let b = Netlist.add_gate nl Cell.Inv [| a |] in
+          Netlist.replace_po nl po b;
+          h <> Structhash.netlist nl)
+
+(* ------------------------------------------------------------------ *)
+(* Store: roundtrip, integrity, eviction                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_roundtrip () =
+  with_fresh_store @@ fun dir s ->
+  check "fresh store misses" true (Store.find s ~ns:"t1" ~key:"k" = None);
+  Store.store s ~ns:"t1" ~key:"k" "payload-bytes";
+  check "hit after store" true (Store.find s ~ns:"t1" ~key:"k" = Some "payload-bytes");
+  check "other namespace misses" true (Store.find s ~ns:"t2" ~key:"k" = None);
+  check "other key misses" true (Store.find s ~ns:"t1" ~key:"k2" = None);
+  (* A second handle on the same directory sees the entry (the on-disk
+     format, not the in-process index, is the source of truth). *)
+  match Store.open_store dir with
+  | Error e -> Alcotest.failf "reopen: %s" (Error.to_string e)
+  | Ok s2 ->
+      check "persists across reopen" true
+        (Store.find s2 ~ns:"t1" ~key:"k" = Some "payload-bytes")
+
+let test_store_rejects_bad_dir () =
+  let file = Filename.temp_file "socet-cache-test" ".notadir" in
+  (match Store.open_store file with
+  | Ok _ -> Alcotest.fail "opened a store rooted at a regular file"
+  | Error e ->
+      check "validation error" true (e.Error.err_kind = Error.Validation);
+      check_int "maps to exit code 3" 3 (Error.exit_code e));
+  Sys.remove file
+
+let entry_file dir ~ns =
+  let d = Filename.concat dir ns in
+  match Array.to_list (Sys.readdir d) with
+  | [ f ] -> Filename.concat d f
+  | l -> Alcotest.failf "expected one entry file in %s, found %d" d (List.length l)
+
+let test_store_corruption_is_a_miss () =
+  with_fresh_store @@ fun dir s ->
+  Store.store s ~ns:"c1" ~key:"k" "precious";
+  let path = entry_file dir ~ns:"c1" in
+  (* Truncate mid-entry: checksum cannot match. *)
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub full 0 (String.length full / 2)));
+  check "truncated entry reads as a miss" true (Store.find s ~ns:"c1" ~key:"k" = None);
+  check "corrupt file removed" false (Sys.file_exists path);
+  (* The slot is usable again. *)
+  Store.store s ~ns:"c1" ~key:"k" "precious";
+  check "hit after rewrite" true (Store.find s ~ns:"c1" ~key:"k" = Some "precious")
+
+let test_store_flipped_byte_is_a_miss () =
+  with_fresh_store @@ fun dir s ->
+  Store.store s ~ns:"c2" ~key:"k" "precious";
+  let path = entry_file dir ~ns:"c2" in
+  let full = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+  let i = Bytes.length full - 20 in
+  Bytes.set full i (Char.chr (Char.code (Bytes.get full i) lxor 0x41));
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc full);
+  check "bit rot reads as a miss" true (Store.find s ~ns:"c2" ~key:"k" = None)
+
+let test_store_eviction_bounded () =
+  (* ~100-byte payloads against a 1 KiB limit: storing 30 entries must
+     evict, and the tracked size must respect the bound throughout. *)
+  with_fresh_store ~limit_bytes:1024 @@ fun _dir s ->
+  for i = 1 to 30 do
+    Store.store s ~ns:"ev" ~key:(string_of_int i) (String.make 100 'x');
+    check "bytes within limit after every store" true (Store.bytes_used s <= 1024)
+  done;
+  check "old entries evicted" true (Store.find s ~ns:"ev" ~key:"1" = None);
+  check "newest entry survives" true (Store.find s ~ns:"ev" ~key:"30" <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Facade: scoping, typed memo                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_facade_scoping () =
+  check "disabled by default" false (Cache.enabled ());
+  check "find is a no-op when disabled" true
+    (Cache.find ~ns:"f" ~key:"k" = (None : int option));
+  with_fresh_store @@ fun _dir s ->
+  Cache.with_store (Some s) (fun () ->
+      check "enabled inside with_store" true (Cache.enabled ());
+      let computes = ref 0 in
+      let v =
+        Cache.memo ~ns:"f1" ~key:"k" (fun () ->
+            incr computes;
+            [ (1, "one"); (2, "two") ])
+      in
+      check "memo computes once" true (v = [ (1, "one"); (2, "two") ] && !computes = 1);
+      let v2 = Cache.memo ~ns:"f1" ~key:"k" (fun () -> incr computes; []) in
+      check "memo serves the stored value" true
+        (v2 = [ (1, "one"); (2, "two") ] && !computes = 1));
+  check "restored after with_store" false (Cache.enabled ())
+
+let test_cache_scoreboard () =
+  with_fresh_store @@ fun _dir s ->
+  Cache.with_store (Some s) (fun () ->
+      Cache.reset_scoreboard ();
+      ignore (Cache.memo ~ns:"sb" ~key:"k" (fun () -> 42));
+      ignore (Cache.memo ~ns:"sb" ~key:"k" (fun () -> 43));
+      match List.assoc_opt "sb" (List.map (fun (ns, h, m) -> (ns, (h, m))) (Cache.scoreboard ())) with
+      | Some (hits, misses) ->
+          check_int "one miss" 1 misses;
+          check_int "one hit" 1 hits
+      | None -> Alcotest.fail "namespace missing from scoreboard")
+
+(* ------------------------------------------------------------------ *)
+(* End to end: warm runs byte-identical, invalidation bounded          *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_render () =
+  Socet_tam.Fleet.render (Socet_tam.Fleet.run ~seed:7 ~cores:2 ~count:3 ())
+
+let test_warm_fleet_byte_identical () =
+  let cold_nocache = fleet_render () in
+  with_fresh_store @@ fun _dir s ->
+  let cold = Cache.with_store (Some s) fleet_render in
+  let warm =
+    Cache.with_store (Some s) (fun () ->
+        Cache.reset_scoreboard ();
+        fleet_render ())
+  in
+  check_str "cold cached run matches uncached" cold_nocache cold;
+  check_str "warm run byte-identical" cold warm;
+  let hits = List.fold_left (fun acc (_, h, _) -> acc + h) 0 (Cache.scoreboard ()) in
+  check "warm run actually hit the cache" true (hits > 0)
+
+let test_incremental_blast_radius () =
+  (* Edit one core of a two-core SOC: its ATPG and the TAM schedule
+     recompute; every access route and version ladder is reused. *)
+  let gen () = Socet_cores.Gen.random_soc ~cores:2 ~hetero:true (Rng.create 11) in
+  let plan soc =
+    let choice = List.map (fun ci -> (ci.Soc.ci_name, 1)) soc.Soc.insts in
+    ignore (Socet_core.Schedule.build soc ~choice ());
+    ignore (Socet_tam.Schedule.build soc)
+  in
+  with_fresh_store @@ fun _dir s ->
+  Cache.with_store (Some s) @@ fun () ->
+  plan (gen ());
+  (* Warm replay: no recomputation at all. *)
+  Cache.reset_scoreboard ();
+  plan (gen ());
+  List.iter
+    (fun (ns, _, misses) -> check_int ("warm misses in " ^ ns) 0 misses)
+    (Cache.scoreboard ());
+  (* Edited replay. *)
+  Cache.reset_scoreboard ();
+  let soc = gen () in
+  (match soc.Soc.insts with
+  | ci :: _ -> (
+      let nl = ci.Soc.ci_netlist in
+      match Netlist.pos nl with
+      | (po, net) :: _ ->
+          let a = Netlist.add_gate nl Cell.Inv [| net |] in
+          let b = Netlist.add_gate nl Cell.Inv [| a |] in
+          Netlist.replace_po nl po b
+      | [] -> Alcotest.fail "core has no PO")
+  | [] -> Alcotest.fail "SOC has no cores");
+  plan soc;
+  let tally ns =
+    match List.find_opt (fun (n, _, _) -> n = ns) (Cache.scoreboard ()) with
+    | Some (_, h, m) -> (h, m)
+    | None -> (0, 0)
+  in
+  let ph, pm = tally "podem1" in
+  check_int "only the edited core's ATPG recomputes" 1 pm;
+  check_int "the other core's ATPG is reused" 1 ph;
+  let _, rm = tally "routes1" in
+  check_int "no route recomputes (netlist edit leaves RTL alone)" 0 rm;
+  let _, vm = tally "versions1" in
+  check_int "no version ladder recomputes" 0 vm;
+  let _, tm = tally "tamsched1" in
+  check_int "the TAM schedule recomputes (test sets changed)" 1 tm
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "structhash",
+        [
+          Alcotest.test_case "rename/reorder neutral" `Quick
+            test_hash_rename_and_reorder_neutral;
+          Alcotest.test_case "functional edits sensitive" `Quick
+            test_hash_functional_edit_sensitive;
+          Alcotest.test_case "asymmetric pin order" `Quick test_hash_asymmetric_pins;
+          QCheck_alcotest.to_alcotest prop_hash_deterministic;
+          QCheck_alcotest.to_alcotest prop_hash_edit_sensitive;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip and reopen" `Quick test_store_roundtrip;
+          Alcotest.test_case "bad directory rejected" `Quick test_store_rejects_bad_dir;
+          Alcotest.test_case "truncation is a clean miss" `Quick
+            test_store_corruption_is_a_miss;
+          Alcotest.test_case "bit rot is a clean miss" `Quick
+            test_store_flipped_byte_is_a_miss;
+          Alcotest.test_case "eviction respects the bound" `Quick
+            test_store_eviction_bounded;
+        ] );
+      ( "facade",
+        [
+          Alcotest.test_case "activation scoping + typed memo" `Quick
+            test_cache_facade_scoping;
+          Alcotest.test_case "per-namespace scoreboard" `Quick test_cache_scoreboard;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "warm fleet byte-identical" `Quick
+            test_warm_fleet_byte_identical;
+          Alcotest.test_case "incremental blast radius" `Quick
+            test_incremental_blast_radius;
+        ] );
+    ]

@@ -126,6 +126,7 @@ let test_proto_of_args () =
   | Ok
       {
         Proto.rq_deadline_ms = Some 9;
+        rq_cache = None;
         rq_body =
           Proto.Explore
             { Proto.ex_system = "system1"; ex_max_area = 600; ex_search_budget = Some 12; ex_no_memo = true; _ };
